@@ -1,0 +1,61 @@
+"""R-A3 (ablation) — MQL processing overhead decomposition.
+
+How much of a query's cost is language processing (lex/parse/analyze/
+plan) versus execution?  The compile-side cost is constant per query
+text while execution scales with data touched, so reusing plans (as the
+benchmark harness itself does via ``execute_plan``) matters only for
+tiny queries.
+"""
+
+import pytest
+
+from benchmarks._util import build_db, emit, header
+from repro import VersionStrategy
+from repro.mql.analyzer import analyze
+from repro.mql.evaluator import execute_plan
+from repro.mql.parser import parse_query
+from repro.mql.planner import plan
+from repro.workloads import history_depth_spec
+
+QUERY = ("SELECT Part.name, COUNT(Component), AVG(Component.weight) "
+         "FROM Part.contains.Component "
+         "WHERE Part.cost > 0 VALID AT 3")
+
+
+def test_a3_report_header(benchmark, capsys):
+    header(capsys, "R-A3", "MQL overhead: compile vs. execute")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="module")
+def database(tmp_path_factory):
+    db, ids, groups = build_db(
+        str(tmp_path_factory.mktemp("a3") / "db"),
+        history_depth_spec(versions=4, parts=20),
+        VersionStrategy.SEPARATED, buffer_pages=1024)
+    yield db
+    db.close()
+
+
+def test_a3_compile_only(benchmark, capsys, database):
+    def compile_query():
+        analyzed = analyze(parse_query(QUERY), database.schema)
+        return plan(analyzed, database.engine)
+
+    query_plan = benchmark(compile_query)
+    emit(capsys, f"R-A3 | compile (lex+parse+analyze+plan) | "
+                 f"plan={query_plan.describe()}")
+
+
+def test_a3_execute_only(benchmark, capsys, database):
+    analyzed = analyze(parse_query(QUERY), database.schema)
+    query_plan = plan(analyzed, database.engine)
+    result = benchmark(execute_plan, database, query_plan)
+    emit(capsys, f"R-A3 | execute (prepared plan)         | "
+                 f"rows={len(result)}")
+
+
+def test_a3_end_to_end(benchmark, capsys, database):
+    result = benchmark(database.query, QUERY)
+    emit(capsys, f"R-A3 | end-to-end (compile + execute)  | "
+                 f"rows={len(result)}")

@@ -1,0 +1,60 @@
+"""R-F1 — Time-slice cost vs. temporal distance into the past.
+
+Build atoms with 64-version histories and slice one part's molecule at
+increasing temporal distance from now.  This is the figure that
+separates the three physical designs most sharply:
+
+* CHAINED — cost grows linearly with distance (pointer-chain walk);
+* CLUSTERED — flat (the whole history arrives in one spanned record);
+* SEPARATED — flat with a small constant for the version-directory probe.
+"""
+
+import pytest
+
+from benchmarks._util import ALL_STRATEGIES, build_db, emit, header, pins, reset_counters
+from repro import MoleculeType
+from repro.workloads import history_depth_spec
+
+HISTORY = 64
+DISTANCES = [0, 8, 16, 32, 63]
+
+
+def test_f1_report_header(benchmark, capsys):
+    header(capsys, "R-F1",
+           f"time-slice cost vs. temporal distance, history={HISTORY}")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="module")
+def databases(tmp_path_factory):
+    built = {}
+    for strategy in ALL_STRATEGIES:
+        path = tmp_path_factory.mktemp("f1") / strategy.value
+        built[strategy] = build_db(str(path), history_depth_spec(HISTORY),
+                                   strategy, buffer_pages=1024)
+    yield built
+    for db, _, _ in built.values():
+        db.close()
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES,
+                         ids=[s.value for s in ALL_STRATEGIES])
+@pytest.mark.parametrize("distance", DISTANCES)
+def test_f1_slice_at_distance(benchmark, capsys, databases, strategy,
+                              distance):
+    db, ids, groups = databases[strategy]
+    mtype = MoleculeType.parse("Part.contains.Component", db.schema)
+    part = ids[groups["Part"][0]]
+    at = (HISTORY - 1) - distance
+
+    def run():
+        return db.builder.build_at(part, mtype, at)
+
+    molecule = benchmark(run)
+    assert molecule is not None
+    reset_counters(db)
+    run()
+    emit(capsys,
+         f"R-F1 | strategy={strategy.value:>9} distance={distance:>3} | "
+         f"page_touches={pins(db):>5}")
+

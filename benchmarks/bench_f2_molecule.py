@@ -1,0 +1,74 @@
+"""R-F2 — Molecule construction cost vs. molecule size and depth.
+
+Sweep the assembly fanout (components per part) so molecules grow from
+2 to 65 atoms, and additionally compare a depth-3 molecule type
+(part → component → supplier).  Construction cost should scale linearly
+with the number of atom occurrences fetched, independent of strategy
+(all are read at current time); the deterministic rows confirm page
+touches per atom stay constant.
+"""
+
+import pytest
+
+from benchmarks._util import build_db, emit, header, pins, reset_counters
+from repro import MoleculeType, VersionStrategy
+from repro.workloads import fanout_spec
+
+FANOUTS = [1, 4, 16, 64]
+
+
+def test_f2_report_header(benchmark, capsys):
+    header(capsys, "R-F2",
+           "molecule construction cost vs. molecule size and depth")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="module")
+def databases(tmp_path_factory):
+    built = {}
+    for fanout in FANOUTS:
+        path = tmp_path_factory.mktemp("f2") / f"fan{fanout}"
+        built[fanout] = build_db(str(path), fanout_spec(fanout=fanout),
+                                 VersionStrategy.SEPARATED,
+                                 buffer_pages=1024)
+    yield built
+    for db, _, _ in built.values():
+        db.close()
+
+
+@pytest.mark.parametrize("fanout", FANOUTS)
+def test_f2_molecule_size(benchmark, capsys, databases, fanout):
+    db, ids, groups = databases[fanout]
+    mtype = MoleculeType.parse("Part.contains.Component", db.schema)
+    part = ids[groups["Part"][0]]
+
+    def run():
+        return db.builder.build_at(part, mtype, 1)
+
+    molecule = benchmark(run)
+    size = molecule.atom_count()
+    reset_counters(db)
+    run()
+    emit(capsys,
+         f"R-F2 | fanout={fanout:>3} depth=2 | atoms={size:>3} | "
+         f"page_touches={pins(db):>4} | per_atom={pins(db) / size:.2f}")
+
+
+@pytest.mark.parametrize("fanout", FANOUTS)
+def test_f2_molecule_depth3(benchmark, capsys, databases, fanout):
+    db, ids, groups = databases[fanout]
+    mtype = MoleculeType.parse(
+        "Part.contains.Component.supplied_by.Supplier", db.schema)
+    part = ids[groups["Part"][0]]
+
+    def run():
+        return db.builder.build_at(part, mtype, 1)
+
+    molecule = benchmark(run)
+    size = molecule.atom_count()
+    reset_counters(db)
+    run()
+    emit(capsys,
+         f"R-F2 | fanout={fanout:>3} depth=3 | atoms={size:>3} | "
+         f"page_touches={pins(db):>4} | per_atom={pins(db) / size:.2f}")
+

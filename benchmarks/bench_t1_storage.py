@@ -1,0 +1,50 @@
+"""R-T1 — Storage consumption by strategy vs. history length.
+
+For each version-storage strategy and history length (versions per
+atom), load the same BOM workload and report the pages and bytes the
+database occupies.  The timing series measures bulk-load time; the
+deterministic rows give the table the paper-style evaluation reports.
+
+Expected shape: all strategies grow linearly in total version count;
+CLUSTERED pays record-rewrite slack, SEPARATED adds version-directory
+overhead, CHAINED sits lowest (one compact record per version).
+"""
+
+import pytest
+
+from benchmarks._util import ALL_STRATEGIES, build_db, emit, header
+from repro.workloads import history_depth_spec
+
+VERSION_SWEEP = [1, 4, 16, 64]
+
+
+def test_t1_report_header(benchmark, capsys):
+    header(capsys, "R-T1",
+           "storage consumption per strategy vs. versions/atom "
+           "(rows follow as benchmarks run)")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES,
+                         ids=[s.value for s in ALL_STRATEGIES])
+@pytest.mark.parametrize("versions", VERSION_SWEEP)
+def test_t1_load_and_storage(benchmark, tmp_path, capsys, strategy,
+                             versions):
+    spec = history_depth_spec(versions=versions)
+
+    counter = iter(range(10**6))
+
+    def load():
+        db, _, _ = build_db(str(tmp_path / f"db{next(counter)}"), spec,
+                            strategy)
+        stats = db.storage_stats()
+        db.close()
+        return stats
+
+    stats = benchmark.pedantic(load, rounds=1, iterations=1)
+    benchmark.extra_info["pages"] = stats.total_pages
+    emit(capsys,
+         f"R-T1 | strategy={strategy.value:>9} versions={versions:>3} | "
+         f"pages={stats.total_pages:>5} bytes={stats.total_bytes:>9} | "
+         f"segments={stats.segment_pages} dir={stats.directory_pages}")
+

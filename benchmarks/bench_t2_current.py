@@ -1,0 +1,58 @@
+"""R-T2 — Current time-slice query cost by strategy.
+
+With a fixed history length, run the canonical molecule query
+(``Part.contains.Component`` sliced at the current instant) over every
+root and compare strategies.  Deterministic rows report buffer page
+touches per query — the hardware-independent cost.
+
+Expected shape: SEPARATED and CHAINED answer current slices from one
+record per atom; CLUSTERED drags the whole history through the buffer,
+so it touches the most pages (and the gap widens with history length).
+"""
+
+import pytest
+
+from benchmarks._util import ALL_STRATEGIES, build_db, emit, header, pins, reset_counters
+from repro import MoleculeType
+from repro.workloads import history_depth_spec
+
+HISTORY = 32
+
+
+def test_t2_report_header(benchmark, capsys):
+    header(capsys, "R-T2",
+           f"current time-slice molecule query, history={HISTORY}")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="module")
+def databases(tmp_path_factory):
+    built = {}
+    for strategy in ALL_STRATEGIES:
+        path = tmp_path_factory.mktemp("t2") / strategy.value
+        built[strategy] = build_db(str(path), history_depth_spec(HISTORY),
+                                   strategy)
+    yield built
+    for db, _, _ in built.values():
+        db.close()
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES,
+                         ids=[s.value for s in ALL_STRATEGIES])
+def test_t2_current_slice(benchmark, capsys, databases, strategy):
+    db, ids, groups = databases[strategy]
+    mtype = MoleculeType.parse("Part.contains.Component", db.schema)
+    parts = [ids[handle] for handle in groups["Part"]]
+    at = HISTORY - 1  # inside every atom's current version
+
+    def run():
+        return db.builder.build_many(parts, mtype, at)
+
+    molecules = benchmark(run)
+    reset_counters(db)
+    run()
+    emit(capsys,
+         f"R-T2 | strategy={strategy.value:>9} | molecules={len(molecules)} "
+         f"| page_touches={pins(db):>5} | per_molecule="
+         f"{pins(db) / max(1, len(molecules)):.1f}")
+

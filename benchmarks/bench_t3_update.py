@@ -1,0 +1,73 @@
+"""R-T3 — Update (new version creation) cost by strategy and history.
+
+Measures appending one more version to an atom whose history already
+holds *h* versions.  Deterministic rows report disk writes per update.
+
+Expected shape: CHAINED and SEPARATED are O(1) in history length (one
+new record plus directory maintenance); CLUSTERED rewrites the whole
+temporal-atom record, so its cost grows linearly with *h* — the
+fundamental write/read trade the paper's realization weighs.
+"""
+
+import itertools
+
+import pytest
+
+from benchmarks._util import ALL_STRATEGIES, build_db, emit, header, reset_counters
+from repro.workloads import history_depth_spec
+
+HISTORIES = [1, 16, 64, 192]
+
+
+def test_t3_report_header(benchmark, capsys):
+    header(capsys, "R-T3", "cost of appending one version vs. history "
+                           "length")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="module")
+def databases(tmp_path_factory):
+    built = {}
+    for strategy in ALL_STRATEGIES:
+        for history in HISTORIES:
+            path = (tmp_path_factory.mktemp("t3")
+                    / f"{strategy.value}{history}")
+            built[(strategy, history)] = build_db(
+                str(path), history_depth_spec(history, parts=4), strategy)
+    yield built
+    for db, _, _ in built.values():
+        db.close()
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES,
+                         ids=[s.value for s in ALL_STRATEGIES])
+@pytest.mark.parametrize("history", HISTORIES)
+def test_t3_append_version(benchmark, capsys, databases, strategy, history):
+    db, ids, groups = databases[(strategy, history)]
+    parts = [ids[handle] for handle in groups["Part"]]
+    part_cycle = itertools.cycle(parts)
+    next_time = itertools.count(history + 10)
+
+    def update_once():
+        at = next(next_time)
+        # The value must actually change: the engine elides updates that
+        # leave the state identical.
+        with db.transaction() as txn:
+            txn.update(next(part_cycle), {"cost": float(at)},
+                       valid_from=at)
+
+    benchmark.pedantic(update_once, rounds=8, iterations=1, warmup_rounds=1)
+    # Deterministic write cost: start from an all-clean buffer pool, then
+    # count the pages a single update dirties (averaged to smooth record
+    # moves and page splits).
+    db.buffer.flush_all()
+    reset_counters(db)
+    samples = 4
+    for _ in range(samples):
+        update_once()
+        db.buffer.flush_all()
+    writes = db._disk.stats.writes / samples
+    emit(capsys,
+         f"R-T3 | strategy={strategy.value:>9} history={history:>3} | "
+         f"disk_writes_per_update={writes:>6.1f}")
+

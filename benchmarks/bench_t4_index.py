@@ -1,0 +1,71 @@
+"""R-T4 — Attribute index vs. type scan for time-slice root selection.
+
+A selective equality query over many parts, once without and once with
+an attribute index.  Deterministic rows report the page touches of each
+plan; the planner's choice is printed from the result itself.
+
+Expected shape: the type scan touches every part's record; the index
+probe touches a handful of B+-tree pages plus the qualifying atoms —
+the classic orders-of-magnitude gap once selectivity is high.
+"""
+
+import pytest
+
+from benchmarks._util import build_db, emit, header, pins, reset_counters
+from repro import VersionStrategy
+from repro.workloads import WorkloadSpec
+
+PARTS = 400
+QUERY = ("SELECT Part.cost FROM Part "
+         "WHERE Part.name = 'part-123' VALID AT 1")
+
+
+def test_t4_report_header(benchmark, capsys):
+    header(capsys, "R-T4",
+           f"index vs. scan root selection over {PARTS} parts")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="module")
+def scan_db(tmp_path_factory):
+    spec = WorkloadSpec(parts=PARTS, fanout=1, suppliers=4,
+                        versions_per_atom=2, seed=7)
+    db, ids, groups = build_db(str(tmp_path_factory.mktemp("t4") / "scan"),
+                               spec, VersionStrategy.SEPARATED,
+                               buffer_pages=2048)
+    yield db
+    db.close()
+
+
+@pytest.fixture(scope="module")
+def indexed_db(tmp_path_factory):
+    spec = WorkloadSpec(parts=PARTS, fanout=1, suppliers=4,
+                        versions_per_atom=2, seed=7)
+    db, ids, groups = build_db(str(tmp_path_factory.mktemp("t4") / "idx"),
+                               spec, VersionStrategy.SEPARATED,
+                               buffer_pages=2048)
+    db.create_attribute_index("Part", "name")
+    yield db
+    db.close()
+
+
+def test_t4_type_scan(benchmark, capsys, scan_db):
+    result = benchmark(scan_db.query, QUERY)
+    assert len(result) == 1
+    reset_counters(scan_db)
+    result = scan_db.query(QUERY)
+    emit(capsys,
+         f"R-T4 | plan={result.plan:<40} | page_touches="
+         f"{pins(scan_db):>5} | parts={PARTS}")
+
+
+def test_t4_index_lookup(benchmark, capsys, indexed_db):
+    result = benchmark(indexed_db.query, QUERY)
+    assert len(result) == 1
+    assert "index(" in result.plan
+    reset_counters(indexed_db)
+    result = indexed_db.query(QUERY)
+    emit(capsys,
+         f"R-T4 | plan={result.plan:<40} | page_touches="
+         f"{pins(indexed_db):>5} | parts={PARTS}")
+

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Bitemporal auditing: what did we believe, and when did we believe it?
+
+Valid time records when facts held in the world; transaction time
+records when the database learned them.  Because the engine never
+destroys superseded versions, every past knowledge state remains
+queryable with ``AS OF`` — the property an auditor needs.
+
+The scenario: an insurance policy database where premiums are
+retroactively corrected, and an auditor reconstructs what the company
+believed at the moment a disputed invoice was issued.
+
+Run with::
+
+    python examples/audit_history.py
+"""
+
+import shutil
+import tempfile
+
+from repro import (
+    AtomType,
+    Attribute,
+    Cardinality,
+    DataType,
+    LinkType,
+    Schema,
+    TemporalDatabase,
+)
+from repro.core import history as hist
+
+
+def build_schema() -> Schema:
+    schema = Schema("insurance")
+    schema.add_atom_type(AtomType("Policy", [
+        Attribute("holder", DataType.STRING, required=True),
+        Attribute("premium", DataType.FLOAT),
+        Attribute("status", DataType.STRING),
+    ]))
+    schema.add_atom_type(AtomType("Claim", [
+        Attribute("description", DataType.STRING),
+        Attribute("amount", DataType.FLOAT),
+    ]))
+    schema.add_link_type(LinkType("filed_under", "Claim", "Policy",
+                                  Cardinality.ONE_TO_MANY))
+    return schema
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="repro-audit-")
+    db = TemporalDatabase.create(f"{workdir}/db", build_schema())
+
+    # Valid time in months since 2020-01.
+    with db.transaction() as txn:          # knowledge state tt=0
+        policy = txn.insert("Policy", {"holder": "K. Lemke",
+                                       "premium": 120.0,
+                                       "status": "active"}, valid_from=0)
+    with db.transaction() as txn:          # tt=1: premium raise from month 12
+        txn.update(policy, {"premium": 135.0}, valid_from=12)
+
+    invoice_belief = db._clock.now() - 1   # the belief when invoicing
+
+    with db.transaction() as txn:          # tt=2: a claim arrives
+        claim = txn.insert("Claim", {"description": "hail damage",
+                                     "amount": 2300.0}, valid_from=14)
+        txn.link("filed_under", claim, policy, valid_from=14)
+
+    with db.transaction() as txn:          # tt=3: retroactive correction!
+        # Back office discovers the raise was wrongly computed: it should
+        # have been 128.0, and only from month 13 on.
+        txn.correct(policy, 12, 13, {"premium": 120.0})
+        txn.correct(policy, 13, 2**62, {"premium": 128.0})
+
+    print("== Current belief: premium timeline ==")
+    for version in hist.coalesce_timeline(db.history(policy)):
+        print(f"  {version.vt}: {version.values['premium']}")
+
+    print("\n== What the invoice (issued at knowledge state "
+          f"tt={invoice_belief}) was based on ==")
+    for month in (11, 12, 14):
+        then = db.version_at(policy, month, tt=invoice_belief)
+        now = db.version_at(policy, month)
+        print(f"  month {month}: believed-then={then.values['premium']:6.1f}"
+              f"  believed-now={now.values['premium']:6.1f}")
+
+    print("\n== Audit verdict ==")
+    month = 12
+    then = db.version_at(policy, month, tt=invoice_belief)
+    now = db.version_at(policy, month)
+    delta = then.values["premium"] - now.values["premium"]
+    print(f"  the month-{month} invoice overcharged by {delta:.2f}")
+
+    print("\n== Full bitemporal record of the policy atom ==")
+    for version in db.history(policy):
+        marker = "live" if version.live else "superseded"
+        print(f"  vt={str(version.vt):18} tt={str(version.tt):18} "
+              f"premium={version.values['premium']:6.1f} [{marker}]")
+
+    print("\n== Claims under the policy (MQL) ==")
+    result = db.query(
+        "SELECT Claim.description, Claim.amount "
+        "FROM Claim.filed_under.Policy "
+        "WHERE Claim.amount > 1000 VALID AT 15")
+    for row in result.rows():
+        print(f"  {row['Claim.description']}: {row['Claim.amount']}")
+
+    db.close()
+    shutil.rmtree(workdir)
+    print("\naudit_history complete.")
+
+
+if __name__ == "__main__":
+    main()

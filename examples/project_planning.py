@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Project planning: staffing complex objects that evolve week by week.
+
+A project is a molecule: the project atom, its task atoms, and the
+engineers assigned to each task.  Assignments come and go, tasks change
+status — interval queries (``VALID DURING``) reconstruct who worked on
+what, when, and reveal staffing gaps.
+
+Run with::
+
+    python examples/project_planning.py
+"""
+
+import shutil
+import tempfile
+
+from repro import (
+    AtomType,
+    Attribute,
+    Cardinality,
+    DataType,
+    Interval,
+    LinkType,
+    Schema,
+    TemporalDatabase,
+)
+
+
+def build_schema() -> Schema:
+    schema = Schema("planning")
+    schema.add_atom_type(AtomType("Project", [
+        Attribute("title", DataType.STRING, required=True),
+        Attribute("phase", DataType.STRING),
+    ]))
+    schema.add_atom_type(AtomType("Task", [
+        Attribute("summary", DataType.STRING, required=True),
+        Attribute("status", DataType.STRING),
+        Attribute("estimate_days", DataType.INT),
+    ]))
+    schema.add_atom_type(AtomType("Engineer", [
+        Attribute("handle", DataType.STRING, required=True),
+        Attribute("level", DataType.INT),
+    ]))
+    schema.add_link_type(LinkType("has_task", "Project", "Task",
+                                  Cardinality.ONE_TO_MANY))
+    schema.add_link_type(LinkType("assigned", "Task", "Engineer",
+                                  Cardinality.MANY_TO_MANY))
+    return schema
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="repro-plan-")
+    db = TemporalDatabase.create(f"{workdir}/db", build_schema())
+
+    # Valid time in project weeks.
+    with db.transaction() as txn:
+        project = txn.insert("Project", {"title": "temporal-engine",
+                                         "phase": "design"}, valid_from=0)
+        storage = txn.insert("Task", {"summary": "storage kernel",
+                                      "status": "open",
+                                      "estimate_days": 15}, valid_from=0)
+        query = txn.insert("Task", {"summary": "query processor",
+                                    "status": "open",
+                                    "estimate_days": 20}, valid_from=0)
+        ada = txn.insert("Engineer", {"handle": "ada", "level": 3},
+                         valid_from=0)
+        lin = txn.insert("Engineer", {"handle": "lin", "level": 2},
+                         valid_from=0)
+        txn.link("has_task", project, storage, valid_from=0)
+        txn.link("has_task", project, query, valid_from=0)
+        txn.link("assigned", storage, ada, valid_from=0)
+
+    # Week 4: storage in progress, lin joins the query task.
+    with db.transaction() as txn:
+        txn.update(storage, {"status": "in_progress"}, valid_from=4)
+        txn.link("assigned", query, lin, valid_from=4)
+
+    # Week 8: ada moves from storage to the query task; storage done.
+    with db.transaction() as txn:
+        txn.update(storage, {"status": "done"}, valid_from=8)
+        txn.unlink("assigned", storage, ada, valid_from=8)
+        txn.link("assigned", query, ada, valid_from=8)
+        txn.update(project, {"phase": "implementation"}, valid_from=8)
+
+    # Week 12: the project ships; the query task closes.
+    with db.transaction() as txn:
+        txn.update(query, {"status": "done"}, valid_from=12)
+        txn.update(project, {"phase": "shipped"}, valid_from=12)
+
+    # --- who worked on what, when? ---------------------------------------
+    print("== Staffing timeline of each task ==")
+    for task in (storage, query):
+        summary = db.version_at(task, 0).values["summary"]
+        print(f"  {summary}:")
+        for span, molecule in db.molecule_history(
+                task, "Task.assigned.Engineer", Interval(0, 14)):
+            crew = sorted(a.version.values["handle"]
+                          for a in molecule.atoms()
+                          if a.type_name == "Engineer")
+            status = molecule.root.version.values["status"]
+            print(f"    {span}: {crew or '(nobody)'} [{status}]")
+
+    # --- staffing gaps ------------------------------------------------------
+    print("\n== Weeks where an open/in-progress task had nobody assigned ==")
+    for task in (storage, query):
+        for span, molecule in db.molecule_history(
+                task, "Task.assigned.Engineer", Interval(0, 14)):
+            staffed = any(a.type_name == "Engineer"
+                          for a in molecule.atoms())
+            status = molecule.root.version.values["status"]
+            if not staffed and status != "done":
+                summary = molecule.root.version.values["summary"]
+                print(f"  {summary}: unstaffed during {span}")
+
+    # --- MQL across the whole project ------------------------------------------
+    print("\n== Project states over the quarter (MQL DURING) ==")
+    result = db.query(
+        "SELECT Project.phase, Task.status "
+        "FROM Project.has_task.Task "
+        "VALID DURING [0, 14)")
+    for entry in result:
+        statuses = sorted(entry.row["Task.status"])
+        print(f"  {entry.valid}: phase={entry.row['Project.phase']}, "
+              f"tasks={statuses}")
+
+    print("\n== Done tasks with at least one senior engineer (week 13) ==")
+    # Note the existential semantics: the WHERE clause selects tasks that
+    # HAVE a level>=3 engineer; the projection lists the whole crew.
+    result = db.query(
+        "SELECT Task.summary, Engineer.handle "
+        "FROM Task.assigned.Engineer "
+        "WHERE Task.status = 'done' AND Engineer.level >= 3 VALID AT 13")
+    for row in result.rows():
+        print(f"  {row['Task.summary']}: crew={sorted(row['Engineer.handle'])}")
+
+    db.close()
+    shutil.rmtree(workdir)
+    print("\nproject_planning complete.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Quickstart: a five-minute tour of the temporal complex-object engine.
+
+Creates a small engineering database, evolves it over time, and shows
+the three query styles: time slices, interval histories, and
+transaction-time rollback (``AS OF``).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import shutil
+import tempfile
+
+from repro import (
+    AtomType,
+    Attribute,
+    Cardinality,
+    DataType,
+    DatabaseConfig,
+    Interval,
+    LinkType,
+    Schema,
+    TemporalDatabase,
+    VersionStrategy,
+)
+
+
+def build_schema() -> Schema:
+    """Parts contain components; components come from suppliers."""
+    schema = Schema("quickstart")
+    schema.add_atom_type(AtomType("Part", [
+        Attribute("name", DataType.STRING, required=True),
+        Attribute("cost", DataType.FLOAT),
+    ]))
+    schema.add_atom_type(AtomType("Component", [
+        Attribute("cname", DataType.STRING, required=True),
+        Attribute("weight", DataType.FLOAT),
+    ]))
+    schema.add_atom_type(AtomType("Supplier", [
+        Attribute("sname", DataType.STRING, required=True),
+    ]))
+    schema.add_link_type(LinkType("contains", "Part", "Component",
+                                  Cardinality.MANY_TO_MANY))
+    schema.add_link_type(LinkType("supplied_by", "Component", "Supplier",
+                                  Cardinality.MANY_TO_MANY))
+    return schema
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="repro-quickstart-")
+    db = TemporalDatabase.create(
+        f"{workdir}/db", build_schema(),
+        DatabaseConfig(strategy=VersionStrategy.SEPARATED))
+
+    # --- build a little world, with valid time in days ------------------
+    with db.transaction() as txn:
+        wheel = txn.insert("Part", {"name": "wheel", "cost": 80.0},
+                           valid_from=0)
+        hub = txn.insert("Component", {"cname": "hub", "weight": 0.4},
+                         valid_from=0)
+        rim = txn.insert("Component", {"cname": "rim", "weight": 0.9},
+                         valid_from=0)
+        acme = txn.insert("Supplier", {"sname": "acme"}, valid_from=0)
+        txn.link("contains", wheel, hub, valid_from=0)
+        txn.link("contains", wheel, rim, valid_from=0)
+        txn.link("supplied_by", hub, acme, valid_from=0)
+
+    # Day 30: the rim is redesigned and the part gets more expensive.
+    with db.transaction() as txn:
+        txn.update(rim, {"weight": 0.7}, valid_from=30)
+        txn.update(wheel, {"cost": 95.0}, valid_from=30)
+
+    # Day 60: a tube is added to the wheel.
+    with db.transaction() as txn:
+        tube = txn.insert("Component", {"cname": "tube", "weight": 0.2},
+                          valid_from=60)
+        txn.link("contains", wheel, tube, valid_from=60)
+
+    # --- time-slice queries ---------------------------------------------
+    print("== The wheel on day 10 vs day 70 ==")
+    for day in (10, 70):
+        result = db.query(
+            "SELECT Part.cost, Component.cname "
+            "FROM Part.contains.Component "
+            f"WHERE Part.name = 'wheel' VALID AT {day}")
+        (row,) = result.rows()
+        print(f"  day {day}: cost={row['Part.cost']}, "
+              f"components={sorted(row['Component.cname'])}")
+
+    # --- interval queries --------------------------------------------------
+    print("\n== Cost history of the wheel over days [0, 90) ==")
+    result = db.query("SELECT Part.cost FROM Part "
+                      "WHERE Part.name = 'wheel' VALID DURING [0, 90)")
+    for entry in result:
+        print(f"  {entry.valid}: cost={entry.row['Part.cost']}")
+
+    # --- molecule API directly ---------------------------------------------
+    print("\n== Molecule states (composition changes) ==")
+    for span, molecule in db.molecule_history(
+            wheel, "Part.contains.Component", Interval(0, 90)):
+        names = sorted(a.version.values["cname"] for a in molecule.atoms()
+                       if a.type_name == "Component")
+        print(f"  {span}: {names}")
+
+    # --- bitemporal correction and AS OF --------------------------------------
+    print("\n== Retroactive correction with AS OF ==")
+    belief_before = db._clock.now() - 1
+    with db.transaction() as txn:
+        # We learn the wheel's cost was actually 85 from day 0 to 30.
+        txn.correct(wheel, 0, 30, {"cost": 85.0})
+    now = db.query("SELECT Part.cost FROM Part "
+                   "WHERE Part.name = 'wheel' VALID AT 10")
+    then = db.query("SELECT Part.cost FROM Part "
+                    f"WHERE Part.name = 'wheel' VALID AT 10 "
+                    f"AS OF {belief_before}")
+    print(f"  current belief about day 10: {now.rows()[0]['Part.cost']}")
+    print(f"  what we believed before:     {then.rows()[0]['Part.cost']}")
+
+    db.close()
+    shutil.rmtree(workdir)
+    print("\nquickstart complete.")
+
+
+if __name__ == "__main__":
+    main()

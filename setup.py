@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The pyproject.toml intentionally omits a ``[build-system]`` table: this
+environment has no network access and no ``wheel`` package, so pip must
+take the legacy ``setup.py develop`` path for ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

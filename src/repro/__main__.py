@@ -1,0 +1,213 @@
+"""Command-line front end: ``python -m repro <command> <dbdir> ...``.
+
+Commands:
+
+* ``info DB``                — schema, storage strategy, space, indexes
+* ``query DB "MQL"``         — run a temporal MQL query and print it
+* ``history DB ATOM_ID``     — print an atom's bitemporal record
+* ``timeline DB ATOM_ID``    — print the coalesced current-belief timeline
+* ``verify DB``              — run the integrity verifier
+* ``vacuum DB --before-tt T``— remove versions superseded before T
+
+All commands open the database read-mostly and close it cleanly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import DatabaseConfig, TemporalDatabase, VersionStrategy
+from repro.core import history as hist
+from repro.errors import ReproError
+from repro.tools import (
+    database_statistics,
+    dump_json,
+    load_database,
+    vacuum_superseded,
+    verify_database,
+)
+
+
+def _open(path: str) -> TemporalDatabase:
+    return TemporalDatabase.open(path)
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    with _open(args.db) as db:
+        stats = db.storage_stats()
+        print(f"database    : {args.db}")
+        print(f"schema      : {db.schema.name}")
+        print(f"strategy    : {stats.strategy}")
+        print(f"page size   : {stats.page_size}")
+        print(f"pages       : {stats.total_pages} "
+              f"({stats.total_bytes} bytes)")
+        print(f"segments    : {stats.segment_pages}")
+        print("atom types  :")
+        for atom_type in db.schema.atom_types:
+            count = len(db.atoms_of_type(atom_type.name))
+            attrs = ", ".join(f"{a.name}:{a.data_type.value}"
+                              for a in atom_type.attributes)
+            print(f"  {atom_type.name} ({count} atoms): {attrs}")
+        print("link types  :")
+        for link in db.schema.link_types:
+            print(f"  {link.name}: {link.source} -> {link.target} "
+                  f"[{link.cardinality.value}]")
+        print(f"indexes     : {', '.join(db.indexes.index_names())}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    with _open(args.db) as db:
+        print(database_statistics(db).summary())
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    with _open(args.db) as db:
+        result = db.query(args.mql)
+        print(f"-- plan: {result.plan}")
+        print(result.to_table())
+        print(f"-- {len(result)} entr{'y' if len(result) == 1 else 'ies'}")
+    return 0
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    with _open(args.db) as db:
+        versions = db.history(args.atom_id)
+        type_name = db.engine.atom_type_name(args.atom_id)
+        print(f"atom {args.atom_id} ({type_name}): "
+              f"{len(versions)} version records")
+        for seq, version in enumerate(versions):
+            marker = "live" if version.live else "superseded"
+            print(f"  [{seq:>3}] vt={str(version.vt):>20} "
+                  f"tt={str(version.tt):>20} [{marker}]")
+            for key, value in sorted(version.values.items()):
+                print(f"        {key} = {value!r}")
+            for key, partners in sorted(version.refs.items()):
+                print(f"        {key} -> {sorted(partners)}")
+    return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    with _open(args.db) as db:
+        versions = db.history(args.atom_id)
+        print(f"atom {args.atom_id}: current-belief timeline")
+        for version in hist.coalesce_timeline(versions):
+            values = ", ".join(f"{k}={v!r}"
+                               for k, v in sorted(version.values.items()))
+            print(f"  {version.vt}: {values}")
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    with _open(args.db) as db:
+        report = verify_database(db)
+        print(report.summary())
+        for problem in report.problems:
+            print(f"  ! {problem}")
+        return 0 if report.ok else 1
+
+
+def cmd_vacuum(args: argparse.Namespace) -> int:
+    with _open(args.db) as db:
+        report = vacuum_superseded(db, args.before_tt)
+        print(report.summary())
+    return 0
+
+
+def cmd_dump(args: argparse.Namespace) -> int:
+    with _open(args.db) as db:
+        text = dump_json(db)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"dumped to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    import json
+
+    with open(args.dump_file, encoding="utf-8") as handle:
+        document = json.load(handle)
+    config = None
+    if args.strategy:
+        config = DatabaseConfig(strategy=VersionStrategy(args.strategy))
+    db = load_database(args.db, document, config)
+    print(f"loaded {len(document['atoms'])} atoms into {args.db} "
+          f"({db.config.strategy.value})")
+    db.close()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Temporal complex-object database tools")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    info = commands.add_parser("info", help="describe a database")
+    info.add_argument("db")
+    info.set_defaults(handler=cmd_info)
+
+    stats = commands.add_parser("stats", help="print database statistics")
+    stats.add_argument("db")
+    stats.set_defaults(handler=cmd_stats)
+
+    query = commands.add_parser("query", help="run a temporal MQL query")
+    query.add_argument("db")
+    query.add_argument("mql")
+    query.set_defaults(handler=cmd_query)
+
+    history = commands.add_parser("history",
+                                  help="print an atom's bitemporal record")
+    history.add_argument("db")
+    history.add_argument("atom_id", type=int)
+    history.set_defaults(handler=cmd_history)
+
+    timeline = commands.add_parser(
+        "timeline", help="print an atom's coalesced timeline")
+    timeline.add_argument("db")
+    timeline.add_argument("atom_id", type=int)
+    timeline.set_defaults(handler=cmd_timeline)
+
+    verify = commands.add_parser("verify", help="check database integrity")
+    verify.add_argument("db")
+    verify.set_defaults(handler=cmd_verify)
+
+    vacuum = commands.add_parser(
+        "vacuum", help="remove versions superseded before a cutoff")
+    vacuum.add_argument("db")
+    vacuum.add_argument("--before-tt", type=int, required=True)
+    vacuum.set_defaults(handler=cmd_vacuum)
+
+    dump = commands.add_parser("dump", help="export content as JSON")
+    dump.add_argument("db")
+    dump.add_argument("-o", "--output")
+    dump.set_defaults(handler=cmd_dump)
+
+    load = commands.add_parser(
+        "load", help="create a database from a dump (migration path)")
+    load.add_argument("db", help="target directory (must not exist)")
+    load.add_argument("dump_file")
+    load.add_argument("--strategy",
+                      choices=[s.value for s in VersionStrategy])
+    load.set_defaults(handler=cmd_load)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

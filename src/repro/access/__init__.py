@@ -1,0 +1,33 @@
+"""Access system: indexes and scans over the storage layer.
+
+* :mod:`~repro.access.keys` — order-preserving fixed-width key encoding
+  (the B+-tree compares raw bytes, so every indexable value must map to
+  bytes whose lexicographic order matches the value order).
+* :class:`~repro.access.btree.BPlusTree` — page-based B+-tree with
+  duplicate support and leaf chaining for range scans.
+* :class:`~repro.access.indexes.IndexManager` — the engine-facing index
+  catalog: the mandatory type index (atom type → atom ids), optional
+  attribute indexes, and per-type valid-time indexes.
+"""
+
+from repro.access.btree import BPlusTree
+from repro.access.indexes import IndexManager
+from repro.access.keys import (
+    encode_bool,
+    encode_composite,
+    encode_float,
+    encode_int,
+    encode_string,
+    string_prefix_is_lossy,
+)
+
+__all__ = [
+    "BPlusTree",
+    "IndexManager",
+    "encode_bool",
+    "encode_composite",
+    "encode_float",
+    "encode_int",
+    "encode_string",
+    "string_prefix_is_lossy",
+]

@@ -1,0 +1,91 @@
+"""Order-preserving key encoding for the B+-tree.
+
+The tree compares keys with plain ``bytes`` comparison, so each value type
+is mapped to a fixed-width byte string whose lexicographic order equals
+the natural value order:
+
+* signed 64-bit integers — big-endian with the sign bit flipped;
+* IEEE-754 doubles — big-endian bit pattern, sign bit flipped for
+  positives and all bits flipped for negatives (the classic total-order
+  transform);
+* booleans — one byte;
+* strings — UTF-8 truncated or padded to a fixed prefix width.  The
+  prefix is *lossy*: two distinct strings may share an encoding, so an
+  index over strings returns candidates that the caller must recheck
+  against the stored value (the planner does this automatically).
+
+Composite keys concatenate the fixed-width parts, so the concatenation is
+order-preserving as well.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import KeyEncodingError
+
+INT_KEY_WIDTH = 8
+FLOAT_KEY_WIDTH = 8
+BOOL_KEY_WIDTH = 1
+
+#: Default number of bytes kept from a string for its index key.
+DEFAULT_STRING_WIDTH = 16
+
+_U64_BE = struct.Struct(">Q")
+_I64_RANGE = (-(2**63), 2**63 - 1)
+
+
+def encode_int(value: int) -> bytes:
+    """Encode a signed 64-bit integer order-preservingly."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise KeyEncodingError(f"expected int, got {type(value).__name__}")
+    if not (_I64_RANGE[0] <= value <= _I64_RANGE[1]):
+        raise KeyEncodingError(f"integer {value} outside 64-bit range")
+    return _U64_BE.pack((value + 2**63) & 0xFFFF_FFFF_FFFF_FFFF)
+
+
+def decode_int(key: bytes) -> int:
+    """Inverse of :func:`encode_int`."""
+    (raw,) = _U64_BE.unpack(key[:8])
+    return raw - 2**63
+
+
+def encode_float(value: float) -> bytes:
+    """Encode a double with the IEEE-754 total-order transform."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise KeyEncodingError(f"expected float, got {type(value).__name__}")
+    (bits,) = struct.unpack(">Q", struct.pack(">d", float(value)))
+    if bits & (1 << 63):
+        bits ^= 0xFFFF_FFFF_FFFF_FFFF  # negative: flip everything
+    else:
+        bits ^= 1 << 63  # non-negative: flip only the sign bit
+    return _U64_BE.pack(bits)
+
+
+def encode_bool(value: bool) -> bytes:
+    if not isinstance(value, bool):
+        raise KeyEncodingError(f"expected bool, got {type(value).__name__}")
+    return b"\x01" if value else b"\x00"
+
+
+def encode_string(value: str, width: int = DEFAULT_STRING_WIDTH) -> bytes:
+    """Encode a string as a fixed-width, zero-padded UTF-8 prefix."""
+    if not isinstance(value, str):
+        raise KeyEncodingError(f"expected str, got {type(value).__name__}")
+    raw = value.encode("utf-8")[:width]
+    return raw.ljust(width, b"\x00")
+
+
+def string_prefix_is_lossy(value: str, width: int = DEFAULT_STRING_WIDTH) -> bool:
+    """True when *value* does not round-trip through its prefix encoding.
+
+    Lossy keys force the planner to recheck candidates against stored
+    values; exact keys allow the index result to be trusted for equality.
+    """
+    raw = value.encode("utf-8")
+    return len(raw) > width or raw.endswith(b"\x00")
+
+
+def encode_composite(*parts: bytes) -> bytes:
+    """Concatenate fixed-width encoded parts into one composite key."""
+    return b"".join(parts)

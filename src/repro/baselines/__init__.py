@@ -1,0 +1,20 @@
+"""Comparison baselines for the evaluation.
+
+Two classical alternatives to an integrated temporal complex-object
+engine (experiment R-T5 measures both against it):
+
+* :class:`~repro.baselines.snapshot.SnapshotDatabase` — keep a complete
+  logical copy of the database per change time point.  Queries about any
+  instant are trivial; storage grows with (database size × number of
+  change points).
+* :class:`~repro.baselines.tuple_timestamp.TupleTimestampDatabase` —
+  flat 1NF relations with explicit timestamp columns (the way temporal
+  data was commonly shoehorned into relational systems): one row per
+  atom version, link rows per reference interval, and molecule
+  reconstruction by joins at query time.
+"""
+
+from repro.baselines.snapshot import SnapshotDatabase
+from repro.baselines.tuple_timestamp import TupleTimestampDatabase
+
+__all__ = ["SnapshotDatabase", "TupleTimestampDatabase"]

@@ -1,0 +1,39 @@
+"""The temporal complex-object data model (the paper's contribution).
+
+This package implements the temporal MAD model on top of the storage,
+access, and transaction substrates:
+
+* :mod:`~repro.core.datatypes` / :mod:`~repro.core.schema` — atom types
+  with typed attributes and symmetric link types.
+* :mod:`~repro.core.version` / :mod:`~repro.core.history` — bitemporal
+  version records and the pure update/query algebra over histories.
+* :mod:`~repro.core.molecule` — molecule types (rooted connected DAGs over
+  atom types) and molecule instances.
+* :mod:`~repro.core.builder` — time-slice and history molecule
+  construction against a version store.
+* :mod:`~repro.core.engine` — the logical operation layer binding the
+  version store, indexes, and codec together (with per-operation undo).
+* :mod:`~repro.core.database` — the public facade:
+  :class:`~repro.core.database.TemporalDatabase`.
+"""
+
+from repro.core.database import DatabaseConfig, TemporalDatabase
+from repro.core.datatypes import DataType
+from repro.core.molecule import Molecule, MoleculeEdge, MoleculeType
+from repro.core.schema import AtomType, Attribute, Cardinality, LinkType, Schema
+from repro.core.version import Version
+
+__all__ = [
+    "DatabaseConfig",
+    "TemporalDatabase",
+    "DataType",
+    "Molecule",
+    "MoleculeEdge",
+    "MoleculeType",
+    "AtomType",
+    "Attribute",
+    "Cardinality",
+    "LinkType",
+    "Schema",
+    "Version",
+]

@@ -1,0 +1,166 @@
+"""Molecule construction: deriving complex objects from atom versions.
+
+The builder is the temporal heart of query processing.  Given a molecule
+type and a *time-slice* instant, it fetches the root atom's version valid
+at that instant, then follows reference sets edge by edge, fetching each
+partner's version at the same instant; atoms with no valid version at the
+instant silently drop out (a reference may point at an atom born later or
+already ended — the reference is part of the parent's state, the partner's
+existence is its own).
+
+For interval (``VALID DURING``) queries the builder runs an event sweep:
+build the slice at the window start, find the earliest valid-time boundary
+of any involved or referenced atom after the current instant, and rebuild
+there; adjacent slices with identical composition are coalesced.  The
+result is the molecule's *history*: a list of (interval, molecule) states.
+
+The builder reads through the :class:`VersionReader` protocol so the same
+construction logic serves the on-disk engine and the in-memory oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Protocol, Set, Tuple
+
+from repro.core import history as hist
+from repro.core.molecule import Molecule, MoleculeAtom, MoleculeType
+from repro.core.version import Version
+from repro.errors import EvaluationError
+from repro.temporal import FOREVER, Interval, Timestamp
+
+
+class VersionReader(Protocol):
+    """What the builder needs from an engine: per-atom version access."""
+
+    def atom_type_name(self, atom_id: int) -> str:
+        """The atom's type name (atoms never change type)."""
+
+    def version_at(self, atom_id: int, at: Timestamp,
+                   tt: Optional[Timestamp] = None) -> Optional[Version]:
+        """The version valid at *at* as believed at *tt* (None = now)."""
+
+    def all_versions(self, atom_id: int) -> List[Version]:
+        """The full recorded history of the atom, in sequence order."""
+
+
+class MoleculeBuilder:
+    """Builds molecule instances from a version reader."""
+
+    def __init__(self, reader: VersionReader) -> None:
+        self._reader = reader
+
+    # -- time-slice construction ---------------------------------------------
+
+    def build_at(self, root_id: int, mtype: MoleculeType, at: Timestamp,
+                 tt: Optional[Timestamp] = None) -> Optional[Molecule]:
+        """The molecule rooted at *root_id*, valid at instant *at*.
+
+        Returns ``None`` when the root atom itself has no valid version at
+        the instant.
+        """
+        molecule, _ = self._build_collect(root_id, mtype, at, tt)
+        return molecule
+
+    def build_many(self, root_ids: Iterable[int], mtype: MoleculeType,
+                   at: Timestamp, tt: Optional[Timestamp] = None
+                   ) -> List[Molecule]:
+        """Molecules for every root id that is valid at the instant."""
+        molecules = []
+        for root_id in root_ids:
+            molecule = self.build_at(root_id, mtype, at, tt)
+            if molecule is not None:
+                molecules.append(molecule)
+        return molecules
+
+    def _build_collect(self, root_id: int, mtype: MoleculeType,
+                       at: Timestamp, tt: Optional[Timestamp]
+                       ) -> Tuple[Optional[Molecule], Set[int]]:
+        """Build a slice and collect every atom id consulted (including
+        referenced atoms that were invalid at the instant)."""
+        consulted: Set[int] = {root_id}
+        root_version = self._reader.version_at(root_id, at, tt)
+        if root_version is None:
+            return None, consulted
+        budgets = {edge: edge.max_depth for edge in mtype.edges}
+        root_atom = self._expand(root_id, mtype.root, root_version, mtype,
+                                 at, tt, consulted, depth=0,
+                                 budgets=budgets, path=frozenset())
+        return Molecule(mtype, root_atom), consulted
+
+    def _expand(self, atom_id: int, type_name: str, version: Version,
+                mtype: MoleculeType, at: Timestamp,
+                tt: Optional[Timestamp], consulted: Set[int],
+                depth: int, budgets: dict,
+                path: frozenset) -> MoleculeAtom:
+        if depth > mtype.max_path_length():
+            raise EvaluationError(
+                "molecule expansion exceeded its type's depth bound "
+                "(cyclic molecule type?)")
+        path = path | {atom_id}
+        atom = MoleculeAtom(atom_id, type_name, version)
+        for edge in mtype.edges_from(type_name):
+            children: List[MoleculeAtom] = []
+            remaining = budgets.get(edge, edge.max_depth)
+            if remaining <= 0:
+                atom.children[edge] = children
+                continue
+            partner_ids = version.refs.get(edge.parent_ref_key, frozenset())
+            for child_id in sorted(partner_ids):
+                consulted.add(child_id)
+                if child_id in path:
+                    continue  # a data cycle: never revisit along one path
+                child_version = self._reader.version_at(child_id, at, tt)
+                if child_version is None:
+                    continue  # referenced but not valid at this instant
+                child_budgets = dict(budgets)
+                child_budgets[edge] = remaining - 1
+                children.append(self._expand(child_id, edge.child,
+                                             child_version, mtype, at, tt,
+                                             consulted, depth + 1,
+                                             child_budgets, path))
+            atom.children[edge] = children
+        return atom
+
+    # -- interval construction -----------------------------------------------------
+
+    def build_history(self, root_id: int, mtype: MoleculeType,
+                      window: Interval,
+                      tt: Optional[Timestamp] = None
+                      ) -> List[Tuple[Interval, Molecule]]:
+        """The molecule's states over *window*, coalesced.
+
+        Each returned interval is a maximal span inside the window during
+        which the molecule's composition (atoms, values, references) is
+        constant; spans where the root is not valid produce no entry.
+        """
+        states: List[Tuple[Interval, Molecule]] = []
+        at = window.start
+        while at < window.end:
+            molecule, consulted = self._build_collect(root_id, mtype, at, tt)
+            next_at = self._next_boundary(consulted, at, tt)
+            span_end = min(next_at, window.end)
+            if molecule is not None:
+                span = Interval(at, span_end)
+                if (states
+                        and states[-1][0].meets(span)
+                        and states[-1][1].same_composition_as(molecule)):
+                    states[-1] = (Interval(states[-1][0].start, span.end),
+                                  states[-1][1])
+                else:
+                    states.append((span, molecule))
+            if next_at >= window.end:
+                break
+            at = next_at
+        return states
+
+    def _next_boundary(self, atom_ids: Set[int], after: Timestamp,
+                       tt: Optional[Timestamp]) -> Timestamp:
+        """Earliest valid-time boundary after *after* among the atoms."""
+        boundary = FOREVER
+        for atom_id in atom_ids:
+            for _, version in hist.live_versions(
+                    self._reader.all_versions(atom_id), tt):
+                for point in (version.vt.start, version.vt.end):
+                    if after < point < boundary:
+                        boundary = point
+        return boundary

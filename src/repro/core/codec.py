@@ -1,0 +1,89 @@
+"""Version codec: mapping :class:`Version` objects onto store payloads.
+
+The version store keeps the valid-time envelope itself (it needs it for
+time-slice reads); everything else — transaction time, attribute values,
+reference sets — lives in the opaque payload this codec produces.  One row
+format exists per atom type: the transaction-time pair, then the declared
+attributes, then one integer-list field per reference-set key the type can
+carry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.schema import AtomType, Schema
+from repro.core.version import IN, OUT, Version, ref_key
+from repro.errors import SerializationError
+from repro.storage.serialization import FieldSpec, FieldType, decode_row_exact, encode_row
+from repro.storage.strategies import StoredVersion
+from repro.temporal import Interval
+
+_TT_START = "__tt_start"
+_TT_END = "__tt_end"
+
+
+class VersionCodec:
+    """Per-schema encoder/decoder between versions and store payloads."""
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+        self._formats: Dict[str, List[FieldSpec]] = {}
+        for atom_type in schema.atom_types:
+            self._formats[atom_type.name] = self._build_format(atom_type)
+
+    def _build_format(self, atom_type: AtomType) -> List[FieldSpec]:
+        fields = [FieldSpec(_TT_START, FieldType.TIME),
+                  FieldSpec(_TT_END, FieldType.TIME)]
+        fields.extend(FieldSpec(attr.name, attr.data_type.field_type)
+                      for attr in atom_type.attributes)
+        for link in self._schema.links_touching(atom_type.name):
+            if link.source == atom_type.name:
+                fields.append(FieldSpec(ref_key(link.name, OUT),
+                                        FieldType.INT_LIST))
+            if link.target == atom_type.name:
+                fields.append(FieldSpec(ref_key(link.name, IN),
+                                        FieldType.INT_LIST))
+        return fields
+
+    def ref_keys(self, type_name: str) -> List[str]:
+        """The reference-set keys an atom of *type_name* can carry."""
+        return [spec.name for spec in self._formats[type_name]
+                if spec.type is FieldType.INT_LIST]
+
+    # -- encoding -------------------------------------------------------------
+
+    def encode(self, type_name: str, version: Version) -> StoredVersion:
+        """Serialize a version for the store."""
+        try:
+            fields = self._formats[type_name]
+        except KeyError:
+            raise SerializationError(
+                f"no row format for atom type {type_name!r}") from None
+        row: Dict[str, object] = {_TT_START: version.tt.start,
+                                  _TT_END: version.tt.end}
+        row.update(version.values)
+        for key in self.ref_keys(type_name):
+            targets = version.refs.get(key)
+            if targets:
+                row[key] = sorted(targets)
+        payload = encode_row(fields, row)
+        return StoredVersion(version.vt.start, version.vt.end,
+                             version.live, payload)
+
+    def decode(self, type_name: str, stored: StoredVersion) -> Version:
+        """Reconstruct a version from its envelope and payload."""
+        try:
+            fields = self._formats[type_name]
+        except KeyError:
+            raise SerializationError(
+                f"no row format for atom type {type_name!r}") from None
+        row = decode_row_exact(fields, stored.payload)
+        tt = Interval(row.pop(_TT_START), row.pop(_TT_END))
+        refs = {}
+        for key in self.ref_keys(type_name):
+            targets = row.pop(key, None)
+            if targets:
+                refs[key] = frozenset(targets)
+        return Version(Interval(stored.vt_start, stored.vt_end), tt,
+                       row, refs)

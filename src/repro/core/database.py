@@ -1,0 +1,508 @@
+"""The public facade: :class:`TemporalDatabase`.
+
+A database lives in one directory::
+
+    <path>/pages.db        the page file
+    <path>/catalog.json    the persistent catalog (schema, segments, ...)
+    <path>/wal.log         the write-ahead log
+    <path>/*.ckpt          checkpoint copies of page file and catalog
+
+Typical use::
+
+    schema = Schema(...)
+    db = TemporalDatabase.create("/tmp/cad", schema,
+                                 DatabaseConfig(strategy=VersionStrategy.SEPARATED))
+    with db.transaction() as txn:
+        part = txn.insert("Part", {"name": "wheel"}, valid_from=0)
+        hub = txn.insert("Component", {"weight": 2.5}, valid_from=0)
+        txn.link("contains", part, hub, valid_from=0)
+    result = db.query("SELECT ALL FROM Part.contains.Component VALID AT 5")
+    db.close()
+
+Durability discipline: operations are logged before being applied
+(write-ahead), the log is forced at commit, and checkpoints snapshot the
+page file and catalog; after a crash, :meth:`TemporalDatabase.open`
+restores the last checkpoint and replays committed operations — see
+:mod:`repro.txn.recovery`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.access.indexes import IndexManager
+from repro.core.builder import MoleculeBuilder
+from repro.core.engine import StorageEngine
+from repro.core.molecule import Molecule, MoleculeType
+from repro.core.schema import Schema
+from repro.core.version import Version
+from repro.errors import CatalogError, StorageError, TransactionStateError
+from repro.storage.buffer import BufferManager, ReplacementPolicy
+from repro.storage.catalog import Catalog
+from repro.storage.constants import DEFAULT_PAGE_SIZE
+from repro.storage.disk import DiskManager
+from repro.storage.strategies import (
+    StorageStats,
+    VersionStrategy,
+    open_version_store,
+)
+from repro.temporal import FOREVER, Interval, Timestamp, TransactionClock
+from repro.txn.locks import LockManager, LockMode
+from repro.txn.manager import Transaction, TransactionManager
+from repro.txn.recovery import (
+    checkpoint_copy,
+    checkpoint_restore,
+    replay_operations,
+)
+from repro.txn.wal import WriteAheadLog
+
+_PAGES_FILE = "pages.db"
+_CATALOG_FILE = "catalog.json"
+_WAL_FILE = "wal.log"
+
+
+@dataclass
+class DatabaseConfig:
+    """Tunable knobs of a database instance.
+
+    ``strategy``, ``page_size`` are fixed at creation; the others may
+    differ between opens.
+    """
+
+    strategy: VersionStrategy = VersionStrategy.SEPARATED
+    page_size: int = DEFAULT_PAGE_SIZE
+    buffer_pages: int = 256
+    replacement: ReplacementPolicy = ReplacementPolicy.LRU
+    sync_commits: bool = False
+    lock_timeout: float = 10.0
+
+
+class TransactionContext:
+    """User-facing transaction: temporal DML plus reads.
+
+    Mutations acquire exclusive atom locks (strict two-phase), log the
+    operation, then apply it; :meth:`commit` forces the log.  Use as a
+    context manager — exceptions abort, normal exit commits.
+    """
+
+    def __init__(self, db: "TemporalDatabase", txn: Transaction) -> None:
+        self._db = db
+        self._txn = txn
+
+    @property
+    def txn_id(self) -> int:
+        return self._txn.txn_id
+
+    @property
+    def transaction_time(self) -> Timestamp:
+        return self._txn.tt
+
+    # -- mutations -----------------------------------------------------------
+
+    def insert(self, type_name: str, values: Dict[str, Any],
+               valid_from: Timestamp, valid_to: Timestamp = FOREVER,
+               atom_id: Optional[int] = None) -> int:
+        """Create a new atom (or assert new validity for an existing one).
+
+        Passing an existing ``atom_id`` re-opens validity for that atom —
+        the new window must not overlap its current validity.  Returns
+        the atom identifier.
+        """
+        if atom_id is None:
+            atom_id = self._db._allocate_atom_id()
+        self._run({"op": "insert", "type": type_name, "atom_id": atom_id,
+                   "values": values, "vf": valid_from, "vt": valid_to,
+                   "tt": self._txn.tt},
+                  lock_atoms=(atom_id,))
+        return atom_id
+
+    def update(self, atom_id: int, changes: Dict[str, Any],
+               valid_from: Timestamp,
+               valid_to: Timestamp = FOREVER) -> None:
+        """Apply attribute changes over [valid_from, valid_to)."""
+        self._run({"op": "update", "atom_id": atom_id, "changes": changes,
+                   "vf": valid_from, "vt": valid_to, "tt": self._txn.tt},
+                  lock_atoms=(atom_id,))
+
+    def delete(self, atom_id: int, valid_from: Timestamp,
+               valid_to: Timestamp = FOREVER) -> None:
+        """Logically delete the atom over [valid_from, valid_to)."""
+        self._run({"op": "delete", "atom_id": atom_id, "vf": valid_from,
+                   "vt": valid_to, "tt": self._txn.tt},
+                  lock_atoms=(atom_id,))
+
+    def correct(self, atom_id: int, window_start: Timestamp,
+                window_end: Timestamp, changes: Dict[str, Any]) -> None:
+        """Bitemporal correction of a past validity window."""
+        self._run({"op": "correct", "atom_id": atom_id,
+                   "ws": window_start, "we": window_end,
+                   "changes": changes, "tt": self._txn.tt},
+                  lock_atoms=(atom_id,))
+
+    def link(self, link_name: str, source_id: int, target_id: int,
+             valid_from: Timestamp, valid_to: Timestamp = FOREVER) -> None:
+        """Connect two atoms over the window (symmetric)."""
+        self._run({"op": "link", "link": link_name, "src": source_id,
+                   "dst": target_id, "vf": valid_from, "vt": valid_to,
+                   "tt": self._txn.tt},
+                  lock_atoms=(source_id, target_id))
+
+    def unlink(self, link_name: str, source_id: int, target_id: int,
+               valid_from: Timestamp,
+               valid_to: Timestamp = FOREVER) -> None:
+        """Disconnect two atoms over the window (symmetric)."""
+        self._run({"op": "unlink", "link": link_name, "src": source_id,
+                   "dst": target_id, "vf": valid_from, "vt": valid_to,
+                   "tt": self._txn.tt},
+                  lock_atoms=(source_id, target_id))
+
+    def _run(self, payload: Dict[str, Any],
+             lock_atoms: Tuple[int, ...]) -> None:
+        self._txn.require_active()
+        db = self._db
+        for atom_id in sorted(set(lock_atoms)):
+            db._locks.acquire(self._txn.txn_id, ("atom", atom_id),
+                              LockMode.EXCLUSIVE)
+        db._txn_manager.log_operation(self._txn, payload)
+        with db._engine_mutex:
+            undos = _apply_with_undo(db.engine, payload)
+        for undo in undos:
+            self._txn.add_undo(undo)
+
+    # -- reads (see the atom's state as of now, own writes included) -----------
+
+    def version_at(self, atom_id: int, at: Timestamp) -> Optional[Version]:
+        return self._db.engine.version_at(atom_id, at)
+
+    def history(self, atom_id: int) -> List[Version]:
+        return self._db.engine.all_versions(atom_id)
+
+    def query(self, text: str):
+        """Run an MQL query inside this transaction's view."""
+        return self._db.query(text)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def commit(self) -> None:
+        self._txn.commit()
+
+    def abort(self) -> None:
+        self._txn.abort()
+
+    @property
+    def is_active(self) -> bool:
+        return self._txn.is_active
+
+
+def _apply_with_undo(engine: StorageEngine,
+                     payload: Dict[str, Any]) -> List[Any]:
+    """Apply one logged operation and return its undo actions."""
+    op = payload["op"]
+    tt = payload["tt"]
+    if op == "insert":
+        return engine.insert(payload["type"], payload["values"],
+                             payload["vf"], payload["vt"], tt,
+                             payload["atom_id"])
+    if op == "update":
+        return engine.update(payload["atom_id"], payload["changes"],
+                             payload["vf"], tt, payload["vt"])
+    if op == "delete":
+        return engine.delete(payload["atom_id"], payload["vf"], tt,
+                             payload["vt"])
+    if op == "correct":
+        return engine.correct(payload["atom_id"], payload["ws"],
+                              payload["we"], payload["changes"], tt)
+    if op == "link":
+        return engine.link(payload["link"], payload["src"], payload["dst"],
+                           payload["vf"], tt, payload["vt"])
+    if op == "unlink":
+        return engine.unlink(payload["link"], payload["src"],
+                             payload["dst"], payload["vf"], tt,
+                             payload["vt"])
+    raise TransactionStateError(f"unknown operation {op!r}")
+
+
+class TemporalDatabase:
+    """One temporal complex-object database in a directory."""
+
+    def __init__(self, path: str, schema: Schema, catalog: Catalog,
+                 config: DatabaseConfig, *, _fresh: bool) -> None:
+        self.path = path
+        self.schema = schema
+        self.config = config
+        self._catalog = catalog
+        self._closed = False
+        self._engine_mutex = threading.RLock()
+        #: Summary of the last crash recovery, or None (set by open()).
+        self.last_recovery: Optional[Dict[str, int]] = None
+
+        self._disk = DiskManager(os.path.join(path, _PAGES_FILE),
+                                 page_size=config.page_size)
+        self.buffer = BufferManager(self._disk, capacity=config.buffer_pages,
+                                    policy=config.replacement)
+        store_state = catalog.extras.get("store_state") or None
+        self.store = open_version_store(config.strategy, self.buffer,
+                                        store_state)
+        index_state = catalog.extras.get("index_state") or None
+        self.indexes = IndexManager(self.buffer, index_state)
+        self.engine = StorageEngine(schema, self.store, self.indexes)
+        self.builder = MoleculeBuilder(self.engine)
+
+        self._clock = TransactionClock(catalog.clock)
+        self._next_atom_id = catalog.next_atom_id
+        self._id_mutex = threading.Lock()
+        self._wal = WriteAheadLog(os.path.join(path, _WAL_FILE),
+                                  sync_on_commit=config.sync_commits)
+        self._locks = LockManager(timeout=config.lock_timeout)
+        self._txn_manager = TransactionManager(self._wal, self._locks,
+                                               self._clock)
+        if _fresh:
+            self.checkpoint()
+
+    # ------------------------------------------------------------------
+    # Creation and opening
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str, schema: Schema,
+               config: Optional[DatabaseConfig] = None) -> "TemporalDatabase":
+        """Create a new database directory; fails if one already exists."""
+        config = config or DatabaseConfig()
+        os.makedirs(path, exist_ok=True)
+        catalog = Catalog(os.path.join(path, _CATALOG_FILE))
+        if catalog.exists():
+            raise CatalogError(f"database already exists at {path}")
+        catalog.schema = schema.to_dict()
+        catalog.strategy = config.strategy.value
+        catalog.page_size = config.page_size
+        return cls(path, schema, catalog, config, _fresh=True)
+
+    @classmethod
+    def open(cls, path: str,
+             config: Optional[DatabaseConfig] = None) -> "TemporalDatabase":
+        """Open an existing database, running crash recovery if needed."""
+        catalog = Catalog(os.path.join(path, _CATALOG_FILE))
+        catalog.load()
+        schema = Schema.from_dict(catalog.schema or {})
+        stored_strategy = VersionStrategy(catalog.strategy)
+        config = config or DatabaseConfig()
+        config.strategy = stored_strategy
+        config.page_size = catalog.page_size or config.page_size
+
+        clean = bool(catalog.extras.get("clean_shutdown"))
+        wal_path = os.path.join(path, _WAL_FILE)
+        needs_replay = not clean and os.path.exists(wal_path)
+        if needs_replay:
+            # The page image may contain effects of unfinished work: fall
+            # back to the checkpoint and replay the committed tail.
+            checkpoint_restore(os.path.join(path, _PAGES_FILE))
+            checkpoint_restore(os.path.join(path, _CATALOG_FILE))
+            catalog.load()
+            schema = Schema.from_dict(catalog.schema or {})
+        db = cls(path, schema, catalog, config, _fresh=False)
+        if needs_replay:
+            summary = replay_operations(db.engine, db._wal,
+                                        catalog.applied_lsn)
+            db._clock.advance_to(summary["max_tt"] + 1)
+            with db._id_mutex:
+                db._next_atom_id = max(db._next_atom_id,
+                                       summary["max_atom_id"] + 1)
+            db.checkpoint()
+            db.last_recovery = summary
+        db._mark_dirty()
+        return db
+
+    def _mark_dirty(self) -> None:
+        """Record that the database is in use (not cleanly shut down)."""
+        self._catalog.extras["clean_shutdown"] = False
+        self._catalog.save()
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def begin(self) -> TransactionContext:
+        """Start an explicit transaction."""
+        self._require_open()
+        return TransactionContext(self, self._txn_manager.begin())
+
+    @contextmanager
+    def transaction(self) -> Iterator[TransactionContext]:
+        """Scoped transaction: commit on success, abort on exception."""
+        context = self.begin()
+        try:
+            yield context
+        except BaseException:
+            if context.is_active:
+                context.abort()
+            raise
+        if context.is_active:
+            context.commit()
+
+    def _allocate_atom_id(self) -> int:
+        with self._id_mutex:
+            atom_id = self._next_atom_id
+            self._next_atom_id += 1
+            return atom_id
+
+    # ------------------------------------------------------------------
+    # Reads and queries
+    # ------------------------------------------------------------------
+
+    def version_at(self, atom_id: int, at: Timestamp,
+                   tt: Optional[Timestamp] = None) -> Optional[Version]:
+        """The atom's version valid at *at*, as believed at *tt*."""
+        self._require_open()
+        return self.engine.version_at(atom_id, at, tt)
+
+    def history(self, atom_id: int) -> List[Version]:
+        """The atom's full recorded bitemporal history."""
+        self._require_open()
+        return self.engine.all_versions(atom_id)
+
+    def lifespan(self, atom_id: int, tt: Optional[Timestamp] = None):
+        """The temporal element over which the atom exists, as believed
+        at transaction time *tt* (default: current knowledge)."""
+        self._require_open()
+        return self.engine.lifespan(atom_id, tt)
+
+    def molecule_at(self, root_id: int, molecule_type: "str | MoleculeType",
+                    at: Timestamp,
+                    tt: Optional[Timestamp] = None) -> Optional[Molecule]:
+        """Build the molecule rooted at *root_id* valid at instant *at*."""
+        self._require_open()
+        mtype = self._resolve_molecule_type(molecule_type)
+        return self.builder.build_at(root_id, mtype, at, tt)
+
+    def molecule_history(self, root_id: int,
+                         molecule_type: "str | MoleculeType",
+                         window: Interval,
+                         tt: Optional[Timestamp] = None
+                         ) -> List[Tuple[Interval, Molecule]]:
+        """The molecule's coalesced states over *window*."""
+        self._require_open()
+        mtype = self._resolve_molecule_type(molecule_type)
+        return self.builder.build_history(root_id, mtype, window, tt)
+
+    def _resolve_molecule_type(
+            self, molecule_type: "str | MoleculeType") -> MoleculeType:
+        if isinstance(molecule_type, MoleculeType):
+            return molecule_type
+        return MoleculeType.parse(molecule_type, self.schema)
+
+    def query(self, text: str, params: Optional[Dict[str, Any]] = None):
+        """Execute a temporal MQL query; returns a
+        :class:`repro.mql.result.QueryResult`.
+
+        ``params`` binds ``$name`` placeholders in the WHERE clause::
+
+            db.query("SELECT ALL FROM Part WHERE Part.name = $n "
+                     "VALID AT 5", params={"n": "wheel"})
+        """
+        self._require_open()
+        from repro.mql import execute_query  # local import: avoids a cycle
+        return execute_query(self, text, params)
+
+    def atoms_of_type(self, type_name: str) -> List[int]:
+        self._require_open()
+        return list(self.engine.atoms_of_type(type_name))
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    def create_attribute_index(self, type_name: str,
+                               attribute_name: str) -> str:
+        """Create an attribute index (checkpointed immediately)."""
+        self._require_open()
+        with self._engine_mutex:
+            name = self.engine.create_attribute_index(type_name,
+                                                      attribute_name)
+        self.checkpoint()
+        return name
+
+    def create_vt_index(self, type_name: str) -> str:
+        """Create a valid-time change index (checkpointed immediately)."""
+        self._require_open()
+        with self._engine_mutex:
+            name = self.engine.create_vt_index(type_name)
+        self.checkpoint()
+        return name
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Flush everything and snapshot the page file and catalog.
+
+        After a checkpoint, recovery only replays log records newer than
+        it (``applied_lsn``).
+        """
+        self._require_open()
+        with self._engine_mutex:
+            self.buffer.flush_all()
+            self._disk.sync()
+            catalog = self._catalog
+            catalog.extras["store_state"] = self.store.persist_state()
+            catalog.extras["index_state"] = self.indexes.persist_state()
+            catalog.next_atom_id = self._next_atom_id
+            catalog.clock = self._clock.now()
+            catalog.applied_lsn = self._wal.next_lsn - 1
+            catalog.save()
+            checkpoint_copy(os.path.join(self.path, _PAGES_FILE))
+            checkpoint_copy(os.path.join(self.path, _CATALOG_FILE))
+
+    def close(self) -> None:
+        """Checkpoint, truncate the log, and mark a clean shutdown."""
+        if self._closed:
+            return
+        if self._txn_manager.active_transactions():
+            raise TransactionStateError(
+                "cannot close with active transactions")
+        self.checkpoint()
+        self._wal.truncate()
+        self._catalog.applied_lsn = 0
+        self._catalog.extras["clean_shutdown"] = True
+        self._catalog.save()
+        checkpoint_copy(os.path.join(self.path, _CATALOG_FILE))
+        self._wal.close()
+        self._disk.close()
+        self._closed = True
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise StorageError("database is closed")
+
+    def __enter__(self) -> "TemporalDatabase":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Introspection (feeds the benchmark harness)
+    # ------------------------------------------------------------------
+
+    def storage_stats(self) -> StorageStats:
+        return self.store.stats()
+
+    def io_stats(self) -> Dict[str, Any]:
+        """Physical and buffer I/O counters plus log volume."""
+        return {
+            "disk_reads": self._disk.stats.reads,
+            "disk_writes": self._disk.stats.writes,
+            "buffer_hits": self.buffer.stats.hits,
+            "buffer_misses": self.buffer.stats.misses,
+            "buffer_evictions": self.buffer.stats.evictions,
+            "wal_bytes": self._wal.size_bytes(),
+            "file_bytes": self._disk.data_bytes_on_disk(),
+        }
+
+    def reset_io_stats(self) -> None:
+        self._disk.stats.reset()
+        self.buffer.stats.reset()

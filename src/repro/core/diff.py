@@ -1,0 +1,107 @@
+"""Molecule diffing: what changed between two states of a complex object.
+
+Given two molecules (typically the same root at two instants, or the
+same instant ``AS OF`` two transaction times), :func:`diff_molecules`
+reports which atoms joined, which left, and which changed state —
+the question every design-release and audit workflow asks.
+
+The comparison is by atom identity: an atom occurrence counts as
+*changed* when it is present in both molecules (anywhere in their
+structure) with different attribute values or different traversed
+reference sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.core.molecule import Molecule, MoleculeAtom
+
+
+@dataclass
+class AttributeChange:
+    """One attribute's value in the old and new state."""
+
+    attribute: str
+    old: Any
+    new: Any
+
+
+@dataclass
+class MoleculeDiff:
+    """The delta between two molecule states."""
+
+    added: List[MoleculeAtom] = field(default_factory=list)
+    removed: List[MoleculeAtom] = field(default_factory=list)
+    changed: List[Tuple[MoleculeAtom, MoleculeAtom,
+                        List[AttributeChange]]] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.added or self.removed or self.changed)
+
+    def summary(self) -> str:
+        if self.is_empty:
+            return "no differences"
+        lines = []
+        for atom in self.added:
+            lines.append(f"+ {atom.type_name} {atom.atom_id}")
+        for atom in self.removed:
+            lines.append(f"- {atom.type_name} {atom.atom_id}")
+        for old, new, changes in self.changed:
+            details = ", ".join(
+                f"{change.attribute}: {change.old!r} -> {change.new!r}"
+                for change in changes)
+            lines.append(f"~ {new.type_name} {new.atom_id} ({details})")
+        return "\n".join(lines)
+
+
+def _atoms_by_id(molecule: Molecule) -> Dict[int, MoleculeAtom]:
+    """First occurrence per atom id (occurrences share the version)."""
+    atoms: Dict[int, MoleculeAtom] = {}
+    for atom in molecule.atoms():
+        atoms.setdefault(atom.atom_id, atom)
+    return atoms
+
+
+def diff_molecules(old: Molecule, new: Molecule) -> MoleculeDiff:
+    """Compare two molecule states by atom identity.
+
+    Both molecules should share a molecule type (comparing unrelated
+    structures is legal but rarely meaningful).
+    """
+    old_atoms = _atoms_by_id(old)
+    new_atoms = _atoms_by_id(new)
+    diff = MoleculeDiff()
+    for atom_id, atom in sorted(new_atoms.items()):
+        if atom_id not in old_atoms:
+            diff.added.append(atom)
+    for atom_id, atom in sorted(old_atoms.items()):
+        if atom_id not in new_atoms:
+            diff.removed.append(atom)
+    for atom_id in sorted(set(old_atoms) & set(new_atoms)):
+        before, after = old_atoms[atom_id], new_atoms[atom_id]
+        changes = _attribute_changes(before, after)
+        refs_changed = _traversed_refs(before) != _traversed_refs(after)
+        if changes or refs_changed:
+            diff.changed.append((before, after, changes))
+    return diff
+
+
+def _attribute_changes(before: MoleculeAtom,
+                       after: MoleculeAtom) -> List[AttributeChange]:
+    changes = []
+    keys = set(before.version.values) | set(after.version.values)
+    for key in sorted(keys):
+        old_value = before.version.values.get(key)
+        new_value = after.version.values.get(key)
+        if old_value != new_value:
+            changes.append(AttributeChange(key, old_value, new_value))
+    return changes
+
+
+def _traversed_refs(atom: MoleculeAtom) -> Dict[str, frozenset]:
+    """Only the references the molecule actually traversed count."""
+    return {str(edge): frozenset(child.atom_id for child in children)
+            for edge, children in atom.children.items()}

@@ -1,0 +1,414 @@
+"""The logical operation layer of the temporal engine.
+
+:class:`StorageEngine` binds the version store, the index manager, and
+the version codec into the operations the data model defines: temporal
+insert, update-from, logical delete, link/unlink, and bitemporal
+correction.  Each mutation
+
+1. computes its effect as a pure :class:`~repro.core.history.HistoryPlan`,
+2. applies the plan to the version store,
+3. maintains the affected indexes, and
+4. returns compensating undo actions for transaction rollback.
+
+Stored payloads are self-describing: a 16-bit atom type id precedes the
+codec payload, so any record can be decoded without consulting a
+separate atom-to-type map.
+
+The engine is deliberately free of transactions and locks — the database
+facade wraps every call in logging and locking; recovery replays logged
+operations through the very same methods.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.access.indexes import (
+    IndexManager,
+    attribute_index_name,
+    vt_index_name,
+)
+from repro.core import history as hist
+from repro.core.codec import VersionCodec
+from repro.core.schema import LinkType, Schema
+from repro.core.version import IN, OUT, Version, ref_key
+from repro.errors import (
+    CardinalityError,
+    TemporalUpdateError,
+    UnknownAtomError,
+    UnknownTypeError,
+)
+from repro.storage.strategies import StoredVersion, VersionStore
+from repro.temporal import FOREVER, Interval, Timestamp
+
+_TYPE_PREFIX = struct.Struct("<H")
+
+UndoAction = Callable[[], None]
+
+
+class StorageEngine:
+    """Logical operations over one version store."""
+
+    def __init__(self, schema: Schema, store: VersionStore,
+                 indexes: IndexManager) -> None:
+        self.schema = schema
+        self.store = store
+        self.indexes = indexes
+        self.codec = VersionCodec(schema)
+        self._type_by_id = {atom_type.type_id: atom_type.name
+                            for atom_type in schema.atom_types}
+
+    # ------------------------------------------------------------------
+    # Encoding helpers (type-prefixed payloads)
+    # ------------------------------------------------------------------
+
+    def _encode(self, type_name: str, version: Version) -> StoredVersion:
+        stored = self.codec.encode(type_name, version)
+        prefix = _TYPE_PREFIX.pack(self.schema.atom_type(type_name).type_id)
+        return StoredVersion(stored.vt_start, stored.vt_end, stored.live,
+                             prefix + stored.payload)
+
+    def _decode(self, stored: StoredVersion) -> Tuple[str, Version]:
+        (type_id,) = _TYPE_PREFIX.unpack_from(stored.payload, 0)
+        try:
+            type_name = self._type_by_id[type_id]
+        except KeyError:
+            raise UnknownTypeError(
+                f"stored record carries unknown type id {type_id}") from None
+        body = StoredVersion(stored.vt_start, stored.vt_end, stored.live,
+                             stored.payload[_TYPE_PREFIX.size:])
+        return type_name, self.codec.decode(type_name, body)
+
+    # ------------------------------------------------------------------
+    # VersionReader protocol (used by the molecule builder)
+    # ------------------------------------------------------------------
+
+    def atom_type_name(self, atom_id: int) -> str:
+        _, stored = self.store.read_current(atom_id)
+        (type_id,) = _TYPE_PREFIX.unpack_from(stored.payload, 0)
+        return self._type_by_id[type_id]
+
+    def version_at(self, atom_id: int, at: Timestamp,
+                   tt: Optional[Timestamp] = None) -> Optional[Version]:
+        """The version valid at *at* as believed at *tt* (None = now)."""
+        if not self.store.exists(atom_id):
+            return None
+        if tt is None:
+            hits = self.store.read_at(atom_id, at)
+            if not hits:
+                return None
+            return self._decode(hits[0][1])[1]
+        return hist.version_at(self.all_versions(atom_id), at, tt)
+
+    def all_versions(self, atom_id: int) -> List[Version]:
+        if not self.store.exists(atom_id):
+            raise UnknownAtomError(f"no atom {atom_id}")
+        return [self._decode(sv)[1] for sv in self.store.read_all(atom_id)]
+
+    def current_version(self, atom_id: int) -> Version:
+        """The newest recorded version (regardless of validity)."""
+        if not self.store.exists(atom_id):
+            raise UnknownAtomError(f"no atom {atom_id}")
+        _, stored = self.store.read_current(atom_id)
+        return self._decode(stored)[1]
+
+    def atom_exists(self, atom_id: int) -> bool:
+        return self.store.exists(atom_id)
+
+    def atoms_of_type(self, type_name: str) -> Iterator[int]:
+        type_id = self.schema.atom_type(type_name).type_id
+        return self.indexes.atoms_of_type(type_id)
+
+    def lifespan(self, atom_id: int,
+                 tt: Optional[Timestamp] = None):
+        return hist.lifespan(self.all_versions(atom_id), tt)
+
+    # ------------------------------------------------------------------
+    # Plan application with index maintenance and undo capture
+    # ------------------------------------------------------------------
+
+    def _apply_plan(self, atom_id: int, type_name: str,
+                    plan: hist.HistoryPlan,
+                    undos: List[UndoAction]) -> None:
+        store = self.store
+        replacements = plan.closures + plan.rewrites
+        if replacements:
+            originals = store.read_all(atom_id)
+        for seq, replacement in replacements:
+            old = originals[seq]
+            store.replace_version(atom_id, seq,
+                                  self._encode(type_name, replacement))
+            undos.append(lambda s=seq, o=old: store.replace_version(
+                atom_id, s, o))
+        # Closures only change timestamps, but rewrites carry transformed
+        # values the indexes have not seen yet.
+        for _seq, replacement in plan.rewrites:
+            self._index_version(type_name, atom_id, replacement)
+        first_append = not store.exists(atom_id)
+        for version in plan.appends:
+            store.append_version(atom_id, self._encode(type_name, version))
+            undos.append(lambda: store.pop_version(atom_id))
+            self._index_version(type_name, atom_id, version)
+        if first_append and plan.appends:
+            type_id = self.schema.atom_type(type_name).type_id
+            self.indexes.register_atom(type_id, atom_id)
+            undos.append(lambda: self.indexes.unregister_atom(type_id,
+                                                              atom_id))
+
+    def _index_version(self, type_name: str, atom_id: int,
+                       version: Version) -> None:
+        atom_type = self.schema.atom_type(type_name)
+        for attribute in atom_type.attributes:
+            index_name = attribute_index_name(type_name, attribute.name)
+            if not self.indexes.has_index(index_name):
+                continue
+            value = version.values.get(attribute.name)
+            if value is None:
+                continue
+            key, _lossy = attribute.data_type.encode_key(value)
+            self.indexes.add_attribute_entry(index_name, key, atom_id)
+        vt_name = vt_index_name(type_name)
+        if self.indexes.has_index(vt_name):
+            self.indexes.add_vt_entry(vt_name, version.vt.start, atom_id)
+
+    # ------------------------------------------------------------------
+    # Mutations (each takes an explicit transaction time for replay)
+    # ------------------------------------------------------------------
+
+    def insert(self, type_name: str, values: Dict[str, Any],
+               valid_from: Timestamp, valid_to: Timestamp,
+               tt: Timestamp, atom_id: int
+               ) -> List[UndoAction]:
+        """Create *atom_id* of *type_name* valid over [valid_from, valid_to)."""
+        atom_type = self.schema.atom_type(type_name)
+        checked = atom_type.validate_values(values)
+        window = Interval(valid_from, valid_to)
+        existing = (self.all_versions(atom_id)
+                    if self.store.exists(atom_id) else ())
+        if existing and self.atom_type_name(atom_id) != type_name:
+            raise TemporalUpdateError(
+                f"atom {atom_id} already exists with a different type")
+        plan = hist.insert_plan(checked, {}, window, tt, existing)
+        undos: List[UndoAction] = []
+        self._apply_plan(atom_id, type_name, plan, undos)
+        return undos
+
+    def update(self, atom_id: int, changes: Dict[str, Any],
+               valid_from: Timestamp, tt: Timestamp,
+               valid_to: Timestamp = FOREVER) -> List[UndoAction]:
+        """Set *changes* over [valid_from, valid_to) (default: onwards)."""
+        type_name = self.atom_type_name(atom_id)
+        atom_type = self.schema.atom_type(type_name)
+        checked = atom_type.validate_values(changes, partial=True)
+        if not checked:
+            raise TemporalUpdateError("update with no changes")
+        window = Interval(valid_from, valid_to)
+
+        def transform(version: Version) -> Version:
+            merged = dict(version.values)
+            merged.update(checked)
+            return version.with_state(merged, version.refs)
+
+        plan = hist.revise(self.all_versions(atom_id), window, tt, transform)
+        undos: List[UndoAction] = []
+        self._apply_plan(atom_id, type_name, plan, undos)
+        return undos
+
+    def delete(self, atom_id: int, valid_from: Timestamp,
+               tt: Timestamp,
+               valid_to: Timestamp = FOREVER) -> List[UndoAction]:
+        """Logically delete: truncate validity inside the window."""
+        type_name = self.atom_type_name(atom_id)
+        window = Interval(valid_from, valid_to)
+        plan = hist.revise(self.all_versions(atom_id), window, tt,
+                           lambda version: None)
+        undos: List[UndoAction] = []
+        self._apply_plan(atom_id, type_name, plan, undos)
+        return undos
+
+    def correct(self, atom_id: int, window_start: Timestamp,
+                window_end: Timestamp, changes: Dict[str, Any],
+                tt: Timestamp) -> List[UndoAction]:
+        """Bitemporal correction: rewrite values inside a past window."""
+        type_name = self.atom_type_name(atom_id)
+        atom_type = self.schema.atom_type(type_name)
+        checked = atom_type.validate_values(changes, partial=True)
+        window = Interval(window_start, window_end)
+
+        def transform(version: Version) -> Version:
+            merged = dict(version.values)
+            merged.update(checked)
+            return version.with_state(merged, version.refs)
+
+        plan = hist.revise(self.all_versions(atom_id), window, tt, transform)
+        undos: List[UndoAction] = []
+        self._apply_plan(atom_id, type_name, plan, undos)
+        return undos
+
+    # -- links --------------------------------------------------------------
+
+    def _link_type_for(self, link_name: str, source_id: int,
+                       target_id: int) -> LinkType:
+        if source_id == target_id:
+            # Even with a self-referencing link type, an atom cannot be
+            # its own partner (and the two-plan application below would
+            # not compose for one atom).
+            raise CardinalityError(
+                f"{link_name}: atom {source_id} cannot be linked to itself")
+        link = self.schema.link_type(link_name)
+        source_type = self.atom_type_name(source_id)
+        target_type = self.atom_type_name(target_id)
+        if (source_type, target_type) != (link.source, link.target):
+            raise UnknownTypeError(
+                f"link {link_name!r} connects {link.source}->{link.target}, "
+                f"got {source_type}->{target_type}")
+        return link
+
+    def _check_cardinality(self, link: LinkType, source_id: int,
+                           target_id: int, window: Interval) -> None:
+        if not link.cardinality.source_may_have_many:
+            for _, version in hist.live_versions(
+                    self.all_versions(source_id)):
+                if not version.vt.overlaps(window):
+                    continue
+                others = version.refs.get(ref_key(link.name, OUT),
+                                          frozenset()) - {target_id}
+                if others:
+                    raise CardinalityError(
+                        f"{link.name}: source {source_id} already linked "
+                        f"during {version.vt}")
+        if not link.cardinality.target_may_have_many:
+            for _, version in hist.live_versions(
+                    self.all_versions(target_id)):
+                if not version.vt.overlaps(window):
+                    continue
+                others = version.refs.get(ref_key(link.name, IN),
+                                          frozenset()) - {source_id}
+                if others:
+                    raise CardinalityError(
+                        f"{link.name}: target {target_id} already linked "
+                        f"during {version.vt}")
+
+    def _ref_plan(self, atom_id: int, key: str, partner: int, add: bool,
+                  window: Interval, tt: Timestamp
+                  ) -> Tuple[str, hist.HistoryPlan, bool]:
+        """Plan adding/removing *partner* in the atom's reference set.
+
+        Pure: nothing is applied.  Returns (type name, plan, changed).
+        """
+        changed = False
+
+        def transform(version: Version) -> Version:
+            nonlocal changed
+            refs = {k: set(v) for k, v in version.refs.items()}
+            members = refs.setdefault(key, set())
+            if add and partner not in members:
+                members.add(partner)
+                changed = True
+            elif not add and partner in members:
+                members.discard(partner)
+                changed = True
+            return version.with_state(
+                version.values,
+                {k: frozenset(v) for k, v in refs.items() if v})
+
+        type_name = self.atom_type_name(atom_id)
+        plan = hist.revise(self.all_versions(atom_id), window, tt, transform)
+        return type_name, plan, changed
+
+    def link(self, link_name: str, source_id: int, target_id: int,
+             valid_from: Timestamp, tt: Timestamp,
+             valid_to: Timestamp = FOREVER) -> List[UndoAction]:
+        """Connect two atoms over the window, maintaining symmetry.
+
+        Both sides are planned before either is touched, so a validation
+        failure (missing validity, cardinality) leaves no partial state.
+        """
+        link = self._link_type_for(link_name, source_id, target_id)
+        window = Interval(valid_from, valid_to)
+        self._check_cardinality(link, source_id, target_id, window)
+        src = self._ref_plan(source_id, ref_key(link_name, OUT), target_id,
+                             True, window, tt)
+        dst = self._ref_plan(target_id, ref_key(link_name, IN), source_id,
+                             True, window, tt)
+        undos: List[UndoAction] = []
+        self._apply_plan(source_id, src[0], src[1], undos)
+        self._apply_plan(target_id, dst[0], dst[1], undos)
+        return undos
+
+    def unlink(self, link_name: str, source_id: int, target_id: int,
+               valid_from: Timestamp, tt: Timestamp,
+               valid_to: Timestamp = FOREVER) -> List[UndoAction]:
+        """Disconnect two atoms over the window, maintaining symmetry.
+
+        Raises :class:`TemporalUpdateError` — before mutating anything —
+        when no reference exists inside the window on either side.
+        """
+        self._link_type_for(link_name, source_id, target_id)
+        window = Interval(valid_from, valid_to)
+        src = self._ref_plan(source_id, ref_key(link_name, OUT), target_id,
+                             False, window, tt)
+        dst = self._ref_plan(target_id, ref_key(link_name, IN), source_id,
+                             False, window, tt)
+        if not (src[2] or dst[2]):
+            raise TemporalUpdateError(
+                f"{link_name}: atoms {source_id} and {target_id} are not "
+                f"linked inside {window}")
+        undos: List[UndoAction] = []
+        self._apply_plan(source_id, src[0], src[1], undos)
+        self._apply_plan(target_id, dst[0], dst[1], undos)
+        return undos
+
+    # ------------------------------------------------------------------
+    # Index creation (DDL)
+    # ------------------------------------------------------------------
+
+    def create_attribute_index(self, type_name: str,
+                               attribute_name: str) -> str:
+        """Create and backfill an attribute index."""
+        atom_type = self.schema.atom_type(type_name)
+        attribute = atom_type.attribute(attribute_name)
+        name = self.indexes.create_attribute_index(
+            type_name, attribute_name, attribute.data_type.key_width)
+        for atom_id in self.atoms_of_type(type_name):
+            for stored in self.store.read_all(atom_id):
+                _, version = self._decode(stored)
+                value = version.values.get(attribute_name)
+                if value is None:
+                    continue
+                key, _ = attribute.data_type.encode_key(value)
+                self.indexes.add_attribute_entry(name, key, atom_id)
+        return name
+
+    def create_vt_index(self, type_name: str) -> str:
+        """Create and backfill a valid-time (change) index."""
+        self.schema.atom_type(type_name)
+        name = self.indexes.create_vt_index(type_name)
+        for atom_id in self.atoms_of_type(type_name):
+            for stored in self.store.read_all(atom_id):
+                self.indexes.add_vt_entry(name, stored.vt_start, atom_id)
+        return name
+
+    # ------------------------------------------------------------------
+    # Index-assisted candidate selection (used by the planner)
+    # ------------------------------------------------------------------
+
+    def candidates_for_equality(self, type_name: str, attribute_name: str,
+                                value: Any) -> Optional[List[int]]:
+        """Atom candidates for ``type.attr = value``, or ``None`` when no
+        index exists.  Candidates must be rechecked at the queried time."""
+        index_name = attribute_index_name(type_name, attribute_name)
+        if not self.indexes.has_index(index_name):
+            return None
+        attribute = self.schema.atom_type(type_name).attribute(attribute_name)
+        key, _lossy = attribute.data_type.encode_key(value)
+        return self.indexes.candidate_atoms_eq(index_name, key)
+
+    def atoms_changed_during(self, type_name: str, start: Timestamp,
+                             end: Timestamp) -> Optional[List[int]]:
+        """Atoms of the type with a version starting in [start, end)."""
+        name = vt_index_name(type_name)
+        if not self.indexes.has_index(name):
+            return None
+        return self.indexes.atoms_changed_during(name, start, end)

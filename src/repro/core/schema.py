@@ -1,0 +1,275 @@
+"""Schema: atom types, attributes, and symmetric link types.
+
+The MAD model's schema is a network of *atom types* connected by *link
+types*.  Links are symmetric: a link type ``contains`` from ``Part`` to
+``Component`` is traversable in both directions, and the engine maintains
+back-references automatically.  Cardinalities constrain the link from the
+source's and target's point of view.
+
+The schema is immutable once a database is created over it (schema
+evolution is out of scope for the 1992 paper) and serializes to a plain
+dictionary for the catalog.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, List, Sequence
+
+from repro.core.datatypes import DataType, parse_datatype
+from repro.errors import (
+    DuplicateDefinitionError,
+    SchemaError,
+    TypeMismatchError,
+    UnknownTypeError,
+)
+
+def _check_name(kind: str, name: str) -> str:
+    """Attribute, type, and link names must be usable as MQL identifiers."""
+    if not name or not name.replace("_", "a").isalnum() or name[0].isdigit():
+        raise SchemaError(f"{kind} name {name!r} is not a valid identifier")
+    return name
+
+
+class Attribute:
+    """A typed, optionally required attribute of an atom type."""
+
+    __slots__ = ("name", "data_type", "required")
+
+    def __init__(self, name: str, data_type: DataType,
+                 required: bool = False) -> None:
+        self.name = _check_name("attribute", name)
+        if not isinstance(data_type, DataType):
+            raise TypeMismatchError(
+                f"attribute {name!r}: expected DataType, got {data_type!r}")
+        self.data_type = data_type
+        self.required = required
+
+    def __repr__(self) -> str:
+        flag = ", required" if self.required else ""
+        return f"Attribute({self.name!r}, {self.data_type.value}{flag})"
+
+
+class AtomType:
+    """A named record type; atoms are its (versioned) instances."""
+
+    def __init__(self, name: str, attributes: Sequence[Attribute]) -> None:
+        self.name = _check_name("atom type", name)
+        self.type_id: int = -1  # assigned when added to a Schema
+        self._attributes: Dict[str, Attribute] = {}
+        for attribute in attributes:
+            if attribute.name in self._attributes:
+                raise DuplicateDefinitionError(
+                    f"atom type {name!r}: duplicate attribute "
+                    f"{attribute.name!r}")
+            self._attributes[attribute.name] = attribute
+
+    @property
+    def attributes(self) -> List[Attribute]:
+        return list(self._attributes.values())
+
+    @property
+    def attribute_names(self) -> List[str]:
+        return list(self._attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        try:
+            return self._attributes[name]
+        except KeyError:
+            raise UnknownTypeError(
+                f"atom type {self.name!r} has no attribute {name!r}") from None
+
+    def has_attribute(self, name: str) -> bool:
+        return name in self._attributes
+
+    def validate_values(self, values: Dict[str, Any],
+                        partial: bool = False) -> Dict[str, Any]:
+        """Type-check a value dict against this atom type.
+
+        With ``partial`` (updates), required attributes may be absent but
+        must not be set to ``None``.
+        """
+        unknown = set(values) - set(self._attributes)
+        if unknown:
+            raise UnknownTypeError(
+                f"atom type {self.name!r} has no attributes "
+                f"{sorted(unknown)}")
+        checked: Dict[str, Any] = {}
+        for name, attribute in self._attributes.items():
+            if name in values:
+                value = attribute.data_type.validate(name, values[name])
+                if value is None and attribute.required:
+                    raise TypeMismatchError(
+                        f"attribute {name!r} of {self.name!r} is required")
+                checked[name] = value
+            elif not partial:
+                if attribute.required:
+                    raise TypeMismatchError(
+                        f"attribute {name!r} of {self.name!r} is required")
+                checked[name] = None
+        return checked
+
+    def __repr__(self) -> str:
+        return f"AtomType({self.name!r}, {self.attribute_names})"
+
+
+class Cardinality(enum.Enum):
+    """Link cardinality from the source's and target's points of view."""
+
+    ONE_TO_ONE = "1:1"
+    ONE_TO_MANY = "1:n"
+    MANY_TO_MANY = "n:m"
+
+    @property
+    def source_may_have_many(self) -> bool:
+        """May one source atom reference several targets?"""
+        return self in (Cardinality.ONE_TO_MANY, Cardinality.MANY_TO_MANY)
+
+    @property
+    def target_may_have_many(self) -> bool:
+        """May one target atom be referenced by several sources?"""
+        return self is Cardinality.MANY_TO_MANY
+
+
+class LinkType:
+    """A named, directed, symmetric association between two atom types."""
+
+    __slots__ = ("name", "source", "target", "cardinality")
+
+    def __init__(self, name: str, source: str, target: str,
+                 cardinality: Cardinality = Cardinality.MANY_TO_MANY) -> None:
+        self.name = _check_name("link type", name)
+        self.source = source
+        self.target = target
+        if not isinstance(cardinality, Cardinality):
+            raise TypeMismatchError(
+                f"link {name!r}: expected Cardinality, got {cardinality!r}")
+        self.cardinality = cardinality
+
+    def other_end(self, type_name: str) -> str:
+        """The partner type name, seen from *type_name*."""
+        if type_name == self.source:
+            return self.target
+        if type_name == self.target:
+            return self.source
+        raise UnknownTypeError(
+            f"link {self.name!r} does not touch type {type_name!r}")
+
+    def __repr__(self) -> str:
+        return (f"LinkType({self.name!r}, {self.source!r} -> "
+                f"{self.target!r}, {self.cardinality.value})")
+
+
+class Schema:
+    """The complete type network of one database."""
+
+    def __init__(self, name: str = "schema") -> None:
+        self.name = name
+        self._atom_types: Dict[str, AtomType] = {}
+        self._link_types: Dict[str, LinkType] = {}
+
+    # -- definition --------------------------------------------------------
+
+    def add_atom_type(self, atom_type: AtomType) -> AtomType:
+        if atom_type.name in self._atom_types:
+            raise DuplicateDefinitionError(
+                f"atom type {atom_type.name!r} already defined")
+        atom_type.type_id = len(self._atom_types)
+        self._atom_types[atom_type.name] = atom_type
+        return atom_type
+
+    def add_link_type(self, link_type: LinkType) -> LinkType:
+        if link_type.name in self._link_types:
+            raise DuplicateDefinitionError(
+                f"link type {link_type.name!r} already defined")
+        for end in (link_type.source, link_type.target):
+            if end not in self._atom_types:
+                raise UnknownTypeError(
+                    f"link {link_type.name!r} references unknown atom "
+                    f"type {end!r}")
+        self._link_types[link_type.name] = link_type
+        return link_type
+
+    # -- lookup --------------------------------------------------------------
+
+    @property
+    def atom_types(self) -> List[AtomType]:
+        return list(self._atom_types.values())
+
+    @property
+    def link_types(self) -> List[LinkType]:
+        return list(self._link_types.values())
+
+    def atom_type(self, name: str) -> AtomType:
+        try:
+            return self._atom_types[name]
+        except KeyError:
+            raise UnknownTypeError(f"unknown atom type {name!r}") from None
+
+    def has_atom_type(self, name: str) -> bool:
+        return name in self._atom_types
+
+    def link_type(self, name: str) -> LinkType:
+        try:
+            return self._link_types[name]
+        except KeyError:
+            raise UnknownTypeError(f"unknown link type {name!r}") from None
+
+    def has_link_type(self, name: str) -> bool:
+        return name in self._link_types
+
+    def links_touching(self, type_name: str) -> List[LinkType]:
+        """Every link type with *type_name* as source or target."""
+        self.atom_type(type_name)
+        return [link for link in self._link_types.values()
+                if type_name in (link.source, link.target)]
+
+    def links_between(self, a: str, b: str) -> List[LinkType]:
+        """Link types connecting the two atom types, either direction."""
+        return [link for link in self._link_types.values()
+                if {link.source, link.target} == {a, b}
+                or (a == b and link.source == link.target == a)]
+
+    # -- persistence ------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize for the catalog."""
+        return {
+            "name": self.name,
+            "atom_types": [
+                {
+                    "name": at.name,
+                    "attributes": [
+                        {"name": attr.name, "type": attr.data_type.value,
+                         "required": attr.required}
+                        for attr in at.attributes
+                    ],
+                }
+                for at in self._atom_types.values()
+            ],
+            "link_types": [
+                {"name": lt.name, "source": lt.source, "target": lt.target,
+                 "cardinality": lt.cardinality.value}
+                for lt in self._link_types.values()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "Schema":
+        schema = cls(document.get("name", "schema"))
+        for at_doc in document.get("atom_types", ()):
+            attributes = [
+                Attribute(a["name"], parse_datatype(a["type"]),
+                          required=bool(a.get("required")))
+                for a in at_doc.get("attributes", ())
+            ]
+            schema.add_atom_type(AtomType(at_doc["name"], attributes))
+        for lt_doc in document.get("link_types", ()):
+            schema.add_link_type(LinkType(
+                lt_doc["name"], lt_doc["source"], lt_doc["target"],
+                Cardinality(lt_doc.get("cardinality", "n:m"))))
+        return schema
+
+    def __repr__(self) -> str:
+        return (f"Schema({self.name!r}, {len(self._atom_types)} atom types, "
+                f"{len(self._link_types)} link types)")

@@ -1,0 +1,193 @@
+"""Exception hierarchy for the temporal complex-object engine.
+
+Every error raised by this library derives from :class:`ReproError`, so
+applications can catch one base class.  Subsystems raise the most specific
+subclass that applies; nothing in the library raises bare ``Exception`` or
+``ValueError`` for domain failures (``ValueError``/``TypeError`` are reserved
+for plain Python misuse such as passing the wrong argument type).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every error raised by the ``repro`` library."""
+
+
+# ---------------------------------------------------------------------------
+# Temporal algebra
+# ---------------------------------------------------------------------------
+
+
+class TemporalError(ReproError):
+    """Base class for errors in the time algebra."""
+
+
+class InvalidTimestampError(TemporalError):
+    """A chronon value is outside the representable domain."""
+
+
+class InvalidIntervalError(TemporalError):
+    """An interval's bounds are inverted or otherwise malformed."""
+
+
+# ---------------------------------------------------------------------------
+# Schema and data model
+# ---------------------------------------------------------------------------
+
+
+class SchemaError(ReproError):
+    """Base class for schema-definition errors."""
+
+
+class DuplicateDefinitionError(SchemaError):
+    """An atom type, attribute, or link type was defined twice."""
+
+
+class UnknownTypeError(SchemaError):
+    """A referenced atom type, attribute, or link type does not exist."""
+
+
+class InvalidMoleculeTypeError(SchemaError):
+    """A molecule type definition is not a connected, rooted DAG."""
+
+
+class DataError(ReproError):
+    """Base class for data-level errors (bad values, missing atoms)."""
+
+
+class TypeMismatchError(DataError):
+    """An attribute value does not match the declared data type."""
+
+
+class UnknownAtomError(DataError):
+    """An atom identifier does not denote a (live) atom."""
+
+
+class CardinalityError(DataError):
+    """A link operation would violate the link type's cardinality."""
+
+
+class TemporalUpdateError(DataError):
+    """A valid-time update is inconsistent with the existing history."""
+
+
+# ---------------------------------------------------------------------------
+# Storage system
+# ---------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for storage-layer errors."""
+
+
+class PageError(StorageError):
+    """A page operation failed (bad page id, corrupt page image)."""
+
+
+class PageFullError(StorageError):
+    """A record does not fit into the target page."""
+
+
+class RecordNotFoundError(StorageError):
+    """A record id (RID) does not denote a live record."""
+
+
+class BufferPoolExhaustedError(StorageError):
+    """All buffer frames are pinned; no frame can be evicted."""
+
+
+class CatalogError(StorageError):
+    """The persistent catalog is missing or corrupt."""
+
+
+class SerializationError(StorageError):
+    """A value could not be encoded to or decoded from its record format."""
+
+
+# ---------------------------------------------------------------------------
+# Access system
+# ---------------------------------------------------------------------------
+
+
+class AccessError(ReproError):
+    """Base class for access-layer (index) errors."""
+
+
+class KeyEncodingError(AccessError):
+    """A key value cannot be encoded into the fixed-width index format."""
+
+
+class IndexCorruptError(AccessError):
+    """A structural invariant of an index was violated."""
+
+
+# ---------------------------------------------------------------------------
+# Transactions
+# ---------------------------------------------------------------------------
+
+
+class TransactionError(ReproError):
+    """Base class for transaction-system errors."""
+
+
+class TransactionStateError(TransactionError):
+    """Operation invalid in the transaction's current state."""
+
+
+class DeadlockError(TransactionError):
+    """The lock manager chose this transaction as a deadlock victim."""
+
+
+class SerializationConflictError(TransactionError):
+    """The transaction would revise knowledge newer than its own
+    transaction time (a conflicting transaction with a later timestamp
+    already committed).  The operation was not applied; abort and retry
+    with a fresh transaction."""
+
+
+class LockTimeoutError(TransactionError):
+    """A lock could not be acquired within the configured timeout."""
+
+
+class RecoveryError(TransactionError):
+    """The write-ahead log could not be replayed."""
+
+
+class WALError(TransactionError):
+    """The write-ahead log is unreadable or corrupt."""
+
+
+# ---------------------------------------------------------------------------
+# Query language
+# ---------------------------------------------------------------------------
+
+
+class QueryError(ReproError):
+    """Base class for query-language errors."""
+
+
+class LexerError(QueryError):
+    """The query text contains an unrecognizable token."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class ParseError(QueryError):
+    """The query text does not conform to the MQL grammar."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        if position >= 0:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class AnalysisError(QueryError):
+    """The query is grammatical but inconsistent with the schema."""
+
+
+class EvaluationError(QueryError):
+    """The query failed during execution."""

@@ -1,0 +1,41 @@
+"""Temporal MQL: the molecule query language.
+
+A query names a molecule structure, optional qualifications, and a
+temporal clause::
+
+    SELECT ALL
+    FROM Part.contains.Component
+    WHERE Part.cost > 100 AND Component.weight <= 2.5
+    VALID AT 42
+    AS OF 17
+
+Clauses:
+
+* ``SELECT ALL`` returns whole molecules; ``SELECT Type.attr, ...``
+  projects attribute values (root attributes as scalars, non-root as the
+  list of values over the molecule's atoms of that type).
+* ``FROM`` uses the molecule notation of
+  :meth:`repro.core.molecule.MoleculeType.parse`, including branches.
+* ``WHERE`` supports comparisons ``Type.attr <op> literal`` combined with
+  ``AND`` / ``OR`` / ``NOT``.  A comparison on a non-root type holds when
+  *some* atom of that type in the molecule satisfies it (existential
+  semantics over the complex object).
+* ``VALID AT t`` time-slices; ``VALID DURING [a, b)`` returns per-root
+  molecule states over the window; ``VALID HISTORY`` is the full
+  timeline.  Omitting the clause defaults to ``VALID AT NOW`` (the
+  highest transaction time spent so far).
+* ``AS OF τ`` evaluates against the knowledge state at transaction time
+  τ (default: current knowledge).
+
+Pipeline: :mod:`lexer` → :mod:`parser` (AST) → :mod:`analyzer` (schema
+resolution) → :mod:`planner` (root-access selection) →
+:mod:`evaluator` → :class:`~repro.mql.result.QueryResult`.
+"""
+
+from repro.mql.evaluator import execute_query
+from repro.mql.lexer import tokenize
+from repro.mql.parser import parse_query
+from repro.mql.result import QueryResult, ResultEntry
+
+__all__ = ["execute_query", "tokenize", "parse_query", "QueryResult",
+           "ResultEntry"]

@@ -1,0 +1,166 @@
+"""MQL semantic analysis: resolving the AST against a schema.
+
+Produces an :class:`AnalyzedQuery`: the molecule type with edge
+directions resolved, the checked predicate, the checked projection, and
+the normalized temporal specification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.datatypes import DataType
+from repro.core.molecule import MoleculeEdge, MoleculeType
+from repro.core.schema import Schema
+from repro.errors import AnalysisError, InvalidMoleculeTypeError, UnknownTypeError
+from repro.mql.ast_nodes import (
+    Aggregate,
+    And,
+    AttrPath,
+    Comparison,
+    CompareOp,
+    Not,
+    Or,
+    ParamRef,
+    Predicate,
+    Query,
+    RawMolecule,
+    SelectPaths,
+    ValidClause,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class AnalyzedQuery:
+    """A schema-checked query, ready for planning."""
+
+    query: Query
+    molecule_type: MoleculeType
+    valid: ValidClause
+    as_of: Optional[int]
+
+
+def analyze(query: Query, schema: Schema) -> AnalyzedQuery:
+    """Resolve and check *query* against *schema*."""
+    molecule_type = _resolve_molecule(query.molecule, schema)
+    type_names = set(molecule_type.atom_type_names())
+    if isinstance(query.select, SelectPaths):
+        for item in query.select.paths:
+            if isinstance(item, Aggregate):
+                _check_aggregate(item, type_names, schema)
+            else:
+                _check_path(item, type_names, schema)
+    if query.where is not None:
+        _check_predicate(query.where, type_names, schema)
+    return AnalyzedQuery(query, molecule_type, query.valid, query.as_of)
+
+
+def _resolve_molecule(raw: RawMolecule, schema: Schema) -> MoleculeType:
+    if not schema.has_atom_type(raw.root):
+        raise AnalysisError(f"unknown atom type {raw.root!r} in FROM")
+    edges = []
+    for raw_edge in raw.edges:
+        for name in (raw_edge.parent, raw_edge.child):
+            if not schema.has_atom_type(name):
+                raise AnalysisError(f"unknown atom type {name!r} in FROM")
+        if not schema.has_link_type(raw_edge.link):
+            raise AnalysisError(f"unknown link type {raw_edge.link!r} in FROM")
+        link = schema.link_type(raw_edge.link)
+        if (link.source, link.target) == (raw_edge.parent, raw_edge.child):
+            forward = True
+        elif (link.target, link.source) == (raw_edge.parent, raw_edge.child):
+            forward = False
+        else:
+            raise AnalysisError(
+                f"link {raw_edge.link!r} does not connect "
+                f"{raw_edge.parent!r} to {raw_edge.child!r}")
+        edges.append(MoleculeEdge(raw_edge.parent, raw_edge.link,
+                                  raw_edge.child, forward,
+                                  max_depth=raw_edge.max_depth))
+    molecule_type = MoleculeType(raw.root, edges)
+    try:
+        molecule_type.validate(schema)
+    except (InvalidMoleculeTypeError, UnknownTypeError) as exc:
+        raise AnalysisError(str(exc)) from exc
+    return molecule_type
+
+
+def _check_path(path: AttrPath, type_names: set, schema: Schema) -> None:
+    if path.type_name not in type_names:
+        raise AnalysisError(
+            f"{path}: type {path.type_name!r} is not part of the FROM "
+            f"molecule")
+    atom_type = schema.atom_type(path.type_name)
+    if not atom_type.has_attribute(path.attribute):
+        raise AnalysisError(
+            f"{path}: {path.type_name!r} has no attribute "
+            f"{path.attribute!r}")
+
+
+_NUMERIC = {DataType.INT, DataType.FLOAT, DataType.TIME}
+
+
+def _check_aggregate(aggregate: Aggregate, type_names: set,
+                     schema: Schema) -> None:
+    if aggregate.type_name is not None:
+        if aggregate.type_name not in type_names:
+            raise AnalysisError(
+                f"{aggregate}: type {aggregate.type_name!r} is not part "
+                f"of the FROM molecule")
+        return
+    assert aggregate.path is not None
+    _check_path(aggregate.path, type_names, schema)
+    if aggregate.func == "COUNT":
+        return  # COUNT works on every attribute type
+    attribute = schema.atom_type(aggregate.path.type_name).attribute(
+        aggregate.path.attribute)
+    if aggregate.func in ("SUM", "AVG") and (attribute.data_type
+                                             not in _NUMERIC):
+        raise AnalysisError(
+            f"{aggregate}: {aggregate.func} requires a numeric attribute")
+
+
+_ORDER_OPS = {CompareOp.LT, CompareOp.LE, CompareOp.GT, CompareOp.GE}
+
+_COMPARABLE = {
+    DataType.INT: (int,),
+    DataType.TIME: (int,),
+    DataType.FLOAT: (int, float),
+    DataType.STRING: (str,),
+    DataType.BOOL: (bool,),
+}
+
+
+def _check_predicate(predicate: Predicate, type_names: set,
+                     schema: Schema) -> None:
+    if isinstance(predicate, Comparison):
+        _check_path(predicate.path, type_names, schema)
+        attribute = schema.atom_type(predicate.path.type_name).attribute(
+            predicate.path.attribute)
+        value = predicate.literal.value
+        if isinstance(value, ParamRef):
+            raise AnalysisError(
+                f"unbound query parameter ${value.name} "
+                f"(pass params= to query())")
+        if value is None:
+            if predicate.op in _ORDER_OPS:
+                raise AnalysisError(
+                    f"{predicate.path}: NULL only compares with = and !=")
+            return
+        allowed = _COMPARABLE[attribute.data_type]
+        if isinstance(value, bool) and attribute.data_type is not DataType.BOOL:
+            raise AnalysisError(
+                f"{predicate.path}: boolean literal against "
+                f"{attribute.data_type.value} attribute")
+        if not isinstance(value, allowed):
+            raise AnalysisError(
+                f"{predicate.path}: literal {value!r} incompatible with "
+                f"{attribute.data_type.value} attribute")
+    elif isinstance(predicate, (And, Or)):
+        for operand in predicate.operands:
+            _check_predicate(operand, type_names, schema)
+    elif isinstance(predicate, Not):
+        _check_predicate(predicate.operand, type_names, schema)
+    else:  # pragma: no cover - parser produces no other nodes
+        raise AnalysisError(f"unknown predicate node {predicate!r}")

@@ -1,0 +1,189 @@
+"""MQL abstract syntax tree.
+
+The parser produces these nodes without consulting the schema; the
+analyzer resolves names (molecule edges, attribute paths, literal types)
+and rejects inconsistent queries.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple, Union
+
+
+# -- FROM clause ------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class RawEdge:
+    """One unresolved molecule step: parent type, link name, child type.
+
+    ``max_depth`` is the optional ``[n]`` recursion bound of the step
+    (meaningful only when parent and child types coincide).
+    """
+
+    parent: str
+    link: str
+    child: str
+    max_depth: int = 1
+
+
+@dataclass(frozen=True, slots=True)
+class RawMolecule:
+    """Unresolved molecule structure from the FROM clause."""
+
+    root: str
+    edges: Tuple[RawEdge, ...] = ()
+
+
+# -- SELECT clause ------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class AttrPath:
+    """``Type.attribute`` reference."""
+
+    type_name: str
+    attribute: str
+
+    def __str__(self) -> str:
+        return f"{self.type_name}.{self.attribute}"
+
+
+@dataclass(frozen=True, slots=True)
+class SelectAll:
+    """``SELECT ALL`` — whole molecules."""
+
+
+@dataclass(frozen=True, slots=True)
+class Aggregate:
+    """``FUNC(Type.attr)`` or ``COUNT(Type)`` over one molecule.
+
+    Aggregation is per complex object: ``AVG(Component.weight)`` is the
+    average over the components inside each result molecule, not across
+    molecules.
+    """
+
+    func: str  # COUNT / SUM / AVG / MIN / MAX
+    path: Optional[AttrPath] = None   # FUNC(Type.attr)
+    type_name: Optional[str] = None   # COUNT(Type)
+
+    def __str__(self) -> str:
+        inner = str(self.path) if self.path is not None else self.type_name
+        return f"{self.func}({inner})"
+
+
+SelectItem = Union[AttrPath, Aggregate]
+
+
+@dataclass(frozen=True, slots=True)
+class SelectPaths:
+    """``SELECT Type.attr, FUNC(...), ...`` — projected values."""
+
+    paths: Tuple[SelectItem, ...]
+
+
+SelectClause = Union[SelectAll, SelectPaths]
+
+
+# -- WHERE clause -----------------------------------------------------------------
+
+
+class CompareOp(enum.Enum):
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """A constant: int, float, str, bool, or None."""
+
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class ParamRef:
+    """A ``$name`` placeholder, replaced by a bound value before
+    analysis (see :func:`repro.mql.parser.bind_parameters`)."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    path: AttrPath
+    op: CompareOp
+    literal: Literal
+
+
+@dataclass(frozen=True, slots=True)
+class And:
+    operands: Tuple["Predicate", ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Or:
+    operands: Tuple["Predicate", ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Not:
+    operand: "Predicate"
+
+
+Predicate = Union[Comparison, And, Or, Not]
+
+
+# -- temporal clauses ------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ValidAt:
+    at: int
+
+
+@dataclass(frozen=True, slots=True)
+class ValidAtNow:
+    """``VALID AT NOW`` or clause omitted: slice at the current moment."""
+
+
+@dataclass(frozen=True, slots=True)
+class ValidDuring:
+    start: int
+    end: int
+
+
+@dataclass(frozen=True, slots=True)
+class ValidHistory:
+    """``VALID HISTORY``: the full timeline."""
+
+
+ValidClause = Union[ValidAt, ValidAtNow, ValidDuring, ValidHistory]
+
+
+@dataclass(frozen=True, slots=True)
+class WhenClause:
+    """``WHEN <relation> [a, b)``: keep result states whose validity
+    stands in the named (liberalized) Allen relation to the interval."""
+
+    relation: str  # OVERLAPS / DURING / CONTAINS / MEETS / BEFORE / ...
+    start: int
+    end: int
+
+
+# -- the query --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Query:
+    select: SelectClause
+    molecule: RawMolecule
+    where: Optional[Predicate] = None
+    valid: ValidClause = field(default_factory=ValidAtNow)
+    when: Optional[WhenClause] = None
+    as_of: Optional[int] = None

@@ -1,0 +1,270 @@
+"""MQL evaluator: executing a planned query against a database.
+
+Execution shape:
+
+1. Obtain root candidates from the plan's access path (index lookup or
+   type scan).
+2. For a time-slice (``VALID AT``): build each candidate's molecule at
+   the instant, evaluate the predicate over the complex object, keep
+   survivors.
+3. For an interval (``VALID DURING`` / ``VALID HISTORY``): compute each
+   candidate's molecule history over the window and keep the states
+   satisfying the predicate.
+4. Apply the projection.
+
+Predicate semantics over a molecule are existential per comparison: a
+comparison on type T holds when some atom of type T inside the molecule
+satisfies it; ``NOT`` negates the inner predicate's truth.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.core.molecule import Molecule
+from repro.errors import EvaluationError
+from repro.mql.analyzer import AnalyzedQuery, analyze
+from repro.mql.ast_nodes import (
+    Aggregate,
+    And,
+    AttrPath,
+    Comparison,
+    CompareOp,
+    Not,
+    Or,
+    Predicate,
+    SelectPaths,
+    ValidAt,
+    ValidAtNow,
+    ValidDuring,
+    ValidHistory,
+)
+from repro.mql.ast_nodes import WhenClause
+from repro.mql.parser import bind_parameters, parse_query
+from repro.mql.planner import IndexLookup, QueryPlan, TypeScan, plan
+from repro.mql.result import QueryResult, ResultEntry
+from repro.temporal import FOREVER, TMIN, AllenRelation, Interval, Timestamp, allen_relation
+
+_OPERATORS = {
+    CompareOp.EQ: operator.eq,
+    CompareOp.NE: operator.ne,
+    CompareOp.LT: operator.lt,
+    CompareOp.LE: operator.le,
+    CompareOp.GT: operator.gt,
+    CompareOp.GE: operator.ge,
+}
+
+
+def execute_query(db, text: str,
+                  params: Optional[Dict[str, Any]] = None) -> QueryResult:
+    """Parse, bind ``$name`` parameters, analyze, plan, and run."""
+    query = bind_parameters(parse_query(text), params)
+    analyzed = analyze(query, db.schema)
+    query_plan = plan(analyzed, db.engine)
+    return execute_plan(db, query_plan)
+
+
+def execute_plan(db, query_plan: QueryPlan) -> QueryResult:
+    """Run an already planned query (the benchmarks reuse plans)."""
+    analyzed = query_plan.analyzed
+    roots = _root_candidates(db, query_plan)
+    valid = analyzed.valid
+    if isinstance(valid, (ValidAt, ValidAtNow)):
+        # "NOW" in valid time means the current, open-ended state: the
+        # far-future instant every until-changed version contains.
+        at = valid.at if isinstance(valid, ValidAt) else FOREVER - 1
+        entries = _evaluate_slice(db, analyzed, roots, at)
+    elif isinstance(valid, ValidDuring):
+        entries = _evaluate_window(db, analyzed, roots,
+                                   Interval(valid.start, valid.end))
+    elif isinstance(valid, ValidHistory):
+        entries = _evaluate_window(db, analyzed, roots,
+                                   Interval(TMIN, FOREVER))
+    else:  # pragma: no cover - parser produces no other clause
+        raise EvaluationError(f"unknown temporal clause {valid!r}")
+    if analyzed.query.when is not None:
+        entries = _filter_when(entries, analyzed.query.when)
+    entries = _project(analyzed, entries)
+    return QueryResult(entries, query_plan.describe(),
+                       isinstance(analyzed.query.select, SelectPaths))
+
+
+#: Liberalized relation groups for the WHEN clause: each named relation
+#: admits the Allen relations a user colloquially means by it.  OVERLAPS
+#: means "shares at least one chronon"; DURING means "lies inside";
+#: CONTAINS means "covers"; the remaining names are exact.
+_WHEN_GROUPS = {
+    "OVERLAPS": {AllenRelation.OVERLAPS, AllenRelation.OVERLAPPED_BY,
+                 AllenRelation.STARTS, AllenRelation.STARTED_BY,
+                 AllenRelation.DURING, AllenRelation.CONTAINS,
+                 AllenRelation.FINISHES, AllenRelation.FINISHED_BY,
+                 AllenRelation.EQUALS},
+    "DURING": {AllenRelation.DURING, AllenRelation.STARTS,
+               AllenRelation.FINISHES, AllenRelation.EQUALS},
+    "CONTAINS": {AllenRelation.CONTAINS, AllenRelation.STARTED_BY,
+                 AllenRelation.FINISHED_BY, AllenRelation.EQUALS},
+    "MEETS": {AllenRelation.MEETS},
+    "BEFORE": {AllenRelation.BEFORE},
+    "AFTER": {AllenRelation.AFTER},
+    "EQUALS": {AllenRelation.EQUALS},
+    "STARTS": {AllenRelation.STARTS},
+    "FINISHES": {AllenRelation.FINISHES},
+}
+
+
+def _filter_when(entries: List[ResultEntry],
+                 when: WhenClause) -> List[ResultEntry]:
+    try:
+        reference = Interval(when.start, when.end)
+    except Exception as exc:
+        raise EvaluationError(f"bad WHEN interval: {exc}") from exc
+    try:
+        admitted = _WHEN_GROUPS[when.relation]
+    except KeyError:  # pragma: no cover - parser whitelists relations
+        raise EvaluationError(
+            f"unknown WHEN relation {when.relation!r}") from None
+    return [entry for entry in entries
+            if allen_relation(entry.valid, reference) in admitted]
+
+
+# -- root candidates -----------------------------------------------------------
+
+
+def _root_candidates(db, query_plan: QueryPlan) -> List[int]:
+    access = query_plan.root_access
+    if isinstance(access, IndexLookup):
+        candidates = db.engine.candidates_for_equality(
+            access.type_name, access.attribute, access.value)
+        if candidates is None:  # index dropped between plan and run
+            return sorted(db.engine.atoms_of_type(access.type_name))
+        return sorted(candidates)
+    if isinstance(access, TypeScan):
+        return sorted(db.engine.atoms_of_type(access.type_name))
+    raise EvaluationError(f"unknown access path {access!r}")  # pragma: no cover
+
+
+# -- evaluation ------------------------------------------------------------------
+
+
+def _evaluate_slice(db, analyzed: AnalyzedQuery, roots: Iterable[int],
+                    at: Timestamp) -> List[ResultEntry]:
+    tt = analyzed.as_of
+    entries: List[ResultEntry] = []
+    for root_id in roots:
+        molecule = db.builder.build_at(root_id, analyzed.molecule_type,
+                                       at, tt)
+        if molecule is None:
+            continue
+        if not _satisfies(analyzed.query.where, molecule):
+            continue
+        entries.append(ResultEntry(root_id, Interval.instant(at),
+                                   molecule, None))
+    return entries
+
+
+def _evaluate_window(db, analyzed: AnalyzedQuery, roots: Iterable[int],
+                     window: Interval) -> List[ResultEntry]:
+    tt = analyzed.as_of
+    entries: List[ResultEntry] = []
+    for root_id in roots:
+        for span, molecule in db.builder.build_history(
+                root_id, analyzed.molecule_type, window, tt):
+            if not _satisfies(analyzed.query.where, molecule):
+                continue
+            entries.append(ResultEntry(root_id, span, molecule, None))
+    return entries
+
+
+def _satisfies(predicate: Optional[Predicate],
+               molecule: Molecule) -> bool:
+    if predicate is None:
+        return True
+    if isinstance(predicate, Comparison):
+        compare = _OPERATORS[predicate.op]
+        expected = predicate.literal.value
+        for value in _path_values(molecule, predicate.path):
+            if expected is None:
+                if ((value is None and predicate.op is CompareOp.EQ)
+                        or (value is not None
+                            and predicate.op is CompareOp.NE)):
+                    return True
+                continue
+            if value is None:
+                continue
+            try:
+                if compare(value, expected):
+                    return True
+            except TypeError:
+                continue
+        return False
+    if isinstance(predicate, And):
+        return all(_satisfies(operand, molecule)
+                   for operand in predicate.operands)
+    if isinstance(predicate, Or):
+        return any(_satisfies(operand, molecule)
+                   for operand in predicate.operands)
+    if isinstance(predicate, Not):
+        return not _satisfies(predicate.operand, molecule)
+    raise EvaluationError(f"unknown predicate {predicate!r}")  # pragma: no cover
+
+
+def _path_values(molecule: Molecule, path: AttrPath) -> List[Any]:
+    return [atom.version.values.get(path.attribute)
+            for atom in molecule.atoms()
+            if atom.type_name == path.type_name]
+
+
+# -- projection ----------------------------------------------------------------------
+
+
+def _project(analyzed: AnalyzedQuery,
+             entries: List[ResultEntry]) -> List[ResultEntry]:
+    select = analyzed.query.select
+    if not isinstance(select, SelectPaths):
+        return entries
+    root_type = analyzed.molecule_type.root
+    projected: List[ResultEntry] = []
+    for entry in entries:
+        molecule = entry.molecule
+        assert molecule is not None
+        row: Dict[str, Any] = {}
+        for item in select.paths:
+            if isinstance(item, Aggregate):
+                row[str(item)] = _aggregate_value(molecule, item)
+                continue
+            values = _path_values(molecule, item)
+            if item.type_name == root_type:
+                row[str(item)] = values[0] if values else None
+            else:
+                row[str(item)] = values
+        projected.append(ResultEntry(entry.root_id, entry.valid, None, row))
+    return projected
+
+
+def _aggregate_value(molecule: Molecule, aggregate: Aggregate) -> Any:
+    """Compute one aggregate over one molecule.
+
+    ``COUNT(Type)`` counts atom occurrences of the type; value
+    aggregates skip NULLs; SUM/AVG/MIN/MAX over no values yield None
+    (SQL convention), COUNT yields 0.
+    """
+    if aggregate.type_name is not None:
+        return sum(1 for atom in molecule.atoms()
+                   if atom.type_name == aggregate.type_name)
+    values = [value for value in _path_values(molecule, aggregate.path)
+              if value is not None]
+    if aggregate.func == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if aggregate.func == "SUM":
+        return sum(values)
+    if aggregate.func == "AVG":
+        return sum(values) / len(values)
+    if aggregate.func == "MIN":
+        return min(values)
+    if aggregate.func == "MAX":
+        return max(values)
+    raise EvaluationError(  # pragma: no cover - parser whitelists
+        f"unknown aggregate {aggregate.func!r}")

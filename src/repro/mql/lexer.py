@@ -1,0 +1,151 @@
+"""MQL lexer: query text to a token stream.
+
+Keywords are case-insensitive; identifiers are case-sensitive (they name
+schema elements).  Strings use single or double quotes with backslash
+escapes.  Numbers are integers or floats; a leading ``-`` on a numeric
+literal is part of the literal (MQL has no arithmetic).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import LexerError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    SYMBOL = "symbol"
+    PARAM = "param"  # $name placeholder, bound at execution
+    END = "end"
+
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "ALL",
+    "VALID", "AT", "DURING", "HISTORY", "AS", "OF",
+    "TRUE", "FALSE", "NULL", "NOW", "FOREVER", "TMIN",
+    # WHEN clause: Allen-style relations on result validity.
+    "WHEN", "OVERLAPS", "CONTAINS", "MEETS", "BEFORE", "AFTER",
+    "EQUALS", "STARTS", "FINISHES",
+    # Aggregates over molecule contents.
+    "COUNT", "SUM", "AVG", "MIN", "MAX",
+}
+
+#: Multi-character symbols first so maximal munch applies.
+SYMBOLS = ["!=", "<=", ">=", "=", "<", ">", ".", ",", "(", ")", "[", "]"]
+
+
+#: Keywords that may still be used as identifiers (type, attribute, and
+#: link names) — they only act as keywords in their clause position.
+#: ``contains`` being a popular link name is the motivating case.
+SOFT_KEYWORDS = {"OVERLAPS", "CONTAINS", "MEETS", "BEFORE", "AFTER",
+                 "EQUALS", "STARTS", "FINISHES", "WHEN", "AT", "OF",
+                 "DURING", "HISTORY", "COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+    text: str = ""  # original spelling (differs from value for keywords)
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word
+
+    @property
+    def ident_text(self) -> str:
+        """The token as an identifier, when that reading is allowed."""
+        return self.text or self.value
+
+    @property
+    def may_be_identifier(self) -> bool:
+        return (self.type is TokenType.IDENT
+                or (self.type is TokenType.KEYWORD
+                    and self.value in SOFT_KEYWORDS))
+
+    def __str__(self) -> str:
+        return self.value if self.type is not TokenType.END else "<end>"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Lex *text* into tokens, ending with an END token."""
+    tokens: List[Token] = []
+    at = 0
+    length = len(text)
+    while at < length:
+        char = text[at]
+        if char.isspace():
+            at += 1
+            continue
+        if char.isalpha() or char == "_":
+            start = at
+            while at < length and (text[at].isalnum() or text[at] == "_"):
+                at += 1
+            word = text[start:at]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, word.upper(), start,
+                                    word))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start))
+            continue
+        if char.isdigit() or (char == "-" and at + 1 < length
+                              and text[at + 1].isdigit()):
+            start = at
+            at += 1
+            is_float = False
+            while at < length and (text[at].isdigit() or text[at] == "."):
+                if text[at] == ".":
+                    # A digit must follow for this to be a float; else the
+                    # dot belongs to a path (``42.x`` is invalid anyway).
+                    if is_float or at + 1 >= length or not text[at + 1].isdigit():
+                        break
+                    is_float = True
+                at += 1
+            if at < length and text[at] in "eE" and not is_float:
+                pass  # no scientific notation without a decimal point
+            word = text[start:at]
+            tokens.append(Token(TokenType.FLOAT if is_float else TokenType.INT,
+                                word, start))
+            continue
+        if char == "$":
+            start = at
+            at += 1
+            name_start = at
+            while at < length and (text[at].isalnum() or text[at] == "_"):
+                at += 1
+            if at == name_start:
+                raise LexerError("expected a parameter name after '$'",
+                                 start)
+            tokens.append(Token(TokenType.PARAM, text[name_start:at],
+                                start))
+            continue
+        if char in ("'", '"'):
+            start = at
+            at += 1
+            parts: List[str] = []
+            while at < length and text[at] != char:
+                if text[at] == "\\" and at + 1 < length:
+                    at += 1
+                parts.append(text[at])
+                at += 1
+            if at >= length:
+                raise LexerError("unterminated string literal", start)
+            at += 1  # closing quote
+            tokens.append(Token(TokenType.STRING, "".join(parts), start))
+            continue
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, at):
+                tokens.append(Token(TokenType.SYMBOL, symbol, at))
+                at += len(symbol)
+                break
+        else:
+            raise LexerError(f"unexpected character {char!r}", at)
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens

@@ -1,0 +1,97 @@
+"""MQL planner: choosing how root atoms are found.
+
+The only planning decision a molecule query needs (molecule construction
+itself is fixed by the molecule type) is *root selection*:
+
+* ``IndexLookup`` — a top-level conjunctive equality predicate on a root
+  attribute with an existing attribute index supplies candidate atoms
+  (which the evaluator still rechecks, since the index covers values of
+  every version ever written).
+* ``TypeScan`` — otherwise, enumerate all atoms of the root type.
+
+This is exactly the choice experiment R-T4 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Union
+
+from repro.core.engine import StorageEngine
+from repro.mql.analyzer import AnalyzedQuery
+from repro.mql.ast_nodes import And, Comparison, CompareOp, Predicate
+
+
+@dataclass(frozen=True, slots=True)
+class TypeScan:
+    """Enumerate every atom of the root type."""
+
+    type_name: str
+
+    def describe(self) -> str:
+        return f"scan({self.type_name})"
+
+
+@dataclass(frozen=True, slots=True)
+class IndexLookup:
+    """Fetch candidates from an attribute index (recheck required)."""
+
+    type_name: str
+    attribute: str
+    value: Any
+
+    def describe(self) -> str:
+        return f"index({self.type_name}.{self.attribute} = {self.value!r})"
+
+
+RootAccess = Union[TypeScan, IndexLookup]
+
+
+@dataclass(frozen=True, slots=True)
+class QueryPlan:
+    """An analyzed query plus its chosen root access path."""
+
+    analyzed: AnalyzedQuery
+    root_access: RootAccess
+
+    def describe(self) -> str:
+        return (f"molecule {self.analyzed.molecule_type} "
+                f"via {self.root_access.describe()}")
+
+
+def _conjunctive_comparisons(predicate: Optional[Predicate]
+                             ) -> List[Comparison]:
+    """Top-level conjuncts that are plain comparisons.
+
+    Only conjuncts are safe to push into root selection: an ``OR`` branch
+    or a ``NOT`` could admit roots the index lookup would miss.
+    """
+    if predicate is None:
+        return []
+    if isinstance(predicate, Comparison):
+        return [predicate]
+    if isinstance(predicate, And):
+        result: List[Comparison] = []
+        for operand in predicate.operands:
+            if isinstance(operand, Comparison):
+                result.append(operand)
+        return result
+    return []
+
+
+def plan(analyzed: AnalyzedQuery, engine: StorageEngine) -> QueryPlan:
+    """Choose the root access path for an analyzed query."""
+    root = analyzed.molecule_type.root
+    for comparison in _conjunctive_comparisons(analyzed.query.where):
+        if comparison.path.type_name != root:
+            continue
+        if comparison.op is not CompareOp.EQ:
+            continue
+        if comparison.literal.value is None:
+            continue
+        candidates = engine.candidates_for_equality(
+            root, comparison.path.attribute, comparison.literal.value)
+        if candidates is not None:
+            return QueryPlan(analyzed, IndexLookup(
+                root, comparison.path.attribute, comparison.literal.value))
+    return QueryPlan(analyzed, TypeScan(root))

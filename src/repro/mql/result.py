@@ -1,0 +1,83 @@
+"""Query results.
+
+A result is a list of :class:`ResultEntry` items — one per qualifying
+(root, time span) pair.  ``SELECT ALL`` entries carry the molecule;
+projected queries carry a row dictionary keyed by ``Type.attribute``
+(root attributes map to scalars, non-root attributes to the list of
+values over the molecule's atoms of that type, in traversal order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.core.molecule import Molecule
+from repro.temporal import Interval
+
+
+@dataclass(frozen=True, slots=True)
+class ResultEntry:
+    """One qualifying molecule state."""
+
+    root_id: int
+    valid: Interval
+    molecule: Optional[Molecule]
+    row: Optional[Dict[str, Any]]
+
+
+class QueryResult:
+    """The ordered entries a query produced, plus its plan description."""
+
+    def __init__(self, entries: List[ResultEntry], plan: str,
+                 projected: bool) -> None:
+        self._entries = entries
+        self.plan = plan
+        self.projected = projected
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ResultEntry]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> ResultEntry:
+        return self._entries[index]
+
+    @property
+    def entries(self) -> List[ResultEntry]:
+        return list(self._entries)
+
+    def molecules(self) -> List[Molecule]:
+        """The molecules of a ``SELECT ALL`` result."""
+        return [entry.molecule for entry in self._entries
+                if entry.molecule is not None]
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """The row dictionaries of a projected result."""
+        return [entry.row for entry in self._entries
+                if entry.row is not None]
+
+    def root_ids(self) -> List[int]:
+        return [entry.root_id for entry in self._entries]
+
+    def to_table(self) -> str:
+        """Human-readable rendering (used by the examples)."""
+        if not self._entries:
+            return "(empty result)"
+        lines = []
+        for entry in self._entries:
+            span = str(entry.valid)
+            if self.projected:
+                cells = ", ".join(f"{key}={value!r}"
+                                  for key, value in (entry.row or {}).items())
+                lines.append(f"root {entry.root_id} {span}: {cells}")
+            else:
+                count = (entry.molecule.atom_count()
+                         if entry.molecule is not None else 0)
+                lines.append(f"root {entry.root_id} {span}: "
+                             f"molecule of {count} atoms")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"QueryResult({len(self._entries)} entries, plan={self.plan})"

@@ -1,0 +1,227 @@
+"""Buffer manager: a fixed pool of page frames over the disk manager.
+
+All higher layers access pages exclusively through :meth:`BufferManager.pin`
+and release them with :meth:`BufferManager.unpin`; a pinned frame is never
+evicted.  Two replacement policies are provided (the classic pair a 1992
+kernel would offer):
+
+* ``LRU`` — evict the least recently unpinned page.
+* ``CLOCK`` — second-chance approximation of LRU with O(1) state per frame.
+
+Hit/miss/eviction counters feed the buffer-sensitivity benchmark (R-F4).
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator
+
+from repro.errors import BufferPoolExhaustedError, PageError
+from repro.storage.disk import DiskManager
+
+
+class ReplacementPolicy(enum.Enum):
+    """Frame replacement policy of the buffer pool."""
+
+    LRU = "lru"
+    CLOCK = "clock"
+
+
+@dataclass
+class BufferStats:
+    """Buffer pool effectiveness counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_writebacks: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_writebacks = 0
+
+
+class Frame:
+    """One buffered page: its image plus bookkeeping.
+
+    ``data`` is the live page image; callers mutate it in place while the
+    frame is pinned and must declare mutations via ``unpin(dirty=True)``.
+    """
+
+    __slots__ = ("page_id", "data", "pin_count", "dirty", "referenced")
+
+    def __init__(self, page_id: int, data: bytearray) -> None:
+        self.page_id = page_id
+        self.data = data
+        self.pin_count = 0
+        self.dirty = False
+        self.referenced = True  # clock hand second-chance bit
+
+
+class BufferManager:
+    """Pin-count buffer pool with pluggable replacement."""
+
+    def __init__(self, disk: DiskManager, capacity: int = 128,
+                 policy: ReplacementPolicy = ReplacementPolicy.LRU) -> None:
+        if capacity < 1:
+            raise PageError(f"buffer capacity must be >= 1, got {capacity}")
+        self._disk = disk
+        self._capacity = capacity
+        self._policy = policy
+        self._lock = threading.RLock()
+        # Insertion order doubles as recency order under LRU: a frame is
+        # moved to the end whenever it is pinned.
+        self._frames: "OrderedDict[int, Frame]" = OrderedDict()
+        self._clock_hand = 0
+        self.stats = BufferStats()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def disk(self) -> DiskManager:
+        return self._disk
+
+    @property
+    def page_size(self) -> int:
+        return self._disk.page_size
+
+    # -- core protocol -----------------------------------------------------------
+
+    def pin(self, page_id: int) -> Frame:
+        """Fetch a page into the pool and pin it.
+
+        The returned frame stays resident until a matching :meth:`unpin`.
+        """
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self.stats.hits += 1
+            else:
+                self.stats.misses += 1
+                self._ensure_free_slot()
+                frame = Frame(page_id, self._disk.read_page(page_id))
+                self._frames[page_id] = frame
+            frame.pin_count += 1
+            frame.referenced = True
+            if self._policy is ReplacementPolicy.LRU:
+                self._frames.move_to_end(page_id)
+            return frame
+
+    def unpin(self, page_id: int, dirty: bool = False) -> None:
+        """Release one pin; *dirty* declares the page image was mutated."""
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None or frame.pin_count <= 0:
+                raise PageError(f"unpin of page {page_id} that is not pinned")
+            frame.pin_count -= 1
+            frame.dirty = frame.dirty or dirty
+
+    @contextmanager
+    def page(self, page_id: int, dirty: bool = False) -> Iterator[Frame]:
+        """Scoped pin: ``with buffer.page(pid) as frame: ...``."""
+        frame = self.pin(page_id)
+        try:
+            yield frame
+        finally:
+            self.unpin(page_id, dirty=dirty)
+
+    def new_page(self) -> Frame:
+        """Allocate a fresh page on disk and return it pinned."""
+        with self._lock:
+            page_id = self._disk.allocate_page()
+            self._ensure_free_slot()
+            frame = Frame(page_id, bytearray(self._disk.page_size))
+            frame.pin_count = 1
+            self._frames[page_id] = frame
+            return frame
+
+    def free_page(self, page_id: int) -> None:
+        """Drop a page from the pool and return it to the disk free list."""
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                if frame.pin_count > 0:
+                    raise PageError(f"cannot free pinned page {page_id}")
+                del self._frames[page_id]
+            self._disk.deallocate_page(page_id)
+
+    # -- eviction ---------------------------------------------------------------
+
+    def _ensure_free_slot(self) -> None:
+        if len(self._frames) < self._capacity:
+            return
+        victim = (self._pick_lru_victim()
+                  if self._policy is ReplacementPolicy.LRU
+                  else self._pick_clock_victim())
+        self._write_back(victim)
+        del self._frames[victim.page_id]
+        self.stats.evictions += 1
+
+    def _pick_lru_victim(self) -> Frame:
+        for frame in self._frames.values():  # oldest first
+            if frame.pin_count == 0:
+                return frame
+        raise BufferPoolExhaustedError(
+            f"all {self._capacity} buffer frames are pinned")
+
+    def _pick_clock_victim(self) -> Frame:
+        keys = list(self._frames.keys())
+        n = len(keys)
+        # Two sweeps: the first clears reference bits, the second must find
+        # an unreferenced, unpinned frame if any unpinned frame exists.
+        for _ in range(2 * n):
+            key = keys[self._clock_hand % n]
+            self._clock_hand = (self._clock_hand + 1) % n
+            frame = self._frames[key]
+            if frame.pin_count > 0:
+                continue
+            if frame.referenced:
+                frame.referenced = False
+                continue
+            return frame
+        raise BufferPoolExhaustedError(
+            f"all {self._capacity} buffer frames are pinned")
+
+    def _write_back(self, frame: Frame) -> None:
+        if frame.dirty:
+            self._disk.write_page(frame.page_id, bytes(frame.data))
+            self.stats.dirty_writebacks += 1
+            frame.dirty = False
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def flush_page(self, page_id: int) -> None:
+        """Write one page back to disk if dirty (keeps it buffered)."""
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self._write_back(frame)
+
+    def flush_all(self) -> None:
+        """Write every dirty page back to disk (checkpoint support)."""
+        with self._lock:
+            for frame in self._frames.values():
+                self._write_back(frame)
+
+    def pinned_pages(self) -> Dict[int, int]:
+        """Map of page id to pin count for pages currently pinned (debug)."""
+        with self._lock:
+            return {f.page_id: f.pin_count
+                    for f in self._frames.values() if f.pin_count > 0}
+
+    def resident_pages(self) -> int:
+        with self._lock:
+            return len(self._frames)

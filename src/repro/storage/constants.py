@@ -1,0 +1,20 @@
+"""Storage-layer constants shared across modules."""
+
+from __future__ import annotations
+
+#: Default size of a database page in bytes.  All pages of one database file
+#: share a single size, recorded in the file header.
+DEFAULT_PAGE_SIZE = 4096
+
+#: Smallest page size accepted; below this the slotted-page header and a
+#: single spanning fragment no longer fit.
+MIN_PAGE_SIZE = 256
+
+#: Sentinel page id meaning "no page" (end of a chain, absent root, ...).
+INVALID_PAGE_ID = 0xFFFF_FFFF_FFFF_FFFF
+
+#: Magic number identifying a repro database file (first header bytes).
+FILE_MAGIC = b"TCOM1992"
+
+#: Size in bytes of the per-file header block (page 0 prefix).
+FILE_HEADER_SIZE = 64

@@ -1,0 +1,202 @@
+"""Disk manager: fixed-size page I/O against a single database file.
+
+File layout::
+
+    page 0:   file header (magic, page size, page count, free-list head)
+              -- never handed out as a data page
+    page 1..: data pages
+
+Freed pages form an intrusive singly linked list: the first eight bytes of
+a free page hold the id of the next free page.  Allocation pops from that
+list before extending the file, so space is reused.
+
+The manager counts physical reads and writes; the benchmark harness uses
+those counters as its hardware-independent cost measure (the 1992 paper's
+absolute times came from its testbed — page I/O counts are the portable
+signal).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+from dataclasses import dataclass
+
+from repro.errors import PageError, StorageError
+from repro.storage.constants import (
+    DEFAULT_PAGE_SIZE,
+    FILE_HEADER_SIZE,
+    FILE_MAGIC,
+    INVALID_PAGE_ID,
+    MIN_PAGE_SIZE,
+)
+
+_HEADER = struct.Struct("<8sIQQ")  # magic, page_size, page_count, free_head
+_FREE_LINK = struct.Struct("<Q")
+
+
+@dataclass
+class DiskStats:
+    """Physical I/O counters, cumulative since open (or last reset)."""
+
+    reads: int = 0
+    writes: int = 0
+    allocations: int = 0
+    deallocations: int = 0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.allocations = 0
+        self.deallocations = 0
+
+
+class DiskManager:
+    """Owns one database file and serves page-granular reads and writes."""
+
+    def __init__(self, path: str | os.PathLike[str],
+                 page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if page_size < MIN_PAGE_SIZE:
+            raise StorageError(
+                f"page size {page_size} below minimum {MIN_PAGE_SIZE}")
+        self._path = os.fspath(path)
+        self._lock = threading.Lock()
+        self.stats = DiskStats()
+        exists = os.path.exists(self._path) and os.path.getsize(self._path) > 0
+        # "r+b" preserves an existing file; "w+b" would truncate it.
+        self._file = open(self._path, "r+b" if exists else "w+b")
+        if exists:
+            self._read_header(expected_page_size=page_size)
+        else:
+            self._page_size = page_size
+            self._page_count = 1  # page 0 is the header page
+            self._free_head = INVALID_PAGE_ID
+            self._file.write(b"\x00" * page_size)
+            self._write_header()
+
+    # -- header ---------------------------------------------------------------
+
+    def _read_header(self, expected_page_size: int) -> None:
+        self._file.seek(0)
+        raw = self._file.read(FILE_HEADER_SIZE)
+        if len(raw) < _HEADER.size:
+            raise PageError(f"{self._path}: truncated file header")
+        magic, page_size, page_count, free_head = _HEADER.unpack(
+            raw[:_HEADER.size])
+        if magic != FILE_MAGIC:
+            raise PageError(f"{self._path}: not a repro database file")
+        if expected_page_size != page_size:
+            raise PageError(
+                f"{self._path}: file has page size {page_size}, "
+                f"caller expected {expected_page_size}")
+        self._page_size = page_size
+        self._page_count = page_count
+        self._free_head = free_head
+
+    def _write_header(self) -> None:
+        header = _HEADER.pack(FILE_MAGIC, self._page_size,
+                              self._page_count, self._free_head)
+        self._file.seek(0)
+        self._file.write(header.ljust(FILE_HEADER_SIZE, b"\x00"))
+
+    # -- properties --------------------------------------------------------------
+
+    @property
+    def page_size(self) -> int:
+        return self._page_size
+
+    @property
+    def page_count(self) -> int:
+        """Number of pages in the file, including the header page."""
+        return self._page_count
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def data_bytes_on_disk(self) -> int:
+        """Total file size in bytes (the storage-consumption metric)."""
+        return self._page_count * self._page_size
+
+    # -- page I/O -----------------------------------------------------------------
+
+    def _check_pid(self, page_id: int) -> None:
+        if not (1 <= page_id < self._page_count):
+            raise PageError(
+                f"page id {page_id} out of range (1..{self._page_count - 1})")
+
+    def read_page(self, page_id: int) -> bytearray:
+        """Read one page image from disk."""
+        with self._lock:
+            self._check_pid(page_id)
+            self._file.seek(page_id * self._page_size)
+            data = self._file.read(self._page_size)
+            if len(data) != self._page_size:
+                raise PageError(f"short read on page {page_id}")
+            self.stats.reads += 1
+            return bytearray(data)
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        """Write one page image to disk."""
+        with self._lock:
+            self._check_pid(page_id)
+            if len(data) != self._page_size:
+                raise PageError(
+                    f"page image must be {self._page_size} bytes, "
+                    f"got {len(data)}")
+            self._file.seek(page_id * self._page_size)
+            self._file.write(data)
+            self.stats.writes += 1
+
+    # -- allocation ----------------------------------------------------------------
+
+    def allocate_page(self) -> int:
+        """Return the id of a fresh, zeroed page."""
+        with self._lock:
+            self.stats.allocations += 1
+            if self._free_head != INVALID_PAGE_ID:
+                page_id = self._free_head
+                self._file.seek(page_id * self._page_size)
+                link_raw = self._file.read(_FREE_LINK.size)
+                self.stats.reads += 1
+                (self._free_head,) = _FREE_LINK.unpack(link_raw)
+            else:
+                page_id = self._page_count
+                self._page_count += 1
+            self._file.seek(page_id * self._page_size)
+            self._file.write(b"\x00" * self._page_size)
+            self.stats.writes += 1
+            self._write_header()
+            return page_id
+
+    def deallocate_page(self, page_id: int) -> None:
+        """Return a page to the free list for later reuse."""
+        with self._lock:
+            self._check_pid(page_id)
+            self.stats.deallocations += 1
+            self._file.seek(page_id * self._page_size)
+            self._file.write(_FREE_LINK.pack(self._free_head).ljust(
+                self._page_size, b"\x00"))
+            self.stats.writes += 1
+            self._free_head = page_id
+            self._write_header()
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def sync(self) -> None:
+        """Force file contents to stable storage."""
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._write_header()
+            self._file.flush()
+            self._file.close()
+
+    def __enter__(self) -> "DiskManager":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,222 @@
+"""Slotted-page record layout.
+
+A slotted page stores variable-length records inside one page image::
+
+    +--------------+-----------+----------------------+------------------+
+    | reserved(16) | header(4) | slot directory -->   |  <-- record data |
+    +--------------+-----------+----------------------+------------------+
+
+* The 16 reserved bytes at the front belong to the page's owner (the heap
+  keeps its chain pointer there); the slotted layout never touches them.
+* The header holds the slot count and ``data_start``, the offset of the
+  lowest record byte; records are packed from the page end towards the
+  front, the slot directory grows from the front towards the end.
+* Each 4-byte slot holds ``(offset, length)`` of one record.  Offset 0
+  marks a dead slot (no record can start at offset 0 because the reserved
+  area occupies it), so slot numbers — and hence record ids — stay stable
+  across deletes and compaction.
+
+Deleting or shrinking records leaves dead space between live records;
+:meth:`SlottedPage.insert` compacts lazily when the contiguous gap is too
+small but the total free space suffices.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, Optional, Tuple
+
+from repro.errors import PageError, PageFullError
+
+RESERVED_BYTES = 16
+_HEADER = struct.Struct("<HH")  # num_slots, data_start
+_SLOT = struct.Struct("<HH")    # offset, length
+_HEADER_AT = RESERVED_BYTES
+_SLOTS_AT = RESERVED_BYTES + _HEADER.size
+_DEAD = 0  # offset value marking an empty slot
+
+
+class SlottedPage:
+    """A view interpreting a page image (bytearray) as a slotted page.
+
+    The view holds a reference to the underlying buffer frame data and
+    mutates it in place; the caller is responsible for pinning the frame
+    for the lifetime of the view and for marking it dirty.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: bytearray) -> None:
+        self._data = data
+
+    # -- formatting -----------------------------------------------------------
+
+    @classmethod
+    def format(cls, data: bytearray) -> "SlottedPage":
+        """Initialize a zeroed page image as an empty slotted page."""
+        page = cls(data)
+        page._write_header(0, len(data))
+        return page
+
+    @classmethod
+    def capacity(cls, page_size: int) -> int:
+        """Largest record payload a fresh page of *page_size* can hold."""
+        return page_size - _SLOTS_AT - _SLOT.size
+
+    # -- header helpers ----------------------------------------------------------
+
+    def _read_header(self) -> Tuple[int, int]:
+        return _HEADER.unpack_from(self._data, _HEADER_AT)
+
+    def _write_header(self, num_slots: int, data_start: int) -> None:
+        _HEADER.pack_into(self._data, _HEADER_AT, num_slots, data_start)
+
+    def _read_slot(self, slot: int) -> Tuple[int, int]:
+        return _SLOT.unpack_from(self._data, _SLOTS_AT + slot * _SLOT.size)
+
+    def _write_slot(self, slot: int, offset: int, length: int) -> None:
+        _SLOT.pack_into(self._data, _SLOTS_AT + slot * _SLOT.size,
+                        offset, length)
+
+    # -- inspection ----------------------------------------------------------------
+
+    @property
+    def num_slots(self) -> int:
+        return self._read_header()[0]
+
+    def live_records(self) -> int:
+        """Number of slots holding a record."""
+        return sum(1 for _ in self.iter_slots())
+
+    def iter_slots(self) -> Iterator[int]:
+        """Yield the slot numbers of live records, ascending."""
+        num_slots, _ = self._read_header()
+        for slot in range(num_slots):
+            offset, _length = self._read_slot(slot)
+            if offset != _DEAD:
+                yield slot
+
+    def _live_bytes(self) -> int:
+        total = 0
+        for slot in self.iter_slots():
+            _, length = self._read_slot(slot)
+            total += length
+        return total
+
+    def _directory_end(self, num_slots: int) -> int:
+        return _SLOTS_AT + num_slots * _SLOT.size
+
+    def free_space(self) -> int:
+        """Largest record insertable into this page.
+
+        Counts dead space (recoverable by compaction); the slot-directory
+        entry is only charged when no dead slot can be reused.
+        """
+        num_slots, _ = self._read_header()
+        used = self._directory_end(num_slots) + self._live_bytes()
+        slot_cost = 0 if self._find_free_slot() is not None else _SLOT.size
+        return max(0, len(self._data) - used - slot_cost)
+
+    def _contiguous_space(self) -> int:
+        num_slots, data_start = self._read_header()
+        return data_start - self._directory_end(num_slots)
+
+    # -- mutation -------------------------------------------------------------------
+
+    def _find_free_slot(self) -> Optional[int]:
+        num_slots, _ = self._read_header()
+        for slot in range(num_slots):
+            offset, _ = self._read_slot(slot)
+            if offset == _DEAD:
+                return slot
+        return None
+
+    def insert(self, payload: bytes) -> int:
+        """Store *payload* and return its slot number.
+
+        Raises :class:`PageFullError` when the page cannot hold it even
+        after compaction.
+        """
+        reuse = self._find_free_slot()
+        slot_cost = 0 if reuse is not None else _SLOT.size
+        num_slots, data_start = self._read_header()
+        total_free = (len(self._data) - self._directory_end(num_slots)
+                      - self._live_bytes())
+        if len(payload) + slot_cost > total_free:
+            raise PageFullError(
+                f"record of {len(payload)} bytes does not fit "
+                f"({total_free - slot_cost} free)")
+        if len(payload) + slot_cost > self._contiguous_space():
+            self.compact()
+            num_slots, data_start = self._read_header()
+        offset = data_start - len(payload)
+        self._data[offset:data_start] = payload
+        if reuse is not None:
+            slot = reuse
+        else:
+            slot = num_slots
+            num_slots += 1
+        self._write_header(num_slots, offset)
+        self._write_slot(slot, offset, len(payload))
+        return slot
+
+    def read(self, slot: int) -> bytes:
+        """Return the record stored in *slot*."""
+        offset, length = self._slot_or_raise(slot)
+        return bytes(self._data[offset:offset + length])
+
+    def delete(self, slot: int) -> None:
+        """Remove the record in *slot*; the slot number may be reused."""
+        self._slot_or_raise(slot)
+        self._write_slot(slot, _DEAD, 0)
+
+    def update(self, slot: int, payload: bytes) -> None:
+        """Replace the record in *slot*, keeping its slot number.
+
+        Shrinking updates rewrite in place; growing updates relocate the
+        record within the page.  Raises :class:`PageFullError` when the
+        new payload does not fit even after compaction.
+        """
+        offset, length = self._slot_or_raise(slot)
+        if len(payload) <= length:
+            self._data[offset:offset + len(payload)] = payload
+            self._write_slot(slot, offset, len(payload))
+            return
+        # Free the old image first so its space counts as reclaimable.
+        self._write_slot(slot, _DEAD, 0)
+        num_slots, _ = self._read_header()
+        total_free = (len(self._data) - self._directory_end(num_slots)
+                      - self._live_bytes())
+        if len(payload) > total_free:
+            self._write_slot(slot, offset, length)  # roll back
+            raise PageFullError(
+                f"grown record of {len(payload)} bytes does not fit")
+        if len(payload) > self._contiguous_space():
+            self.compact()
+        _, data_start = self._read_header()
+        new_offset = data_start - len(payload)
+        self._data[new_offset:data_start] = payload
+        self._write_header(num_slots, new_offset)
+        self._write_slot(slot, new_offset, len(payload))
+
+    def compact(self) -> None:
+        """Repack live records against the page end, squeezing out holes."""
+        records = [(slot, self.read(slot)) for slot in self.iter_slots()]
+        num_slots, _ = self._read_header()
+        data_start = len(self._data)
+        for slot, payload in records:
+            data_start -= len(payload)
+            self._data[data_start:data_start + len(payload)] = payload
+            self._write_slot(slot, data_start, len(payload))
+        self._write_header(num_slots, data_start)
+
+    # -- internals --------------------------------------------------------------------
+
+    def _slot_or_raise(self, slot: int) -> Tuple[int, int]:
+        num_slots, _ = self._read_header()
+        if not (0 <= slot < num_slots):
+            raise PageError(f"slot {slot} out of range (page has {num_slots})")
+        offset, length = self._read_slot(slot)
+        if offset == _DEAD:
+            raise PageError(f"slot {slot} holds no record")
+        return offset, length

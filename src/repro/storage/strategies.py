@@ -1,0 +1,633 @@
+"""Version-storage strategies: mapping atom histories onto pages.
+
+This module is the paper's central implementation contribution: *how* the
+version history of an atom is physically represented.  All strategies
+implement one :class:`VersionStore` contract so the engine above is
+agnostic; they differ exactly in the access-cost trade-offs the
+benchmarks measure:
+
+``CLUSTERED``
+    The "temporal atom": one (possibly page-spanning) record holds the
+    complete history.  One directory probe fetches everything — history
+    and time-slice reads are cheap — but every update rewrites the whole
+    record, so update cost grows with history length.
+
+``CHAINED``
+    One record per version; the directory points at the newest, each
+    version points at its predecessor.  Updates are O(1), the current
+    version is one probe away, but reaching a version *d* steps in the
+    past walks *d* records (and typically *d* pages).
+
+``SEPARATED``
+    Current versions live in their own dense segment; superseded versions
+    migrate to an append-only history segment; a per-atom *version
+    directory* record lists the temporal envelope and address of every
+    history version.  Updates are O(1), current access is one probe, and
+    past access is two probes regardless of temporal distance.
+
+A version is stored as an *envelope* (valid-time interval plus the
+"still current knowledge" flag, which the store needs to answer
+time-slice reads) plus an opaque payload (the engine's serialized state
+— the store never interprets it).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import StorageError, UnknownAtomError
+from repro.storage.buffer import BufferManager
+from repro.storage.constants import INVALID_PAGE_ID
+from repro.storage.directory import AtomDirectory
+from repro.storage.heap import HeapSegment, RecordId
+
+_ENVELOPE = struct.Struct("<qqB")   # vt_start, vt_end, live flag
+_U32 = struct.Struct("<I")
+_NO_RECORD = RecordId(INVALID_PAGE_ID, 0)
+
+
+class VersionStrategy(enum.Enum):
+    """Selectable physical mapping of version histories."""
+
+    CLUSTERED = "clustered"
+    CHAINED = "chained"
+    SEPARATED = "separated"
+
+
+@dataclass(frozen=True, slots=True)
+class StoredVersion:
+    """One version as the storage layer sees it: envelope plus payload."""
+
+    vt_start: int
+    vt_end: int
+    live: bool
+    payload: bytes
+
+    def contains(self, at: int) -> bool:
+        return self.vt_start <= at < self.vt_end
+
+
+@dataclass
+class StorageStats:
+    """Space accounting for one store (feeds experiment R-T1)."""
+
+    strategy: str
+    segment_pages: Dict[str, int] = field(default_factory=dict)
+    directory_pages: int = 0
+    page_size: int = 0
+
+    @property
+    def total_pages(self) -> int:
+        return sum(self.segment_pages.values()) + self.directory_pages
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_pages * self.page_size
+
+
+def _pack_envelope(sv: StoredVersion) -> bytes:
+    return _ENVELOPE.pack(sv.vt_start, sv.vt_end, 1 if sv.live else 0)
+
+
+def _unpack_envelope(data: bytes, at: int) -> Tuple[int, int, bool, int]:
+    vt_start, vt_end, live = _ENVELOPE.unpack_from(data, at)
+    return vt_start, vt_end, bool(live), at + _ENVELOPE.size
+
+
+class VersionStore:
+    """Contract every strategy fulfils.
+
+    Sequence numbers are assigned in append order (0 = oldest) and are
+    stable for the lifetime of the atom; ``replace_version`` rewrites the
+    record of an existing sequence number (the engine uses it to close
+    transaction-time intervals).
+    """
+
+    strategy: VersionStrategy
+
+    # -- mutation -----------------------------------------------------------
+
+    def append_version(self, atom_id: int, sv: StoredVersion) -> None:
+        raise NotImplementedError
+
+    def replace_version(self, atom_id: int, seq: int,
+                        sv: StoredVersion) -> None:
+        raise NotImplementedError
+
+    def pop_version(self, atom_id: int) -> None:
+        """Remove the newest version (transaction rollback only).
+
+        Removing the last remaining version removes the atom.
+        """
+        raise NotImplementedError
+
+    def delete_atom(self, atom_id: int) -> None:
+        raise NotImplementedError
+
+    # -- reads ------------------------------------------------------------------
+
+    def read_all(self, atom_id: int) -> List[StoredVersion]:
+        raise NotImplementedError
+
+    def read_at(self, atom_id: int, at: int) -> List[Tuple[int, StoredVersion]]:
+        """Live versions whose valid time contains *at* (at most one when
+        the engine's disjointness invariant holds)."""
+        raise NotImplementedError
+
+    def read_current(self, atom_id: int) -> Tuple[int, StoredVersion]:
+        """The newest (highest-sequence) version."""
+        raise NotImplementedError
+
+    def version_count(self, atom_id: int) -> int:
+        raise NotImplementedError
+
+    def exists(self, atom_id: int) -> bool:
+        raise NotImplementedError
+
+    def atom_ids(self) -> Iterator[int]:
+        raise NotImplementedError
+
+    def scan_all(self) -> Iterator[Tuple[int, List[StoredVersion]]]:
+        for atom_id in list(self.atom_ids()):
+            yield atom_id, self.read_all(atom_id)
+
+    # -- maintenance ----------------------------------------------------------------
+
+    def stats(self) -> StorageStats:
+        raise NotImplementedError
+
+    def persist_state(self) -> Dict[str, List[int]]:
+        """Page lists to store in the catalog, keyed by component name."""
+        raise NotImplementedError
+
+
+class _BaseStore(VersionStore):
+    """Shared plumbing: directory handling and stats assembly."""
+
+    def __init__(self, buffer: BufferManager,
+                 state: Optional[Dict[str, List[int]]]) -> None:
+        self._buffer = buffer
+        state = state or {}
+        self._directory = AtomDirectory(
+            buffer, f"{self.strategy.value}.dir",
+            bucket_pages=state.get("directory") or None)
+
+    def _entry(self, atom_id: int) -> bytes:
+        payload = self._directory.get(atom_id)
+        if payload is None:
+            raise UnknownAtomError(f"atom {atom_id} not in store")
+        return payload
+
+    def exists(self, atom_id: int) -> bool:
+        return atom_id in self._directory
+
+    def atom_ids(self) -> Iterator[int]:
+        return self._directory.keys()
+
+    def _segments(self) -> Dict[str, HeapSegment]:
+        raise NotImplementedError
+
+    def stats(self) -> StorageStats:
+        stats = StorageStats(strategy=self.strategy.value,
+                             page_size=self._buffer.page_size)
+        for name, segment in self._segments().items():
+            stats.segment_pages[name] = segment.page_count()
+        stats.directory_pages = len(self._directory.pages())
+        return stats
+
+    def persist_state(self) -> Dict[str, List[int]]:
+        state = {name: segment.pages
+                 for name, segment in self._segments().items()}
+        state["directory"] = self._directory.bucket_pages
+        return state
+
+
+# ---------------------------------------------------------------------------
+# CLUSTERED: the whole history in one spanned record ("temporal atom")
+# ---------------------------------------------------------------------------
+
+
+class ClusteredStore(_BaseStore):
+    """All versions of an atom clustered into one logical record."""
+
+    strategy = VersionStrategy.CLUSTERED
+
+    _DIR_VALUE = struct.Struct("<QHI")  # head page, head slot, count
+
+    def __init__(self, buffer: BufferManager,
+                 state: Optional[Dict[str, List[int]]] = None) -> None:
+        super().__init__(buffer, state)
+        state = state or {}
+        self._segment = HeapSegment(buffer, "clustered",
+                                    state.get("clustered"))
+
+    def _segments(self) -> Dict[str, HeapSegment]:
+        return {"clustered": self._segment}
+
+    # -- record codec -------------------------------------------------------
+
+    @staticmethod
+    def _encode(versions: List[StoredVersion]) -> bytes:
+        parts = [_U32.pack(len(versions))]
+        for sv in versions:
+            parts.append(_pack_envelope(sv))
+            parts.append(_U32.pack(len(sv.payload)))
+            parts.append(sv.payload)
+        return b"".join(parts)
+
+    @staticmethod
+    def _decode(record: bytes) -> List[StoredVersion]:
+        (count,) = _U32.unpack_from(record, 0)
+        at = _U32.size
+        versions: List[StoredVersion] = []
+        for _ in range(count):
+            vt_start, vt_end, live, at = _unpack_envelope(record, at)
+            (length,) = _U32.unpack_from(record, at)
+            at += _U32.size
+            versions.append(StoredVersion(vt_start, vt_end, live,
+                                          record[at:at + length]))
+            at += length
+        return versions
+
+    def _dir_entry(self, atom_id: int) -> Tuple[RecordId, int]:
+        page, slot, count = self._DIR_VALUE.unpack(self._entry(atom_id))
+        return RecordId(page, slot), count
+
+    def _put_dir(self, atom_id: int, rid: RecordId, count: int) -> None:
+        self._directory.put(
+            atom_id, self._DIR_VALUE.pack(rid.page_id, rid.slot, count))
+
+    # -- protocol --------------------------------------------------------------
+
+    def append_version(self, atom_id: int, sv: StoredVersion) -> None:
+        if self.exists(atom_id):
+            rid, count = self._dir_entry(atom_id)
+            versions = self._decode(self._segment.read(rid))
+            versions.append(sv)
+            new_rid = self._segment.update(rid, self._encode(versions))
+            self._put_dir(atom_id, new_rid, count + 1)
+        else:
+            rid = self._segment.insert(self._encode([sv]))
+            self._put_dir(atom_id, rid, 1)
+
+    def replace_version(self, atom_id: int, seq: int,
+                        sv: StoredVersion) -> None:
+        rid, count = self._dir_entry(atom_id)
+        if not (0 <= seq < count):
+            raise StorageError(f"atom {atom_id} has no version {seq}")
+        versions = self._decode(self._segment.read(rid))
+        versions[seq] = sv
+        new_rid = self._segment.update(rid, self._encode(versions))
+        if new_rid != rid:
+            self._put_dir(atom_id, new_rid, count)
+
+    def pop_version(self, atom_id: int) -> None:
+        rid, count = self._dir_entry(atom_id)
+        if count <= 1:
+            self.delete_atom(atom_id)
+            return
+        versions = self._decode(self._segment.read(rid))
+        versions.pop()
+        new_rid = self._segment.update(rid, self._encode(versions))
+        self._put_dir(atom_id, new_rid, count - 1)
+
+    def delete_atom(self, atom_id: int) -> None:
+        rid, _ = self._dir_entry(atom_id)
+        self._segment.delete(rid)
+        self._directory.delete(atom_id)
+
+    def read_all(self, atom_id: int) -> List[StoredVersion]:
+        rid, _ = self._dir_entry(atom_id)
+        return self._decode(self._segment.read(rid))
+
+    def read_at(self, atom_id: int, at: int) -> List[Tuple[int, StoredVersion]]:
+        return [(seq, sv) for seq, sv in enumerate(self.read_all(atom_id))
+                if sv.live and sv.contains(at)]
+
+    def read_current(self, atom_id: int) -> Tuple[int, StoredVersion]:
+        versions = self.read_all(atom_id)
+        return len(versions) - 1, versions[-1]
+
+    def version_count(self, atom_id: int) -> int:
+        return self._dir_entry(atom_id)[1]
+
+
+# ---------------------------------------------------------------------------
+# CHAINED: one record per version, linked backwards from the newest
+# ---------------------------------------------------------------------------
+
+
+class ChainedStore(_BaseStore):
+    """Per-version records forming a backward chain from the current one."""
+
+    strategy = VersionStrategy.CHAINED
+
+    _DIR_VALUE = struct.Struct("<QHI")  # newest page, newest slot, count
+
+    def __init__(self, buffer: BufferManager,
+                 state: Optional[Dict[str, List[int]]] = None) -> None:
+        super().__init__(buffer, state)
+        state = state or {}
+        self._segment = HeapSegment(buffer, "chained", state.get("chained"))
+
+    def _segments(self) -> Dict[str, HeapSegment]:
+        return {"chained": self._segment}
+
+    # -- record codec -------------------------------------------------------
+
+    @staticmethod
+    def _encode(prev: RecordId, sv: StoredVersion) -> bytes:
+        return prev.pack() + _pack_envelope(sv) + sv.payload
+
+    @staticmethod
+    def _decode(record: bytes) -> Tuple[RecordId, StoredVersion]:
+        prev = RecordId.unpack(record, 0)
+        at = RecordId.PACKED_SIZE
+        vt_start, vt_end, live, at = _unpack_envelope(record, at)
+        return prev, StoredVersion(vt_start, vt_end, live, record[at:])
+
+    def _dir_entry(self, atom_id: int) -> Tuple[RecordId, int]:
+        page, slot, count = self._DIR_VALUE.unpack(self._entry(atom_id))
+        return RecordId(page, slot), count
+
+    def _put_dir(self, atom_id: int, rid: RecordId, count: int) -> None:
+        self._directory.put(
+            atom_id, self._DIR_VALUE.pack(rid.page_id, rid.slot, count))
+
+    def _walk(self, atom_id: int) -> Iterator[Tuple[int, RecordId,
+                                                    RecordId, StoredVersion]]:
+        """Yield (seq, rid, prev rid, version) from newest to oldest."""
+        rid, count = self._dir_entry(atom_id)
+        seq = count - 1
+        while rid != _NO_RECORD:
+            prev, sv = self._decode(self._segment.read(rid))
+            yield seq, rid, prev, sv
+            rid = prev
+            seq -= 1
+
+    # -- protocol --------------------------------------------------------------
+
+    def append_version(self, atom_id: int, sv: StoredVersion) -> None:
+        if self.exists(atom_id):
+            prev, count = self._dir_entry(atom_id)
+        else:
+            prev, count = _NO_RECORD, 0
+        rid = self._segment.insert(self._encode(prev, sv))
+        self._put_dir(atom_id, rid, count + 1)
+
+    def replace_version(self, atom_id: int, seq: int,
+                        sv: StoredVersion) -> None:
+        successor: Optional[RecordId] = None
+        for cur_seq, rid, prev, _old in self._walk(atom_id):
+            if cur_seq != seq:
+                successor = rid
+                continue
+            new_rid = self._segment.update(rid, self._encode(prev, sv))
+            if new_rid == rid:
+                return
+            # The record moved: repair the incoming pointer.
+            if successor is None:
+                _, count = self._dir_entry(atom_id)
+                self._put_dir(atom_id, new_rid, count)
+            else:
+                succ_record = self._segment.read(successor)
+                patched = new_rid.pack() + succ_record[RecordId.PACKED_SIZE:]
+                moved = self._segment.update(successor, patched)
+                if moved != successor:
+                    # Same-size updates stay in place for unspanned
+                    # records; a move here would require cascading
+                    # repairs that this layout cannot express safely.
+                    raise StorageError(
+                        "chained store: pointer patch relocated a record")
+            return
+        raise StorageError(f"atom {atom_id} has no version {seq}")
+
+    def pop_version(self, atom_id: int) -> None:
+        rid, count = self._dir_entry(atom_id)
+        if count <= 1:
+            self.delete_atom(atom_id)
+            return
+        prev, _sv = self._decode(self._segment.read(rid))
+        self._segment.delete(rid)
+        self._put_dir(atom_id, prev, count - 1)
+
+    def delete_atom(self, atom_id: int) -> None:
+        rids = [rid for _, rid, _, _ in self._walk(atom_id)]
+        for rid in rids:
+            self._segment.delete(rid)
+        self._directory.delete(atom_id)
+
+    def read_all(self, atom_id: int) -> List[StoredVersion]:
+        newest_first = [sv for _, _, _, sv in self._walk(atom_id)]
+        newest_first.reverse()
+        return newest_first
+
+    def read_at(self, atom_id: int, at: int) -> List[Tuple[int, StoredVersion]]:
+        # Live versions are valid-time disjoint, so the first hit is the
+        # only hit and the walk can stop — the cost is proportional to the
+        # temporal distance of *at* from now (the strategy's signature).
+        for seq, _rid, _prev, sv in self._walk(atom_id):
+            if sv.live and sv.contains(at):
+                return [(seq, sv)]
+        return []
+
+    def read_current(self, atom_id: int) -> Tuple[int, StoredVersion]:
+        rid, count = self._dir_entry(atom_id)
+        _, sv = self._decode(self._segment.read(rid))
+        return count - 1, sv
+
+    def version_count(self, atom_id: int) -> int:
+        return self._dir_entry(atom_id)[1]
+
+
+# ---------------------------------------------------------------------------
+# SEPARATED: dense current segment + append-only history + version directory
+# ---------------------------------------------------------------------------
+
+
+class SeparatedStore(_BaseStore):
+    """Current/history separation with a per-atom version directory."""
+
+    strategy = VersionStrategy.SEPARATED
+
+    # current RID, vdir RID, count, current envelope
+    _DIR_VALUE = struct.Struct("<QHQHIqqB")
+    _VDIR_ENTRY = struct.Struct("<qqBQH")  # envelope + history RID
+
+    def __init__(self, buffer: BufferManager,
+                 state: Optional[Dict[str, List[int]]] = None) -> None:
+        super().__init__(buffer, state)
+        state = state or {}
+        self._current = HeapSegment(buffer, "current", state.get("current"))
+        self._history = HeapSegment(buffer, "history", state.get("history"))
+        self._vdir = HeapSegment(buffer, "vdir", state.get("vdir"))
+
+    def _segments(self) -> Dict[str, HeapSegment]:
+        return {"current": self._current, "history": self._history,
+                "vdir": self._vdir}
+
+    # -- codecs ---------------------------------------------------------------
+
+    @staticmethod
+    def _encode_version(sv: StoredVersion) -> bytes:
+        return _pack_envelope(sv) + sv.payload
+
+    @staticmethod
+    def _decode_version(record: bytes) -> StoredVersion:
+        vt_start, vt_end, live, at = _unpack_envelope(record, 0)
+        return StoredVersion(vt_start, vt_end, live, record[at:])
+
+    def _dir_entry(self, atom_id: int) -> Tuple[RecordId, RecordId, int,
+                                                Tuple[int, int, bool]]:
+        (cpage, cslot, vpage, vslot, count,
+         vt_start, vt_end, live) = self._DIR_VALUE.unpack(self._entry(atom_id))
+        return (RecordId(cpage, cslot), RecordId(vpage, vslot), count,
+                (vt_start, vt_end, bool(live)))
+
+    def _put_dir(self, atom_id: int, current: RecordId, vdir: RecordId,
+                 count: int, envelope: Tuple[int, int, bool]) -> None:
+        vt_start, vt_end, live = envelope
+        self._directory.put(atom_id, self._DIR_VALUE.pack(
+            current.page_id, current.slot, vdir.page_id, vdir.slot,
+            count, vt_start, vt_end, 1 if live else 0))
+
+    def _read_vdir(self, vdir_rid: RecordId) -> List[Tuple[int, int, bool,
+                                                           RecordId]]:
+        if vdir_rid == _NO_RECORD:
+            return []
+        record = self._vdir.read(vdir_rid)
+        entries = []
+        for at in range(0, len(record), self._VDIR_ENTRY.size):
+            vt_start, vt_end, live, page, slot = self._VDIR_ENTRY.unpack_from(
+                record, at)
+            entries.append((vt_start, vt_end, bool(live),
+                            RecordId(page, slot)))
+        return entries
+
+    def _encode_vdir(self, entries: List[Tuple[int, int, bool,
+                                               RecordId]]) -> bytes:
+        return b"".join(
+            self._VDIR_ENTRY.pack(vt_start, vt_end, 1 if live else 0,
+                                  rid.page_id, rid.slot)
+            for vt_start, vt_end, live, rid in entries)
+
+    # -- protocol --------------------------------------------------------------
+
+    def append_version(self, atom_id: int, sv: StoredVersion) -> None:
+        envelope = (sv.vt_start, sv.vt_end, sv.live)
+        if not self.exists(atom_id):
+            rid = self._current.insert(self._encode_version(sv))
+            self._put_dir(atom_id, rid, _NO_RECORD, 1, envelope)
+            return
+        current_rid, vdir_rid, count, old_env = self._dir_entry(atom_id)
+        # Migrate the superseded current version into the history segment.
+        old_record = self._current.read(current_rid)
+        hist_rid = self._history.insert(old_record)
+        self._current.delete(current_rid)
+        entries = self._read_vdir(vdir_rid)
+        entries.append((old_env[0], old_env[1], old_env[2], hist_rid))
+        encoded = self._encode_vdir(entries)
+        if vdir_rid == _NO_RECORD:
+            vdir_rid = self._vdir.insert(encoded)
+        else:
+            vdir_rid = self._vdir.update(vdir_rid, encoded)
+        new_current = self._current.insert(self._encode_version(sv))
+        self._put_dir(atom_id, new_current, vdir_rid, count + 1, envelope)
+
+    def replace_version(self, atom_id: int, seq: int,
+                        sv: StoredVersion) -> None:
+        current_rid, vdir_rid, count, _env = self._dir_entry(atom_id)
+        if not (0 <= seq < count):
+            raise StorageError(f"atom {atom_id} has no version {seq}")
+        if seq == count - 1:
+            new_rid = self._current.update(current_rid,
+                                           self._encode_version(sv))
+            self._put_dir(atom_id, new_rid, vdir_rid, count,
+                          (sv.vt_start, sv.vt_end, sv.live))
+            return
+        entries = self._read_vdir(vdir_rid)
+        _, _, _, hist_rid = entries[seq]
+        new_hist = self._history.update(hist_rid, self._encode_version(sv))
+        entries[seq] = (sv.vt_start, sv.vt_end, sv.live, new_hist)
+        new_vdir = self._vdir.update(vdir_rid, self._encode_vdir(entries))
+        if new_vdir != vdir_rid:
+            self._put_dir(atom_id, current_rid, new_vdir, count, _env)
+
+    def pop_version(self, atom_id: int) -> None:
+        current_rid, vdir_rid, count, _env = self._dir_entry(atom_id)
+        if count <= 1:
+            self.delete_atom(atom_id)
+            return
+        # The previous version migrates back from history to current.
+        self._current.delete(current_rid)
+        entries = self._read_vdir(vdir_rid)
+        vt_start, vt_end, live, hist_rid = entries.pop()
+        record = self._history.read(hist_rid)
+        self._history.delete(hist_rid)
+        restored = self._current.insert(record)
+        if entries:
+            vdir_rid = self._vdir.update(vdir_rid, self._encode_vdir(entries))
+        else:
+            self._vdir.delete(vdir_rid)
+            vdir_rid = _NO_RECORD
+        self._put_dir(atom_id, restored, vdir_rid, count - 1,
+                      (vt_start, vt_end, live))
+
+    def delete_atom(self, atom_id: int) -> None:
+        current_rid, vdir_rid, _count, _env = self._dir_entry(atom_id)
+        for _, _, _, hist_rid in self._read_vdir(vdir_rid):
+            self._history.delete(hist_rid)
+        if vdir_rid != _NO_RECORD:
+            self._vdir.delete(vdir_rid)
+        self._current.delete(current_rid)
+        self._directory.delete(atom_id)
+
+    def read_all(self, atom_id: int) -> List[StoredVersion]:
+        current_rid, vdir_rid, _count, _env = self._dir_entry(atom_id)
+        versions = [self._decode_version(self._history.read(rid))
+                    for _, _, _, rid in self._read_vdir(vdir_rid)]
+        versions.append(self._decode_version(self._current.read(current_rid)))
+        return versions
+
+    def read_at(self, atom_id: int, at: int) -> List[Tuple[int, StoredVersion]]:
+        current_rid, vdir_rid, count, env = self._dir_entry(atom_id)
+        vt_start, vt_end, live = env
+        if live and vt_start <= at < vt_end:
+            # Answered from the directory entry alone: one record fetch.
+            return [(count - 1,
+                     self._decode_version(self._current.read(current_rid)))]
+        hits: List[Tuple[int, StoredVersion]] = []
+        for seq, (e_start, e_end, e_live, rid) in enumerate(
+                self._read_vdir(vdir_rid)):
+            if e_live and e_start <= at < e_end:
+                hits.append((seq,
+                             self._decode_version(self._history.read(rid))))
+        return hits
+
+    def read_current(self, atom_id: int) -> Tuple[int, StoredVersion]:
+        current_rid, _vdir, count, _env = self._dir_entry(atom_id)
+        return count - 1, self._decode_version(self._current.read(current_rid))
+
+    def version_count(self, atom_id: int) -> int:
+        return self._dir_entry(atom_id)[2]
+
+
+_STORE_CLASSES = {
+    VersionStrategy.CLUSTERED: ClusteredStore,
+    VersionStrategy.CHAINED: ChainedStore,
+    VersionStrategy.SEPARATED: SeparatedStore,
+}
+
+
+def open_version_store(strategy: VersionStrategy, buffer: BufferManager,
+                       state: Optional[Dict[str, List[int]]] = None
+                       ) -> VersionStore:
+    """Instantiate the store for *strategy*, resuming from catalog *state*."""
+    try:
+        cls = _STORE_CLASSES[strategy]
+    except KeyError:
+        raise StorageError(f"unknown version strategy {strategy!r}") from None
+    return cls(buffer, state)

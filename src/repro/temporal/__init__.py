@@ -1,0 +1,46 @@
+"""Time algebra for the temporal complex-object data model.
+
+The model uses a discrete, linearly ordered time domain of integer *chronons*.
+Special values mark the open past (:data:`TMIN`) and the open future
+(:data:`FOREVER`, the SIGMOD-era "until changed" / ``NOW``-bound).  Valid-time
+and transaction-time periods are half-open intervals ``[start, end)`` over
+this domain; sets of disjoint intervals form *temporal elements*.
+
+Public surface:
+
+* :class:`~repro.temporal.timestamp.Timestamp` helpers and the constants
+  :data:`TMIN`, :data:`FOREVER`.
+* :class:`~repro.temporal.interval.Interval` — half-open period algebra.
+* :class:`~repro.temporal.element.TemporalElement` — canonical disjoint
+  interval sets with union/intersection/difference.
+* :mod:`~repro.temporal.allen` — Allen's thirteen interval relations.
+* :class:`~repro.temporal.clock.TransactionClock` — monotonic logical clock
+  used to assign transaction times.
+"""
+
+from repro.temporal.allen import AllenRelation, allen_relation
+from repro.temporal.clock import TransactionClock
+from repro.temporal.element import TemporalElement
+from repro.temporal.interval import Interval
+from repro.temporal.timestamp import (
+    FOREVER,
+    TMIN,
+    Timestamp,
+    format_timestamp,
+    is_valid_timestamp,
+    validate_timestamp,
+)
+
+__all__ = [
+    "AllenRelation",
+    "allen_relation",
+    "TransactionClock",
+    "TemporalElement",
+    "Interval",
+    "FOREVER",
+    "TMIN",
+    "Timestamp",
+    "format_timestamp",
+    "is_valid_timestamp",
+    "validate_timestamp",
+]

@@ -1,0 +1,89 @@
+"""Allen's thirteen qualitative relations between half-open intervals.
+
+The temporal query language exposes these through predicates such as
+``OVERLAPS`` and ``DURING``; internally the molecule builder and the tests
+use :func:`allen_relation` as the single source of truth for how two
+intervals relate.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.temporal.interval import Interval
+
+
+class AllenRelation(enum.Enum):
+    """The thirteen mutually exclusive, jointly exhaustive relations."""
+
+    BEFORE = "before"
+    MEETS = "meets"
+    OVERLAPS = "overlaps"
+    STARTS = "starts"
+    DURING = "during"
+    FINISHES = "finishes"
+    EQUALS = "equals"
+    FINISHED_BY = "finished_by"
+    CONTAINS = "contains"
+    STARTED_BY = "started_by"
+    OVERLAPPED_BY = "overlapped_by"
+    MET_BY = "met_by"
+    AFTER = "after"
+
+    @property
+    def inverse(self) -> "AllenRelation":
+        """The relation that holds with the operands swapped."""
+        return _INVERSES[self]
+
+
+_INVERSES = {
+    AllenRelation.BEFORE: AllenRelation.AFTER,
+    AllenRelation.MEETS: AllenRelation.MET_BY,
+    AllenRelation.OVERLAPS: AllenRelation.OVERLAPPED_BY,
+    AllenRelation.STARTS: AllenRelation.STARTED_BY,
+    AllenRelation.DURING: AllenRelation.CONTAINS,
+    AllenRelation.FINISHES: AllenRelation.FINISHED_BY,
+    AllenRelation.EQUALS: AllenRelation.EQUALS,
+    AllenRelation.FINISHED_BY: AllenRelation.FINISHES,
+    AllenRelation.CONTAINS: AllenRelation.DURING,
+    AllenRelation.STARTED_BY: AllenRelation.STARTS,
+    AllenRelation.OVERLAPPED_BY: AllenRelation.OVERLAPS,
+    AllenRelation.MET_BY: AllenRelation.MEETS,
+    AllenRelation.AFTER: AllenRelation.BEFORE,
+}
+
+
+def allen_relation(a: Interval, b: Interval) -> AllenRelation:
+    """Classify how interval *a* relates to interval *b*.
+
+    Exactly one of the thirteen relations holds for any pair of non-empty
+    intervals; the classification is by case analysis on the order of the
+    four endpoints.
+    """
+    if a.end < b.start:
+        return AllenRelation.BEFORE
+    if a.end == b.start:
+        return AllenRelation.MEETS
+    if b.end < a.start:
+        return AllenRelation.AFTER
+    if b.end == a.start:
+        return AllenRelation.MET_BY
+
+    # From here on the intervals share at least one chronon.
+    if a.start == b.start:
+        if a.end == b.end:
+            return AllenRelation.EQUALS
+        if a.end < b.end:
+            return AllenRelation.STARTS
+        return AllenRelation.STARTED_BY
+    if a.end == b.end:
+        if a.start > b.start:
+            return AllenRelation.FINISHES
+        return AllenRelation.FINISHED_BY
+    if a.start > b.start and a.end < b.end:
+        return AllenRelation.DURING
+    if b.start > a.start and b.end < a.end:
+        return AllenRelation.CONTAINS
+    if a.start < b.start:
+        return AllenRelation.OVERLAPS
+    return AllenRelation.OVERLAPPED_BY

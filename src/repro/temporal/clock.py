@@ -1,0 +1,56 @@
+"""Monotonic logical clock for transaction-time assignment.
+
+Transaction time in the model is *system time*: the engine, not the user,
+stamps every committed change with the moment the database learned about it.
+A logical (tick-based) clock keeps runs deterministic and testable; wall
+clocks would make transaction times irreproducible across runs.
+
+The clock is thread-safe: concurrent transactions may commit from different
+threads and each must observe a strictly increasing transaction time.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import InvalidTimestampError
+from repro.temporal.timestamp import MAX_CHRONON, MIN_CHRONON, Timestamp
+
+
+class TransactionClock:
+    """Strictly monotonic source of transaction-time chronons."""
+
+    def __init__(self, start: Timestamp = 0) -> None:
+        if not (MIN_CHRONON <= start <= MAX_CHRONON):
+            raise InvalidTimestampError(
+                f"clock start {start!r} outside the chronon domain")
+        self._lock = threading.Lock()
+        self._next = start
+
+    def now(self) -> Timestamp:
+        """The transaction time the next tick would return (peek)."""
+        with self._lock:
+            return self._next
+
+    def tick(self) -> Timestamp:
+        """Return a fresh transaction time, strictly greater than all prior."""
+        with self._lock:
+            value = self._next
+            if value >= MAX_CHRONON:
+                raise InvalidTimestampError("transaction clock exhausted")
+            self._next = value + 1
+            return value
+
+    def advance_to(self, at_least: Timestamp) -> None:
+        """Ensure future ticks return at least *at_least*.
+
+        Used during recovery: after replaying the log, the clock must move
+        past every transaction time already spent, or new commits would
+        reuse old transaction times and corrupt ``AS OF`` semantics.
+        """
+        if not (MIN_CHRONON <= at_least <= MAX_CHRONON):
+            raise InvalidTimestampError(
+                f"cannot advance clock to {at_least!r}")
+        with self._lock:
+            if at_least > self._next:
+                self._next = at_least

@@ -1,0 +1,150 @@
+"""Temporal elements: canonical sets of disjoint, non-adjacent intervals.
+
+A *temporal element* is the closure of intervals under set operations and is
+the natural answer type for questions such as "during which times did this
+molecule exist?".  The representation is canonical — intervals are sorted,
+pairwise disjoint, and never adjacent — so two elements are equal exactly
+when they denote the same set of chronons.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from repro.temporal.interval import Interval
+from repro.temporal.timestamp import Timestamp
+
+
+def _coalesce(intervals: Iterable[Interval]) -> Tuple[Interval, ...]:
+    """Sort and merge intervals into canonical form."""
+    merged: list[Interval] = []
+    for interval in sorted(intervals):
+        if merged and merged[-1].is_adjacent_or_overlapping(interval):
+            merged[-1] = merged[-1].union(interval)
+        else:
+            merged.append(interval)
+    return tuple(merged)
+
+
+class TemporalElement:
+    """An immutable, canonical union of half-open intervals."""
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        self._intervals: Tuple[Interval, ...] = _coalesce(intervals)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "TemporalElement":
+        """The empty set of chronons."""
+        return cls(())
+
+    @classmethod
+    def of(cls, *intervals: Interval) -> "TemporalElement":
+        """Element covering exactly the given intervals."""
+        return cls(intervals)
+
+    @classmethod
+    def always(cls) -> "TemporalElement":
+        """Element covering the whole time line."""
+        return cls((Interval.always(),))
+
+    # -- structure -------------------------------------------------------------
+
+    @property
+    def intervals(self) -> Sequence[Interval]:
+        """The canonical (sorted, disjoint, non-adjacent) intervals."""
+        return self._intervals
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._intervals
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._intervals)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __bool__(self) -> bool:
+        return bool(self._intervals)
+
+    def duration(self) -> Timestamp:
+        """Total number of chronons covered."""
+        return sum(interval.duration() for interval in self._intervals)
+
+    # -- predicates --------------------------------------------------------------
+
+    def contains(self, at: Timestamp) -> bool:
+        """True when the instant *at* lies in the element.
+
+        Binary search over the canonical intervals.
+        """
+        lo, hi = 0, len(self._intervals) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            interval = self._intervals[mid]
+            if interval.contains(at):
+                return True
+            if interval.precedes(at) or interval.end <= at:
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return False
+
+    def covers(self, other: "TemporalElement") -> bool:
+        """True when every chronon of *other* lies in this element."""
+        return other.difference(self).is_empty
+
+    # -- set algebra -----------------------------------------------------------
+
+    def union(self, other: "TemporalElement") -> "TemporalElement":
+        return TemporalElement((*self._intervals, *other._intervals))
+
+    def intersect(self, other: "TemporalElement") -> "TemporalElement":
+        """Pairwise sweep intersection of two canonical interval runs."""
+        result: list[Interval] = []
+        i = j = 0
+        mine, theirs = self._intervals, other._intervals
+        while i < len(mine) and j < len(theirs):
+            common = mine[i].intersect(theirs[j])
+            if common is not None:
+                result.append(common)
+            if mine[i].end <= theirs[j].end:
+                i += 1
+            else:
+                j += 1
+        return TemporalElement(result)
+
+    def difference(self, other: "TemporalElement") -> "TemporalElement":
+        """All chronons of this element not covered by *other*."""
+        result: list[Interval] = []
+        for interval in self._intervals:
+            pieces = [interval]
+            for hole in other._intervals:
+                if hole.start >= interval.end:
+                    break
+                next_pieces: list[Interval] = []
+                for piece in pieces:
+                    next_pieces.extend(piece.difference(hole))
+                pieces = next_pieces
+                if not pieces:
+                    break
+            result.extend(pieces)
+        return TemporalElement(result)
+
+    # -- identity ----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TemporalElement):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        return hash(self._intervals)
+
+    def __repr__(self) -> str:
+        body = ", ".join(str(interval) for interval in self._intervals)
+        return f"TemporalElement({{{body}}})"

@@ -1,0 +1,153 @@
+"""Half-open time intervals ``[start, end)``.
+
+Intervals are the carrier of both valid time and transaction time in the
+temporal complex-object model.  They are immutable value objects with a
+total set-algebra surface (overlap, intersection, union of adjacent
+intervals, difference) plus the predicates the molecule builder needs
+(containment of an instant, relative position).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import InvalidIntervalError
+from repro.temporal.timestamp import (
+    FOREVER,
+    TMIN,
+    Timestamp,
+    format_timestamp,
+    validate_timestamp,
+)
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Interval:
+    """A non-empty half-open interval ``[start, end)`` over chronons.
+
+    Ordering is lexicographic on ``(start, end)``, which makes sorted runs
+    of intervals convenient for sweep algorithms.
+    """
+
+    start: Timestamp
+    end: Timestamp
+
+    def __post_init__(self) -> None:
+        validate_timestamp(self.start, role="start", allow_forever=False)
+        validate_timestamp(self.end, role="end", allow_tmin=False)
+        if self.start >= self.end:
+            raise InvalidIntervalError(
+                f"interval start must precede end, got "
+                f"[{format_timestamp(self.start)}, {format_timestamp(self.end)})")
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def instant(cls, at: Timestamp) -> "Interval":
+        """The single-chronon interval ``[at, at + 1)``."""
+        return cls(at, at + 1)
+
+    @classmethod
+    def from_onwards(cls, start: Timestamp) -> "Interval":
+        """The right-open interval ``[start, FOREVER)``."""
+        return cls(start, FOREVER)
+
+    @classmethod
+    def always(cls) -> "Interval":
+        """The whole time line ``[TMIN, FOREVER)``."""
+        return cls(TMIN, FOREVER)
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def is_open_ended(self) -> bool:
+        """True when the interval extends to ``FOREVER`` ("until changed")."""
+        return self.end == FOREVER
+
+    def contains(self, at: Timestamp) -> bool:
+        """True when the instant *at* lies inside the interval."""
+        return self.start <= at < self.end
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """True when *other* lies entirely inside this interval."""
+        return self.start <= other.start and other.end <= self.end
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the two intervals share at least one chronon."""
+        return self.start < other.end and other.start < self.end
+
+    def meets(self, other: "Interval") -> bool:
+        """True when this interval ends exactly where *other* starts."""
+        return self.end == other.start
+
+    def is_adjacent_or_overlapping(self, other: "Interval") -> bool:
+        """True when union with *other* forms one interval."""
+        return self.start <= other.end and other.start <= self.end
+
+    def precedes(self, at: Timestamp) -> bool:
+        """True when the whole interval lies strictly before instant *at*."""
+        return self.end <= at
+
+    def follows(self, at: Timestamp) -> bool:
+        """True when the whole interval lies strictly after instant *at*."""
+        return at < self.start
+
+    # -- algebra -----------------------------------------------------------
+
+    def duration(self) -> Timestamp:
+        """Number of chronons covered (a huge number for open-ended spans)."""
+        return self.end - self.start
+
+    def intersect(self, other: "Interval") -> Optional["Interval"]:
+        """The common sub-interval, or ``None`` when disjoint."""
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        if start >= end:
+            return None
+        return Interval(start, end)
+
+    def union(self, other: "Interval") -> "Interval":
+        """The single interval covering both operands.
+
+        Raises :class:`InvalidIntervalError` when the operands are neither
+        overlapping nor adjacent (their union would not be an interval).
+        """
+        if not self.is_adjacent_or_overlapping(other):
+            raise InvalidIntervalError(
+                f"union of disjoint intervals {self} and {other} "
+                f"is not an interval")
+        return Interval(min(self.start, other.start), max(self.end, other.end))
+
+    def difference(self, other: "Interval") -> Iterator["Interval"]:
+        """Yield the 0, 1, or 2 intervals of ``self minus other``."""
+        if not self.overlaps(other):
+            yield self
+            return
+        if self.start < other.start:
+            yield Interval(self.start, other.start)
+        if other.end < self.end:
+            yield Interval(other.end, self.end)
+
+    def clamp_end(self, end: Timestamp) -> Optional["Interval"]:
+        """This interval truncated to end no later than *end*.
+
+        Returns ``None`` when nothing of the interval survives.
+        """
+        if end <= self.start:
+            return None
+        return Interval(self.start, min(self.end, end))
+
+    def clamp_start(self, start: Timestamp) -> Optional["Interval"]:
+        """This interval truncated to start no earlier than *start*.
+
+        Returns ``None`` when nothing of the interval survives.
+        """
+        if start >= self.end:
+            return None
+        return Interval(max(self.start, start), self.end)
+
+    # -- presentation --------------------------------------------------------
+
+    def __str__(self) -> str:
+        return f"[{format_timestamp(self.start)}, {format_timestamp(self.end)})"

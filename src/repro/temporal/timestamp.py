@@ -1,0 +1,78 @@
+"""Discrete chronon timestamps.
+
+The time domain is the set of integers representable in a signed 64-bit
+word, with two distinguished sentinels:
+
+* :data:`TMIN` — the beginning of time (used as the open lower bound of
+  history queries).
+* :data:`FOREVER` — the open upper bound, standing for "until changed".
+  A version whose valid-time interval ends at ``FOREVER`` is valid *now*
+  and into the indefinite future; a version whose transaction-time interval
+  ends at ``FOREVER`` belongs to the current knowledge state.
+
+Regular chronons must lie strictly between the sentinels so that every
+half-open interval ``[start, end)`` with ``start < end`` is well formed.
+Timestamps are plain ``int`` at runtime (the :data:`Timestamp` alias exists
+for signatures); this module centralizes validation and formatting.
+"""
+
+from __future__ import annotations
+
+from typing import TypeAlias
+
+from repro.errors import InvalidTimestampError
+
+#: Runtime representation of a chronon.
+Timestamp: TypeAlias = int
+
+#: The beginning of time.  Valid only as an interval start.
+TMIN: Timestamp = -(2**62)
+
+#: "Until changed": the open end of time.  Valid only as an interval end.
+FOREVER: Timestamp = 2**62
+
+#: Smallest chronon usable as a concrete event time.
+MIN_CHRONON: Timestamp = TMIN + 1
+
+#: Largest chronon usable as a concrete event time.
+MAX_CHRONON: Timestamp = FOREVER - 1
+
+
+def is_valid_timestamp(value: object, *, allow_tmin: bool = True,
+                       allow_forever: bool = True) -> bool:
+    """Return ``True`` when *value* is a chronon in the representable domain.
+
+    Booleans are rejected even though ``bool`` subclasses ``int``; a
+    timestamp of ``True`` is always a bug in calling code.
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        return False
+    low = TMIN if allow_tmin else MIN_CHRONON
+    high = FOREVER if allow_forever else MAX_CHRONON
+    return low <= value <= high
+
+
+def validate_timestamp(value: object, *, role: str = "timestamp",
+                       allow_tmin: bool = True,
+                       allow_forever: bool = True) -> Timestamp:
+    """Return *value* as a chronon or raise :class:`InvalidTimestampError`.
+
+    ``role`` names the parameter being validated so error messages point at
+    the offending argument (e.g. ``"valid_from"``).
+    """
+    if not is_valid_timestamp(value, allow_tmin=allow_tmin,
+                              allow_forever=allow_forever):
+        raise InvalidTimestampError(
+            f"{role} must be an integer chronon in "
+            f"[{TMIN if allow_tmin else MIN_CHRONON}, "
+            f"{FOREVER if allow_forever else MAX_CHRONON}], got {value!r}")
+    return value  # type: ignore[return-value]
+
+
+def format_timestamp(value: Timestamp) -> str:
+    """Render a chronon for humans: sentinels by name, others as numbers."""
+    if value == TMIN:
+        return "TMIN"
+    if value == FOREVER:
+        return "FOREVER"
+    return str(value)

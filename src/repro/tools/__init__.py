@@ -1,0 +1,28 @@
+"""Operational tooling: integrity verification and history vacuuming.
+
+* :func:`~repro.tools.verify.verify_database` — walks every structure
+  (histories, type index, reference symmetry, B+-trees, directory) and
+  reports violations.
+* :func:`~repro.tools.vacuum.vacuum_superseded` — physically removes
+  versions whose transaction time ended before a cutoff, reclaiming the
+  space that bitemporal never-delete semantics would otherwise grow
+  forever.
+* ``python -m repro`` — a small command-line front end (info, query,
+  history, verify, vacuum).
+"""
+
+from repro.tools.export import dump_database, dump_json, load_database
+from repro.tools.stats import DatabaseStatistics, database_statistics
+from repro.tools.vacuum import vacuum_superseded
+from repro.tools.verify import VerificationReport, verify_database
+
+__all__ = [
+    "dump_database",
+    "dump_json",
+    "load_database",
+    "DatabaseStatistics",
+    "database_statistics",
+    "vacuum_superseded",
+    "VerificationReport",
+    "verify_database",
+]

@@ -1,0 +1,81 @@
+"""Database statistics: the numbers an administrator (or a cost-based
+planner) wants.
+
+:func:`database_statistics` scans the version store once and aggregates
+per-type atom counts, version counts, history-length distribution, and
+liveness, plus the storage-layer page accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.database import TemporalDatabase
+
+
+@dataclass
+class TypeStatistics:
+    """Aggregates for one atom type."""
+
+    atoms: int = 0
+    versions: int = 0
+    live_versions: int = 0
+    max_history: int = 0
+
+    @property
+    def mean_history(self) -> float:
+        return self.versions / self.atoms if self.atoms else 0.0
+
+
+@dataclass
+class DatabaseStatistics:
+    """Whole-database aggregates."""
+
+    by_type: Dict[str, TypeStatistics] = field(default_factory=dict)
+    total_pages: int = 0
+    total_bytes: int = 0
+    page_size: int = 0
+    index_names: tuple = ()
+
+    @property
+    def total_atoms(self) -> int:
+        return sum(stats.atoms for stats in self.by_type.values())
+
+    @property
+    def total_versions(self) -> int:
+        return sum(stats.versions for stats in self.by_type.values())
+
+    def summary(self) -> str:
+        lines = [f"{self.total_atoms} atoms, {self.total_versions} "
+                 f"versions, {self.total_pages} pages "
+                 f"({self.total_bytes} bytes)"]
+        for name, stats in sorted(self.by_type.items()):
+            lines.append(
+                f"  {name}: {stats.atoms} atoms, {stats.versions} versions "
+                f"(mean history {stats.mean_history:.1f}, "
+                f"max {stats.max_history}, {stats.live_versions} live)")
+        return "\n".join(lines)
+
+
+def database_statistics(db: TemporalDatabase) -> DatabaseStatistics:
+    """Scan the store and aggregate statistics."""
+    result = DatabaseStatistics()
+    for atom_type in db.schema.atom_types:
+        result.by_type[atom_type.name] = TypeStatistics()
+    engine = db.engine
+    for atom_id in engine.store.atom_ids():
+        type_name = engine.atom_type_name(atom_id)
+        stats = result.by_type.setdefault(type_name, TypeStatistics())
+        versions = engine.all_versions(atom_id)
+        stats.atoms += 1
+        stats.versions += len(versions)
+        stats.live_versions += sum(1 for version in versions
+                                   if version.live)
+        stats.max_history = max(stats.max_history, len(versions))
+    storage = db.storage_stats()
+    result.total_pages = storage.total_pages
+    result.total_bytes = storage.total_bytes
+    result.page_size = storage.page_size
+    result.index_names = tuple(db.indexes.index_names())
+    return result

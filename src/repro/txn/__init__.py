@@ -1,0 +1,27 @@
+"""Transaction system: logging, locking, transactions, recovery.
+
+* :class:`~repro.txn.wal.WriteAheadLog` — append-only logical log with
+  CRC-protected records and torn-tail tolerance.
+* :class:`~repro.txn.locks.LockManager` — strict two-phase S/X locking
+  with wait-for-graph deadlock detection.
+* :class:`~repro.txn.manager.Transaction` /
+  :class:`~repro.txn.manager.TransactionManager` — transaction lifecycle,
+  undo lists, transaction-time assignment.
+* :mod:`~repro.txn.recovery` — checkpoint/restore and committed-operation
+  replay after a crash.
+"""
+
+from repro.txn.locks import LockManager, LockMode
+from repro.txn.manager import Transaction, TransactionManager, TxnState
+from repro.txn.wal import LogRecord, LogRecordType, WriteAheadLog
+
+__all__ = [
+    "LockManager",
+    "LockMode",
+    "Transaction",
+    "TransactionManager",
+    "TxnState",
+    "LogRecord",
+    "LogRecordType",
+    "WriteAheadLog",
+]

@@ -1,0 +1,141 @@
+"""Lock manager: strict two-phase S/X locking with deadlock detection.
+
+Resources are arbitrary hashable keys (the engine locks atoms by id and
+whole atom types by name).  Shared (S) locks are compatible with each
+other; exclusive (X) locks are compatible with nothing.  Lock upgrades
+(S held, X requested) are supported.
+
+Deadlocks are detected eagerly on the wait-for graph: before a requester
+blocks, the manager checks whether waiting would close a cycle and, if
+so, raises :class:`DeadlockError` in the requester (the requester is the
+victim — the simplest deterministic policy).  A configurable timeout
+bounds pathological waits.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Set
+
+from repro.errors import DeadlockError, LockTimeoutError
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+@dataclass
+class _ResourceState:
+    """Holders and waiters of one resource."""
+
+    holders: Dict[int, LockMode] = field(default_factory=dict)
+    waiters: Set[int] = field(default_factory=set)
+
+
+class LockManager:
+    """Grants S/X locks to transactions identified by integer ids."""
+
+    def __init__(self, timeout: float = 10.0) -> None:
+        self._mutex = threading.Lock()
+        self._changed = threading.Condition(self._mutex)
+        self._resources: Dict[Hashable, _ResourceState] = {}
+        self._held_by_txn: Dict[int, Set[Hashable]] = {}
+        self._waits_for: Dict[int, Set[int]] = {}
+        self._timeout = timeout
+
+    # -- compatibility ------------------------------------------------------
+
+    @staticmethod
+    def _compatible(requested: LockMode, state: _ResourceState,
+                    txn_id: int) -> bool:
+        others = {holder: mode for holder, mode in state.holders.items()
+                  if holder != txn_id}
+        if not others:
+            return True
+        if requested is LockMode.EXCLUSIVE:
+            return False
+        return all(mode is LockMode.SHARED for mode in others.values())
+
+    # -- deadlock detection ----------------------------------------------------
+
+    def _would_deadlock(self, txn_id: int, blockers: Set[int]) -> bool:
+        """Would txn_id waiting on *blockers* close a wait-for cycle?"""
+        seen: Set[int] = set()
+        frontier = set(blockers)
+        while frontier:
+            node = frontier.pop()
+            if node == txn_id:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.update(self._waits_for.get(node, ()))
+        return False
+
+    # -- acquire / release ---------------------------------------------------------
+
+    def acquire(self, txn_id: int, resource: Hashable,
+                mode: LockMode) -> None:
+        """Block until the lock is granted.
+
+        Raises :class:`DeadlockError` when waiting would deadlock and
+        :class:`LockTimeoutError` after the configured timeout.
+        """
+        deadline = time.monotonic() + self._timeout
+        with self._changed:
+            state = self._resources.setdefault(resource, _ResourceState())
+            while True:
+                held = state.holders.get(txn_id)
+                if held is LockMode.EXCLUSIVE or held is mode:
+                    return  # already strong enough
+                if self._compatible(mode, state, txn_id):
+                    state.holders[txn_id] = mode
+                    self._held_by_txn.setdefault(txn_id, set()).add(resource)
+                    state.waiters.discard(txn_id)
+                    self._waits_for.pop(txn_id, None)
+                    return
+                blockers = {holder for holder in state.holders
+                            if holder != txn_id}
+                if self._would_deadlock(txn_id, blockers):
+                    state.waiters.discard(txn_id)
+                    self._waits_for.pop(txn_id, None)
+                    raise DeadlockError(
+                        f"transaction {txn_id} would deadlock waiting for "
+                        f"{resource!r}")
+                state.waiters.add(txn_id)
+                self._waits_for[txn_id] = blockers
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._changed.wait(remaining):
+                    state.waiters.discard(txn_id)
+                    self._waits_for.pop(txn_id, None)
+                    raise LockTimeoutError(
+                        f"transaction {txn_id} timed out waiting for "
+                        f"{resource!r}")
+
+    def release_all(self, txn_id: int) -> None:
+        """Release every lock of a transaction (commit or abort)."""
+        with self._changed:
+            for resource in self._held_by_txn.pop(txn_id, set()):
+                state = self._resources.get(resource)
+                if state is None:
+                    continue
+                state.holders.pop(txn_id, None)
+                if not state.holders and not state.waiters:
+                    del self._resources[resource]
+            self._waits_for.pop(txn_id, None)
+            self._changed.notify_all()
+
+    # -- introspection ----------------------------------------------------------------
+
+    def locks_held(self, txn_id: int) -> Set[Hashable]:
+        with self._mutex:
+            return set(self._held_by_txn.get(txn_id, set()))
+
+    def holders_of(self, resource: Hashable) -> Dict[int, LockMode]:
+        with self._mutex:
+            state = self._resources.get(resource)
+            return dict(state.holders) if state else {}

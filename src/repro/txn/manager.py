@@ -1,0 +1,137 @@
+"""Transaction lifecycle: begin, operate, commit or abort.
+
+The engine applies operations to storage immediately (through the buffer
+pool) and registers a compensating *undo action* per operation with the
+transaction.  Commit forces the log; abort runs the undo actions in
+reverse.  Because the on-disk image may contain effects of uncommitted
+or unfinished transactions after a crash, crash recovery never trusts
+the image directly — it restores the last checkpoint and replays
+committed operations from the log (:mod:`repro.txn.recovery`).
+
+Transaction time is assigned at ``begin`` from the logical clock and
+recorded in the BEGIN log record so replay stamps identical times.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Any, Callable, Dict, List
+
+from repro.errors import TransactionStateError
+from repro.temporal import TransactionClock
+from repro.txn.locks import LockManager
+from repro.txn.wal import LogRecordType, WriteAheadLog
+
+UndoAction = Callable[[], None]
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """One unit of work; created by :class:`TransactionManager.begin`."""
+
+    def __init__(self, txn_id: int, tt: int,
+                 manager: "TransactionManager") -> None:
+        self.txn_id = txn_id
+        self.tt = tt
+        self._manager = manager
+        self._state = TxnState.ACTIVE
+        self._undo: List[UndoAction] = []
+        self.operations_logged = 0
+
+    @property
+    def state(self) -> TxnState:
+        return self._state
+
+    @property
+    def is_active(self) -> bool:
+        return self._state is TxnState.ACTIVE
+
+    def require_active(self) -> None:
+        if self._state is not TxnState.ACTIVE:
+            raise TransactionStateError(
+                f"transaction {self.txn_id} is {self._state.value}")
+
+    def add_undo(self, action: UndoAction) -> None:
+        """Register a compensating action, run in reverse order on abort."""
+        self.require_active()
+        self._undo.append(action)
+
+    # Lifecycle is driven through the manager so logging, locking, and
+    # state stay consistent.
+
+    def commit(self) -> None:
+        self._manager.commit(self)
+
+    def abort(self) -> None:
+        self._manager.abort(self)
+
+
+class TransactionManager:
+    """Creates transactions and drives their commit/abort protocol."""
+
+    def __init__(self, wal: WriteAheadLog, locks: LockManager,
+                 clock: TransactionClock) -> None:
+        self._wal = wal
+        self.locks = locks
+        self._clock = clock
+        self._mutex = threading.Lock()
+        self._next_txn_id = 1
+        self._active: Dict[int, Transaction] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        with self._mutex:
+            txn_id = self._next_txn_id
+            self._next_txn_id += 1
+        tt = self._clock.tick()
+        txn = Transaction(txn_id, tt, self)
+        self._wal.append(LogRecordType.BEGIN, txn_id, {"tt": tt})
+        with self._mutex:
+            self._active[txn_id] = txn
+        return txn
+
+    def log_operation(self, txn: Transaction,
+                      payload: Dict[str, Any]) -> int:
+        """Log one operation of *txn*; must precede applying it."""
+        txn.require_active()
+        txn.operations_logged += 1
+        return self._wal.append(LogRecordType.OPERATION, txn.txn_id, payload)
+
+    def commit(self, txn: Transaction) -> None:
+        """Force-log the commit, then release the transaction's locks."""
+        txn.require_active()
+        self._wal.append(LogRecordType.COMMIT, txn.txn_id)
+        self._wal.flush()
+        txn._state = TxnState.COMMITTED
+        self.locks.release_all(txn.txn_id)
+        with self._mutex:
+            self._active.pop(txn.txn_id, None)
+
+    def abort(self, txn: Transaction) -> None:
+        """Undo applied operations in reverse, log the abort, release."""
+        txn.require_active()
+        for action in reversed(txn._undo):
+            action()
+        self._wal.append(LogRecordType.ABORT, txn.txn_id)
+        self._wal.flush(sync=False)
+        txn._state = TxnState.ABORTED
+        self.locks.release_all(txn.txn_id)
+        with self._mutex:
+            self._active.pop(txn.txn_id, None)
+
+    # -- introspection ------------------------------------------------------------
+
+    def active_transactions(self) -> List[int]:
+        with self._mutex:
+            return sorted(self._active)
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        return self._wal

@@ -1,0 +1,41 @@
+"""Synthetic workloads: deterministic CAD/BOM-style data generation.
+
+The MAD model's motivating domain is engineering design data: assemblies
+(parts) composed of components, sourced from suppliers, described by
+documents, all evolving over time.  The generator emits an *abstract
+operation list* that adapters replay against any implementation — the
+engine, the reference oracle, or the baselines — so every system under
+comparison sees the identical logical history.
+"""
+
+from repro.workloads.generator import (
+    Op,
+    WorkloadSpec,
+    apply_to_database,
+    apply_to_reference,
+    apply_to_snapshot,
+    apply_to_tuple_timestamp,
+    cad_schema,
+    generate_bom,
+)
+from repro.workloads.scenarios import (
+    buffer_sweep_spec,
+    fanout_spec,
+    history_depth_spec,
+    small_spec,
+)
+
+__all__ = [
+    "Op",
+    "WorkloadSpec",
+    "apply_to_database",
+    "apply_to_reference",
+    "apply_to_snapshot",
+    "apply_to_tuple_timestamp",
+    "cad_schema",
+    "generate_bom",
+    "buffer_sweep_spec",
+    "fanout_spec",
+    "history_depth_spec",
+    "small_spec",
+]

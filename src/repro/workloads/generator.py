@@ -1,0 +1,269 @@
+"""BOM workload generation and replay adapters.
+
+:func:`generate_bom` produces a deterministic list of abstract
+operations from a :class:`WorkloadSpec`:
+
+* phase 1 (time 0): create suppliers, parts, components, and documents,
+  and wire the link structure (each part contains ``fanout`` components;
+  components are supplied; documents describe parts);
+* phase 2 (times 1..): version churn — attribute updates spread over the
+  atoms, one chronon per batch, until every atom has about
+  ``versions_per_atom`` versions.
+
+Operations reference atoms by *handle* (dense integers); adapters map
+handles to the concrete atom ids each target assigns.  Replaying the
+same operation list into the engine, the oracle, and the baselines is
+what makes cross-system comparisons and differential tests meaningful.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.core.database import TemporalDatabase
+from repro.core.datatypes import DataType
+from repro.core.schema import AtomType, Attribute, Cardinality, LinkType, Schema
+
+#: Abstract operation: (kind, *args) with atom handles, not ids.
+Op = Tuple[Any, ...]
+
+
+def cad_schema() -> Schema:
+    """The evaluation schema: a small engineering-design database."""
+    schema = Schema("cad")
+    schema.add_atom_type(AtomType("Part", [
+        Attribute("name", DataType.STRING, required=True),
+        Attribute("cost", DataType.FLOAT),
+        Attribute("released", DataType.BOOL),
+    ]))
+    schema.add_atom_type(AtomType("Component", [
+        Attribute("cname", DataType.STRING, required=True),
+        Attribute("weight", DataType.FLOAT),
+        Attribute("material", DataType.STRING),
+    ]))
+    schema.add_atom_type(AtomType("Supplier", [
+        Attribute("sname", DataType.STRING, required=True),
+        Attribute("rating", DataType.INT),
+    ]))
+    schema.add_atom_type(AtomType("Document", [
+        Attribute("title", DataType.STRING, required=True),
+        Attribute("revision", DataType.INT),
+    ]))
+    schema.add_link_type(LinkType("contains", "Part", "Component",
+                                  Cardinality.MANY_TO_MANY))
+    schema.add_link_type(LinkType("supplied_by", "Component", "Supplier",
+                                  Cardinality.MANY_TO_MANY))
+    schema.add_link_type(LinkType("documented_by", "Part", "Document",
+                                  Cardinality.ONE_TO_MANY))
+    return schema
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one generated BOM workload."""
+
+    parts: int = 20
+    fanout: int = 4              # components per part
+    suppliers: int = 5
+    documents_per_part: int = 1
+    versions_per_atom: int = 4   # target history length (>= 1)
+    seed: int = 1992
+    share_components: bool = True  # components reused across parts (n:m)
+    churn_fraction: float = 1.0  # share of atoms updated per churn round
+
+    def describe(self) -> str:
+        return (f"parts={self.parts} fanout={self.fanout} "
+                f"versions={self.versions_per_atom} seed={self.seed}")
+
+
+_MATERIALS = ("steel", "aluminium", "carbon", "titanium", "polymer")
+
+
+def generate_bom(spec: WorkloadSpec) -> Tuple[List[Op], Dict[str, List[int]]]:
+    """Generate the operation list and the handle groups per atom type.
+
+    Returns ``(ops, groups)`` where ``groups`` maps type names to the
+    handles created for that type (handles are 0-based and dense).
+    """
+    rng = random.Random(spec.seed)
+    ops: List[Op] = []
+    groups: Dict[str, List[int]] = {"Part": [], "Component": [],
+                                    "Supplier": [], "Document": []}
+    next_handle = 0
+
+    def create(type_name: str, values: Dict[str, Any]) -> int:
+        nonlocal next_handle
+        handle = next_handle
+        next_handle += 1
+        groups[type_name].append(handle)
+        ops.append(("insert", handle, type_name, values, 0))
+        return handle
+
+    suppliers = [create("Supplier", {"sname": f"supplier-{i}",
+                                     "rating": rng.randint(1, 5)})
+                 for i in range(spec.suppliers)]
+    component_pool: List[int] = []
+    for p in range(spec.parts):
+        part = create("Part", {"name": f"part-{p}",
+                               "cost": round(rng.uniform(10, 500), 2),
+                               "released": rng.random() < 0.5})
+        for c in range(spec.fanout):
+            reuse = (spec.share_components and component_pool
+                     and rng.random() < 0.3)
+            if reuse:
+                component = rng.choice(component_pool)
+            else:
+                component = create("Component", {
+                    "cname": f"component-{p}-{c}",
+                    "weight": round(rng.uniform(0.1, 25.0), 3),
+                    "material": rng.choice(_MATERIALS)})
+                component_pool.append(component)
+                supplier = rng.choice(suppliers)
+                ops.append(("link", "supplied_by", component, supplier, 0))
+            ops.append(("link", "contains", part, component, 0))
+        for d in range(spec.documents_per_part):
+            document = create("Document", {"title": f"doc-{p}-{d}",
+                                           "revision": 1})
+            ops.append(("link", "documented_by", part, document, 0))
+
+    # Phase 2: churn.  Every batch advances time by one chronon and
+    # updates a deterministic slice of the atoms.
+    churn_targets: List[Tuple[str, int]] = (
+        [("Part", h) for h in groups["Part"]]
+        + [("Component", h) for h in groups["Component"]]
+        + [("Document", h) for h in groups["Document"]])
+    per_round = max(1, int(len(churn_targets) * spec.churn_fraction))
+    for round_number in range(1, spec.versions_per_atom):
+        at = round_number
+        rng.shuffle(churn_targets)
+        for type_name, handle in churn_targets[:per_round]:
+            if type_name == "Part":
+                changes: Dict[str, Any] = {
+                    "cost": round(rng.uniform(10, 500), 2)}
+            elif type_name == "Component":
+                changes = {"weight": round(rng.uniform(0.1, 25.0), 3)}
+            else:
+                changes = {"revision": round_number + 1}
+            ops.append(("update", handle, changes, at))
+    return ops, groups
+
+
+# ---------------------------------------------------------------------------
+# Replay adapters
+# ---------------------------------------------------------------------------
+
+
+def apply_to_database(db: TemporalDatabase, ops: Sequence[Op],
+                      ops_per_txn: int = 50) -> Dict[int, int]:
+    """Replay into the engine; returns handle -> atom id."""
+    ids: Dict[int, int] = {}
+    txn = db.begin()
+    in_txn = 0
+    try:
+        for op in ops:
+            if in_txn >= ops_per_txn:
+                txn.commit()
+                txn = db.begin()
+                in_txn = 0
+            kind = op[0]
+            if kind == "insert":
+                _, handle, type_name, values, at = op
+                ids[handle] = txn.insert(type_name, values, valid_from=at)
+            elif kind == "update":
+                _, handle, changes, at = op
+                txn.update(ids[handle], changes, valid_from=at)
+            elif kind == "delete":
+                _, handle, at = op
+                txn.delete(ids[handle], valid_from=at)
+            elif kind == "link":
+                _, link_name, h1, h2, at = op
+                txn.link(link_name, ids[h1], ids[h2], valid_from=at)
+            elif kind == "unlink":
+                _, link_name, h1, h2, at = op
+                txn.unlink(link_name, ids[h1], ids[h2], valid_from=at)
+            else:
+                raise ValueError(f"unknown op {kind!r}")
+            in_txn += 1
+    except BaseException:
+        if txn.is_active:
+            txn.abort()
+        raise
+    txn.commit()
+    return ids
+
+
+def apply_to_reference(ref, ops: Sequence[Op]) -> Dict[int, int]:
+    """Replay into the in-memory oracle; returns handle -> atom id."""
+    ids: Dict[int, int] = {}
+    for op in ops:
+        kind = op[0]
+        if kind == "insert":
+            _, handle, type_name, values, at = op
+            ids[handle] = ref.insert(type_name, values, valid_from=at)
+        elif kind == "update":
+            _, handle, changes, at = op
+            ref.update(ids[handle], changes, valid_from=at)
+        elif kind == "delete":
+            _, handle, at = op
+            ref.delete(ids[handle], valid_from=at)
+        elif kind == "link":
+            _, link_name, h1, h2, at = op
+            ref.link(link_name, ids[h1], ids[h2], valid_from=at)
+        elif kind == "unlink":
+            _, link_name, h1, h2, at = op
+            ref.unlink(link_name, ids[h1], ids[h2], valid_from=at)
+        else:
+            raise ValueError(f"unknown op {kind!r}")
+    return ids
+
+
+def apply_to_snapshot(snap, ops: Sequence[Op]) -> Dict[int, int]:
+    """Replay into the snapshot baseline (time-ordered by construction)."""
+    ids: Dict[int, int] = {}
+    for op in ops:
+        kind = op[0]
+        if kind == "insert":
+            _, handle, type_name, values, at = op
+            ids[handle] = snap.insert(type_name, values, at)
+        elif kind == "update":
+            _, handle, changes, at = op
+            snap.update(ids[handle], changes, at)
+        elif kind == "delete":
+            _, handle, at = op
+            snap.delete(ids[handle], at)
+        elif kind == "link":
+            _, link_name, h1, h2, at = op
+            snap.link(link_name, ids[h1], ids[h2], at)
+        elif kind == "unlink":
+            _, link_name, h1, h2, at = op
+            snap.unlink(link_name, ids[h1], ids[h2], at)
+        else:
+            raise ValueError(f"unknown op {kind!r}")
+    return ids
+
+
+def apply_to_tuple_timestamp(flat, ops: Sequence[Op]) -> Dict[int, int]:
+    """Replay into the 1NF tuple-timestamping baseline."""
+    ids: Dict[int, int] = {}
+    for op in ops:
+        kind = op[0]
+        if kind == "insert":
+            _, handle, type_name, values, at = op
+            ids[handle] = flat.insert(type_name, values, valid_from=at)
+        elif kind == "update":
+            _, handle, changes, at = op
+            flat.update(ids[handle], changes, valid_from=at)
+        elif kind == "delete":
+            _, handle, at = op
+            flat.delete(ids[handle], valid_from=at)
+        elif kind == "link":
+            _, link_name, h1, h2, at = op
+            flat.link(link_name, ids[h1], ids[h2], valid_from=at)
+        elif kind == "unlink":
+            _, link_name, h1, h2, at = op
+            flat.unlink(link_name, ids[h1], ids[h2], valid_from=at)
+        else:
+            raise ValueError(f"unknown op {kind!r}")
+    return ids

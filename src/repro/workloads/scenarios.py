@@ -1,0 +1,39 @@
+"""Named workload specifications for the reconstructed experiments.
+
+Each helper returns a :class:`~repro.workloads.generator.WorkloadSpec`
+scaled for one experiment's sweep axis; DESIGN.md's experiment index
+references these by name.  Sizes are deliberately laptop-scale — the
+benchmarks compare *shapes* across strategies, which small inputs show
+just as well.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.generator import WorkloadSpec
+
+
+def small_spec(seed: int = 1992) -> WorkloadSpec:
+    """The default small BOM used by functional tests and quick runs."""
+    return WorkloadSpec(parts=10, fanout=3, suppliers=4,
+                        versions_per_atom=3, seed=seed)
+
+
+def history_depth_spec(versions: int, parts: int = 8,
+                       seed: int = 1992) -> WorkloadSpec:
+    """Sweep axis of R-T1 / R-F1 / R-F3 / R-T3: history length."""
+    return WorkloadSpec(parts=parts, fanout=3, suppliers=4,
+                        versions_per_atom=versions, seed=seed)
+
+
+def fanout_spec(fanout: int, parts: int = 6,
+                seed: int = 1992) -> WorkloadSpec:
+    """Sweep axis of R-F2: molecule size (components per part)."""
+    return WorkloadSpec(parts=parts, fanout=fanout, suppliers=4,
+                        versions_per_atom=2, seed=seed,
+                        share_components=False)
+
+
+def buffer_sweep_spec(seed: int = 1992) -> WorkloadSpec:
+    """Fixed mid-size database for the buffer-pool sweep (R-F4)."""
+    return WorkloadSpec(parts=40, fanout=4, suppliers=8,
+                        versions_per_atom=6, seed=seed)

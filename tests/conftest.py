@@ -1,0 +1,74 @@
+"""Shared fixtures: schemas, databases per strategy, storage scaffolding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AtomType,
+    Attribute,
+    Cardinality,
+    DataType,
+    DatabaseConfig,
+    LinkType,
+    Schema,
+    TemporalDatabase,
+    VersionStrategy,
+)
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import DiskManager
+
+ALL_STRATEGIES = list(VersionStrategy)
+
+
+@pytest.fixture
+def cad_schema() -> Schema:
+    """The small CAD schema most functional tests use."""
+    schema = Schema("cad")
+    schema.add_atom_type(AtomType("Part", [
+        Attribute("name", DataType.STRING, required=True),
+        Attribute("cost", DataType.FLOAT),
+        Attribute("released", DataType.BOOL),
+    ]))
+    schema.add_atom_type(AtomType("Component", [
+        Attribute("cname", DataType.STRING),
+        Attribute("weight", DataType.FLOAT),
+    ]))
+    schema.add_atom_type(AtomType("Supplier", [
+        Attribute("sname", DataType.STRING),
+        Attribute("rating", DataType.INT),
+    ]))
+    schema.add_link_type(LinkType("contains", "Part", "Component",
+                                  Cardinality.MANY_TO_MANY))
+    schema.add_link_type(LinkType("supplied_by", "Component", "Supplier",
+                                  Cardinality.MANY_TO_MANY))
+    return schema
+
+
+@pytest.fixture(params=ALL_STRATEGIES, ids=[s.value for s in ALL_STRATEGIES])
+def strategy(request) -> VersionStrategy:
+    """Parametrizes a test over all three version-storage strategies."""
+    return request.param
+
+
+@pytest.fixture
+def db(tmp_path, cad_schema, strategy) -> TemporalDatabase:
+    """A fresh database (per strategy) that is closed after the test."""
+    database = TemporalDatabase.create(
+        str(tmp_path / "db"), cad_schema,
+        DatabaseConfig(strategy=strategy, buffer_pages=64))
+    yield database
+    if not database._closed:
+        database.close()
+
+
+@pytest.fixture
+def disk(tmp_path) -> DiskManager:
+    manager = DiskManager(tmp_path / "pages.db")
+    yield manager
+    manager.close()
+
+
+@pytest.fixture
+def buffer(disk) -> BufferManager:
+    return BufferManager(disk, capacity=32)

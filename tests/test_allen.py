@@ -1,0 +1,87 @@
+"""Tests for Allen's interval relations."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.temporal import AllenRelation, Interval, allen_relation
+
+chronons = st.integers(min_value=-100, max_value=100)
+
+
+@st.composite
+def intervals(draw):
+    start = draw(chronons)
+    end = draw(st.integers(min_value=start + 1, max_value=102))
+    return Interval(start, end)
+
+
+class TestNamedCases:
+    def test_before_and_after(self):
+        assert allen_relation(Interval(0, 2), Interval(5, 7)) is AllenRelation.BEFORE
+        assert allen_relation(Interval(5, 7), Interval(0, 2)) is AllenRelation.AFTER
+
+    def test_meets_and_met_by(self):
+        assert allen_relation(Interval(0, 5), Interval(5, 7)) is AllenRelation.MEETS
+        assert allen_relation(Interval(5, 7), Interval(0, 5)) is AllenRelation.MET_BY
+
+    def test_overlaps_and_overlapped_by(self):
+        assert allen_relation(Interval(0, 5), Interval(3, 8)) is AllenRelation.OVERLAPS
+        assert allen_relation(Interval(3, 8), Interval(0, 5)) is AllenRelation.OVERLAPPED_BY
+
+    def test_starts_and_started_by(self):
+        assert allen_relation(Interval(0, 3), Interval(0, 8)) is AllenRelation.STARTS
+        assert allen_relation(Interval(0, 8), Interval(0, 3)) is AllenRelation.STARTED_BY
+
+    def test_during_and_contains(self):
+        assert allen_relation(Interval(2, 4), Interval(0, 8)) is AllenRelation.DURING
+        assert allen_relation(Interval(0, 8), Interval(2, 4)) is AllenRelation.CONTAINS
+
+    def test_finishes_and_finished_by(self):
+        assert allen_relation(Interval(5, 8), Interval(0, 8)) is AllenRelation.FINISHES
+        assert allen_relation(Interval(0, 8), Interval(5, 8)) is AllenRelation.FINISHED_BY
+
+    def test_equals(self):
+        assert allen_relation(Interval(1, 4), Interval(1, 4)) is AllenRelation.EQUALS
+
+
+@given(intervals(), intervals())
+def test_relation_is_total_and_inverse_consistent(a, b):
+    forward = allen_relation(a, b)
+    backward = allen_relation(b, a)
+    assert forward.inverse is backward
+
+
+@given(intervals(), intervals())
+def test_overlap_predicate_matches_relation(a, b):
+    relation = allen_relation(a, b)
+    sharing = {AllenRelation.OVERLAPS, AllenRelation.OVERLAPPED_BY,
+               AllenRelation.STARTS, AllenRelation.STARTED_BY,
+               AllenRelation.DURING, AllenRelation.CONTAINS,
+               AllenRelation.FINISHES, AllenRelation.FINISHED_BY,
+               AllenRelation.EQUALS}
+    assert a.overlaps(b) == (relation in sharing)
+
+
+@given(intervals())
+def test_equals_is_reflexive(a):
+    assert allen_relation(a, a) is AllenRelation.EQUALS
+
+
+def test_all_thirteen_relations_reachable():
+    pairs = [
+        (Interval(0, 1), Interval(2, 3)),   # before
+        (Interval(0, 2), Interval(2, 3)),   # meets
+        (Interval(0, 3), Interval(2, 5)),   # overlaps
+        (Interval(0, 2), Interval(0, 5)),   # starts
+        (Interval(1, 2), Interval(0, 5)),   # during
+        (Interval(3, 5), Interval(0, 5)),   # finishes
+        (Interval(0, 5), Interval(0, 5)),   # equals
+        (Interval(0, 5), Interval(3, 5)),   # finished_by
+        (Interval(0, 5), Interval(1, 2)),   # contains
+        (Interval(0, 5), Interval(0, 2)),   # started_by
+        (Interval(2, 5), Interval(0, 3)),   # overlapped_by
+        (Interval(2, 3), Interval(0, 2)),   # met_by
+        (Interval(2, 3), Interval(0, 1)),   # after
+    ]
+    seen = {allen_relation(a, b) for a, b in pairs}
+    assert seen == set(AllenRelation)

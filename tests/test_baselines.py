@@ -1,0 +1,149 @@
+"""Tests for the snapshot and tuple-timestamping baselines."""
+
+import pytest
+
+from repro import MoleculeType
+from repro.baselines import SnapshotDatabase, TupleTimestampDatabase
+from repro.errors import TemporalUpdateError, UnknownAtomError
+from repro.temporal import Interval
+
+
+@pytest.fixture
+def snap(cad_schema):
+    return SnapshotDatabase(cad_schema)
+
+
+@pytest.fixture
+def flat(cad_schema):
+    return TupleTimestampDatabase(cad_schema)
+
+
+class TestSnapshot:
+    def test_states_over_time(self, snap):
+        part = snap.insert("Part", {"name": "x", "cost": 1.0}, 0)
+        snap.update(part, {"cost": 2.0}, 10)
+        assert snap.version_at(part, 5).values["cost"] == 1.0
+        assert snap.version_at(part, 10).values["cost"] == 2.0
+        assert snap.version_at(part, 99).values["cost"] == 2.0
+
+    def test_before_creation(self, snap):
+        part = snap.insert("Part", {"name": "x"}, 5)
+        assert snap.version_at(part, 2) is None
+
+    def test_delete_removes_and_unlinks(self, snap):
+        part = snap.insert("Part", {"name": "p"}, 0)
+        hub = snap.insert("Component", {"cname": "h"}, 0)
+        snap.link("contains", part, hub, 0)
+        snap.delete(hub, 10)
+        assert snap.version_at(hub, 10) is None
+        assert snap.version_at(part, 10).targets("contains") == frozenset()
+        assert snap.version_at(part, 5).targets("contains") == {hub}
+
+    def test_retroactive_change_rejected(self, snap):
+        snap.insert("Part", {"name": "x"}, 10)
+        with pytest.raises(TemporalUpdateError):
+            snap.insert("Part", {"name": "y"}, 5)
+
+    def test_unknown_atom(self, snap):
+        with pytest.raises(UnknownAtomError):
+            snap.update(9, {"name": "x"}, 0)
+
+    def test_molecule(self, snap, cad_schema):
+        part = snap.insert("Part", {"name": "p"}, 0)
+        hub = snap.insert("Component", {"cname": "h"}, 0)
+        snap.link("contains", part, hub, 0)
+        mtype = MoleculeType.parse("Part.contains.Component", cad_schema)
+        assert snap.molecule_at(part, mtype, 5).atom_count() == 2
+
+    def test_molecule_history(self, snap, cad_schema):
+        part = snap.insert("Part", {"name": "p"}, 0)
+        hub = snap.insert("Component", {"cname": "h"}, 0)
+        snap.link("contains", part, hub, 5)
+        mtype = MoleculeType.parse("Part.contains.Component", cad_schema)
+        states = snap.molecule_history(part, mtype, Interval(0, 20))
+        assert [m.atom_count() for _, m in states] == [1, 2]
+
+    def test_storage_grows_per_change_point(self, snap):
+        part = snap.insert("Part", {"name": "x"}, 0)
+        one = snap.storage_bytes()
+        for t in range(1, 11):
+            snap.update(part, {"cost": float(t)}, t)
+        assert snap.snapshot_count() == 11
+        assert snap.storage_bytes() > 10 * one * 0.9  # ~linear blowup
+
+    def test_same_time_changes_share_snapshot(self, snap):
+        snap.insert("Part", {"name": "a"}, 0)
+        snap.insert("Part", {"name": "b"}, 0)
+        assert snap.snapshot_count() == 1
+
+
+class TestTupleTimestamp:
+    def test_update_closes_rows(self, flat):
+        part = flat.insert("Part", {"name": "x", "cost": 1.0}, 0)
+        flat.update(part, {"cost": 2.0}, 10)
+        assert flat.version_at(part, 5).values["cost"] == 1.0
+        assert flat.version_at(part, 15).values["cost"] == 2.0
+        assert flat.row_counts()["Part"] == 2
+
+    def test_bounded_validity(self, flat):
+        part = flat.insert("Part", {"name": "x"}, 0, valid_to=10)
+        assert flat.version_at(part, 9) is not None
+        assert flat.version_at(part, 10) is None
+
+    def test_update_outside_validity_rejected(self, flat):
+        part = flat.insert("Part", {"name": "x"}, 0, valid_to=5)
+        with pytest.raises(TemporalUpdateError):
+            flat.update(part, {"name": "y"}, 10)
+
+    def test_delete_truncates(self, flat):
+        part = flat.insert("Part", {"name": "x"}, 0)
+        flat.delete(part, 10)
+        assert flat.version_at(part, 9) is not None
+        assert flat.version_at(part, 10) is None
+
+    def test_link_rows_and_joins(self, flat, cad_schema):
+        part = flat.insert("Part", {"name": "p"}, 0)
+        hub = flat.insert("Component", {"cname": "h"}, 0)
+        flat.link("contains", part, hub, 5, valid_to=15)
+        mtype = MoleculeType.parse("Part.contains.Component", cad_schema)
+        assert flat.molecule_at(part, mtype, 4).atom_count() == 1
+        assert flat.molecule_at(part, mtype, 10).atom_count() == 2
+        assert flat.molecule_at(part, mtype, 15).atom_count() == 1
+
+    def test_unlink(self, flat):
+        part = flat.insert("Part", {"name": "p"}, 0)
+        hub = flat.insert("Component", {"cname": "h"}, 0)
+        flat.link("contains", part, hub, 0)
+        flat.unlink("contains", part, hub, 10)
+        assert flat.version_at(part, 5).targets("contains") == {hub}
+        assert flat.version_at(part, 10).targets("contains") == frozenset()
+
+    def test_molecule_history_change_points(self, flat, cad_schema):
+        part = flat.insert("Part", {"name": "p", "cost": 1.0}, 0)
+        flat.update(part, {"cost": 2.0}, 10)
+        mtype = MoleculeType.parse("Part", cad_schema)
+        states = flat.molecule_history(part, mtype, Interval(0, 20))
+        assert [m.root.version.values["cost"] for _, m in states] == [
+            1.0, 2.0]
+
+    def test_atoms_of_type_at(self, flat):
+        a = flat.insert("Part", {"name": "a"}, 0, valid_to=10)
+        b = flat.insert("Part", {"name": "b"}, 5)
+        assert flat.atoms_of_type("Part", 7) == [a, b]
+        assert flat.atoms_of_type("Part", 12) == [b]
+
+    def test_rows_touched_counts_join_work(self, flat, cad_schema):
+        part = flat.insert("Part", {"name": "p"}, 0)
+        for i in range(10):
+            comp = flat.insert("Component", {"cname": f"c{i}"}, 0)
+            flat.link("contains", part, comp, 0)
+        flat.rows_touched = 0
+        mtype = MoleculeType.parse("Part.contains.Component", cad_schema)
+        flat.molecule_at(part, mtype, 5)
+        assert flat.rows_touched > 100  # joins sweep the link table
+
+    def test_storage_bytes_counts_rows(self, flat):
+        part = flat.insert("Part", {"name": "x"}, 0)
+        one = flat.storage_bytes()
+        flat.update(part, {"cost": 1.0}, 5)
+        assert flat.storage_bytes() > one

@@ -1,0 +1,185 @@
+"""Tests for the page-based B+-tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.access.btree import BPlusTree
+from repro.access.keys import encode_int
+from repro.errors import KeyEncodingError
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import DiskManager
+
+
+@pytest.fixture
+def tree(buffer):
+    return BPlusTree(buffer, key_size=8, value_size=8)
+
+
+def k(value):
+    return encode_int(value)
+
+
+class TestBasics:
+    def test_empty_tree(self, tree):
+        assert tree.search(k(1)) == []
+        assert list(tree.items()) == []
+        assert len(tree) == 0
+        tree.check()
+
+    def test_insert_search(self, tree):
+        tree.insert(k(5), k(50))
+        assert tree.search(k(5)) == [k(50)]
+        assert tree.search(k(6)) == []
+
+    def test_key_width_enforced(self, tree):
+        with pytest.raises(KeyEncodingError):
+            tree.insert(b"short", k(1))
+        with pytest.raises(KeyEncodingError):
+            tree.insert(k(1), b"xx")
+
+    def test_duplicates_kept(self, tree):
+        for i in range(5):
+            tree.insert(k(7), k(i))
+        assert sorted(tree.search(k(7))) == sorted(k(i) for i in range(5))
+
+    def test_items_sorted(self, tree):
+        for value in (5, 3, 9, 1, 7):
+            tree.insert(k(value), k(value * 10))
+        assert [key for key, _ in tree.items()] == [k(1), k(3), k(5),
+                                                    k(7), k(9)]
+
+
+class TestSplits:
+    def test_growth_forces_splits(self, tree):
+        count = 3000  # hundreds of leaf pages
+        for i in range(count):
+            tree.insert(k(i), k(i))
+        assert tree.check() >= 1  # height grew
+        assert len(tree) == count
+        for probe in (0, 1, count // 2, count - 1):
+            assert tree.search(k(probe)) == [k(probe)]
+
+    def test_reverse_insertion_order(self, tree):
+        for i in reversed(range(1500)):
+            tree.insert(k(i), k(i))
+        tree.check()
+        assert [key for key, _ in tree.items()] == [k(i) for i in range(1500)]
+
+    def test_random_insertion_order(self, tree):
+        values = list(range(1500))
+        random.Random(7).shuffle(values)
+        for value in values:
+            tree.insert(k(value), k(value))
+        tree.check()
+        assert len(tree) == 1500
+
+    def test_heavy_duplicates_split_correctly(self, tree):
+        for i in range(1200):
+            tree.insert(k(i % 3), k(i))
+        tree.check()
+        assert len(tree.search(k(0))) == 400
+        assert len(tree.search(k(1))) == 400
+
+
+class TestRangeScan:
+    def test_half_open_semantics(self, tree):
+        for i in range(20):
+            tree.insert(k(i), k(i))
+        got = [key for key, _ in tree.range_scan(k(5), k(10))]
+        assert got == [k(i) for i in range(5, 10)]
+
+    def test_inclusive_upper(self, tree):
+        for i in range(20):
+            tree.insert(k(i), k(i))
+        got = [key for key, _ in tree.range_scan(k(5), k(10),
+                                                 hi_inclusive=True)]
+        assert got == [k(i) for i in range(5, 11)]
+
+    def test_unbounded_scans(self, tree):
+        for i in range(10):
+            tree.insert(k(i), k(i))
+        assert len(list(tree.range_scan(None, k(5)))) == 5
+        assert len(list(tree.range_scan(k(5), None))) == 5
+
+    def test_scan_across_leaves(self, tree):
+        for i in range(2000):
+            tree.insert(k(i), k(i))
+        got = list(tree.range_scan(k(900), k(1100)))
+        assert len(got) == 200
+
+    def test_scan_empty_range(self, tree):
+        for i in range(10):
+            tree.insert(k(i), k(i))
+        assert list(tree.range_scan(k(100), k(200))) == []
+
+
+class TestDelete:
+    def test_delete_specific_pair(self, tree):
+        tree.insert(k(1), k(10))
+        tree.insert(k(1), k(20))
+        assert tree.delete(k(1), k(10))
+        assert tree.search(k(1)) == [k(20)]
+
+    def test_delete_missing(self, tree):
+        assert not tree.delete(k(1), k(10))
+        tree.insert(k(1), k(10))
+        assert not tree.delete(k(1), k(99))
+
+    def test_delete_everything(self, tree):
+        for i in range(800):
+            tree.insert(k(i), k(i))
+        for i in range(800):
+            assert tree.delete(k(i), k(i))
+        assert list(tree.items()) == []
+        tree.check()
+
+    def test_delete_duplicate_across_leaves(self, tree):
+        for i in range(600):
+            tree.insert(k(5), k(i))
+        assert tree.delete(k(5), k(599))
+        assert tree.delete(k(5), k(0))
+        assert len(tree.search(k(5))) == 598
+
+
+class TestPersistence:
+    def test_reopen_by_root(self, tmp_path):
+        disk = DiskManager(tmp_path / "t.db")
+        pool = BufferManager(disk, capacity=64)
+        tree = BPlusTree(pool, key_size=8, value_size=8)
+        for i in range(500):
+            tree.insert(k(i), k(i * 2))
+        root = tree.root_page_id
+        pool.flush_all()
+        reopened = BPlusTree(pool, key_size=8, value_size=8,
+                             root_page_id=root)
+        assert reopened.search(k(250)) == [k(500)]
+        reopened.check()
+        disk.close()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["insert", "delete"]),
+                          st.integers(0, 50), st.integers(0, 5)),
+                max_size=120))
+def test_random_operations_match_sorted_model(tmp_path_factory, operations):
+    directory = tmp_path_factory.mktemp("btreeprop")
+    disk = DiskManager(directory / "t.db", page_size=256)  # tiny: force splits
+    pool = BufferManager(disk, capacity=64)
+    tree = BPlusTree(pool, key_size=8, value_size=8)
+    model = []
+    for kind, key, value in operations:
+        pair = (k(key), k(value))
+        if kind == "insert":
+            tree.insert(*pair)
+            model.append(pair)
+        else:
+            present = pair in model
+            assert tree.delete(*pair) == present
+            if present:
+                model.remove(pair)
+    assert sorted(tree.items()) == sorted(model)
+    tree.check()
+    disk.close()

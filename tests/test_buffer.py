@@ -1,0 +1,139 @@
+"""Tests for the buffer manager."""
+
+import pytest
+
+from repro.errors import BufferPoolExhaustedError, PageError
+from repro.storage.buffer import BufferManager, ReplacementPolicy
+from repro.storage.disk import DiskManager
+
+
+@pytest.fixture(params=[ReplacementPolicy.LRU, ReplacementPolicy.CLOCK],
+                ids=["lru", "clock"])
+def pool(tmp_path, request):
+    disk = DiskManager(tmp_path / "a.db")
+    manager = BufferManager(disk, capacity=4, policy=request.param)
+    yield manager
+    manager.flush_all()
+    disk.close()
+
+
+def _fill(pool, count):
+    pids = []
+    for _ in range(count):
+        frame = pool.new_page()
+        frame.data[0] = len(pids) + 1
+        pids.append(frame.page_id)
+        pool.unpin(frame.page_id, dirty=True)
+    return pids
+
+
+class TestPinning:
+    def test_pin_reads_page(self, pool):
+        (pid,) = _fill(pool, 1)
+        frame = pool.pin(pid)
+        assert frame.data[0] == 1
+        pool.unpin(pid)
+
+    def test_unpin_unknown_page_rejected(self, pool):
+        with pytest.raises(PageError):
+            pool.unpin(12345)
+
+    def test_double_unpin_rejected(self, pool):
+        (pid,) = _fill(pool, 1)
+        pool.pin(pid)
+        pool.unpin(pid)
+        with pytest.raises(PageError):
+            pool.unpin(pid)
+
+    def test_context_manager_unpins(self, pool):
+        (pid,) = _fill(pool, 1)
+        with pool.page(pid) as frame:
+            assert frame.pin_count == 1
+        assert pool.pinned_pages() == {}
+
+
+class TestEviction:
+    def test_capacity_respected(self, pool):
+        _fill(pool, 10)
+        assert pool.resident_pages() <= pool.capacity
+
+    def test_evicted_dirty_pages_written_back(self, pool):
+        pids = _fill(pool, 10)  # forces evictions of dirty pages
+        pool.stats.reset()
+        frame = pool.pin(pids[0])
+        assert frame.data[0] == 1  # content survived eviction
+        pool.unpin(pids[0])
+
+    def test_pinned_pages_never_evicted(self, pool):
+        pids = _fill(pool, 3)
+        held = [pool.pin(pid) for pid in pids]
+        pool.new_page().page_id  # fills the last slot (stays pinned)
+        with pytest.raises(BufferPoolExhaustedError):
+            pool.new_page()
+        for frame in held:
+            pool.unpin(frame.page_id)
+
+    def test_eviction_counter(self, pool):
+        _fill(pool, 10)
+        assert pool.stats.evictions >= 6
+
+
+class TestStats:
+    def test_hits_and_misses(self, pool):
+        pids = _fill(pool, 2)
+        pool.stats.reset()
+        pool.pin(pids[0])
+        pool.unpin(pids[0])
+        pool.pin(pids[0])
+        pool.unpin(pids[0])
+        assert pool.stats.hits == 2  # resident after creation
+        _fill(pool, 6)  # force out
+        pool.pin(pids[0])
+        pool.unpin(pids[0])
+        assert pool.stats.misses >= 1
+
+    def test_hit_ratio(self, pool):
+        assert pool.stats.hit_ratio == 0.0
+        pids = _fill(pool, 1)
+        pool.pin(pids[0])
+        pool.unpin(pids[0])
+        assert 0.0 < pool.stats.hit_ratio <= 1.0
+
+
+class TestFlush:
+    def test_flush_all_persists(self, tmp_path):
+        disk = DiskManager(tmp_path / "b.db")
+        pool = BufferManager(disk, capacity=8)
+        frame = pool.new_page()
+        frame.data[:4] = b"ABCD"
+        pool.unpin(frame.page_id, dirty=True)
+        pool.flush_all()
+        assert bytes(disk.read_page(frame.page_id)[:4]) == b"ABCD"
+        disk.close()
+
+    def test_flush_page_clears_dirty(self, pool):
+        (pid,) = _fill(pool, 1)
+        pool.flush_page(pid)
+        pool.flush_page(pid)  # second flush is a no-op
+
+    def test_free_page_returns_to_disk(self, pool):
+        (pid,) = _fill(pool, 1)
+        pool.free_page(pid)
+        reused = pool.new_page()
+        assert reused.page_id == pid
+        pool.unpin(reused.page_id)
+
+    def test_free_pinned_page_rejected(self, pool):
+        (pid,) = _fill(pool, 1)
+        pool.pin(pid)
+        with pytest.raises(PageError):
+            pool.free_page(pid)
+        pool.unpin(pid)
+
+
+class TestValidation:
+    def test_zero_capacity_rejected(self, tmp_path):
+        disk = DiskManager(tmp_path / "c.db")
+        with pytest.raises(PageError):
+            BufferManager(disk, capacity=0)
+        disk.close()

@@ -1,0 +1,155 @@
+"""Tests for molecule construction (time slices and histories).
+
+These run against the in-memory reference database — the builder is
+reader-agnostic, and the engine path is covered by the database and
+differential tests.
+"""
+
+import pytest
+
+from repro import MoleculeType
+from repro.temporal import FOREVER, Interval
+from repro.testing import ReferenceDatabase
+
+
+@pytest.fixture
+def ref(cad_schema):
+    return ReferenceDatabase(cad_schema)
+
+
+@pytest.fixture
+def bom(ref):
+    """part -contains-> {hub, rim}; hub -supplied_by-> acme."""
+    part = ref.insert("Part", {"name": "wheel"}, valid_from=0)
+    hub = ref.insert("Component", {"cname": "hub"}, valid_from=0)
+    rim = ref.insert("Component", {"cname": "rim"}, valid_from=10)
+    acme = ref.insert("Supplier", {"sname": "acme"}, valid_from=0)
+    ref.link("contains", part, hub, valid_from=0)
+    ref.link("contains", part, rim, valid_from=10)
+    ref.link("supplied_by", hub, acme, valid_from=0)
+    return {"part": part, "hub": hub, "rim": rim, "acme": acme, "ref": ref}
+
+
+class TestTimeSlice:
+    def test_single_atom_molecule(self, ref):
+        part = ref.insert("Part", {"name": "x"}, valid_from=5)
+        molecule = ref.molecule_at(part, "Part", 5)
+        assert molecule.root.atom_id == part
+        assert molecule.atom_count() == 1
+
+    def test_root_not_valid_gives_none(self, ref):
+        part = ref.insert("Part", {"name": "x"}, valid_from=5)
+        assert ref.molecule_at(part, "Part", 2) is None
+
+    def test_children_at_slice(self, bom):
+        ref = bom["ref"]
+        early = ref.molecule_at(bom["part"], "Part.contains.Component", 5)
+        assert early.atom_count() == 2  # rim not yet valid
+        late = ref.molecule_at(bom["part"], "Part.contains.Component", 15)
+        assert late.atom_count() == 3
+
+    def test_deep_molecule(self, bom):
+        ref = bom["ref"]
+        molecule = ref.molecule_at(
+            bom["part"], "Part.contains.Component.supplied_by.Supplier", 15)
+        # part + hub + rim + acme (under hub only)
+        assert molecule.atom_count() == 4
+        type_names = sorted(a.type_name for a in molecule.atoms())
+        assert type_names == ["Component", "Component", "Part", "Supplier"]
+
+    def test_reverse_molecule(self, bom):
+        ref = bom["ref"]
+        molecule = ref.molecule_at(bom["hub"], "Component.contains.Part", 5)
+        assert molecule.atom_count() == 2
+        assert molecule.root.type_name == "Component"
+
+    def test_dangling_reference_ignored(self, bom):
+        """A reference to an atom deleted at the slice time drops out."""
+        ref = bom["ref"]
+        ref.delete(bom["hub"], valid_from=20)
+        molecule = ref.molecule_at(bom["part"], "Part.contains.Component", 25)
+        assert molecule.atom_count() == 2  # part + rim
+
+    def test_unlink_removes_child(self, bom):
+        ref = bom["ref"]
+        ref.unlink("contains", bom["part"], bom["hub"], valid_from=30)
+        before = ref.molecule_at(bom["part"], "Part.contains.Component", 29)
+        after = ref.molecule_at(bom["part"], "Part.contains.Component", 30)
+        assert before.atom_count() == after.atom_count() + 1
+
+    def test_as_of_reconstructs_old_belief(self, bom):
+        ref = bom["ref"]
+        tt_before = ref.now
+        ref.update(bom["hub"], {"cname": "hub-mk2"}, valid_from=0)
+        now_molecule = ref.molecule_at(bom["part"],
+                                       "Part.contains.Component", 5)
+        old_molecule = ref.molecule_at(bom["part"],
+                                       "Part.contains.Component", 5,
+                                       tt=tt_before - 1)
+        names_now = {a.version.values.get("cname")
+                     for a in now_molecule.atoms()}
+        names_old = {a.version.values.get("cname")
+                     for a in old_molecule.atoms()}
+        assert "hub-mk2" in names_now
+        assert "hub" in names_old and "hub-mk2" not in names_old
+
+
+class TestHistory:
+    def test_history_tracks_membership_changes(self, bom):
+        ref = bom["ref"]
+        states = ref.molecule_history(bom["part"],
+                                      "Part.contains.Component",
+                                      Interval(0, 40))
+        assert [span.start for span, _ in states] == [0, 10]
+        assert states[0][1].atom_count() == 2
+        assert states[1][1].atom_count() == 3
+
+    def test_history_tracks_value_changes(self, ref):
+        part = ref.insert("Part", {"name": "x", "cost": 1.0}, valid_from=0)
+        ref.update(part, {"cost": 2.0}, valid_from=10)
+        ref.update(part, {"cost": 3.0}, valid_from=20)
+        states = ref.molecule_history(part, "Part", Interval(0, 30))
+        assert [m.root.version.values["cost"] for _, m in states] == [
+            1.0, 2.0, 3.0]
+        assert [str(span) for span, _ in states] == [
+            "[0, 10)", "[10, 20)", "[20, 30)"]
+
+    def test_history_with_gap(self, ref):
+        part = ref.insert("Part", {"name": "x"}, valid_from=0, valid_to=10)
+        ref.insert("Part", {"name": "x"}, valid_from=20, atom_id=part)
+        states = ref.molecule_history(part, "Part", Interval(0, 30))
+        assert [str(span) for span, _ in states] == ["[0, 10)", "[20, 30)"]
+
+    def test_identical_adjacent_states_coalesce(self, ref):
+        part = ref.insert("Part", {"name": "x", "cost": 1.0}, valid_from=0)
+        ref.update(part, {"cost": 2.0}, valid_from=10)
+        ref.update(part, {"cost": 1.0}, valid_from=20)
+        ref.correct(part, 10, 20, {"cost": 1.0})  # undo the middle change
+        states = ref.molecule_history(part, "Part", Interval(0, 40))
+        assert len(states) == 1
+        assert str(states[0][0]) == "[0, 40)"
+
+    def test_child_birth_creates_boundary(self, bom):
+        """rim joining at 10 splits the history even though the part's
+        own attribute state never changes."""
+        ref = bom["ref"]
+        states = ref.molecule_history(bom["part"],
+                                      "Part.contains.Component",
+                                      Interval(5, 15))
+        assert len(states) == 2
+
+    def test_window_clamps_spans(self, bom):
+        ref = bom["ref"]
+        states = ref.molecule_history(bom["part"],
+                                      "Part.contains.Component",
+                                      Interval(12, 14))
+        assert len(states) == 1
+        assert str(states[0][0]) == "[12, 14)"
+
+    def test_full_history_reaches_forever(self, ref):
+        part = ref.insert("Part", {"name": "x"}, valid_from=3)
+        states = ref.molecule_history(part, "Part",
+                                      Interval(0, FOREVER))
+        assert len(states) == 1
+        span, _ = states[0]
+        assert span.start == 3 and span.end == FOREVER

@@ -1,0 +1,75 @@
+"""Tests for the ``python -m repro`` command-line front end."""
+
+import pytest
+
+from repro import TemporalDatabase
+from repro.__main__ import main
+
+
+@pytest.fixture
+def populated(tmp_path, cad_schema):
+    path = str(tmp_path / "clidb")
+    db = TemporalDatabase.create(path, cad_schema)
+    with db.transaction() as txn:
+        part = txn.insert("Part", {"name": "wheel", "cost": 10.0},
+                          valid_from=0)
+        hub = txn.insert("Component", {"cname": "hub"}, valid_from=0)
+        txn.link("contains", part, hub, valid_from=0)
+    with db.transaction() as txn:
+        txn.update(part, {"cost": 12.0}, valid_from=10)
+    db.close()
+    return path, part
+
+
+class TestCommands:
+    def test_info(self, populated, capsys):
+        path, _ = populated
+        assert main(["info", path]) == 0
+        out = capsys.readouterr().out
+        assert "strategy" in out
+        assert "Part (1 atoms)" in out
+        assert "contains: Part -> Component" in out
+
+    def test_query(self, populated, capsys):
+        path, _ = populated
+        assert main(["query", path,
+                     "SELECT Part.cost FROM Part VALID AT 5"]) == 0
+        out = capsys.readouterr().out
+        assert "Part.cost=10.0" in out
+        assert "plan:" in out
+
+    def test_history(self, populated, capsys):
+        path, part = populated
+        assert main(["history", path, str(part)]) == 0
+        out = capsys.readouterr().out
+        assert "version records" in out
+        assert "superseded" in out and "live" in out
+        assert "contains.out" in out
+
+    def test_timeline(self, populated, capsys):
+        path, part = populated
+        assert main(["timeline", path, str(part)]) == 0
+        out = capsys.readouterr().out
+        assert "cost=10.0" in out and "cost=12.0" in out
+
+    def test_verify_clean(self, populated, capsys):
+        path, _ = populated
+        assert main(["verify", path]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_vacuum(self, populated, capsys):
+        path, _ = populated
+        assert main(["vacuum", path, "--before-tt", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "removed" in out
+        # Database still opens and answers after vacuuming.
+        assert main(["query", path,
+                     "SELECT Part.cost FROM Part VALID AT 15"]) == 0
+
+    def test_error_reporting(self, populated, capsys):
+        path, _ = populated
+        assert main(["query", path, "SELECT ALL FROM Nothing"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_db_path(self, tmp_path, capsys):
+        assert main(["info", str(tmp_path / "missing")]) == 2

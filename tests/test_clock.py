@@ -1,0 +1,73 @@
+"""Tests for the transaction clock."""
+
+import threading
+
+import pytest
+
+from repro.errors import InvalidTimestampError
+from repro.temporal import TransactionClock
+from repro.temporal.timestamp import MAX_CHRONON
+
+
+class TestTicking:
+    def test_ticks_are_strictly_increasing(self):
+        clock = TransactionClock()
+        values = [clock.tick() for _ in range(100)]
+        assert values == sorted(set(values))
+
+    def test_now_peeks_without_consuming(self):
+        clock = TransactionClock(start=5)
+        assert clock.now() == 5
+        assert clock.now() == 5
+        assert clock.tick() == 5
+        assert clock.now() == 6
+
+    def test_custom_start(self):
+        clock = TransactionClock(start=100)
+        assert clock.tick() == 100
+
+    def test_invalid_start_rejected(self):
+        with pytest.raises(InvalidTimestampError):
+            TransactionClock(start=MAX_CHRONON + 1)
+
+    def test_exhaustion_raises(self):
+        clock = TransactionClock(start=MAX_CHRONON)
+        with pytest.raises(InvalidTimestampError):
+            clock.tick()
+
+
+class TestAdvance:
+    def test_advance_forward(self):
+        clock = TransactionClock()
+        clock.tick()
+        clock.advance_to(50)
+        assert clock.tick() == 50
+
+    def test_advance_backwards_is_noop(self):
+        clock = TransactionClock(start=10)
+        clock.advance_to(3)
+        assert clock.tick() == 10
+
+    def test_advance_invalid_rejected(self):
+        clock = TransactionClock()
+        with pytest.raises(InvalidTimestampError):
+            clock.advance_to(MAX_CHRONON + 10)
+
+
+def test_concurrent_ticks_are_unique():
+    clock = TransactionClock()
+    results = []
+    lock = threading.Lock()
+
+    def worker():
+        mine = [clock.tick() for _ in range(200)]
+        with lock:
+            results.extend(mine)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(results) == 800
+    assert len(set(results)) == 800

@@ -1,0 +1,96 @@
+"""Tests for molecule diffing."""
+
+import pytest
+
+from repro.core.diff import diff_molecules
+from repro.testing import ReferenceDatabase
+
+
+@pytest.fixture
+def evolving(cad_schema):
+    """A part whose composition and values change at t=10."""
+    ref = ReferenceDatabase(cad_schema)
+    part = ref.insert("Part", {"name": "wheel", "cost": 10.0},
+                      valid_from=0)
+    hub = ref.insert("Component", {"cname": "hub", "weight": 1.0},
+                     valid_from=0)
+    rim = ref.insert("Component", {"cname": "rim", "weight": 2.0},
+                     valid_from=0)
+    tube = ref.insert("Component", {"cname": "tube", "weight": 0.5},
+                      valid_from=10)
+    ref.link("contains", part, hub, valid_from=0)
+    ref.link("contains", part, rim, valid_from=0)
+    ref.link("contains", part, tube, valid_from=10)       # tube joins
+    ref.unlink("contains", part, rim, valid_from=10)      # rim leaves
+    ref.update(hub, {"weight": 1.5}, valid_from=10)       # hub changes
+    ref.update(part, {"cost": 12.0}, valid_from=10)       # root changes
+    return ref, part
+
+
+MT = "Part.contains.Component"
+
+
+class TestDiff:
+    def test_no_difference(self, evolving):
+        ref, part = evolving
+        a = ref.molecule_at(part, MT, 3)
+        b = ref.molecule_at(part, MT, 4)
+        diff = diff_molecules(a, b)
+        assert diff.is_empty
+        assert diff.summary() == "no differences"
+
+    def test_full_delta(self, evolving):
+        ref, part = evolving
+        before = ref.molecule_at(part, MT, 5)
+        after = ref.molecule_at(part, MT, 15)
+        diff = diff_molecules(before, after)
+        assert [a.version.values["cname"] for a in diff.added] == ["tube"]
+        assert [a.version.values["cname"] for a in diff.removed] == ["rim"]
+        changed_names = sorted(
+            new.version.values.get("cname") or new.version.values["name"]
+            for _, new, _ in diff.changed)
+        assert changed_names == ["hub", "wheel"]
+
+    def test_attribute_change_details(self, evolving):
+        ref, part = evolving
+        diff = diff_molecules(ref.molecule_at(part, MT, 5),
+                              ref.molecule_at(part, MT, 15))
+        hub_changes = next(changes for _, new, changes in diff.changed
+                           if new.version.values.get("cname") == "hub")
+        (change,) = hub_changes
+        assert (change.attribute, change.old, change.new) == (
+            "weight", 1.0, 1.5)
+
+    def test_structural_change_without_values(self, evolving):
+        """The root's membership change alone marks it as changed."""
+        ref, part = evolving
+        ref.update(part, {"cost": 12.0}, valid_from=20)  # no-op value-wise
+        diff = diff_molecules(ref.molecule_at(part, MT, 5),
+                              ref.molecule_at(part, MT, 15))
+        root_entry = next((old, new, changes)
+                          for old, new, changes in diff.changed
+                          if new.atom_id == part)
+        # The root changed both a value and its traversed children.
+        assert root_entry[2]  # cost change recorded
+
+    def test_summary_format(self, evolving):
+        ref, part = evolving
+        diff = diff_molecules(ref.molecule_at(part, MT, 5),
+                              ref.molecule_at(part, MT, 15))
+        text = diff.summary()
+        assert text.count("+") >= 1
+        assert text.count("-") >= 1
+        assert "->" in text
+
+    def test_untraversed_ref_change_is_invisible(self, cad_schema):
+        """A change in a link the molecule type does not follow must not
+        mark the atom as changed."""
+        ref = ReferenceDatabase(cad_schema)
+        part = ref.insert("Part", {"name": "p"}, valid_from=0)
+        hub = ref.insert("Component", {"cname": "h"}, valid_from=0)
+        sup = ref.insert("Supplier", {"sname": "s"}, valid_from=0)
+        ref.link("contains", part, hub, valid_from=0)
+        ref.link("supplied_by", hub, sup, valid_from=10)  # untraversed
+        diff = diff_molecules(ref.molecule_at(part, MT, 5),
+                              ref.molecule_at(part, MT, 15))
+        assert diff.is_empty

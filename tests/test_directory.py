@@ -1,0 +1,114 @@
+"""Tests for the atom directory (persistent hash map)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.buffer import BufferManager
+from repro.storage.directory import AtomDirectory
+from repro.storage.disk import DiskManager
+
+
+@pytest.fixture
+def directory(buffer):
+    return AtomDirectory(buffer, "dir", num_buckets=8)
+
+
+class TestBasics:
+    def test_get_missing(self, directory):
+        assert directory.get(42) is None
+        assert 42 not in directory
+
+    def test_put_get(self, directory):
+        directory.put(1, b"payload-1")
+        assert directory.get(1) == b"payload-1"
+        assert 1 in directory
+
+    def test_overwrite(self, directory):
+        directory.put(1, b"old")
+        directory.put(1, b"new")
+        assert directory.get(1) == b"new"
+
+    def test_overwrite_with_longer_payload(self, directory):
+        directory.put(1, b"x")
+        directory.put(1, b"y" * 500)
+        assert directory.get(1) == b"y" * 500
+
+    def test_delete(self, directory):
+        directory.put(1, b"x")
+        assert directory.delete(1)
+        assert directory.get(1) is None
+        assert not directory.delete(1)
+
+    def test_negative_keys(self, directory):
+        directory.put(-5, b"neg")
+        assert directory.get(-5) == b"neg"
+
+    def test_len(self, directory):
+        for key in range(10):
+            directory.put(key, bytes([key]))
+        assert len(directory) == 10
+        directory.delete(3)
+        assert len(directory) == 9
+
+
+class TestScale:
+    def test_many_entries_overflow_chains(self, directory):
+        # 8 buckets with hundreds of fat entries forces overflow pages.
+        for key in range(400):
+            directory.put(key, f"value-{key}".encode() * 30)
+        for key in range(400):
+            assert directory.get(key) == f"value-{key}".encode() * 30
+        assert len(directory.pages()) > 8
+        directory.check()
+
+    def test_items_complete(self, directory):
+        expected = {key: bytes([key % 250]) * (key % 7 + 1)
+                    for key in range(100)}
+        for key, value in expected.items():
+            directory.put(key, value)
+        assert dict(directory.items()) == expected
+
+    def test_update_after_overflow(self, directory):
+        for key in range(300):
+            directory.put(key, b"a" * 50)
+        directory.put(150, b"changed")
+        assert directory.get(150) == b"changed"
+
+
+class TestPersistence:
+    def test_reopen_from_bucket_pages(self, tmp_path):
+        disk = DiskManager(tmp_path / "d.db")
+        pool = BufferManager(disk, capacity=16)
+        directory = AtomDirectory(pool, "dir", num_buckets=4)
+        for key in range(50):
+            directory.put(key, f"v{key}".encode())
+        buckets = directory.bucket_pages
+        pool.flush_all()
+        reopened = AtomDirectory(pool, "dir", bucket_pages=buckets)
+        for key in range(50):
+            assert reopened.get(key) == f"v{key}".encode()
+        disk.close()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["put", "delete"]),
+                          st.integers(min_value=0, max_value=40),
+                          st.binary(min_size=0, max_size=120)),
+                max_size=80))
+def test_random_operations_match_dict(tmp_path_factory, operations):
+    directory_path = tmp_path_factory.mktemp("dirprop")
+    disk = DiskManager(directory_path / "d.db")
+    pool = BufferManager(disk, capacity=16)
+    directory = AtomDirectory(pool, "prop", num_buckets=4)
+    model = {}
+    for kind, key, payload in operations:
+        if kind == "put":
+            directory.put(key, payload)
+            model[key] = payload
+        else:
+            assert directory.delete(key) == (key in model)
+            model.pop(key, None)
+    assert dict(directory.items()) == model
+    directory.check()
+    disk.close()

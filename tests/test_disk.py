@@ -1,0 +1,131 @@
+"""Tests for the disk manager."""
+
+import pytest
+
+from repro.errors import PageError, StorageError
+from repro.storage.disk import DiskManager
+
+
+class TestLifecycle:
+    def test_new_file_has_header_page(self, tmp_path):
+        with DiskManager(tmp_path / "a.db") as disk:
+            assert disk.page_count == 1  # header only
+
+    def test_page_size_persisted(self, tmp_path):
+        path = tmp_path / "a.db"
+        with DiskManager(path, page_size=1024) as disk:
+            disk.allocate_page()
+        with DiskManager(path, page_size=1024) as disk:
+            assert disk.page_size == 1024
+            assert disk.page_count == 2
+
+    def test_mismatched_page_size_rejected(self, tmp_path):
+        path = tmp_path / "a.db"
+        DiskManager(path, page_size=1024).close()
+        with pytest.raises(PageError):
+            DiskManager(path, page_size=2048)
+
+    def test_non_database_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.db"
+        path.write_bytes(b"not a database file" * 100)
+        with pytest.raises(PageError):
+            DiskManager(path)
+
+    def test_tiny_page_size_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            DiskManager(tmp_path / "a.db", page_size=16)
+
+
+class TestPageIO:
+    def test_round_trip(self, tmp_path):
+        with DiskManager(tmp_path / "a.db") as disk:
+            pid = disk.allocate_page()
+            image = bytes(range(256)) * (disk.page_size // 256)
+            disk.write_page(pid, image)
+            assert bytes(disk.read_page(pid)) == image
+
+    def test_fresh_page_is_zeroed(self, tmp_path):
+        with DiskManager(tmp_path / "a.db") as disk:
+            pid = disk.allocate_page()
+            assert bytes(disk.read_page(pid)) == b"\x00" * disk.page_size
+
+    def test_wrong_size_write_rejected(self, tmp_path):
+        with DiskManager(tmp_path / "a.db") as disk:
+            pid = disk.allocate_page()
+            with pytest.raises(PageError):
+                disk.write_page(pid, b"short")
+
+    def test_header_page_not_accessible(self, tmp_path):
+        with DiskManager(tmp_path / "a.db") as disk:
+            with pytest.raises(PageError):
+                disk.read_page(0)
+
+    def test_out_of_range_rejected(self, tmp_path):
+        with DiskManager(tmp_path / "a.db") as disk:
+            with pytest.raises(PageError):
+                disk.read_page(99)
+
+    def test_persistence_across_reopen(self, tmp_path):
+        path = tmp_path / "a.db"
+        with DiskManager(path) as disk:
+            pid = disk.allocate_page()
+            disk.write_page(pid, b"\xab" * disk.page_size)
+            disk.sync()
+        with DiskManager(path) as disk:
+            assert bytes(disk.read_page(pid)) == b"\xab" * disk.page_size
+
+
+class TestAllocation:
+    def test_allocation_grows_file(self, tmp_path):
+        with DiskManager(tmp_path / "a.db") as disk:
+            first = disk.allocate_page()
+            second = disk.allocate_page()
+            assert second == first + 1
+            assert disk.page_count == 3
+
+    def test_freed_pages_are_reused(self, tmp_path):
+        with DiskManager(tmp_path / "a.db") as disk:
+            a = disk.allocate_page()
+            b = disk.allocate_page()
+            disk.deallocate_page(a)
+            disk.deallocate_page(b)
+            # LIFO reuse from the free list, no file growth
+            assert disk.allocate_page() == b
+            assert disk.allocate_page() == a
+            assert disk.page_count == 3
+
+    def test_free_list_survives_reopen(self, tmp_path):
+        path = tmp_path / "a.db"
+        with DiskManager(path) as disk:
+            a = disk.allocate_page()
+            disk.allocate_page()
+            disk.deallocate_page(a)
+        with DiskManager(path) as disk:
+            assert disk.allocate_page() == a
+
+    def test_reused_page_is_zeroed(self, tmp_path):
+        with DiskManager(tmp_path / "a.db") as disk:
+            a = disk.allocate_page()
+            disk.write_page(a, b"\xff" * disk.page_size)
+            disk.deallocate_page(a)
+            again = disk.allocate_page()
+            assert again == a
+            assert bytes(disk.read_page(a)) == b"\x00" * disk.page_size
+
+
+class TestStats:
+    def test_counters_accumulate(self, tmp_path):
+        with DiskManager(tmp_path / "a.db") as disk:
+            pid = disk.allocate_page()
+            disk.write_page(pid, b"\x00" * disk.page_size)
+            disk.read_page(pid)
+            assert disk.stats.reads >= 1
+            assert disk.stats.writes >= 2
+            assert disk.stats.allocations == 1
+            disk.stats.reset()
+            assert disk.stats.reads == 0
+
+    def test_data_bytes_on_disk(self, tmp_path):
+        with DiskManager(tmp_path / "a.db", page_size=1024) as disk:
+            disk.allocate_page()
+            assert disk.data_bytes_on_disk() == 2 * 1024

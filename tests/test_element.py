@@ -1,0 +1,119 @@
+"""Tests for temporal elements (canonical disjoint interval sets)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.temporal import Interval, TemporalElement
+
+chronons = st.integers(min_value=-200, max_value=200)
+
+
+@st.composite
+def intervals(draw):
+    start = draw(chronons)
+    end = draw(st.integers(min_value=start + 1, max_value=202))
+    return Interval(start, end)
+
+
+elements = st.lists(intervals(), max_size=6).map(TemporalElement)
+
+
+class TestCanonicalForm:
+    def test_empty(self):
+        element = TemporalElement.empty()
+        assert element.is_empty
+        assert not element
+        assert len(element) == 0
+
+    def test_overlapping_inputs_coalesce(self):
+        element = TemporalElement.of(Interval(0, 5), Interval(3, 9))
+        assert list(element) == [Interval(0, 9)]
+
+    def test_adjacent_inputs_coalesce(self):
+        element = TemporalElement.of(Interval(0, 5), Interval(5, 9))
+        assert list(element) == [Interval(0, 9)]
+
+    def test_disjoint_inputs_stay_separate(self):
+        element = TemporalElement.of(Interval(6, 9), Interval(0, 5))
+        assert list(element) == [Interval(0, 5), Interval(6, 9)]
+
+    def test_equality_is_semantic(self):
+        a = TemporalElement.of(Interval(0, 5), Interval(5, 9))
+        b = TemporalElement.of(Interval(0, 9))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_duration(self):
+        element = TemporalElement.of(Interval(0, 5), Interval(10, 12))
+        assert element.duration() == 7
+
+
+class TestMembership:
+    def test_contains(self):
+        element = TemporalElement.of(Interval(0, 5), Interval(10, 12))
+        assert element.contains(0)
+        assert element.contains(11)
+        assert not element.contains(5)
+        assert not element.contains(9)
+
+    def test_covers(self):
+        big = TemporalElement.of(Interval(0, 10))
+        small = TemporalElement.of(Interval(2, 4), Interval(6, 8))
+        assert big.covers(small)
+        assert not small.covers(big)
+
+
+class TestSetAlgebra:
+    def test_union(self):
+        a = TemporalElement.of(Interval(0, 4))
+        b = TemporalElement.of(Interval(2, 8), Interval(10, 12))
+        assert a.union(b) == TemporalElement.of(Interval(0, 8),
+                                                Interval(10, 12))
+
+    def test_intersect(self):
+        a = TemporalElement.of(Interval(0, 6), Interval(8, 12))
+        b = TemporalElement.of(Interval(4, 10))
+        assert a.intersect(b) == TemporalElement.of(Interval(4, 6),
+                                                    Interval(8, 10))
+
+    def test_difference(self):
+        a = TemporalElement.of(Interval(0, 10))
+        b = TemporalElement.of(Interval(2, 4), Interval(6, 8))
+        assert a.difference(b) == TemporalElement.of(
+            Interval(0, 2), Interval(4, 6), Interval(8, 10))
+
+    def test_difference_with_empty(self):
+        a = TemporalElement.of(Interval(0, 10))
+        assert a.difference(TemporalElement.empty()) == a
+
+
+# -- properties ----------------------------------------------------------------
+
+
+@given(elements, elements, chronons)
+def test_union_membership(a, b, at):
+    assert a.union(b).contains(at) == (a.contains(at) or b.contains(at))
+
+
+@given(elements, elements, chronons)
+def test_intersection_membership(a, b, at):
+    assert a.intersect(b).contains(at) == (a.contains(at) and b.contains(at))
+
+
+@given(elements, elements, chronons)
+def test_difference_membership(a, b, at):
+    assert a.difference(b).contains(at) == (a.contains(at)
+                                            and not b.contains(at))
+
+
+@given(elements)
+def test_canonical_intervals_are_disjoint_and_separated(element):
+    runs = list(element)
+    for left, right in zip(runs, runs[1:]):
+        assert left.end < right.start  # disjoint and non-adjacent
+
+
+@given(elements, elements)
+def test_de_morgan_style_duration(a, b):
+    union = a.union(b).duration()
+    assert union == a.duration() + b.duration() - a.intersect(b).duration()

@@ -1,0 +1,25 @@
+"""Every example script must run cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True,
+        timeout=300)
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip()  # examples narrate what they do
+
+
+def test_examples_exist():
+    names = {script.stem for script in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 3

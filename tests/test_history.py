@@ -1,0 +1,207 @@
+"""Tests for the pure bitemporal history algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import history as hist
+from repro.core.version import Version
+from repro.errors import TemporalUpdateError
+from repro.temporal import FOREVER, Interval, TemporalElement
+
+
+def v(vt_start, vt_end, tt_start, tt_end=FOREVER, **values):
+    return Version(Interval(vt_start, vt_end), Interval(tt_start, tt_end),
+                   values, {})
+
+
+def apply_plan(versions, plan):
+    versions = list(versions)
+    for seq, replacement in plan.closures + plan.rewrites:
+        versions[seq] = replacement
+    versions.extend(plan.appends)
+    return versions
+
+
+class TestSelection:
+    def test_live_versions_default_now(self):
+        versions = [v(0, 10, 0, 5), v(0, 10, 5)]
+        assert hist.live_versions(versions) == [(1, versions[1])]
+
+    def test_live_versions_as_of(self):
+        versions = [v(0, 10, 0, 5), v(0, 10, 5)]
+        assert hist.live_versions(versions, tt=3) == [(0, versions[0])]
+        assert hist.live_versions(versions, tt=7) == [(1, versions[1])]
+
+    def test_version_at(self):
+        versions = [v(0, 10, 0, x=1), v(10, 20, 0, x=2)]
+        assert hist.version_at(versions, 5).values["x"] == 1
+        assert hist.version_at(versions, 15).values["x"] == 2
+        assert hist.version_at(versions, 25) is None
+
+    def test_versions_during_sorted(self):
+        versions = [v(10, 20, 0), v(0, 10, 0)]
+        hits = hist.versions_during(versions, Interval(5, 15))
+        assert [version.vt.start for version in hits] == [0, 10]
+
+    def test_lifespan(self):
+        versions = [v(0, 10, 0), v(20, 30, 0)]
+        assert hist.lifespan(versions) == TemporalElement.of(
+            Interval(0, 10), Interval(20, 30))
+
+
+class TestInsertPlan:
+    def test_simple_insert(self):
+        plan = hist.insert_plan({"x": 1}, {}, Interval(0, FOREVER), 5)
+        assert len(plan.appends) == 1
+        version = plan.appends[0]
+        assert version.vt == Interval(0, FOREVER)
+        assert version.tt == Interval(5, FOREVER)
+
+    def test_overlap_with_live_rejected(self):
+        existing = [v(0, 10, 0)]
+        with pytest.raises(TemporalUpdateError):
+            hist.insert_plan({}, {}, Interval(5, 15), 1, existing)
+
+    def test_overlap_with_closed_version_allowed(self):
+        existing = [v(0, 10, 0, 1)]  # superseded belief
+        plan = hist.insert_plan({}, {}, Interval(5, 15), 2, existing)
+        assert len(plan.appends) == 1
+
+    def test_adjacent_insert_allowed(self):
+        existing = [v(0, 10, 0)]
+        plan = hist.insert_plan({}, {}, Interval(10, 20), 1, existing)
+        assert len(plan.appends) == 1
+
+
+class TestRevise:
+    def test_update_splits_open_version(self):
+        versions = [v(0, FOREVER, 0, x=1)]
+        plan = hist.revise(versions, Interval(10, FOREVER), 5,
+                           lambda ver: ver.with_state({"x": 2}, ver.refs))
+        after = apply_plan(versions, plan)
+        hist.check_history(after)
+        assert hist.version_at(after, 5).values["x"] == 1
+        assert hist.version_at(after, 15).values["x"] == 2
+        # Belief before the update is unchanged:
+        assert hist.version_at(after, 15, tt=2).values["x"] == 1
+
+    def test_delete_truncates(self):
+        versions = [v(0, FOREVER, 0, x=1)]
+        plan = hist.revise(versions, Interval(10, FOREVER), 5,
+                           lambda ver: None)
+        after = apply_plan(versions, plan)
+        hist.check_history(after)
+        assert hist.version_at(after, 5) is not None
+        assert hist.version_at(after, 15) is None
+
+    def test_window_correction_creates_three_pieces(self):
+        versions = [v(0, 100, 0, x=1)]
+        plan = hist.revise(versions, Interval(40, 60), 7,
+                           lambda ver: ver.with_state({"x": 9}, ver.refs))
+        after = apply_plan(versions, plan)
+        hist.check_history(after)
+        assert hist.version_at(after, 39).values["x"] == 1
+        assert hist.version_at(after, 50).values["x"] == 9
+        assert hist.version_at(after, 60).values["x"] == 1
+        assert hist.version_at(after, 50, tt=6).values["x"] == 1
+
+    def test_update_spanning_multiple_versions(self):
+        versions = [v(0, 10, 0, x=1), v(10, 20, 0, x=2), v(20, 30, 0, x=3)]
+        plan = hist.revise(versions, Interval(5, 25), 4,
+                           lambda ver: ver.with_state({"x": 0}, ver.refs))
+        after = apply_plan(versions, plan)
+        hist.check_history(after)
+        for at, expected in ((2, 1), (7, 0), (15, 0), (22, 0), (27, 3)):
+            assert hist.version_at(after, at).values["x"] == expected
+
+    def test_no_overlap_raises(self):
+        versions = [v(0, 10, 0)]
+        with pytest.raises(TemporalUpdateError):
+            hist.revise(versions, Interval(50, 60), 1,
+                        lambda ver: ver)
+
+    def test_no_overlap_tolerated_when_requested(self):
+        versions = [v(0, 10, 0)]
+        plan = hist.revise(versions, Interval(50, 60), 1,
+                           lambda ver: ver, require_overlap=False)
+        assert plan.is_empty
+
+    def test_same_tick_revision_rewrites_in_place(self):
+        versions = [v(0, FOREVER, 5, x=1)]  # created at tt 5
+        plan = hist.revise(versions, Interval(10, FOREVER), 5,
+                           lambda ver: ver.with_state({"x": 2}, ver.refs))
+        assert not plan.closures
+        assert plan.rewrites
+        after = apply_plan(versions, plan)
+        hist.check_history(after)
+        assert hist.version_at(after, 5).values["x"] == 1
+        assert hist.version_at(after, 15).values["x"] == 2
+
+    def test_same_tick_total_delete_leaves_stillborn(self):
+        versions = [v(0, FOREVER, 5, x=1)]
+        plan = hist.revise(versions, Interval(0, FOREVER), 5,
+                           lambda ver: None)
+        after = apply_plan(versions, plan)
+        assert hist.version_at(after, 3) is None
+        assert all(not version.live for version in after)
+
+
+class TestCoalesce:
+    def test_adjacent_identical_states_merge(self):
+        versions = [v(0, 10, 0, x=1), v(10, 20, 0, x=1), v(20, 30, 0, x=2)]
+        timeline = hist.coalesce_timeline(versions)
+        assert [version.vt for version in timeline] == [
+            Interval(0, 20), Interval(20, 30)]
+
+    def test_gap_prevents_merge(self):
+        versions = [v(0, 10, 0, x=1), v(15, 20, 0, x=1)]
+        assert len(hist.coalesce_timeline(versions)) == 2
+
+
+class TestInvariant:
+    def test_overlapping_live_versions_detected(self):
+        bad = [v(0, 10, 0), v(5, 15, 1)]
+        with pytest.raises(TemporalUpdateError):
+            hist.check_history(bad)
+
+    def test_closed_overlap_allowed(self):
+        good = [v(0, 10, 0, 1), v(5, 15, 1)]
+        hist.check_history(good)
+
+
+# -- property: random revision sequences preserve the invariant ----------------
+
+
+@st.composite
+def revision_steps(draw):
+    kind = draw(st.sampled_from(["update", "delete", "correct"]))
+    start = draw(st.integers(0, 90))
+    end = draw(st.integers(start + 1, 120))
+    value = draw(st.integers(0, 9))
+    return kind, start, end, value
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(revision_steps(), min_size=1, max_size=12))
+def test_random_revisions_keep_history_consistent(steps):
+    versions = [v(0, 100, 0, x=-1)]
+    tt = 1
+    for kind, start, end, value in steps:
+        window = Interval(start, end)
+        if kind == "delete":
+            transform = lambda ver: None  # noqa: E731
+        else:
+            transform = (lambda val: lambda ver: ver.with_state(
+                {"x": val}, ver.refs))(value)
+        try:
+            plan = hist.revise(versions, window, tt, transform)
+        except TemporalUpdateError:
+            continue  # window fell into deleted validity
+        versions = apply_plan(versions, plan)
+        hist.check_history(versions)
+        tt += 1
+    # Live timeline must be internally disjoint and ordered.
+    timeline = hist.versions_during(versions, Interval.always())
+    for left, right in zip(timeline, timeline[1:]):
+        assert left.vt.end <= right.vt.start

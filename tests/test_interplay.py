@@ -1,0 +1,118 @@
+"""Cross-feature interplay tests: the combinations that break systems."""
+
+import pytest
+
+from repro import DatabaseConfig, TemporalDatabase
+from repro.tools import vacuum_superseded, verify_database
+from repro.txn.wal import LogRecordType, WriteAheadLog
+
+
+def crash(db):
+    db._wal._file.flush()
+    db._disk._file.flush()
+
+
+class TestVacuumRecoveryInterplay:
+    def test_crash_after_vacuum_recovers_cleanly(self, tmp_path,
+                                                 cad_schema):
+        """Vacuum checkpoints, so a crash after it replays nothing and
+        loses nothing."""
+        path = str(tmp_path / "vr")
+        db = TemporalDatabase.create(path, cad_schema)
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "a", "cost": 1.0},
+                              valid_from=0)
+        with db.transaction() as txn:
+            txn.update(part, {"cost": 2.0}, valid_from=10)
+        vacuum_superseded(db, db._clock.now())
+        crash(db)
+        recovered = TemporalDatabase.open(path)
+        assert recovered.version_at(part, 15).values["cost"] == 2.0
+        assert all(version.live for version in recovered.history(part))
+        assert verify_database(recovered).ok
+        recovered.close()
+
+    def test_work_after_vacuum_survives_crash(self, tmp_path, cad_schema):
+        path = str(tmp_path / "vw")
+        db = TemporalDatabase.create(path, cad_schema)
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "a", "cost": 1.0},
+                              valid_from=0)
+        vacuum_superseded(db, db._clock.now())
+        with db.transaction() as txn:
+            txn.update(part, {"cost": 3.0}, valid_from=20)
+        crash(db)
+        recovered = TemporalDatabase.open(path)
+        assert recovered.last_recovery["operations"] == 1
+        assert recovered.version_at(part, 25).values["cost"] == 3.0
+        recovered.close()
+
+
+class TestIndexRecoveryInterplay:
+    def test_index_maintained_through_replay(self, tmp_path, cad_schema):
+        """Operations replayed after a crash must maintain indexes the
+        checkpoint already knew about."""
+        path = str(tmp_path / "ir")
+        db = TemporalDatabase.create(path, cad_schema)
+        db.create_attribute_index("Part", "name")  # checkpoints
+        with db.transaction() as txn:
+            txn.insert("Part", {"name": "replayed"}, valid_from=0)
+        crash(db)
+        recovered = TemporalDatabase.open(path)
+        result = recovered.query(
+            "SELECT ALL FROM Part WHERE Part.name = 'replayed' VALID AT 1")
+        assert "index(" in result.plan
+        assert len(result) == 1
+        recovered.close()
+
+
+class TestWalStress:
+    def test_large_operation_payloads(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "big.log", sync_on_commit=False)
+        big_value = "v" * 100_000
+        lsn = wal.append(LogRecordType.OPERATION, 1,
+                         {"op": "insert", "values": {"name": big_value}})
+        wal.flush(sync=False)
+        (record,) = wal.read_all(after_lsn=lsn - 1)
+        assert record.payload["values"]["name"] == big_value
+        wal.close()
+
+    def test_thousands_of_records(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "many.log", sync_on_commit=False)
+        for index in range(5000):
+            wal.append(LogRecordType.OPERATION, index % 7, {"i": index})
+        wal.flush(sync=False)
+        assert sum(1 for _ in wal.read_all()) == 5000
+        tail = list(wal.read_all(after_lsn=4990))
+        assert [record.payload["i"] for record in tail] == list(
+            range(4990, 5000))
+        wal.close()
+
+    def test_big_values_survive_crash_and_replay(self, tmp_path,
+                                                 cad_schema):
+        path = str(tmp_path / "bigvals")
+        db = TemporalDatabase.create(path, cad_schema)
+        essay = "temporal " * 3000  # spans pages AND bloats the log
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": essay}, valid_from=0)
+        crash(db)
+        recovered = TemporalDatabase.open(path)
+        assert recovered.version_at(part, 1).values["name"] == essay
+        recovered.close()
+
+
+class TestExportInterplay:
+    def test_dump_after_vacuum_loads(self, tmp_path, cad_schema):
+        from repro.tools import dump_database, load_database
+        db = TemporalDatabase.create(str(tmp_path / "src"), cad_schema)
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "a", "cost": 1.0},
+                              valid_from=0)
+        with db.transaction() as txn:
+            txn.update(part, {"cost": 2.0}, valid_from=10)
+        vacuum_superseded(db, db._clock.now())
+        clone = load_database(str(tmp_path / "dst"), dump_database(db))
+        assert clone.version_at(part, 15).values["cost"] == 2.0
+        assert verify_database(clone).ok
+        clone.close()
+        db.close()

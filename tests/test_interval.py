@@ -1,0 +1,178 @@
+"""Tests for half-open interval algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidIntervalError
+from repro.temporal import FOREVER, TMIN, Interval
+
+#: Reasonable chronon range for property tests (keeps shrinking readable).
+chronons = st.integers(min_value=-1000, max_value=1000)
+
+
+@st.composite
+def intervals(draw):
+    start = draw(chronons)
+    end = draw(st.integers(min_value=start + 1, max_value=1002))
+    return Interval(start, end)
+
+
+class TestConstruction:
+    def test_valid_interval(self):
+        interval = Interval(1, 5)
+        assert interval.start == 1 and interval.end == 5
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(5, 5)
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(6, 5)
+
+    def test_forever_cannot_start(self):
+        with pytest.raises(Exception):
+            Interval(FOREVER, FOREVER)
+
+    def test_tmin_cannot_end(self):
+        with pytest.raises(Exception):
+            Interval(TMIN, TMIN)
+
+    def test_instant(self):
+        assert Interval.instant(7) == Interval(7, 8)
+
+    def test_from_onwards(self):
+        interval = Interval.from_onwards(3)
+        assert interval.start == 3 and interval.is_open_ended
+
+    def test_always(self):
+        always = Interval.always()
+        assert always.start == TMIN and always.end == FOREVER
+
+
+class TestPredicates:
+    def test_contains_boundaries(self):
+        interval = Interval(2, 5)
+        assert interval.contains(2)
+        assert interval.contains(4)
+        assert not interval.contains(5)  # half-open
+        assert not interval.contains(1)
+
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains_interval(Interval(2, 5))
+        assert Interval(0, 10).contains_interval(Interval(0, 10))
+        assert not Interval(0, 10).contains_interval(Interval(5, 11))
+
+    def test_overlaps(self):
+        assert Interval(0, 5).overlaps(Interval(4, 8))
+        assert not Interval(0, 5).overlaps(Interval(5, 8))  # meets, no share
+
+    def test_meets(self):
+        assert Interval(0, 5).meets(Interval(5, 9))
+        assert not Interval(0, 5).meets(Interval(6, 9))
+
+    def test_adjacent_or_overlapping(self):
+        assert Interval(0, 5).is_adjacent_or_overlapping(Interval(5, 7))
+        assert Interval(0, 5).is_adjacent_or_overlapping(Interval(3, 7))
+        assert not Interval(0, 5).is_adjacent_or_overlapping(Interval(6, 7))
+
+    def test_precedes_and_follows(self):
+        interval = Interval(3, 6)
+        assert interval.precedes(6)
+        assert not interval.precedes(5)
+        assert interval.follows(2)
+        assert not interval.follows(3)
+
+
+class TestAlgebra:
+    def test_duration(self):
+        assert Interval(2, 7).duration() == 5
+
+    def test_intersect(self):
+        assert Interval(0, 5).intersect(Interval(3, 9)) == Interval(3, 5)
+        assert Interval(0, 5).intersect(Interval(5, 9)) is None
+
+    def test_union_overlapping(self):
+        assert Interval(0, 5).union(Interval(3, 9)) == Interval(0, 9)
+
+    def test_union_adjacent(self):
+        assert Interval(0, 5).union(Interval(5, 9)) == Interval(0, 9)
+
+    def test_union_disjoint_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(0, 5).union(Interval(6, 9))
+
+    def test_difference_no_overlap(self):
+        assert list(Interval(0, 5).difference(Interval(5, 9))) == [
+            Interval(0, 5)]
+
+    def test_difference_split(self):
+        assert list(Interval(0, 10).difference(Interval(3, 6))) == [
+            Interval(0, 3), Interval(6, 10)]
+
+    def test_difference_swallowed(self):
+        assert list(Interval(3, 6).difference(Interval(0, 10))) == []
+
+    def test_clamp_end(self):
+        assert Interval(0, 10).clamp_end(5) == Interval(0, 5)
+        assert Interval(0, 10).clamp_end(15) == Interval(0, 10)
+        assert Interval(5, 10).clamp_end(5) is None
+
+    def test_clamp_start(self):
+        assert Interval(0, 10).clamp_start(5) == Interval(5, 10)
+        assert Interval(0, 10).clamp_start(-5) == Interval(0, 10)
+        assert Interval(0, 5).clamp_start(5) is None
+
+    def test_str(self):
+        assert str(Interval(1, FOREVER)) == "[1, FOREVER)"
+
+
+class TestOrdering:
+    def test_sorts_by_start_then_end(self):
+        run = sorted([Interval(3, 4), Interval(1, 9), Interval(1, 2)])
+        assert run == [Interval(1, 2), Interval(1, 9), Interval(3, 4)]
+
+
+# -- properties --------------------------------------------------------------
+
+
+@given(intervals(), intervals())
+def test_overlap_is_symmetric(a, b):
+    assert a.overlaps(b) == b.overlaps(a)
+
+
+@given(intervals(), intervals())
+def test_intersection_is_contained_in_both(a, b):
+    common = a.intersect(b)
+    if common is not None:
+        assert a.contains_interval(common)
+        assert b.contains_interval(common)
+    else:
+        assert not a.overlaps(b)
+
+
+@given(intervals(), intervals())
+def test_difference_covers_exactly_non_overlap(a, b):
+    pieces = list(a.difference(b))
+    covered = sum(piece.duration() for piece in pieces)
+    overlap = a.intersect(b)
+    expected = a.duration() - (overlap.duration() if overlap else 0)
+    assert covered == expected
+    for piece in pieces:
+        assert a.contains_interval(piece)
+        assert not piece.overlaps(b)
+
+
+@given(intervals(), intervals())
+def test_union_when_defined_covers_both(a, b):
+    if a.is_adjacent_or_overlapping(b):
+        union = a.union(b)
+        assert union.contains_interval(a)
+        assert union.contains_interval(b)
+        assert union.duration() <= a.duration() + b.duration()
+
+
+@given(intervals(), chronons)
+def test_contains_matches_bounds(interval, at):
+    assert interval.contains(at) == (interval.start <= at < interval.end)

@@ -1,0 +1,133 @@
+"""Tests for order-preserving key encoding."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.access.keys import (
+    decode_int,
+    encode_bool,
+    encode_composite,
+    encode_float,
+    encode_int,
+    encode_string,
+    string_prefix_is_lossy,
+)
+from repro.errors import KeyEncodingError
+
+
+class TestIntKeys:
+    def test_round_trip(self):
+        for value in (0, 1, -1, 2**62, -(2**62), 2**63 - 1, -(2**63)):
+            assert decode_int(encode_int(value)) == value
+
+    def test_width(self):
+        assert len(encode_int(0)) == 8
+
+    def test_out_of_range(self):
+        with pytest.raises(KeyEncodingError):
+            encode_int(2**63)
+
+    def test_bool_rejected(self):
+        with pytest.raises(KeyEncodingError):
+            encode_int(True)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(KeyEncodingError):
+            encode_int("5")
+
+
+class TestFloatKeys:
+    def test_width(self):
+        assert len(encode_float(1.5)) == 8
+
+    def test_negative_zero_equals_zero_ordering(self):
+        # -0.0 and 0.0 may encode differently but must stay adjacent:
+        # nothing sorts between them.
+        assert encode_float(-0.0) <= encode_float(0.0)
+        assert encode_float(-1e-300) < encode_float(-0.0)
+        assert encode_float(0.0) < encode_float(1e-300)
+
+    def test_int_accepted(self):
+        assert encode_float(2) == encode_float(2.0)
+
+    def test_bool_rejected(self):
+        with pytest.raises(KeyEncodingError):
+            encode_float(True)
+
+
+class TestBoolKeys:
+    def test_order(self):
+        assert encode_bool(False) < encode_bool(True)
+
+    def test_non_bool_rejected(self):
+        with pytest.raises(KeyEncodingError):
+            encode_bool(1)
+
+
+class TestStringKeys:
+    def test_fixed_width(self):
+        assert len(encode_string("a")) == 16
+        assert len(encode_string("a" * 100)) == 16
+
+    def test_short_strings_not_lossy(self):
+        assert not string_prefix_is_lossy("hello")
+
+    def test_long_strings_lossy(self):
+        assert string_prefix_is_lossy("a" * 17)
+
+    def test_trailing_nul_lossy(self):
+        assert string_prefix_is_lossy("abc\x00")
+
+    def test_custom_width(self):
+        assert len(encode_string("abcdef", width=4)) == 4
+        assert string_prefix_is_lossy("abcdef", width=4)
+
+    def test_non_str_rejected(self):
+        with pytest.raises(KeyEncodingError):
+            encode_string(42)
+
+
+class TestComposite:
+    def test_concatenation(self):
+        key = encode_composite(encode_int(1), encode_int(2))
+        assert len(key) == 16
+        assert key == encode_int(1) + encode_int(2)
+
+    def test_composite_order_is_lexicographic(self):
+        a = encode_composite(encode_int(1), encode_int(99))
+        b = encode_composite(encode_int(2), encode_int(0))
+        assert a < b
+
+
+# -- order-preservation properties ----------------------------------------------
+
+
+@given(st.integers(min_value=-(2**63), max_value=2**63 - 1),
+       st.integers(min_value=-(2**63), max_value=2**63 - 1))
+def test_int_encoding_preserves_order(a, b):
+    assert (encode_int(a) < encode_int(b)) == (a < b)
+
+
+@given(st.floats(allow_nan=False, width=64),
+       st.floats(allow_nan=False, width=64))
+def test_float_encoding_preserves_order(a, b):
+    if a < b:
+        assert encode_float(a) < encode_float(b)
+    elif b < a:
+        assert encode_float(b) < encode_float(a)
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=1, max_codepoint=127),
+               max_size=12),
+       st.text(alphabet=st.characters(min_codepoint=1, max_codepoint=127),
+               max_size=12))
+def test_short_ascii_string_encoding_preserves_order(a, b):
+    assert (encode_string(a) < encode_string(b)) == (a < b)
+
+
+@given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+def test_int_round_trip(value):
+    assert decode_int(encode_int(value)) == value

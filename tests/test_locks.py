@@ -1,0 +1,155 @@
+"""Tests for the lock manager."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import DeadlockError, LockTimeoutError
+from repro.txn.locks import LockManager, LockMode
+
+
+@pytest.fixture
+def locks():
+    return LockManager(timeout=2.0)
+
+
+class TestCompatibility:
+    def test_shared_locks_coexist(self, locks):
+        locks.acquire(1, "r", LockMode.SHARED)
+        locks.acquire(2, "r", LockMode.SHARED)
+        assert set(locks.holders_of("r")) == {1, 2}
+
+    def test_exclusive_excludes(self):
+        # A second transaction cannot get any lock on r within timeout.
+        quick = LockManager(timeout=0.05)
+        quick.acquire(1, "r", LockMode.EXCLUSIVE)
+        with pytest.raises(LockTimeoutError):
+            quick.acquire(2, "r", LockMode.SHARED)
+        with pytest.raises(LockTimeoutError):
+            quick.acquire(3, "r", LockMode.EXCLUSIVE)
+
+    def test_reacquire_is_idempotent(self, locks):
+        locks.acquire(1, "r", LockMode.SHARED)
+        locks.acquire(1, "r", LockMode.SHARED)
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)  # upgrade, sole holder
+        locks.acquire(1, "r", LockMode.SHARED)     # X already covers S
+        assert locks.holders_of("r") == {1: LockMode.EXCLUSIVE}
+
+    def test_release_all(self, locks):
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(1, "b", LockMode.SHARED)
+        locks.release_all(1)
+        assert locks.locks_held(1) == set()
+        locks.acquire(2, "a", LockMode.EXCLUSIVE)  # no longer blocked
+
+    def test_release_unknown_txn_is_noop(self, locks):
+        locks.release_all(99)
+
+
+class TestBlocking:
+    def test_waiter_proceeds_after_release(self, locks):
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        acquired = threading.Event()
+
+        def waiter():
+            locks.acquire(2, "r", LockMode.EXCLUSIVE)
+            acquired.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)
+        assert not acquired.is_set()
+        locks.release_all(1)
+        thread.join(timeout=2)
+        assert acquired.is_set()
+        locks.release_all(2)
+
+    def test_timeout(self):
+        locks = LockManager(timeout=0.05)
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+        with pytest.raises(LockTimeoutError):
+            locks.acquire(2, "r", LockMode.EXCLUSIVE)
+
+
+class TestDeadlock:
+    def test_two_party_deadlock_detected(self, locks):
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(2, "b", LockMode.EXCLUSIVE)
+        failed = []
+
+        def t1():
+            try:
+                locks.acquire(1, "b", LockMode.EXCLUSIVE)
+            except DeadlockError:
+                failed.append(1)
+                locks.release_all(1)
+
+        thread = threading.Thread(target=t1)
+        thread.start()
+        time.sleep(0.05)
+        # Transaction 2 now waits for "a" held by 1 while 1 waits for "b":
+        # one of them must be told off immediately.
+        try:
+            locks.acquire(2, "a", LockMode.EXCLUSIVE)
+        except DeadlockError:
+            failed.append(2)
+            locks.release_all(2)
+        thread.join(timeout=2)
+        assert failed  # at least one victim
+        locks.release_all(1)
+        locks.release_all(2)
+
+    def test_self_upgrade_is_not_deadlock(self, locks):
+        locks.acquire(1, "r", LockMode.SHARED)
+        locks.acquire(1, "r", LockMode.EXCLUSIVE)
+
+    def test_upgrade_deadlock_between_two_readers(self, locks):
+        """Both hold S and want X: the second requester must be refused."""
+        locks.acquire(1, "r", LockMode.SHARED)
+        locks.acquire(2, "r", LockMode.SHARED)
+        outcome = []
+
+        def upgrader():
+            try:
+                locks.acquire(1, "r", LockMode.EXCLUSIVE)
+                outcome.append(("ok", 1))
+            except DeadlockError:
+                outcome.append(("dead", 1))
+                locks.release_all(1)
+
+        thread = threading.Thread(target=upgrader)
+        thread.start()
+        time.sleep(0.05)
+        try:
+            locks.acquire(2, "r", LockMode.EXCLUSIVE)
+            outcome.append(("ok", 2))
+        except DeadlockError:
+            outcome.append(("dead", 2))
+            locks.release_all(2)
+        thread.join(timeout=2)
+        assert ("dead", 2) in outcome or ("dead", 1) in outcome
+        locks.release_all(1)
+        locks.release_all(2)
+
+
+class TestConcurrency:
+    def test_many_threads_counter_integrity(self, locks):
+        """X locks serialize increments of an unprotected counter."""
+        counter = {"value": 0}
+
+        def worker(txn_id):
+            for _ in range(50):
+                locks.acquire(txn_id, "counter", LockMode.EXCLUSIVE)
+                current = counter["value"]
+                time.sleep(0)  # encourage interleaving
+                counter["value"] = current + 1
+                locks.release_all(txn_id)
+
+        threads = [threading.Thread(target=worker, args=(txn_id,))
+                   for txn_id in range(1, 9)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter["value"] == 400

@@ -1,0 +1,148 @@
+"""Tests for molecule types: parsing, validation, structure."""
+
+import pytest
+
+from repro import AtomType, Attribute, DataType, LinkType, MoleculeType, Schema
+from repro.core.molecule import MoleculeEdge
+from repro.errors import (
+    AnalysisError,
+    InvalidMoleculeTypeError,
+    ParseError,
+    UnknownTypeError,
+)
+
+
+@pytest.fixture
+def schema(cad_schema):
+    return cad_schema
+
+
+class TestParsing:
+    def test_single_type(self, schema):
+        mtype = MoleculeType.parse("Part", schema)
+        assert mtype.root == "Part"
+        assert mtype.edges == []
+
+    def test_path(self, schema):
+        mtype = MoleculeType.parse("Part.contains.Component", schema)
+        assert mtype.root == "Part"
+        assert mtype.edges == [MoleculeEdge("Part", "contains",
+                                            "Component", True)]
+
+    def test_deep_path(self, schema):
+        mtype = MoleculeType.parse(
+            "Part.contains.Component.supplied_by.Supplier", schema)
+        assert [e.child for e in mtype.edges] == ["Component", "Supplier"]
+
+    def test_reverse_traversal(self, schema):
+        mtype = MoleculeType.parse("Component.contains.Part", schema)
+        assert mtype.edges == [MoleculeEdge("Component", "contains",
+                                            "Part", False)]
+        assert mtype.edges[0].parent_ref_key == "contains.in"
+
+    def test_branches(self, schema):
+        mtype = MoleculeType.parse(
+            "Component(.contains.Part)(.supplied_by.Supplier)", schema)
+        assert mtype.root == "Component"
+        assert len(mtype.edges) == 2
+        assert {e.child for e in mtype.edges} == {"Part", "Supplier"}
+
+    def test_branch_then_continue(self, schema):
+        mtype = MoleculeType.parse(
+            "Part.contains.Component(.supplied_by.Supplier)", schema)
+        assert len(mtype.edges) == 2
+
+    def test_whitespace_tolerated(self, schema):
+        assert MoleculeType.parse("  Part  ", schema).root == "Part"
+
+    def test_empty_rejected(self, schema):
+        with pytest.raises(ParseError):
+            MoleculeType.parse("", schema)
+
+    def test_unbalanced_parens_rejected(self, schema):
+        with pytest.raises(ParseError):
+            MoleculeType.parse("Part(.contains.Component", schema)
+
+    def test_missing_type_after_link_rejected(self, schema):
+        with pytest.raises(ParseError):
+            MoleculeType.parse("Part.contains", schema)
+
+    def test_unknown_link_rejected(self, schema):
+        with pytest.raises(UnknownTypeError):
+            MoleculeType.parse("Part.holds.Component", schema)
+
+    def test_wrong_link_endpoints_rejected(self, schema):
+        with pytest.raises(InvalidMoleculeTypeError):
+            MoleculeType.parse("Part.supplied_by.Supplier", schema)
+
+
+class TestValidation:
+    def test_unknown_root_rejected(self, schema):
+        with pytest.raises(UnknownTypeError):
+            MoleculeType("Mystery").validate(schema)
+
+    def test_disconnected_edges_rejected(self, schema):
+        mtype = MoleculeType("Part", [
+            MoleculeEdge("Component", "supplied_by", "Supplier", True)])
+        with pytest.raises(InvalidMoleculeTypeError):
+            mtype.validate(schema)
+
+    def test_self_edge_allowed_as_bounded_recursion(self):
+        schema = Schema("s")
+        schema.add_atom_type(AtomType("Part", [
+            Attribute("name", DataType.STRING)]))
+        schema.add_link_type(LinkType("part_of", "Part", "Part"))
+        mtype = MoleculeType("Part", [
+            MoleculeEdge("Part", "part_of", "Part", True, max_depth=3)])
+        mtype.validate(schema)  # direct recursion with a bound is legal
+
+    def test_indirect_cycle_rejected(self):
+        schema = Schema("s")
+        schema.add_atom_type(AtomType("A", []))
+        schema.add_atom_type(AtomType("B", []))
+        schema.add_link_type(LinkType("ab", "A", "B"))
+        schema.add_link_type(LinkType("ba", "B", "A"))
+        mtype = MoleculeType("A", [
+            MoleculeEdge("A", "ab", "B", True),
+            MoleculeEdge("B", "ba", "A", True)])
+        with pytest.raises(InvalidMoleculeTypeError):
+            mtype.validate(schema)
+
+    def test_direction_mismatch_rejected(self, schema):
+        mtype = MoleculeType("Part", [
+            MoleculeEdge("Part", "contains", "Component", False)])
+        with pytest.raises(InvalidMoleculeTypeError):
+            mtype.validate(schema)
+
+    def test_diamond_is_allowed(self):
+        """A DAG that reconverges is a legal molecule type."""
+        schema = Schema("s")
+        for name in ("A", "B", "C", "D"):
+            schema.add_atom_type(AtomType(name, []))
+        schema.add_link_type(LinkType("ab", "A", "B"))
+        schema.add_link_type(LinkType("ac", "A", "C"))
+        schema.add_link_type(LinkType("bd", "B", "D"))
+        schema.add_link_type(LinkType("cd", "C", "D"))
+        mtype = MoleculeType("A", [
+            MoleculeEdge("A", "ab", "B", True),
+            MoleculeEdge("A", "ac", "C", True),
+            MoleculeEdge("B", "bd", "D", True),
+            MoleculeEdge("C", "cd", "D", True)])
+        mtype.validate(schema)
+
+
+class TestStructure:
+    def test_atom_type_names_root_first(self, schema):
+        mtype = MoleculeType.parse(
+            "Part.contains.Component.supplied_by.Supplier", schema)
+        assert mtype.atom_type_names() == ["Part", "Component", "Supplier"]
+
+    def test_edges_from(self, schema):
+        mtype = MoleculeType.parse(
+            "Component(.contains.Part)(.supplied_by.Supplier)", schema)
+        assert len(mtype.edges_from("Component")) == 2
+        assert mtype.edges_from("Supplier") == []
+
+    def test_str_single_chain(self, schema):
+        text = "Part.contains.Component"
+        assert str(MoleculeType.parse(text, schema)) == text

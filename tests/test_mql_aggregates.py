@@ -1,0 +1,133 @@
+"""Tests for MQL aggregates over molecule contents."""
+
+import pytest
+
+from repro.errors import AnalysisError, ParseError
+from repro.mql.ast_nodes import Aggregate, AttrPath
+from repro.mql.parser import parse_query
+
+
+class TestParsing:
+    def test_count_type(self):
+        query = parse_query("SELECT COUNT(Component) FROM P")
+        assert query.select.paths == (Aggregate("COUNT",
+                                                type_name="Component"),)
+
+    def test_value_aggregates(self):
+        for func in ("SUM", "AVG", "MIN", "MAX", "COUNT"):
+            query = parse_query(f"SELECT {func}(C.weight) FROM P")
+            assert query.select.paths == (
+                Aggregate(func, AttrPath("C", "weight")),)
+
+    def test_mixed_select(self):
+        query = parse_query(
+            "SELECT P.name, COUNT(C), AVG(C.weight) FROM P")
+        assert len(query.select.paths) == 3
+
+    def test_bare_type_only_for_count(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT SUM(Component) FROM P")
+
+    def test_aggregate_named_attribute_still_works(self):
+        # "count" without parentheses is an ordinary identifier.
+        query = parse_query("SELECT count.x FROM count")
+        assert query.select.paths == (AttrPath("count", "x"),)
+
+
+class TestAnalysis:
+    def test_sum_requires_numeric(self, db):
+        with pytest.raises(AnalysisError, match="numeric"):
+            db.query("SELECT SUM(Part.name) FROM Part")
+
+    def test_count_accepts_strings(self, db):
+        db.query("SELECT COUNT(Part.name) FROM Part")
+
+    def test_aggregate_type_must_be_in_molecule(self, db):
+        with pytest.raises(AnalysisError):
+            db.query("SELECT COUNT(Supplier) FROM Part")
+
+    def test_min_max_on_strings_allowed(self, db):
+        db.query("SELECT MIN(Part.name), MAX(Part.name) FROM Part")
+
+
+@pytest.fixture
+def bom(db):
+    with db.transaction() as txn:
+        p1 = txn.insert("Part", {"name": "wheel"}, valid_from=0)
+        p2 = txn.insert("Part", {"name": "bare"}, valid_from=0)
+        weights = (2.0, 4.0, 6.0)
+        for index, weight in enumerate(weights):
+            c = txn.insert("Component",
+                           {"cname": f"c{index}", "weight": weight},
+                           valid_from=0)
+            txn.link("contains", p1, c, valid_from=0)
+        nameless = txn.insert("Component", {"cname": "x", "weight": None},
+                              valid_from=0)
+        txn.link("contains", p1, nameless, valid_from=0)
+    return db, p1, p2
+
+
+class TestEvaluation:
+    def test_count_type_per_molecule(self, bom):
+        db, p1, p2 = bom
+        result = db.query(
+            "SELECT Part.name, COUNT(Component) "
+            "FROM Part.contains.Component VALID AT 1")
+        rows = {row["Part.name"]: row["COUNT(Component)"]
+                for row in result.rows()}
+        assert rows == {"wheel": 4, "bare": 0}
+
+    def test_value_aggregates_skip_nulls(self, bom):
+        db, p1, _ = bom
+        result = db.query(
+            "SELECT COUNT(Component.weight), SUM(Component.weight), "
+            "AVG(Component.weight), MIN(Component.weight), "
+            "MAX(Component.weight) "
+            "FROM Part.contains.Component "
+            "WHERE Part.name = 'wheel' VALID AT 1")
+        (row,) = result.rows()
+        assert row["COUNT(Component.weight)"] == 3  # NULL skipped
+        assert row["SUM(Component.weight)"] == 12.0
+        assert row["AVG(Component.weight)"] == 4.0
+        assert row["MIN(Component.weight)"] == 2.0
+        assert row["MAX(Component.weight)"] == 6.0
+
+    def test_empty_aggregates(self, bom):
+        db, _, p2 = bom
+        result = db.query(
+            "SELECT SUM(Component.weight), COUNT(Component.weight) "
+            "FROM Part.contains.Component "
+            "WHERE Part.name = 'bare' VALID AT 1")
+        (row,) = result.rows()
+        assert row["SUM(Component.weight)"] is None
+        assert row["COUNT(Component.weight)"] == 0
+
+    def test_aggregates_follow_time(self, db):
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "p"}, valid_from=0)
+            c1 = txn.insert("Component", {"cname": "a", "weight": 1.0},
+                            valid_from=0)
+            c2 = txn.insert("Component", {"cname": "b", "weight": 3.0},
+                            valid_from=10)
+            txn.link("contains", part, c1, valid_from=0)
+            txn.link("contains", part, c2, valid_from=10)
+        early = db.query("SELECT SUM(Component.weight) "
+                         "FROM Part.contains.Component VALID AT 5")
+        late = db.query("SELECT SUM(Component.weight) "
+                        "FROM Part.contains.Component VALID AT 15")
+        assert early.rows()[0]["SUM(Component.weight)"] == 1.0
+        assert late.rows()[0]["SUM(Component.weight)"] == 4.0
+
+    def test_aggregate_over_history_states(self, db):
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "p"}, valid_from=0)
+            c = txn.insert("Component", {"cname": "a", "weight": 1.0},
+                           valid_from=0)
+            txn.link("contains", part, c, valid_from=0)
+        with db.transaction() as txn:
+            txn.update(c, {"weight": 9.0}, valid_from=10)
+        result = db.query(
+            "SELECT MAX(Component.weight) "
+            "FROM Part.contains.Component VALID DURING [0, 20)")
+        assert [e.row["MAX(Component.weight)"] for e in result] == [
+            1.0, 9.0]

@@ -1,0 +1,94 @@
+"""Tests for MQL semantic analysis."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.mql.analyzer import analyze
+from repro.mql.parser import parse_query
+
+
+def check(text, schema):
+    return analyze(parse_query(text), schema)
+
+
+class TestMoleculeResolution:
+    def test_forward_edge(self, cad_schema):
+        analyzed = check("SELECT ALL FROM Part.contains.Component",
+                         cad_schema)
+        (edge,) = analyzed.molecule_type.edges
+        assert edge.forward
+
+    def test_reverse_edge(self, cad_schema):
+        analyzed = check("SELECT ALL FROM Component.contains.Part",
+                         cad_schema)
+        (edge,) = analyzed.molecule_type.edges
+        assert not edge.forward
+
+    def test_unknown_root(self, cad_schema):
+        with pytest.raises(AnalysisError):
+            check("SELECT ALL FROM Mystery", cad_schema)
+
+    def test_unknown_link(self, cad_schema):
+        with pytest.raises(AnalysisError):
+            check("SELECT ALL FROM Part.holds.Component", cad_schema)
+
+    def test_wrong_endpoints(self, cad_schema):
+        with pytest.raises(AnalysisError):
+            check("SELECT ALL FROM Part.supplied_by.Supplier", cad_schema)
+
+    def test_disconnected_branch_impossible_by_grammar(self, cad_schema):
+        analyzed = check(
+            "SELECT ALL FROM Part.contains.Component.supplied_by.Supplier",
+            cad_schema)
+        assert analyzed.molecule_type.atom_type_names() == [
+            "Part", "Component", "Supplier"]
+
+
+class TestPathChecking:
+    def test_select_path_must_be_in_molecule(self, cad_schema):
+        with pytest.raises(AnalysisError, match="not part of"):
+            check("SELECT Supplier.sname FROM Part", cad_schema)
+
+    def test_select_unknown_attribute(self, cad_schema):
+        with pytest.raises(AnalysisError, match="no attribute"):
+            check("SELECT Part.colour FROM Part", cad_schema)
+
+    def test_where_path_must_be_in_molecule(self, cad_schema):
+        with pytest.raises(AnalysisError):
+            check("SELECT ALL FROM Part WHERE Component.weight > 1",
+                  cad_schema)
+
+    def test_valid_paths_pass(self, cad_schema):
+        check("SELECT Part.name, Component.weight "
+              "FROM Part.contains.Component "
+              "WHERE Part.cost > 5 AND Component.cname != 'x'", cad_schema)
+
+
+class TestLiteralTypes:
+    def test_string_against_float_rejected(self, cad_schema):
+        with pytest.raises(AnalysisError):
+            check("SELECT ALL FROM Part WHERE Part.cost = 'cheap'",
+                  cad_schema)
+
+    def test_int_against_float_allowed(self, cad_schema):
+        check("SELECT ALL FROM Part WHERE Part.cost > 5", cad_schema)
+
+    def test_bool_against_float_rejected(self, cad_schema):
+        with pytest.raises(AnalysisError):
+            check("SELECT ALL FROM Part WHERE Part.cost = TRUE", cad_schema)
+
+    def test_bool_against_bool_allowed(self, cad_schema):
+        check("SELECT ALL FROM Part WHERE Part.released = TRUE", cad_schema)
+
+    def test_null_equality_allowed(self, cad_schema):
+        check("SELECT ALL FROM Part WHERE Part.cost = NULL", cad_schema)
+        check("SELECT ALL FROM Part WHERE Part.cost != NULL", cad_schema)
+
+    def test_null_ordering_rejected(self, cad_schema):
+        with pytest.raises(AnalysisError):
+            check("SELECT ALL FROM Part WHERE Part.cost < NULL", cad_schema)
+
+    def test_nested_predicates_checked(self, cad_schema):
+        with pytest.raises(AnalysisError):
+            check("SELECT ALL FROM Part WHERE Part.cost > 1 "
+                  "OR NOT Part.name = 5", cad_schema)

@@ -1,0 +1,227 @@
+"""Tests for MQL planning and evaluation against a live database."""
+
+import pytest
+
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def loaded(db):
+    """A small catalogue with history: two parts, three components."""
+    with db.transaction() as txn:
+        p1 = txn.insert("Part", {"name": "wheel", "cost": 10.0,
+                                 "released": True}, valid_from=0)
+        p2 = txn.insert("Part", {"name": "frame", "cost": 99.0,
+                                 "released": False}, valid_from=0)
+        c1 = txn.insert("Component", {"cname": "hub", "weight": 2.0},
+                        valid_from=0)
+        c2 = txn.insert("Component", {"cname": "rim", "weight": 1.0},
+                        valid_from=0)
+        c3 = txn.insert("Component", {"cname": "tube", "weight": 4.0},
+                        valid_from=5)
+        sup = txn.insert("Supplier", {"sname": "acme", "rating": 5},
+                         valid_from=0)
+        txn.link("contains", p1, c1, valid_from=0)
+        txn.link("contains", p1, c2, valid_from=0)
+        txn.link("contains", p2, c3, valid_from=5)
+        txn.link("supplied_by", c1, sup, valid_from=0)
+    with db.transaction() as txn:
+        txn.update(p1, {"cost": 20.0}, valid_from=10)
+    return {"db": db, "p1": p1, "p2": p2, "c1": c1, "c2": c2, "c3": c3,
+            "sup": sup}
+
+
+class TestTimeSlice:
+    def test_select_all_molecules(self, loaded):
+        result = loaded["db"].query("SELECT ALL FROM Part VALID AT 1")
+        assert len(result) == 2
+        assert not result.projected
+        assert all(e.molecule is not None for e in result)
+
+    def test_predicate_on_root(self, loaded):
+        result = loaded["db"].query(
+            "SELECT Part.name FROM Part WHERE Part.cost > 50 VALID AT 1")
+        assert result.rows() == [{"Part.name": "frame"}]
+
+    def test_predicate_sees_time_sliced_values(self, loaded):
+        early = loaded["db"].query(
+            "SELECT ALL FROM Part WHERE Part.cost = 10 VALID AT 5")
+        late = loaded["db"].query(
+            "SELECT ALL FROM Part WHERE Part.cost = 10 VALID AT 15")
+        assert len(early) == 1
+        assert len(late) == 0
+
+    def test_child_membership_follows_time(self, loaded):
+        db = loaded["db"]
+        at4 = db.query("SELECT ALL FROM Part.contains.Component VALID AT 4")
+        at6 = db.query("SELECT ALL FROM Part.contains.Component VALID AT 6")
+        molecules4 = {e.root_id: e.molecule.atom_count() for e in at4}
+        molecules6 = {e.root_id: e.molecule.atom_count() for e in at6}
+        assert molecules4[loaded["p2"]] == 1  # tube not valid yet
+        assert molecules6[loaded["p2"]] == 2
+
+    def test_existential_semantics_on_children(self, loaded):
+        result = loaded["db"].query(
+            "SELECT Part.name FROM Part.contains.Component "
+            "WHERE Component.weight >= 2 VALID AT 1")
+        assert [row["Part.name"] for row in result.rows()] == ["wheel"]
+
+    def test_not_negates_whole_comparison(self, loaded):
+        # wheel has a component >= 2 (hub) so NOT excludes it; frame has
+        # no component at t=1, the inner comparison is false, NOT admits.
+        result = loaded["db"].query(
+            "SELECT Part.name FROM Part.contains.Component "
+            "WHERE NOT Component.weight >= 2 VALID AT 1")
+        assert [row["Part.name"] for row in result.rows()] == ["frame"]
+
+    def test_and_or(self, loaded):
+        result = loaded["db"].query(
+            "SELECT Part.name FROM Part "
+            "WHERE Part.cost < 50 AND Part.released = TRUE VALID AT 1")
+        assert [row["Part.name"] for row in result.rows()] == ["wheel"]
+        result = loaded["db"].query(
+            "SELECT Part.name FROM Part "
+            "WHERE Part.cost > 50 OR Part.released = TRUE VALID AT 1")
+        assert len(result) == 2
+
+    def test_null_comparison(self, db):
+        with db.transaction() as txn:
+            txn.insert("Part", {"name": "bare"}, valid_from=0)
+            txn.insert("Part", {"name": "priced", "cost": 5.0}, valid_from=0)
+        result = db.query(
+            "SELECT Part.name FROM Part WHERE Part.cost = NULL VALID AT 1")
+        assert [row["Part.name"] for row in result.rows()] == ["bare"]
+        result = db.query(
+            "SELECT Part.name FROM Part WHERE Part.cost != NULL VALID AT 1")
+        assert [row["Part.name"] for row in result.rows()] == ["priced"]
+
+    def test_projection_collects_child_values(self, loaded):
+        result = loaded["db"].query(
+            "SELECT Part.name, Component.cname "
+            "FROM Part.contains.Component "
+            "WHERE Part.name = 'wheel' VALID AT 1")
+        (row,) = result.rows()
+        assert row["Part.name"] == "wheel"
+        assert sorted(row["Component.cname"]) == ["hub", "rim"]
+
+    def test_deep_molecule_query(self, loaded):
+        result = loaded["db"].query(
+            "SELECT Supplier.sname FROM "
+            "Part.contains.Component.supplied_by.Supplier "
+            "WHERE Part.name = 'wheel' VALID AT 1")
+        (row,) = result.rows()
+        assert row["Supplier.sname"] == ["acme"]
+
+    def test_default_time_is_now(self, loaded):
+        result = loaded["db"].query(
+            "SELECT Part.cost FROM Part WHERE Part.name = 'wheel'")
+        assert result.rows() == [{"Part.cost": 20.0}]  # post-update value
+
+
+class TestIntervalQueries:
+    def test_during_returns_states(self, loaded):
+        result = loaded["db"].query(
+            "SELECT Part.cost FROM Part WHERE Part.name = 'wheel' "
+            "VALID DURING [0, 20)")
+        assert [(str(e.valid), e.row["Part.cost"]) for e in result] == [
+            ("[0, 10)", 10.0), ("[10, 20)", 20.0)]
+
+    def test_during_filters_states_by_predicate(self, loaded):
+        result = loaded["db"].query(
+            "SELECT Part.cost FROM Part "
+            "WHERE Part.name = 'wheel' AND Part.cost > 15 "
+            "VALID DURING [0, 20)")
+        assert [str(e.valid) for e in result] == ["[10, 20)"]
+
+    def test_history(self, loaded):
+        result = loaded["db"].query(
+            "SELECT ALL FROM Part WHERE Part.name = 'frame' VALID HISTORY")
+        (entry,) = result.entries
+        assert entry.valid.start == 0
+
+    def test_during_membership_change(self, loaded):
+        result = loaded["db"].query(
+            "SELECT ALL FROM Part.contains.Component "
+            "WHERE Part.name = 'frame' VALID DURING [0, 10)")
+        assert [e.molecule.atom_count() for e in result] == [1, 2]
+
+
+class TestAsOf:
+    def test_as_of_past_knowledge(self, loaded):
+        db = loaded["db"]
+        # The cost update was the last transaction; roll back before it.
+        current = db.query(
+            "SELECT Part.cost FROM Part WHERE Part.name = 'wheel' "
+            "VALID AT 15")
+        old = db.query(
+            "SELECT Part.cost FROM Part WHERE Part.name = 'wheel' "
+            "VALID AT 15 AS OF 0")
+        assert current.rows() == [{"Part.cost": 20.0}]
+        assert old.rows() == [{"Part.cost": 10.0}]
+
+    def test_as_of_before_creation_is_empty(self, loaded):
+        result = loaded["db"].query(
+            "SELECT ALL FROM Part VALID AT 1 AS OF -5")
+        assert len(result) == 0
+
+
+class TestPlanner:
+    def test_scan_without_index(self, loaded):
+        result = loaded["db"].query(
+            "SELECT ALL FROM Part WHERE Part.name = 'wheel' VALID AT 1")
+        assert "scan(Part)" in result.plan
+
+    def test_index_used_for_root_equality(self, loaded):
+        db = loaded["db"]
+        db.create_attribute_index("Part", "name")
+        result = db.query(
+            "SELECT ALL FROM Part WHERE Part.name = 'wheel' VALID AT 1")
+        assert "index(Part.name" in result.plan
+        assert len(result) == 1
+
+    def test_index_candidates_rechecked_at_time(self, loaded):
+        """The index covers all versions; stale values must not leak."""
+        db = loaded["db"]
+        db.create_attribute_index("Part", "cost")
+        result = db.query(
+            "SELECT ALL FROM Part WHERE Part.cost = 10 VALID AT 15")
+        assert len(result) == 0  # cost was 10 only before t=10
+
+    def test_index_ignored_for_non_root_predicate(self, loaded):
+        db = loaded["db"]
+        db.create_attribute_index("Component", "cname")
+        result = db.query(
+            "SELECT ALL FROM Part.contains.Component "
+            "WHERE Component.cname = 'hub' VALID AT 1")
+        assert "scan(Part)" in result.plan
+
+    def test_index_ignored_inside_or(self, loaded):
+        db = loaded["db"]
+        db.create_attribute_index("Part", "name")
+        result = db.query(
+            "SELECT ALL FROM Part "
+            "WHERE Part.name = 'wheel' OR Part.cost > 50 VALID AT 1")
+        assert "scan(Part)" in result.plan
+        assert len(result) == 2
+
+
+class TestResultApi:
+    def test_to_table_molecules(self, loaded):
+        result = loaded["db"].query("SELECT ALL FROM Part VALID AT 1")
+        text = result.to_table()
+        assert "molecule of" in text
+
+    def test_to_table_rows(self, loaded):
+        result = loaded["db"].query(
+            "SELECT Part.name FROM Part VALID AT 1")
+        assert "Part.name=" in result.to_table()
+
+    def test_empty_result(self, loaded):
+        result = loaded["db"].query(
+            "SELECT ALL FROM Part WHERE Part.cost > 10000 VALID AT 1")
+        assert result.to_table() == "(empty result)"
+        assert result.molecules() == []
+
+    def test_analysis_errors_surface(self, loaded):
+        with pytest.raises(AnalysisError):
+            loaded["db"].query("SELECT ALL FROM Nothing")

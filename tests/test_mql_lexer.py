@@ -1,0 +1,82 @@
+"""Tests for the MQL lexer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.mql.lexer import TokenType, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text)[:-1]]
+
+
+class TestTokens:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select FROM Where") == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.KEYWORD, "FROM"),
+            (TokenType.KEYWORD, "WHERE")]
+
+    def test_identifiers_preserve_case(self):
+        assert kinds("Part cost_2") == [
+            (TokenType.IDENT, "Part"), (TokenType.IDENT, "cost_2")]
+
+    def test_integers(self):
+        assert kinds("42 -7 0") == [
+            (TokenType.INT, "42"), (TokenType.INT, "-7"),
+            (TokenType.INT, "0")]
+
+    def test_floats(self):
+        assert kinds("3.25 -0.5") == [
+            (TokenType.FLOAT, "3.25"), (TokenType.FLOAT, "-0.5")]
+
+    def test_dot_after_int_is_path_separator(self):
+        # "Part.contains" style paths must not eat dots into numbers.
+        tokens = kinds("a.b")
+        assert tokens == [(TokenType.IDENT, "a"), (TokenType.SYMBOL, "."),
+                          (TokenType.IDENT, "b")]
+
+    def test_strings_single_and_double(self):
+        assert kinds("'abc' \"def\"") == [
+            (TokenType.STRING, "abc"), (TokenType.STRING, "def")]
+
+    def test_string_escapes(self):
+        assert kinds(r"'it\'s'") == [(TokenType.STRING, "it's")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+    def test_symbols_maximal_munch(self):
+        assert kinds("<= < != =") == [
+            (TokenType.SYMBOL, "<="), (TokenType.SYMBOL, "<"),
+            (TokenType.SYMBOL, "!="), (TokenType.SYMBOL, "=")]
+
+    def test_brackets(self):
+        assert kinds("[ ) ( ] ,") == [
+            (TokenType.SYMBOL, "["), (TokenType.SYMBOL, ")"),
+            (TokenType.SYMBOL, "("), (TokenType.SYMBOL, "]"),
+            (TokenType.SYMBOL, ",")]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError) as info:
+            tokenize("SELECT @")
+        assert info.value.position == 7
+
+    def test_end_token(self):
+        tokens = tokenize("x")
+        assert tokens[-1].type is TokenType.END
+
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].type is TokenType.END
+
+    def test_time_keywords(self):
+        assert kinds("NOW FOREVER TMIN") == [
+            (TokenType.KEYWORD, "NOW"), (TokenType.KEYWORD, "FOREVER"),
+            (TokenType.KEYWORD, "TMIN")]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT ALL")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7

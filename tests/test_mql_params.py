@@ -1,0 +1,100 @@
+"""Tests for MQL query parameters (``$name`` placeholders)."""
+
+import pytest
+
+from repro.errors import AnalysisError, LexerError, ParseError
+
+
+@pytest.fixture
+def loaded(db):
+    with db.transaction() as txn:
+        wheel = txn.insert("Part", {"name": "wheel", "cost": 10.0},
+                           valid_from=0)
+        frame = txn.insert("Part", {"name": "fra'me", "cost": 99.0},
+                           valid_from=0)
+    return db, wheel, frame
+
+
+class TestBinding:
+    def test_string_parameter(self, loaded):
+        db, wheel, _ = loaded
+        result = db.query(
+            "SELECT ALL FROM Part WHERE Part.name = $n VALID AT 1",
+            params={"n": "wheel"})
+        assert result.root_ids() == [wheel]
+
+    def test_parameter_handles_quotes_safely(self, loaded):
+        """A value that would break string interpolation binds cleanly."""
+        db, _, frame = loaded
+        result = db.query(
+            "SELECT ALL FROM Part WHERE Part.name = $n VALID AT 1",
+            params={"n": "fra'me"})
+        assert result.root_ids() == [frame]
+
+    def test_numeric_parameter(self, loaded):
+        db, wheel, _ = loaded
+        result = db.query(
+            "SELECT ALL FROM Part WHERE Part.cost < $limit VALID AT 1",
+            params={"limit": 50})
+        assert result.root_ids() == [wheel]
+
+    def test_none_parameter(self, loaded):
+        db, _, _ = loaded
+        result = db.query(
+            "SELECT ALL FROM Part WHERE Part.released = $r VALID AT 1",
+            params={"r": None})
+        assert len(result) == 2  # released is NULL on both
+
+    def test_same_parameter_twice(self, loaded):
+        db, wheel, _ = loaded
+        result = db.query(
+            "SELECT ALL FROM Part "
+            "WHERE Part.cost >= $x AND Part.cost <= $x VALID AT 1",
+            params={"x": 10.0})
+        assert result.root_ids() == [wheel]
+
+    def test_parameter_used_with_index(self, loaded):
+        db, wheel, _ = loaded
+        db.create_attribute_index("Part", "name")
+        result = db.query(
+            "SELECT ALL FROM Part WHERE Part.name = $n VALID AT 1",
+            params={"n": "wheel"})
+        assert "index(Part.name" in result.plan
+        assert result.root_ids() == [wheel]
+
+
+class TestErrors:
+    def test_unbound_parameter_rejected(self, loaded):
+        db, _, _ = loaded
+        with pytest.raises((ParseError, AnalysisError)):
+            db.query("SELECT ALL FROM Part WHERE Part.name = $n "
+                     "VALID AT 1")
+
+    def test_missing_binding_rejected(self, loaded):
+        db, _, _ = loaded
+        with pytest.raises(ParseError, match=r"\$other"):
+            db.query("SELECT ALL FROM Part WHERE Part.name = $other "
+                     "VALID AT 1", params={"n": "x"})
+
+    def test_unused_binding_rejected(self, loaded):
+        db, _, _ = loaded
+        with pytest.raises(ParseError, match="unused"):
+            db.query("SELECT ALL FROM Part VALID AT 1",
+                     params={"ghost": 1})
+
+    def test_unsupported_type_rejected(self, loaded):
+        db, _, _ = loaded
+        with pytest.raises(ParseError, match="unsupported type"):
+            db.query("SELECT ALL FROM Part WHERE Part.name = $n "
+                     "VALID AT 1", params={"n": [1, 2]})
+
+    def test_type_checking_applies_to_bound_value(self, loaded):
+        db, _, _ = loaded
+        with pytest.raises(AnalysisError):
+            db.query("SELECT ALL FROM Part WHERE Part.cost = $n "
+                     "VALID AT 1", params={"n": "not a number"})
+
+    def test_bare_dollar_rejected(self, loaded):
+        db, _, _ = loaded
+        with pytest.raises(LexerError):
+            db.query("SELECT ALL FROM Part WHERE Part.cost = $ VALID AT 1")

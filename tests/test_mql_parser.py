@@ -1,0 +1,158 @@
+"""Tests for the MQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.mql.ast_nodes import (
+    And,
+    AttrPath,
+    Comparison,
+    CompareOp,
+    Literal,
+    Not,
+    Or,
+    SelectAll,
+    SelectPaths,
+    ValidAt,
+    ValidAtNow,
+    ValidDuring,
+    ValidHistory,
+)
+from repro.mql.parser import parse_query
+from repro.temporal import FOREVER, TMIN
+
+
+class TestSelect:
+    def test_select_all(self):
+        query = parse_query("SELECT ALL FROM Part")
+        assert isinstance(query.select, SelectAll)
+
+    def test_select_paths(self):
+        query = parse_query("SELECT Part.name, Part.cost FROM Part")
+        assert query.select == SelectPaths((AttrPath("Part", "name"),
+                                            AttrPath("Part", "cost")))
+
+    def test_missing_select_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("FROM Part")
+
+
+class TestFrom:
+    def test_single_type(self):
+        query = parse_query("SELECT ALL FROM Part")
+        assert query.molecule.root == "Part"
+        assert query.molecule.edges == ()
+
+    def test_path(self):
+        query = parse_query("SELECT ALL FROM Part.contains.Component")
+        (edge,) = query.molecule.edges
+        assert (edge.parent, edge.link, edge.child) == (
+            "Part", "contains", "Component")
+
+    def test_chain(self):
+        query = parse_query(
+            "SELECT ALL FROM A.l1.B.l2.C")
+        assert [e.child for e in query.molecule.edges] == ["B", "C"]
+
+    def test_branches(self):
+        query = parse_query("SELECT ALL FROM A(.l1.B)(.l2.C)")
+        assert [(e.parent, e.child) for e in query.molecule.edges] == [
+            ("A", "B"), ("A", "C")]
+
+    def test_nested_branches(self):
+        query = parse_query("SELECT ALL FROM A(.l1.B(.l3.D))(.l2.C)")
+        assert [(e.parent, e.child) for e in query.molecule.edges] == [
+            ("A", "B"), ("B", "D"), ("A", "C")]
+
+    def test_dangling_dot_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT ALL FROM Part.contains")
+
+
+class TestWhere:
+    def test_comparison_ops(self):
+        for symbol, op in (("=", CompareOp.EQ), ("!=", CompareOp.NE),
+                           ("<", CompareOp.LT), ("<=", CompareOp.LE),
+                           (">", CompareOp.GT), (">=", CompareOp.GE)):
+            query = parse_query(f"SELECT ALL FROM P WHERE P.x {symbol} 5")
+            assert query.where == Comparison(AttrPath("P", "x"), op,
+                                             Literal(5))
+
+    def test_literals(self):
+        cases = [("5", 5), ("2.5", 2.5), ("'s'", "s"), ("TRUE", True),
+                 ("FALSE", False), ("NULL", None), ("-3", -3)]
+        for text, expected in cases:
+            query = parse_query(f"SELECT ALL FROM P WHERE P.x = {text}")
+            assert query.where.literal == Literal(expected)
+
+    def test_and_or_precedence(self):
+        query = parse_query(
+            "SELECT ALL FROM P WHERE P.a = 1 OR P.b = 2 AND P.c = 3")
+        assert isinstance(query.where, Or)
+        assert isinstance(query.where.operands[1], And)
+
+    def test_not(self):
+        query = parse_query("SELECT ALL FROM P WHERE NOT P.a = 1")
+        assert isinstance(query.where, Not)
+
+    def test_parentheses_override(self):
+        query = parse_query(
+            "SELECT ALL FROM P WHERE (P.a = 1 OR P.b = 2) AND P.c = 3")
+        assert isinstance(query.where, And)
+        assert isinstance(query.where.operands[0], Or)
+
+    def test_missing_operator_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT ALL FROM P WHERE P.a 5")
+
+    def test_missing_literal_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT ALL FROM P WHERE P.a = FROM")
+
+
+class TestTemporalClauses:
+    def test_default_is_now(self):
+        assert parse_query("SELECT ALL FROM P").valid == ValidAtNow()
+
+    def test_valid_at(self):
+        assert parse_query("SELECT ALL FROM P VALID AT 42").valid == \
+            ValidAt(42)
+
+    def test_valid_at_now(self):
+        assert parse_query("SELECT ALL FROM P VALID AT NOW").valid == \
+            ValidAtNow()
+
+    def test_valid_during(self):
+        assert parse_query(
+            "SELECT ALL FROM P VALID DURING [10, 20)").valid == \
+            ValidDuring(10, 20)
+
+    def test_valid_during_closed_bracket_spelling(self):
+        assert parse_query(
+            "SELECT ALL FROM P VALID DURING [10, 20]").valid == \
+            ValidDuring(10, 20)
+
+    def test_valid_during_sentinels(self):
+        assert parse_query(
+            "SELECT ALL FROM P VALID DURING [TMIN, FOREVER)").valid == \
+            ValidDuring(TMIN, FOREVER)
+
+    def test_valid_history(self):
+        assert parse_query("SELECT ALL FROM P VALID HISTORY").valid == \
+            ValidHistory()
+
+    def test_as_of(self):
+        query = parse_query("SELECT ALL FROM P VALID AT 5 AS OF 17")
+        assert query.as_of == 17
+
+    def test_as_of_without_valid(self):
+        query = parse_query("SELECT ALL FROM P AS OF 17")
+        assert query.as_of == 17 and query.valid == ValidAtNow()
+
+    def test_bad_valid_clause_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT ALL FROM P VALID SOMETIME")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT ALL FROM P VALID AT 5 garbage")

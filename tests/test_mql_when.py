@@ -1,0 +1,107 @@
+"""Tests for the WHEN clause (Allen-relation filters on result validity)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.mql.ast_nodes import WhenClause
+from repro.mql.parser import parse_query
+
+
+class TestParsing:
+    def test_when_after_valid(self):
+        query = parse_query(
+            "SELECT ALL FROM P VALID DURING [0, 100) WHEN OVERLAPS [10, 20)")
+        assert query.when == WhenClause("OVERLAPS", 10, 20)
+
+    def test_all_relations_parse(self):
+        for relation in ("OVERLAPS", "DURING", "CONTAINS", "MEETS",
+                         "BEFORE", "AFTER", "EQUALS", "STARTS", "FINISHES"):
+            query = parse_query(
+                f"SELECT ALL FROM P WHEN {relation} [1, 2)")
+            assert query.when.relation == relation
+
+    def test_when_before_as_of(self):
+        query = parse_query(
+            "SELECT ALL FROM P VALID HISTORY WHEN DURING [0, 9) AS OF 5")
+        assert query.when is not None and query.as_of == 5
+
+    def test_bad_relation_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT ALL FROM P WHEN SIDEWAYS [1, 2)")
+
+    def test_missing_interval_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT ALL FROM P WHEN OVERLAPS 5")
+
+
+@pytest.fixture
+def timeline_db(db):
+    """One part whose cost changes at 10 and 20, queried over [0, 30)."""
+    with db.transaction() as txn:
+        part = txn.insert("Part", {"name": "x", "cost": 1.0}, valid_from=0)
+    with db.transaction() as txn:
+        txn.update(part, {"cost": 2.0}, valid_from=10)
+    with db.transaction() as txn:
+        txn.update(part, {"cost": 3.0}, valid_from=20)
+    return db
+
+
+BASE = "SELECT Part.cost FROM Part VALID DURING [0, 30) "
+
+
+def costs(result):
+    return [entry.row["Part.cost"] for entry in result]
+
+
+class TestEvaluation:
+    def test_overlaps_selects_intersecting_states(self, timeline_db):
+        result = timeline_db.query(BASE + "WHEN OVERLAPS [5, 15)")
+        assert costs(result) == [1.0, 2.0]
+
+    def test_during_selects_contained_states(self, timeline_db):
+        result = timeline_db.query(BASE + "WHEN DURING [10, 30)")
+        assert costs(result) == [2.0, 3.0]
+
+    def test_contains_selects_covering_states(self, timeline_db):
+        result = timeline_db.query(BASE + "WHEN CONTAINS [12, 18)")
+        assert costs(result) == [2.0]
+
+    def test_meets(self, timeline_db):
+        result = timeline_db.query(BASE + "WHEN MEETS [10, 12)")
+        assert costs(result) == [1.0]
+
+    def test_before_and_after(self, timeline_db):
+        assert costs(timeline_db.query(BASE + "WHEN BEFORE [25, 28)")) == [
+            1.0, 2.0]
+        assert costs(timeline_db.query(BASE + "WHEN AFTER [0, 5)")) == [
+            2.0, 3.0]
+
+    def test_equals(self, timeline_db):
+        result = timeline_db.query(BASE + "WHEN EQUALS [10, 20)")
+        assert costs(result) == [2.0]
+
+    def test_starts_and_finishes(self, timeline_db):
+        # state [10, 20) starts [10, 40); state [0, 10) finishes [-5, 10)
+        assert costs(timeline_db.query(BASE + "WHEN STARTS [10, 40)")) == [
+            2.0]
+        assert costs(timeline_db.query(
+            BASE + "WHEN FINISHES [-5, 10)")) == [1.0]
+
+    def test_when_composes_with_where(self, timeline_db):
+        result = timeline_db.query(
+            "SELECT Part.cost FROM Part WHERE Part.cost > 1 "
+            "VALID DURING [0, 30) WHEN OVERLAPS [5, 15)")
+        assert costs(result) == [2.0]
+
+    def test_when_on_time_slice(self, timeline_db):
+        # A VALID AT entry's validity is the single instant.
+        result = timeline_db.query(
+            "SELECT Part.cost FROM Part VALID AT 12 WHEN DURING [10, 20)")
+        assert costs(result) == [2.0]
+        result = timeline_db.query(
+            "SELECT Part.cost FROM Part VALID AT 12 WHEN DURING [0, 5)")
+        assert costs(result) == []
+
+    def test_empty_when_result(self, timeline_db):
+        result = timeline_db.query(BASE + "WHEN EQUALS [11, 19)")
+        assert costs(result) == []

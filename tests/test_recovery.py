@@ -1,0 +1,189 @@
+"""Crash-recovery tests: simulated crashes with steal, torn logs, and
+checkpoint interplay.
+
+A "crash" drops the database object without closing it (after forcing
+the WAL's OS buffers, which a commit does anyway), optionally after
+flushing dirty pages of uncommitted transactions — the steal scenario a
+recovery scheme must survive.
+"""
+
+import pytest
+
+from repro import DatabaseConfig, TemporalDatabase, VersionStrategy
+
+
+def crash(db):
+    """Abandon the database as a crash would: nothing is cleaned up."""
+    db._wal._file.flush()
+    db._disk._file.flush()
+
+
+@pytest.fixture
+def make_db(tmp_path, cad_schema, strategy):
+    def factory():
+        return TemporalDatabase.create(
+            str(tmp_path / "crashdb"), cad_schema,
+            DatabaseConfig(strategy=strategy, buffer_pages=32))
+    return factory
+
+
+def reopen(tmp_path):
+    return TemporalDatabase.open(str(tmp_path / "crashdb"))
+
+
+class TestCommittedWorkSurvives:
+    def test_committed_transactions_replay(self, make_db, tmp_path):
+        db = make_db()
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "v1", "cost": 1.0},
+                              valid_from=0)
+        with db.transaction() as txn:
+            txn.update(part, {"cost": 2.0}, valid_from=10)
+        crash(db)
+        recovered = reopen(tmp_path)
+        assert recovered.last_recovery is not None
+        assert recovered.last_recovery["operations"] == 2
+        assert recovered.version_at(part, 5).values["cost"] == 1.0
+        assert recovered.version_at(part, 15).values["cost"] == 2.0
+        recovered.close()
+
+    def test_links_replay(self, make_db, tmp_path):
+        db = make_db()
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "p"}, valid_from=0)
+            hub = txn.insert("Component", {"cname": "h"}, valid_from=0)
+            txn.link("contains", part, hub, valid_from=0)
+        crash(db)
+        recovered = reopen(tmp_path)
+        molecule = recovered.molecule_at(part, "Part.contains.Component", 5)
+        assert molecule.atom_count() == 2
+        recovered.close()
+
+    def test_corrections_replay_with_same_tt(self, make_db, tmp_path):
+        db = make_db()
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "p", "cost": 1.0},
+                              valid_from=0)
+        tt_before = db._clock.now()
+        with db.transaction() as txn:
+            txn.correct(part, 0, 10, {"cost": 9.0})
+        crash(db)
+        recovered = reopen(tmp_path)
+        assert recovered.version_at(part, 5).values["cost"] == 9.0
+        assert recovered.version_at(
+            part, 5, tt=tt_before - 1).values["cost"] == 1.0
+        recovered.close()
+
+
+class TestUncommittedWorkDiscarded:
+    def test_uncommitted_txn_discarded(self, make_db, tmp_path):
+        db = make_db()
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "keep"}, valid_from=0)
+        open_txn = db.begin()
+        open_txn.update(part, {"name": "uncommitted"}, valid_from=5)
+        open_txn.insert("Part", {"name": "ghost"}, valid_from=0)
+        crash(db)
+        recovered = reopen(tmp_path)
+        assert recovered.version_at(part, 10).values["name"] == "keep"
+        assert len(recovered.atoms_of_type("Part")) == 1
+        recovered.close()
+
+    def test_steal_uncommitted_pages_flushed(self, make_db, tmp_path):
+        """Dirty pages of an open transaction reach disk, then crash."""
+        db = make_db()
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "keep"}, valid_from=0)
+        open_txn = db.begin()
+        open_txn.update(part, {"name": "dirty"}, valid_from=5)
+        db.buffer.flush_all()  # steal: uncommitted state hits the page file
+        crash(db)
+        recovered = reopen(tmp_path)
+        assert recovered.version_at(part, 10).values["name"] == "keep"
+        recovered.close()
+
+    def test_explicitly_aborted_txn_stays_aborted(self, make_db, tmp_path):
+        db = make_db()
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "keep"}, valid_from=0)
+        txn = db.begin()
+        txn.update(part, {"name": "no"}, valid_from=5)
+        txn.abort()
+        crash(db)
+        recovered = reopen(tmp_path)
+        assert recovered.version_at(part, 10).values["name"] == "keep"
+        recovered.close()
+
+
+class TestCheckpointInterplay:
+    def test_work_before_checkpoint_not_replayed(self, make_db, tmp_path):
+        db = make_db()
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "a"}, valid_from=0)
+        db.checkpoint()
+        with db.transaction() as txn:
+            txn.update(part, {"name": "b"}, valid_from=10)
+        crash(db)
+        recovered = reopen(tmp_path)
+        # Only the post-checkpoint transaction replays.
+        assert recovered.last_recovery["operations"] == 1
+        assert recovered.version_at(part, 5).values["name"] == "a"
+        assert recovered.version_at(part, 15).values["name"] == "b"
+        recovered.close()
+
+    def test_crash_with_no_work_after_checkpoint(self, make_db, tmp_path):
+        db = make_db()
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "a"}, valid_from=0)
+        db.checkpoint()
+        crash(db)
+        recovered = reopen(tmp_path)
+        assert recovered.version_at(part, 5).values["name"] == "a"
+        recovered.close()
+
+    def test_double_crash(self, make_db, tmp_path):
+        """Crash during normal work, recover, crash again, recover again."""
+        db = make_db()
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "a", "cost": 1.0},
+                              valid_from=0)
+        crash(db)
+        recovered = reopen(tmp_path)
+        with recovered.transaction() as txn:
+            txn.update(part, {"cost": 2.0}, valid_from=10)
+        crash(recovered)
+        final = reopen(tmp_path)
+        assert final.version_at(part, 5).values["cost"] == 1.0
+        assert final.version_at(part, 15).values["cost"] == 2.0
+        final.close()
+
+    def test_new_work_after_recovery_gets_fresh_ids(self, make_db,
+                                                    tmp_path):
+        db = make_db()
+        with db.transaction() as txn:
+            first = txn.insert("Part", {"name": "a"}, valid_from=0)
+        crash(db)
+        recovered = reopen(tmp_path)
+        with recovered.transaction() as txn:
+            second = txn.insert("Part", {"name": "b"}, valid_from=0)
+        assert second > first
+        assert len(recovered.atoms_of_type("Part")) == 2
+        recovered.close()
+
+
+class TestTornLog:
+    def test_torn_commit_record_discards_txn(self, make_db, tmp_path):
+        db = make_db()
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "keep"}, valid_from=0)
+        with db.transaction() as txn:
+            txn.update(part, {"name": "almost"}, valid_from=5)
+        crash(db)
+        # Saw off the tail of the log, destroying the COMMIT record of
+        # the second transaction.
+        wal_path = tmp_path / "crashdb" / "wal.log"
+        raw = wal_path.read_bytes()
+        wal_path.write_bytes(raw[:-10])
+        recovered = reopen(tmp_path)
+        assert recovered.version_at(part, 10).values["name"] == "keep"
+        recovered.close()

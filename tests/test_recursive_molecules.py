@@ -1,0 +1,164 @@
+"""Tests for bounded recursive molecule types (``Part.part_of[n].Part``)."""
+
+import pytest
+
+from repro import (
+    AtomType,
+    Attribute,
+    DataType,
+    LinkType,
+    MoleculeType,
+    Schema,
+    TemporalDatabase,
+)
+from repro.errors import InvalidMoleculeTypeError, ParseError
+from repro.testing import ReferenceDatabase
+
+
+@pytest.fixture
+def bom_schema():
+    schema = Schema("rec")
+    schema.add_atom_type(AtomType("Part", [
+        Attribute("name", DataType.STRING, required=True)]))
+    schema.add_link_type(LinkType("part_of", "Part", "Part"))
+    return schema
+
+
+@pytest.fixture
+def assembly(bom_schema):
+    """A four-level containment chain plus a branch:
+
+    bike -> frame -> tube -> weld
+                  -> joint
+    """
+    ref = ReferenceDatabase(bom_schema)
+    names = {}
+    for name in ("bike", "frame", "tube", "weld", "joint"):
+        names[name] = ref.insert("Part", {"name": name}, valid_from=0)
+    ref.link("part_of", names["bike"], names["frame"], valid_from=0)
+    ref.link("part_of", names["frame"], names["tube"], valid_from=0)
+    ref.link("part_of", names["frame"], names["joint"], valid_from=0)
+    ref.link("part_of", names["tube"], names["weld"], valid_from=0)
+    return ref, names
+
+
+def molecule_names(molecule):
+    return sorted(atom.version.values["name"] for atom in molecule.atoms())
+
+
+class TestParsing:
+    def test_bounded_recursion_parses(self, bom_schema):
+        mtype = MoleculeType.parse("Part.part_of[3].Part", bom_schema)
+        (edge,) = mtype.edges
+        assert edge.is_recursive and edge.max_depth == 3
+
+    def test_unbounded_self_edge_defaults_to_one(self, bom_schema):
+        mtype = MoleculeType.parse("Part.part_of.Part", bom_schema)
+        assert mtype.edges[0].max_depth == 1
+
+    def test_zero_bound_rejected(self, bom_schema):
+        with pytest.raises(ParseError):
+            MoleculeType.parse("Part.part_of[0].Part", bom_schema)
+
+    def test_unbalanced_bracket_rejected(self, bom_schema):
+        with pytest.raises(ParseError):
+            MoleculeType.parse("Part.part_of[3.Part", bom_schema)
+
+    def test_bound_on_non_recursive_edge_rejected(self, cad_schema):
+        with pytest.raises(InvalidMoleculeTypeError):
+            MoleculeType.parse("Part.contains[2].Component", cad_schema)
+
+    def test_str_round_trip(self, bom_schema):
+        mtype = MoleculeType.parse("Part.part_of[3].Part", bom_schema)
+        assert "[3]" in str(mtype.edges[0])
+
+
+class TestConstruction:
+    def test_depth_one_reaches_direct_children(self, assembly):
+        ref, names = assembly
+        mtype = MoleculeType.parse("Part.part_of[1].Part", ref.schema)
+        molecule = ref.builder.build_at(names["bike"], mtype, 1)
+        assert molecule_names(molecule) == ["bike", "frame"]
+
+    def test_depth_two(self, assembly):
+        ref, names = assembly
+        mtype = MoleculeType.parse("Part.part_of[2].Part", ref.schema)
+        molecule = ref.builder.build_at(names["bike"], mtype, 1)
+        assert molecule_names(molecule) == ["bike", "frame", "joint",
+                                            "tube"]
+
+    def test_depth_covers_whole_assembly(self, assembly):
+        ref, names = assembly
+        mtype = MoleculeType.parse("Part.part_of[5].Part", ref.schema)
+        molecule = ref.builder.build_at(names["bike"], mtype, 1)
+        assert molecule_names(molecule) == ["bike", "frame", "joint",
+                                            "tube", "weld"]
+
+    def test_recursion_respects_time(self, assembly):
+        ref, names = assembly
+        ref.unlink("part_of", names["frame"], names["tube"], valid_from=10)
+        mtype = MoleculeType.parse("Part.part_of[5].Part", ref.schema)
+        late = ref.builder.build_at(names["bike"], mtype, 11)
+        assert molecule_names(late) == ["bike", "frame", "joint"]
+
+    def test_data_cycle_terminates(self, bom_schema):
+        """a -> b -> a in the data: expansion stops at the revisit."""
+        ref = ReferenceDatabase(bom_schema)
+        a = ref.insert("Part", {"name": "a"}, valid_from=0)
+        b = ref.insert("Part", {"name": "b"}, valid_from=0)
+        ref.link("part_of", a, b, valid_from=0)
+        ref.link("part_of", b, a, valid_from=0)
+        mtype = MoleculeType.parse("Part.part_of[10].Part", ref.schema)
+        molecule = ref.builder.build_at(a, mtype, 1)
+        assert molecule_names(molecule) == ["a", "b"]
+
+    def test_reverse_recursion(self, assembly):
+        """Where-used: from the weld up to the bike."""
+        ref, names = assembly
+        mtype = MoleculeType("Part", [
+            __import__("repro").MoleculeEdge("Part", "part_of", "Part",
+                                             forward=False, max_depth=5)])
+        mtype.validate(ref.schema)
+        molecule = ref.builder.build_at(names["weld"], mtype, 1)
+        assert molecule_names(molecule) == ["bike", "frame", "tube",
+                                            "weld"]
+
+
+class TestEngineAndMql:
+    def test_recursive_molecule_on_engine(self, tmp_path, bom_schema):
+        db = TemporalDatabase.create(str(tmp_path / "rec"), bom_schema)
+        with db.transaction() as txn:
+            bike = txn.insert("Part", {"name": "bike"}, valid_from=0)
+            frame = txn.insert("Part", {"name": "frame"}, valid_from=0)
+            tube = txn.insert("Part", {"name": "tube"}, valid_from=0)
+            txn.link("part_of", bike, frame, valid_from=0)
+            txn.link("part_of", frame, tube, valid_from=0)
+        molecule = db.molecule_at(bike, "Part.part_of[4].Part", 1)
+        assert molecule_names(molecule) == ["bike", "frame", "tube"]
+        db.close()
+
+    def test_recursive_molecule_in_mql(self, tmp_path, bom_schema):
+        db = TemporalDatabase.create(str(tmp_path / "recq"), bom_schema)
+        with db.transaction() as txn:
+            bike = txn.insert("Part", {"name": "bike"}, valid_from=0)
+            frame = txn.insert("Part", {"name": "frame"}, valid_from=0)
+            txn.link("part_of", bike, frame, valid_from=0)
+        result = db.query(
+            "SELECT ALL FROM Part.part_of[3].Part VALID AT 1")
+        by_root = {entry.root_id: entry.molecule.atom_count()
+                   for entry in result}
+        assert by_root[bike] == 2
+        assert by_root[frame] == 1
+        # Aggregates see the transitive closure:
+        result = db.query(
+            "SELECT COUNT(Part) FROM Part.part_of[3].Part "
+            "WHERE Part.name = 'bike' VALID AT 1")
+        counts = [row["COUNT(Part)"] for row in result.rows()]
+        assert 2 in counts
+        db.close()
+
+    def test_mql_bad_bound_rejected(self, tmp_path, bom_schema):
+        db = TemporalDatabase.create(str(tmp_path / "recb"), bom_schema)
+        with pytest.raises(ParseError):
+            db.query("SELECT ALL FROM Part.part_of[x].Part VALID AT 1")
+        db.close()

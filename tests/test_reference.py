@@ -1,0 +1,84 @@
+"""Tests for the in-memory reference oracle itself."""
+
+import pytest
+
+from repro.errors import TemporalUpdateError, UnknownAtomError
+from repro.temporal import Interval
+from repro.testing import ReferenceDatabase
+
+
+@pytest.fixture
+def ref(cad_schema):
+    return ReferenceDatabase(cad_schema)
+
+
+class TestBasics:
+    def test_insert_and_read(self, ref):
+        part = ref.insert("Part", {"name": "x"}, valid_from=0)
+        assert ref.version_at(part, 5).values["name"] == "x"
+        assert ref.atom_type_name(part) == "Part"
+
+    def test_atom_ids_assigned_densely(self, ref):
+        a = ref.insert("Part", {"name": "a"}, valid_from=0)
+        b = ref.insert("Part", {"name": "b"}, valid_from=0)
+        assert b == a + 1
+
+    def test_explicit_atom_id(self, ref):
+        ref.insert("Part", {"name": "a"}, valid_from=0, atom_id=50)
+        fresh = ref.insert("Part", {"name": "b"}, valid_from=0)
+        assert fresh == 51
+
+    def test_atoms_of_type(self, ref):
+        part = ref.insert("Part", {"name": "a"}, valid_from=0)
+        ref.insert("Component", {"cname": "c"}, valid_from=0)
+        assert ref.atoms_of_type("Part") == [part]
+
+    def test_unknown_atom(self, ref):
+        with pytest.raises(UnknownAtomError):
+            ref.update(9, {"name": "x"}, valid_from=0)
+        assert ref.version_at(9, 0) is None
+
+    def test_ticks_advance(self, ref):
+        ref.insert("Part", {"name": "a"}, valid_from=0)
+        before = ref.now
+        ref.insert("Part", {"name": "b"}, valid_from=0)
+        assert ref.now == before + 1
+
+
+class TestSemantics:
+    def test_self_check_runs(self, ref):
+        """The oracle verifies the invariant after every mutation, so a
+        legal program never trips it."""
+        part = ref.insert("Part", {"name": "x"}, valid_from=0)
+        ref.update(part, {"cost": 1.0}, valid_from=10)
+        ref.correct(part, 0, 5, {"cost": 0.5})
+        ref.delete(part, valid_from=50)
+
+    def test_insert_overlap_rejected(self, ref):
+        part = ref.insert("Part", {"name": "x"}, valid_from=0)
+        with pytest.raises(TemporalUpdateError):
+            ref.insert("Part", {"name": "y"}, valid_from=5, atom_id=part)
+
+    def test_type_conflict_rejected(self, ref):
+        part = ref.insert("Part", {"name": "x"}, valid_from=0, valid_to=5)
+        with pytest.raises(TemporalUpdateError):
+            ref.insert("Component", {"cname": "c"}, valid_from=10,
+                       atom_id=part)
+
+    def test_molecule_queries(self, ref):
+        part = ref.insert("Part", {"name": "p"}, valid_from=0)
+        hub = ref.insert("Component", {"cname": "h"}, valid_from=0)
+        ref.link("contains", part, hub, valid_from=5)
+        assert ref.molecule_at(part, "Part.contains.Component",
+                               2).atom_count() == 1
+        assert ref.molecule_at(part, "Part.contains.Component",
+                               7).atom_count() == 2
+        states = ref.molecule_history(part, "Part.contains.Component",
+                                      Interval(0, 10))
+        assert [m.atom_count() for _, m in states] == [1, 2]
+
+    def test_unlink_missing_rejected(self, ref):
+        part = ref.insert("Part", {"name": "p"}, valid_from=0)
+        hub = ref.insert("Component", {"cname": "h"}, valid_from=0)
+        with pytest.raises(TemporalUpdateError):
+            ref.unlink("contains", part, hub, valid_from=0)

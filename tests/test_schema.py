@@ -1,0 +1,145 @@
+"""Tests for schema definition."""
+
+import pytest
+
+from repro import AtomType, Attribute, Cardinality, DataType, LinkType, Schema
+from repro.errors import (
+    DuplicateDefinitionError,
+    SchemaError,
+    TypeMismatchError,
+    UnknownTypeError,
+)
+
+
+def make_schema():
+    schema = Schema("test")
+    schema.add_atom_type(AtomType("Part", [
+        Attribute("name", DataType.STRING, required=True),
+        Attribute("cost", DataType.FLOAT)]))
+    schema.add_atom_type(AtomType("Component", [
+        Attribute("weight", DataType.FLOAT)]))
+    schema.add_link_type(LinkType("contains", "Part", "Component",
+                                  Cardinality.ONE_TO_MANY))
+    return schema
+
+
+class TestAtomTypes:
+    def test_type_ids_are_dense(self):
+        schema = make_schema()
+        assert schema.atom_type("Part").type_id == 0
+        assert schema.atom_type("Component").type_id == 1
+
+    def test_duplicate_type_rejected(self):
+        schema = make_schema()
+        with pytest.raises(DuplicateDefinitionError):
+            schema.add_atom_type(AtomType("Part", []))
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(DuplicateDefinitionError):
+            AtomType("X", [Attribute("a", DataType.INT),
+                           Attribute("a", DataType.INT)])
+
+    def test_unknown_type_lookup(self):
+        with pytest.raises(UnknownTypeError):
+            make_schema().atom_type("Mystery")
+
+    def test_unknown_attribute_lookup(self):
+        with pytest.raises(UnknownTypeError):
+            make_schema().atom_type("Part").attribute("mystery")
+
+    def test_bad_names_rejected(self):
+        with pytest.raises(SchemaError):
+            AtomType("9lives", [])
+        with pytest.raises(SchemaError):
+            Attribute("has space", DataType.INT)
+        with pytest.raises(SchemaError):
+            AtomType("", [])
+
+    def test_underscored_names_accepted(self):
+        AtomType("My_Type", [Attribute("attr_1", DataType.INT)])
+
+
+class TestValueValidation:
+    def test_full_values(self):
+        part = make_schema().atom_type("Part")
+        checked = part.validate_values({"name": "wheel", "cost": 3.5})
+        assert checked == {"name": "wheel", "cost": 3.5}
+
+    def test_missing_optional_filled_with_none(self):
+        part = make_schema().atom_type("Part")
+        assert part.validate_values({"name": "x"})["cost"] is None
+
+    def test_missing_required_rejected(self):
+        part = make_schema().atom_type("Part")
+        with pytest.raises(TypeMismatchError):
+            part.validate_values({"cost": 1.0})
+
+    def test_partial_mode_allows_missing_required(self):
+        part = make_schema().atom_type("Part")
+        assert part.validate_values({"cost": 2.0}, partial=True) == {
+            "cost": 2.0}
+
+    def test_partial_mode_rejects_nulling_required(self):
+        part = make_schema().atom_type("Part")
+        with pytest.raises(TypeMismatchError):
+            part.validate_values({"name": None}, partial=True)
+
+    def test_unknown_attribute_rejected(self):
+        part = make_schema().atom_type("Part")
+        with pytest.raises(UnknownTypeError):
+            part.validate_values({"name": "x", "mystery": 1})
+
+    def test_int_widens_to_float(self):
+        part = make_schema().atom_type("Part")
+        assert part.validate_values({"name": "x", "cost": 3})["cost"] == 3.0
+
+
+class TestLinkTypes:
+    def test_link_endpoints_checked(self):
+        schema = make_schema()
+        with pytest.raises(UnknownTypeError):
+            schema.add_link_type(LinkType("bad", "Part", "Mystery"))
+
+    def test_duplicate_link_rejected(self):
+        schema = make_schema()
+        with pytest.raises(DuplicateDefinitionError):
+            schema.add_link_type(LinkType("contains", "Part", "Component"))
+
+    def test_links_touching(self):
+        schema = make_schema()
+        assert [l.name for l in schema.links_touching("Part")] == ["contains"]
+        assert [l.name for l in schema.links_touching("Component")] == [
+            "contains"]
+
+    def test_links_between(self):
+        schema = make_schema()
+        assert [l.name for l in schema.links_between("Component",
+                                                     "Part")] == ["contains"]
+        assert schema.links_between("Part", "Part") == []
+
+    def test_other_end(self):
+        link = make_schema().link_type("contains")
+        assert link.other_end("Part") == "Component"
+        assert link.other_end("Component") == "Part"
+        with pytest.raises(UnknownTypeError):
+            link.other_end("Supplier")
+
+    def test_cardinality_semantics(self):
+        assert Cardinality.ONE_TO_MANY.source_may_have_many
+        assert not Cardinality.ONE_TO_MANY.target_may_have_many
+        assert not Cardinality.ONE_TO_ONE.source_may_have_many
+        assert Cardinality.MANY_TO_MANY.target_may_have_many
+
+
+class TestPersistence:
+    def test_dict_round_trip(self):
+        schema = make_schema()
+        restored = Schema.from_dict(schema.to_dict())
+        assert [t.name for t in restored.atom_types] == ["Part", "Component"]
+        assert restored.atom_type("Part").type_id == 0
+        part = restored.atom_type("Part")
+        assert part.attribute("name").required
+        assert part.attribute("cost").data_type is DataType.FLOAT
+        link = restored.link_type("contains")
+        assert link.cardinality is Cardinality.ONE_TO_MANY
+        assert (link.source, link.target) == ("Part", "Component")

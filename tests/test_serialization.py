@@ -1,0 +1,129 @@
+"""Tests for the binary row codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SerializationError
+from repro.storage.serialization import (
+    FieldSpec,
+    FieldType,
+    decode_row,
+    decode_row_exact,
+    encode_row,
+)
+
+FIELDS = [
+    FieldSpec("id", FieldType.INT),
+    FieldSpec("ratio", FieldType.FLOAT),
+    FieldSpec("label", FieldType.STRING),
+    FieldSpec("flag", FieldType.BOOL),
+    FieldSpec("when", FieldType.TIME),
+    FieldSpec("blob", FieldType.BYTES),
+    FieldSpec("refs", FieldType.INT_LIST),
+]
+
+
+class TestRoundTrip:
+    def test_full_row(self):
+        values = {"id": 42, "ratio": 3.25, "label": "héllo",
+                  "flag": True, "when": -7, "blob": b"\x00\xff",
+                  "refs": [3, 1, 2]}
+        decoded = decode_row_exact(FIELDS, encode_row(FIELDS, values))
+        assert decoded == values
+
+    def test_nulls(self):
+        decoded = decode_row_exact(FIELDS, encode_row(FIELDS, {}))
+        assert decoded == {spec.name: None for spec in FIELDS}
+
+    def test_partial_row(self):
+        decoded = decode_row_exact(FIELDS, encode_row(FIELDS, {"id": 1}))
+        assert decoded["id"] == 1
+        assert decoded["label"] is None
+
+    def test_empty_string_and_list(self):
+        values = {"label": "", "refs": []}
+        decoded = decode_row_exact(FIELDS, encode_row(FIELDS, values))
+        assert decoded["label"] == ""
+        assert decoded["refs"] == []
+
+    def test_unicode_string(self):
+        values = {"label": "日本語 مرحبا 🚀"}
+        decoded = decode_row_exact(FIELDS, encode_row(FIELDS, values))
+        assert decoded["label"] == values["label"]
+
+    def test_many_fields_bitmap_spans_bytes(self):
+        fields = [FieldSpec(f"f{i}", FieldType.INT) for i in range(20)]
+        values = {f"f{i}": i for i in range(0, 20, 3)}
+        decoded = decode_row_exact(fields, encode_row(fields, values))
+        for i in range(20):
+            assert decoded[f"f{i}"] == (i if i % 3 == 0 else None)
+
+    def test_multiple_rows_in_one_buffer(self):
+        row1 = encode_row(FIELDS, {"id": 1})
+        row2 = encode_row(FIELDS, {"id": 2, "label": "two"})
+        buffer = row1 + row2
+        first, offset = decode_row(FIELDS, buffer)
+        second, end = decode_row(FIELDS, buffer, offset)
+        assert first["id"] == 1 and second["id"] == 2
+        assert second["label"] == "two"
+        assert end == len(buffer)
+
+
+class TestValidation:
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SerializationError, match="unknown fields"):
+            encode_row(FIELDS, {"mystery": 1})
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(SerializationError):
+            encode_row(FIELDS, {"id": "not an int"})
+
+    def test_bool_is_not_int(self):
+        with pytest.raises(SerializationError):
+            encode_row(FIELDS, {"id": True})
+
+    def test_int_accepted_for_float(self):
+        decoded = decode_row_exact(FIELDS, encode_row(FIELDS, {"ratio": 2}))
+        assert decoded["ratio"] == 2.0
+
+    def test_string_field_rejects_bytes(self):
+        with pytest.raises(SerializationError):
+            encode_row(FIELDS, {"label": b"bytes"})
+
+    def test_truncated_record_rejected(self):
+        encoded = encode_row(FIELDS, {"id": 1, "label": "abc"})
+        with pytest.raises(SerializationError):
+            decode_row_exact(FIELDS, encoded[:-2])
+
+    def test_trailing_garbage_rejected(self):
+        encoded = encode_row(FIELDS, {"id": 1})
+        with pytest.raises(SerializationError):
+            decode_row_exact(FIELDS, encoded + b"JUNK")
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(SerializationError):
+            decode_row(FIELDS, b"")
+
+
+row_values = st.fixed_dictionaries({}, optional={
+    "id": st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    "ratio": st.floats(allow_nan=False, allow_infinity=False, width=64),
+    "label": st.text(max_size=50),
+    "flag": st.booleans(),
+    "when": st.integers(min_value=-(2**62), max_value=2**62),
+    "blob": st.binary(max_size=50),
+    "refs": st.lists(st.integers(min_value=-(2**63), max_value=2**63 - 1),
+                     max_size=10),
+})
+
+
+@given(row_values)
+def test_round_trip_property(values):
+    decoded = decode_row_exact(FIELDS, encode_row(FIELDS, values))
+    for spec in FIELDS:
+        expected = values.get(spec.name)
+        if spec.name == "ratio" and expected is not None:
+            assert decoded["ratio"] == float(expected)
+        else:
+            assert decoded[spec.name] == expected

@@ -1,0 +1,270 @@
+"""Tests for the three version-storage strategies.
+
+Every test in :class:`TestContract` runs against all strategies through
+the ``store`` fixture — the contract is strategy-independent; the
+dedicated classes below pin down the per-strategy cost signatures.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError, UnknownAtomError
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import DiskManager
+from repro.storage.strategies import (
+    StoredVersion,
+    VersionStrategy,
+    open_version_store,
+)
+
+
+@pytest.fixture
+def store(buffer, strategy):
+    return open_version_store(strategy, buffer)
+
+
+def sv(start, end, live=True, payload=b""):
+    return StoredVersion(start, end, live, payload or
+                         f"v[{start},{end})".encode())
+
+
+class TestContract:
+    def test_missing_atom(self, store):
+        assert not store.exists(9)
+        with pytest.raises(UnknownAtomError):
+            store.read_all(9)
+
+    def test_single_version(self, store):
+        store.append_version(1, sv(0, 100))
+        assert store.exists(1)
+        assert store.version_count(1) == 1
+        assert store.read_current(1) == (0, sv(0, 100))
+
+    def test_append_order_preserved(self, store):
+        for i in range(10):
+            store.append_version(1, sv(i * 10, (i + 1) * 10))
+        versions = store.read_all(1)
+        assert [v.vt_start for v in versions] == [i * 10 for i in range(10)]
+
+    def test_read_at_hits_the_right_version(self, store):
+        for i in range(10):
+            store.append_version(1, sv(i * 10, (i + 1) * 10))
+        assert store.read_at(1, 55) == [(5, sv(50, 60))]
+        assert store.read_at(1, 0) == [(0, sv(0, 10))]
+        assert store.read_at(1, 99) == [(9, sv(90, 100))]
+
+    def test_read_at_miss(self, store):
+        store.append_version(1, sv(0, 10))
+        assert store.read_at(1, 50) == []
+
+    def test_read_at_skips_dead_versions(self, store):
+        store.append_version(1, sv(0, 100, live=False))
+        store.append_version(1, sv(0, 100, live=True, payload=b"alive"))
+        assert store.read_at(1, 5) == [(1, StoredVersion(0, 100, True,
+                                                         b"alive"))]
+
+    def test_replace_version(self, store):
+        store.append_version(1, sv(0, 10))
+        store.append_version(1, sv(10, 20))
+        store.replace_version(1, 0, sv(0, 10, live=False, payload=b"closed"))
+        versions = store.read_all(1)
+        assert versions[0] == StoredVersion(0, 10, False, b"closed")
+        assert versions[1] == sv(10, 20)
+
+    def test_replace_with_larger_payload(self, store):
+        store.append_version(1, sv(0, 10))
+        store.append_version(1, sv(10, 20))
+        big = b"B" * 3000
+        store.replace_version(1, 0, StoredVersion(0, 10, True, big))
+        assert store.read_all(1)[0].payload == big
+
+    def test_replace_newest(self, store):
+        store.append_version(1, sv(0, 10))
+        store.append_version(1, sv(10, 20))
+        store.replace_version(1, 1, StoredVersion(10, 20, True, b"new"))
+        assert store.read_current(1) == (1, StoredVersion(10, 20, True,
+                                                          b"new"))
+
+    def test_replace_bad_seq(self, store):
+        store.append_version(1, sv(0, 10))
+        with pytest.raises(StorageError):
+            store.replace_version(1, 5, sv(0, 10))
+
+    def test_pop_version(self, store):
+        store.append_version(1, sv(0, 10))
+        store.append_version(1, sv(10, 20))
+        store.pop_version(1)
+        assert store.version_count(1) == 1
+        assert store.read_current(1) == (0, sv(0, 10))
+
+    def test_pop_last_removes_atom(self, store):
+        store.append_version(1, sv(0, 10))
+        store.pop_version(1)
+        assert not store.exists(1)
+
+    def test_pop_then_append_again(self, store):
+        store.append_version(1, sv(0, 10))
+        store.append_version(1, sv(10, 20))
+        store.pop_version(1)
+        store.append_version(1, sv(10, 30))
+        assert store.read_all(1) == [sv(0, 10), sv(10, 30)]
+
+    def test_delete_atom(self, store):
+        store.append_version(1, sv(0, 10))
+        store.append_version(1, sv(10, 20))
+        store.delete_atom(1)
+        assert not store.exists(1)
+
+    def test_many_atoms_are_independent(self, store):
+        for atom_id in range(1, 30):
+            for i in range(atom_id % 5 + 1):
+                store.append_version(atom_id, sv(i, i + 1))
+        for atom_id in range(1, 30):
+            assert store.version_count(atom_id) == atom_id % 5 + 1
+        assert sorted(store.atom_ids()) == list(range(1, 30))
+
+    def test_scan_all(self, store):
+        store.append_version(1, sv(0, 10))
+        store.append_version(2, sv(5, 15))
+        store.append_version(2, sv(15, 25))
+        scanned = {atom_id: versions for atom_id, versions
+                   in store.scan_all()}
+        assert set(scanned) == {1, 2}
+        assert len(scanned[2]) == 2
+
+    def test_large_payloads_span_pages(self, store):
+        big = bytes(range(256)) * 64  # 16 KiB
+        store.append_version(1, StoredVersion(0, 10, True, big))
+        store.append_version(1, StoredVersion(10, 20, True, big * 2))
+        versions = store.read_all(1)
+        assert versions[0].payload == big
+        assert versions[1].payload == big * 2
+
+    def test_long_history(self, store):
+        for i in range(200):
+            store.append_version(1, sv(i, i + 1))
+        assert store.version_count(1) == 200
+        assert store.read_at(1, 137) == [(137, sv(137, 138))]
+
+    def test_stats_reflect_growth(self, store):
+        empty_pages = store.stats().total_pages
+        for atom_id in range(1, 40):
+            store.append_version(atom_id,
+                                 StoredVersion(0, 10, True, b"x" * 500))
+        grown = store.stats()
+        assert grown.total_pages > empty_pages
+        assert grown.total_bytes == grown.total_pages * grown.page_size
+
+    def test_persist_and_reopen(self, tmp_path, strategy):
+        disk = DiskManager(tmp_path / "s.db")
+        pool = BufferManager(disk, capacity=32)
+        store = open_version_store(strategy, pool)
+        for atom_id in (1, 2, 3):
+            for i in range(4):
+                store.append_version(atom_id, sv(i * 5, (i + 1) * 5))
+        state = store.persist_state()
+        pool.flush_all()
+        reopened = open_version_store(strategy, pool, state)
+        for atom_id in (1, 2, 3):
+            assert reopened.version_count(atom_id) == 4
+            assert reopened.read_at(atom_id, 7) == [(1, sv(5, 10))]
+        disk.close()
+
+
+class TestChainedSignature:
+    """The chained store's walk cost grows with temporal distance."""
+
+    def test_chain_walk_reads_proportional_to_distance(self, tmp_path):
+        disk = DiskManager(tmp_path / "c.db")
+        pool = BufferManager(disk, capacity=256)
+        store = open_version_store(VersionStrategy.CHAINED, pool)
+        for i in range(64):
+            store.append_version(1, sv(i, i + 1, payload=b"p" * 200))
+        pool.stats.reset()
+        store.read_at(1, 63)  # newest: directory + 1 record
+        near = pool.stats.hits + pool.stats.misses
+        pool.stats.reset()
+        store.read_at(1, 0)  # oldest: walks the whole chain
+        far = pool.stats.hits + pool.stats.misses
+        assert far > near * 4
+        disk.close()
+
+
+class TestSeparatedSignature:
+    """The separated store answers current reads from the directory."""
+
+    def test_current_read_is_flat_in_history_length(self, tmp_path):
+        disk = DiskManager(tmp_path / "s.db")
+        pool = BufferManager(disk, capacity=256)
+        store = open_version_store(VersionStrategy.SEPARATED, pool)
+        for i in range(64):
+            store.append_version(1, sv(i, i + 1, payload=b"p" * 200))
+        pool.stats.reset()
+        store.read_at(1, 63)
+        current_cost = pool.stats.hits + pool.stats.misses
+        pool.stats.reset()
+        store.read_at(1, 0)
+        past_cost = pool.stats.hits + pool.stats.misses
+        # Past access adds the version directory probe but does not walk.
+        assert past_cost <= current_cost + 4
+        disk.close()
+
+
+class TestClusteredSignature:
+    """The clustered store rewrites the whole record per append."""
+
+    def test_append_cost_grows_with_history(self, tmp_path):
+        disk = DiskManager(tmp_path / "cl.db")
+        pool = BufferManager(disk, capacity=256)
+        store = open_version_store(VersionStrategy.CLUSTERED, pool)
+        payload = b"p" * 400
+        for i in range(40):
+            store.append_version(1, StoredVersion(i, i + 1, True, payload))
+        pool.disk.stats.reset()
+        store.append_version(1, StoredVersion(41, 42, True, payload))
+        writes_long = pool.disk.stats.writes + pool.stats.hits
+        store2 = open_version_store(VersionStrategy.CLUSTERED, pool)
+        store2.append_version(2, StoredVersion(0, 1, True, payload))
+        pool.disk.stats.reset()
+        pool.stats.reset()
+        store2.append_version(2, StoredVersion(1, 2, True, payload))
+        writes_short = pool.disk.stats.writes + pool.stats.hits
+        assert writes_long > writes_short
+        disk.close()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["append", "replace", "pop"]),
+                          st.integers(1, 4),
+                          st.integers(0, 30),
+                          st.binary(max_size=50)),
+                max_size=40),
+       st.sampled_from(list(VersionStrategy)))
+def test_random_operations_match_model(tmp_path_factory, operations,
+                                       strategy):
+    """Every strategy behaves like a dict of version lists."""
+    directory = tmp_path_factory.mktemp("storeprop")
+    disk = DiskManager(directory / "s.db")
+    pool = BufferManager(disk, capacity=16)
+    store = open_version_store(strategy, pool)
+    model = {}
+    counter = 0
+    for kind, atom_id, seq_hint, payload in operations:
+        counter += 1
+        version = StoredVersion(counter, counter + 1, True, payload)
+        if kind == "append":
+            store.append_version(atom_id, version)
+            model.setdefault(atom_id, []).append(version)
+        elif kind == "replace" and model.get(atom_id):
+            seq = seq_hint % len(model[atom_id])
+            store.replace_version(atom_id, seq, version)
+            model[atom_id][seq] = version
+        elif kind == "pop" and model.get(atom_id):
+            store.pop_version(atom_id)
+            model[atom_id].pop()
+            if not model[atom_id]:
+                del model[atom_id]
+    assert {atom_id: store.read_all(atom_id)
+            for atom_id in store.atom_ids()} == model
+    disk.close()

@@ -1,0 +1,76 @@
+"""Tests for the chronon timestamp domain."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidTimestampError
+from repro.temporal import FOREVER, TMIN, format_timestamp, is_valid_timestamp, validate_timestamp
+from repro.temporal.timestamp import MAX_CHRONON, MIN_CHRONON
+
+
+class TestValidation:
+    def test_zero_is_valid(self):
+        assert is_valid_timestamp(0)
+
+    def test_negative_chronons_are_valid(self):
+        assert is_valid_timestamp(-12345)
+
+    def test_sentinels_are_valid_by_default(self):
+        assert is_valid_timestamp(TMIN)
+        assert is_valid_timestamp(FOREVER)
+
+    def test_tmin_rejectable(self):
+        assert not is_valid_timestamp(TMIN, allow_tmin=False)
+        assert is_valid_timestamp(MIN_CHRONON, allow_tmin=False)
+
+    def test_forever_rejectable(self):
+        assert not is_valid_timestamp(FOREVER, allow_forever=False)
+        assert is_valid_timestamp(MAX_CHRONON, allow_forever=False)
+
+    def test_bool_is_not_a_timestamp(self):
+        assert not is_valid_timestamp(True)
+        assert not is_valid_timestamp(False)
+
+    def test_float_is_not_a_timestamp(self):
+        assert not is_valid_timestamp(1.5)
+        assert not is_valid_timestamp(1.0)
+
+    def test_none_and_strings_rejected(self):
+        assert not is_valid_timestamp(None)
+        assert not is_valid_timestamp("5")
+
+    def test_out_of_domain_rejected(self):
+        assert not is_valid_timestamp(TMIN - 1)
+        assert not is_valid_timestamp(FOREVER + 1)
+
+    def test_validate_returns_value(self):
+        assert validate_timestamp(42) == 42
+
+    def test_validate_raises_with_role(self):
+        with pytest.raises(InvalidTimestampError, match="valid_from"):
+            validate_timestamp("x", role="valid_from")
+
+    def test_validate_respects_bounds(self):
+        with pytest.raises(InvalidTimestampError):
+            validate_timestamp(FOREVER, allow_forever=False)
+
+
+class TestFormatting:
+    def test_sentinels_format_by_name(self):
+        assert format_timestamp(TMIN) == "TMIN"
+        assert format_timestamp(FOREVER) == "FOREVER"
+
+    def test_numbers_format_plainly(self):
+        assert format_timestamp(17) == "17"
+        assert format_timestamp(-3) == "-3"
+
+
+@given(st.integers(min_value=TMIN, max_value=FOREVER))
+def test_every_domain_value_validates(value):
+    assert validate_timestamp(value) == value
+
+
+@given(st.integers())
+def test_validation_matches_domain_bounds(value):
+    assert is_valid_timestamp(value) == (TMIN <= value <= FOREVER)

@@ -1,0 +1,119 @@
+"""Tests for transaction lifecycle management."""
+
+import pytest
+
+from repro.errors import TransactionStateError
+from repro.temporal import TransactionClock
+from repro.txn.locks import LockManager, LockMode
+from repro.txn.manager import TransactionManager, TxnState
+from repro.txn.wal import LogRecordType, WriteAheadLog
+
+
+@pytest.fixture
+def manager(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.log", sync_on_commit=False)
+    yield TransactionManager(wal, LockManager(timeout=1.0),
+                             TransactionClock())
+    wal.close()
+
+
+class TestLifecycle:
+    def test_begin_assigns_ids_and_tts(self, manager):
+        t1 = manager.begin()
+        t2 = manager.begin()
+        assert t2.txn_id > t1.txn_id
+        assert t2.tt > t1.tt
+        assert t1.state is TxnState.ACTIVE
+
+    def test_commit_transitions_state(self, manager):
+        txn = manager.begin()
+        txn.commit()
+        assert txn.state is TxnState.COMMITTED
+        assert not txn.is_active
+
+    def test_abort_transitions_state(self, manager):
+        txn = manager.begin()
+        txn.abort()
+        assert txn.state is TxnState.ABORTED
+
+    def test_double_commit_rejected(self, manager):
+        txn = manager.begin()
+        txn.commit()
+        with pytest.raises(TransactionStateError):
+            txn.commit()
+
+    def test_operations_after_commit_rejected(self, manager):
+        txn = manager.begin()
+        txn.commit()
+        with pytest.raises(TransactionStateError):
+            manager.log_operation(txn, {"op": "insert"})
+
+    def test_active_transactions_tracking(self, manager):
+        t1 = manager.begin()
+        t2 = manager.begin()
+        assert manager.active_transactions() == [t1.txn_id, t2.txn_id]
+        t1.commit()
+        assert manager.active_transactions() == [t2.txn_id]
+        t2.abort()
+        assert manager.active_transactions() == []
+
+
+class TestLogging:
+    def test_log_sequence(self, manager):
+        txn = manager.begin()
+        manager.log_operation(txn, {"op": "insert", "atom_id": 1})
+        manager.log_operation(txn, {"op": "update", "atom_id": 1})
+        txn.commit()
+        types = [record.type for record in manager.wal.read_all()]
+        assert types == [LogRecordType.BEGIN, LogRecordType.OPERATION,
+                         LogRecordType.OPERATION, LogRecordType.COMMIT]
+
+    def test_begin_record_carries_tt(self, manager):
+        txn = manager.begin()
+        txn.commit()
+        begin = next(iter(manager.wal.read_all()))
+        assert begin.payload == {"tt": txn.tt}
+
+    def test_abort_logged(self, manager):
+        txn = manager.begin()
+        txn.abort()
+        types = [record.type for record in manager.wal.read_all()]
+        assert types[-1] == LogRecordType.ABORT
+
+    def test_operation_counter(self, manager):
+        txn = manager.begin()
+        assert txn.operations_logged == 0
+        manager.log_operation(txn, {"op": "x"})
+        assert txn.operations_logged == 1
+        txn.commit()
+
+
+class TestUndo:
+    def test_undo_actions_run_in_reverse_on_abort(self, manager):
+        txn = manager.begin()
+        trace = []
+        txn.add_undo(lambda: trace.append("first"))
+        txn.add_undo(lambda: trace.append("second"))
+        txn.abort()
+        assert trace == ["second", "first"]
+
+    def test_undo_not_run_on_commit(self, manager):
+        txn = manager.begin()
+        trace = []
+        txn.add_undo(lambda: trace.append("never"))
+        txn.commit()
+        assert trace == []
+
+    def test_add_undo_after_end_rejected(self, manager):
+        txn = manager.begin()
+        txn.commit()
+        with pytest.raises(TransactionStateError):
+            txn.add_undo(lambda: None)
+
+
+class TestLockIntegration:
+    def test_locks_released_on_commit(self, manager):
+        t1 = manager.begin()
+        manager.locks.acquire(t1.txn_id, ("atom", 5), LockMode.EXCLUSIVE)
+        t1.commit()
+        assert manager.locks.locks_held(t1.txn_id) == set()

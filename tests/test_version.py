@@ -1,0 +1,72 @@
+"""Tests for the Version value object."""
+
+import pytest
+
+from repro.core.version import IN, OUT, Version, ref_key, split_ref_key
+from repro.temporal import FOREVER, Interval
+
+
+def make(vt=(0, 10), tt=(0, FOREVER), values=None, refs=None):
+    return Version(Interval(*vt), Interval(*tt), values or {}, refs or {})
+
+
+class TestRefKeys:
+    def test_ref_key_format(self):
+        assert ref_key("contains", OUT) == "contains.out"
+        assert ref_key("contains", IN) == "contains.in"
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError):
+            ref_key("contains", "sideways")
+
+    def test_split_round_trip(self):
+        assert split_ref_key("contains.out") == ("contains", "out")
+        assert split_ref_key("a.b.in") == ("a.b", "in")
+
+
+class TestVersion:
+    def test_live(self):
+        assert make(tt=(0, FOREVER)).live
+        assert not make(tt=(0, 5)).live
+
+    def test_targets(self):
+        version = make(refs={"contains.out": frozenset({1, 2})})
+        assert version.targets("contains") == {1, 2}
+        assert version.targets("contains", IN) == frozenset()
+
+    def test_with_vt(self):
+        version = make(values={"x": 1})
+        moved = version.with_vt(Interval(5, 6))
+        assert moved.vt == Interval(5, 6)
+        assert moved.values == {"x": 1}
+        assert version.vt == Interval(0, 10)  # original untouched
+
+    def test_closed_at(self):
+        version = make(tt=(3, FOREVER))
+        closed = version.closed_at(9)
+        assert closed.tt == Interval(3, 9)
+        assert not closed.live
+
+    def test_with_state(self):
+        version = make()
+        changed = version.with_state({"x": 2}, {"l.out": {7}})
+        assert changed.values == {"x": 2}
+        assert changed.refs == {"l.out": frozenset({7})}
+
+    def test_same_state_ignores_times(self):
+        a = make(vt=(0, 5), values={"x": 1})
+        b = make(vt=(5, 9), tt=(3, 7), values={"x": 1})
+        assert a.same_state_as(b)
+
+    def test_same_state_ignores_empty_ref_sets(self):
+        a = make(refs={"l.out": frozenset()})
+        b = make(refs={})
+        assert a.same_state_as(b)
+
+    def test_different_values_not_same_state(self):
+        assert not make(values={"x": 1}).same_state_as(make(values={"x": 2}))
+
+    def test_different_refs_not_same_state(self):
+        a = make(refs={"l.out": frozenset({1})})
+        b = make(refs={"l.out": frozenset({2})})
+        assert not a.same_state_as(b)
