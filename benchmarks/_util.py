@@ -56,3 +56,31 @@ def pins(db: TemporalDatabase) -> int:
 def reset_counters(db: TemporalDatabase) -> None:
     db.buffer.stats.reset()
     db._disk.stats.reset()
+
+
+def metrics_snapshot(db: TemporalDatabase) -> Dict:
+    """The registry's JSON-safe dump (persisted next to timing tables)."""
+    return db.metrics.snapshot()
+
+
+def layer_breakdown(db: TemporalDatabase) -> Dict[str, Dict[str, int]]:
+    """Counters grouped by kernel layer (disk, buffer, btree, ...)."""
+    return db.metrics.layer_breakdown()
+
+
+def breakdown_row(db: TemporalDatabase,
+                  layers: Iterable[str] = ("disk", "buffer", "index",
+                                           "btree", "engine", "builder")
+                  ) -> str:
+    """One compact ``layer{metric=value,...}`` line for emit()."""
+    grouped = db.metrics.layer_breakdown()
+    cells = []
+    for layer in layers:
+        metrics = grouped.get(layer)
+        if not metrics:
+            continue
+        inner = ",".join(f"{name}={value}"
+                         for name, value in sorted(metrics.items()) if value)
+        if inner:
+            cells.append(f"{layer}{{{inner}}}")
+    return " ".join(cells)

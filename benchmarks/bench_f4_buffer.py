@@ -8,7 +8,7 @@ classic knee once the working set fits.
 
 import pytest
 
-from benchmarks._util import emit, header
+from benchmarks._util import breakdown_row, emit, header
 from repro import DatabaseConfig, MoleculeType, TemporalDatabase, VersionStrategy
 from repro.workloads import apply_to_database, buffer_sweep_spec, cad_schema, generate_bom
 
@@ -45,12 +45,13 @@ def test_f4_buffer_sweep(benchmark, capsys, seeded_dir, buffer_pages):
 
     workload()  # warm the pool to steady state
     benchmark(workload)
-    db.buffer.stats.reset()
+    db.metrics.reset()  # isolate one measured pass for the breakdown
     workload()
     stats = db.buffer.stats
     emit(capsys,
          f"R-F4 | buffer={buffer_pages:>4} pages | "
          f"hit_ratio={stats.hit_ratio:6.3f} | hits={stats.hits:>6} "
-         f"misses={stats.misses:>5} evictions={stats.evictions:>5}")
+         f"misses={stats.misses:>5} evictions={stats.evictions:>5}",
+         f"R-F4 |        {buffer_pages:>4} layers | {breakdown_row(db)}")
     db.close()
 

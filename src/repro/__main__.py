@@ -4,6 +4,8 @@ Commands:
 
 * ``info DB``                — schema, storage strategy, space, indexes
 * ``query DB "MQL"``         — run a temporal MQL query and print it
+* ``profile DB "MQL"``       — run under EXPLAIN ANALYZE and print the
+  per-operator profile (``--json`` for machine-readable output)
 * ``history DB ATOM_ID``     — print an atom's bitemporal record
 * ``timeline DB ATOM_ID``    — print the coalesced current-belief timeline
 * ``verify DB``              — run the integrity verifier
@@ -69,6 +71,29 @@ def cmd_query(args: argparse.Namespace) -> int:
         print(f"-- plan: {result.plan}")
         print(result.to_table())
         print(f"-- {len(result)} entr{'y' if len(result) == 1 else 'ies'}")
+        if result.profile is not None:  # query had an EXPLAIN ANALYZE prefix
+            print()
+            print(result.profile.render())
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    with _open(args.db) as db:
+        result = db.explain(args.mql)
+        profile = result.profile
+        if args.json:
+            print(json.dumps({
+                "plan": result.plan,
+                "entries": len(result),
+                "profile": profile.to_dict() if profile else None,
+                "metrics": db.metrics_snapshot(),
+            }, indent=2, sort_keys=True))
+        else:
+            if profile is not None:
+                print(profile.render())
+            print(f"-- {len(result)} entr{'y' if len(result) == 1 else 'ies'}")
     return 0
 
 
@@ -161,6 +186,14 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("db")
     query.add_argument("mql")
     query.set_defaults(handler=cmd_query)
+
+    profile = commands.add_parser(
+        "profile", help="run a query under EXPLAIN ANALYZE")
+    profile.add_argument("db")
+    profile.add_argument("mql")
+    profile.add_argument("--json", action="store_true",
+                         help="emit profile and metrics snapshot as JSON")
+    profile.set_defaults(handler=cmd_profile)
 
     history = commands.add_parser("history",
                                   help="print an atom's bitemporal record")

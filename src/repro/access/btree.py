@@ -68,6 +68,10 @@ class BPlusTree:
         self.name = name
         self.key_size = key_size
         self.value_size = value_size
+        metrics = buffer.metrics
+        self._c_node_reads = metrics.counter("btree.node_reads", index=name)
+        self._c_node_writes = metrics.counter("btree.node_writes", index=name)
+        self._c_splits = metrics.counter("btree.splits", index=name)
         page_size = buffer.page_size
         self._leaf_cap = (page_size - _HEAD.size) // (key_size + value_size)
         self._internal_cap = (page_size - _HEAD.size) // (key_size + 8)
@@ -89,6 +93,7 @@ class BPlusTree:
         return frame.page_id
 
     def _read(self, page_id: int) -> _Node:
+        self._c_node_reads.inc()
         with self._buffer.page(page_id) as frame:
             data = frame.data
         node_type, count, link = _HEAD.unpack_from(data, 0)
@@ -115,6 +120,7 @@ class BPlusTree:
         return node
 
     def _write(self, node: _Node) -> None:
+        self._c_node_writes.inc()
         with self._buffer.page(node.page_id, dirty=True) as frame:
             data = frame.data
             link = node.next_leaf if node.is_leaf else node.children[0]
@@ -191,6 +197,7 @@ class BPlusTree:
         return self._split_internal(node)
 
     def _split_leaf(self, node: _Node) -> Tuple[bytes, int]:
+        self._c_splits.inc()
         mid = len(node.keys) // 2
         right = _Node(self._allocate(), is_leaf=True)
         right.keys = node.keys[mid:]
@@ -204,6 +211,7 @@ class BPlusTree:
         return right.keys[0], right.page_id
 
     def _split_internal(self, node: _Node) -> Tuple[bytes, int]:
+        self._c_splits.inc()
         mid = len(node.keys) // 2
         separator = node.keys[mid]
         right = _Node(self._allocate(), is_leaf=False)

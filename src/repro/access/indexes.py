@@ -47,6 +47,9 @@ class IndexManager:
     def __init__(self, buffer: BufferManager,
                  state: Optional[Dict[str, Dict[str, int]]] = None) -> None:
         self._buffer = buffer
+        self.metrics = buffer.metrics
+        self._c_probes = self.metrics.counter("index.probes")
+        self._c_entries = self.metrics.counter("index.entries_added")
         self._trees: Dict[str, BPlusTree] = {}
         self._meta: Dict[str, Dict[str, int]] = {}
         for name, meta in (state or {}).items():
@@ -119,6 +122,7 @@ class IndexManager:
 
     def atoms_of_type(self, type_id: int) -> Iterator[int]:
         """Atom ids registered under *type_id*, ascending."""
+        self._c_probes.inc()
         lo = encode_composite(encode_int(type_id), encode_int(-(2**63)))
         hi = encode_composite(encode_int(type_id), encode_int(2**63 - 1))
         for key, _ in self._tree(_TYPE_INDEX).range_scan(lo, hi,
@@ -140,9 +144,11 @@ class IndexManager:
         probe = tree.range_scan(key, key, hi_inclusive=True)
         if next(probe, None) is None:
             tree.insert(key, b"")
+            self._c_entries.inc()
 
     def candidate_atoms_eq(self, name: str, value_key: bytes) -> List[int]:
         """Atoms with *some* version matching the value key exactly."""
+        self._c_probes.inc()
         lo = encode_composite(value_key, encode_int(-(2**63)))
         hi = encode_composite(value_key, encode_int(2**63 - 1))
         return [decode_int(key[-8:]) for key, _ in
@@ -155,6 +161,7 @@ class IndexManager:
 
         Distinct-ified: an atom appears once even if many versions match.
         """
+        self._c_probes.inc()
         width = self._tree(name).key_size - _ATOM_ID_WIDTH
         lo = (encode_composite(lo_key, encode_int(-(2**63)))
               if lo_key is not None else None)
@@ -180,6 +187,7 @@ class IndexManager:
     def atoms_changed_during(self, name: str, start: int,
                              end: int) -> List[int]:
         """Atoms with a version whose validity began in ``[start, end)``."""
+        self._c_probes.inc()
         lo = encode_composite(encode_int(start), encode_int(-(2**63)))
         hi = encode_composite(encode_int(end), encode_int(-(2**63)))
         seen: Dict[int, None] = {}

@@ -26,6 +26,7 @@ from repro.core import history as hist
 from repro.core.molecule import Molecule, MoleculeAtom, MoleculeType
 from repro.core.version import Version
 from repro.errors import EvaluationError
+from repro.obs import MetricsRegistry
 from repro.temporal import FOREVER, Interval, Timestamp
 
 
@@ -46,8 +47,16 @@ class VersionReader(Protocol):
 class MoleculeBuilder:
     """Builds molecule instances from a version reader."""
 
-    def __init__(self, reader: VersionReader) -> None:
+    def __init__(self, reader: VersionReader,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self._reader = reader
+        if metrics is None:
+            metrics = getattr(reader, "metrics", None) or MetricsRegistry()
+        self.metrics = metrics
+        self._c_molecules = metrics.counter("builder.molecules")
+        self._c_atoms = metrics.counter("builder.atoms_expanded")
+        self._c_slices = metrics.counter("builder.slices")
+        self._c_boundary_scans = metrics.counter("builder.boundary_scans")
 
     # -- time-slice construction ---------------------------------------------
 
@@ -77,6 +86,7 @@ class MoleculeBuilder:
                        ) -> Tuple[Optional[Molecule], Set[int]]:
         """Build a slice and collect every atom id consulted (including
         referenced atoms that were invalid at the instant)."""
+        self._c_slices.inc()
         consulted: Set[int] = {root_id}
         root_version = self._reader.version_at(root_id, at, tt)
         if root_version is None:
@@ -85,6 +95,7 @@ class MoleculeBuilder:
         root_atom = self._expand(root_id, mtype.root, root_version, mtype,
                                  at, tt, consulted, depth=0,
                                  budgets=budgets, path=frozenset())
+        self._c_molecules.inc()
         return Molecule(mtype, root_atom), consulted
 
     def _expand(self, atom_id: int, type_name: str, version: Version,
@@ -96,6 +107,7 @@ class MoleculeBuilder:
             raise EvaluationError(
                 "molecule expansion exceeded its type's depth bound "
                 "(cyclic molecule type?)")
+        self._c_atoms.inc()
         path = path | {atom_id}
         atom = MoleculeAtom(atom_id, type_name, version)
         for edge in mtype.edges_from(type_name):
@@ -156,6 +168,7 @@ class MoleculeBuilder:
     def _next_boundary(self, atom_ids: Set[int], after: Timestamp,
                        tt: Optional[Timestamp]) -> Timestamp:
         """Earliest valid-time boundary after *after* among the atoms."""
+        self._c_boundary_scans.inc()
         boundary = FOREVER
         for atom_id in atom_ids:
             for _, version in hist.live_versions(

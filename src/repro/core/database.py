@@ -41,6 +41,7 @@ from repro.core.molecule import Molecule, MoleculeType
 from repro.core.schema import Schema
 from repro.core.version import Version
 from repro.errors import CatalogError, StorageError, TransactionStateError
+from repro.obs import MetricsRegistry, Tracer
 from repro.storage.buffer import BufferManager, ReplacementPolicy
 from repro.storage.catalog import Catalog
 from repro.storage.constants import DEFAULT_PAGE_SIZE
@@ -240,8 +241,14 @@ class TemporalDatabase:
         #: Summary of the last crash recovery, or None (set by open()).
         self.last_recovery: Optional[Dict[str, int]] = None
 
+        #: One registry per database; every layer below routes its counters
+        #: here, and the tracer snapshots it around traced spans.
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(self.metrics)
+
         self._disk = DiskManager(os.path.join(path, _PAGES_FILE),
-                                 page_size=config.page_size)
+                                 page_size=config.page_size,
+                                 metrics=self.metrics)
         self.buffer = BufferManager(self._disk, capacity=config.buffer_pages,
                                     policy=config.replacement)
         store_state = catalog.extras.get("store_state") or None
@@ -256,7 +263,8 @@ class TemporalDatabase:
         self._next_atom_id = catalog.next_atom_id
         self._id_mutex = threading.Lock()
         self._wal = WriteAheadLog(os.path.join(path, _WAL_FILE),
-                                  sync_on_commit=config.sync_commits)
+                                  sync_on_commit=config.sync_commits,
+                                  metrics=self.metrics)
         self._locks = LockManager(timeout=config.lock_timeout)
         self._txn_manager = TransactionManager(self._wal, self._locks,
                                                self._clock)
@@ -407,6 +415,17 @@ class TemporalDatabase:
         from repro.mql import execute_query  # local import: avoids a cycle
         return execute_query(self, text, params)
 
+    def explain(self, text: str, params: Optional[Dict[str, Any]] = None):
+        """Execute *text* with per-operator profiling forced on.
+
+        Equivalent to prefixing the query with ``EXPLAIN ANALYZE``; the
+        returned result carries a :class:`repro.obs.QueryProfile` in its
+        ``profile`` attribute.
+        """
+        self._require_open()
+        from repro.mql import execute_query  # local import: avoids a cycle
+        return execute_query(self, text, params, profile=True)
+
     def atoms_of_type(self, type_name: str) -> List[int]:
         self._require_open()
         return list(self.engine.atoms_of_type(type_name))
@@ -492,17 +511,33 @@ class TemporalDatabase:
         return self.store.stats()
 
     def io_stats(self) -> Dict[str, Any]:
-        """Physical and buffer I/O counters plus log volume."""
+        """Physical and buffer I/O counters plus log volume.
+
+        .. deprecated:: retained as a thin view over the metrics
+           registry (``db.metrics``); prefer :meth:`metrics_snapshot`
+           for the full per-layer breakdown.
+        """
+        metrics = self.metrics
         return {
-            "disk_reads": self._disk.stats.reads,
-            "disk_writes": self._disk.stats.writes,
-            "buffer_hits": self.buffer.stats.hits,
-            "buffer_misses": self.buffer.stats.misses,
-            "buffer_evictions": self.buffer.stats.evictions,
+            "disk_reads": metrics.value("disk.reads"),
+            "disk_writes": metrics.value("disk.writes"),
+            "buffer_hits": metrics.value("buffer.hits"),
+            "buffer_misses": metrics.value("buffer.misses"),
+            "buffer_evictions": metrics.value("buffer.evictions"),
             "wal_bytes": self._wal.size_bytes(),
             "file_bytes": self._disk.data_bytes_on_disk(),
         }
 
     def reset_io_stats(self) -> None:
-        self._disk.stats.reset()
-        self.buffer.stats.reset()
+        """Zero the disk and buffer counters.
+
+        .. deprecated:: equivalent to ``db.metrics.reset("disk.")`` plus
+           ``db.metrics.reset("buffer.")``; kept for the benchmark
+           harness and older callers.
+        """
+        self.metrics.reset("disk.")
+        self.metrics.reset("buffer.")
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """JSON-safe dump of every metric the kernel has recorded."""
+        return self.metrics.snapshot()

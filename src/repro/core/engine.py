@@ -58,6 +58,11 @@ class StorageEngine:
         self.codec = VersionCodec(schema)
         self._type_by_id = {atom_type.type_id: atom_type.name
                             for atom_type in schema.atom_types}
+        self.metrics = indexes.metrics
+        self._c_version_reads = self.metrics.counter("engine.version_reads")
+        self._c_versions_scanned = self.metrics.counter(
+            "engine.versions_scanned")
+        self._c_mutations = self.metrics.counter("engine.mutations")
 
     # ------------------------------------------------------------------
     # Encoding helpers (type-prefixed payloads)
@@ -92,19 +97,24 @@ class StorageEngine:
     def version_at(self, atom_id: int, at: Timestamp,
                    tt: Optional[Timestamp] = None) -> Optional[Version]:
         """The version valid at *at* as believed at *tt* (None = now)."""
+        self._c_version_reads.inc()
         if not self.store.exists(atom_id):
             return None
         if tt is None:
             hits = self.store.read_at(atom_id, at)
             if not hits:
                 return None
+            self._c_versions_scanned.inc(len(hits))
             return self._decode(hits[0][1])[1]
         return hist.version_at(self.all_versions(atom_id), at, tt)
 
     def all_versions(self, atom_id: int) -> List[Version]:
         if not self.store.exists(atom_id):
             raise UnknownAtomError(f"no atom {atom_id}")
-        return [self._decode(sv)[1] for sv in self.store.read_all(atom_id)]
+        versions = [self._decode(sv)[1]
+                    for sv in self.store.read_all(atom_id)]
+        self._c_versions_scanned.inc(len(versions))
+        return versions
 
     def current_version(self, atom_id: int) -> Version:
         """The newest recorded version (regardless of validity)."""
@@ -131,6 +141,7 @@ class StorageEngine:
     def _apply_plan(self, atom_id: int, type_name: str,
                     plan: hist.HistoryPlan,
                     undos: List[UndoAction]) -> None:
+        self._c_mutations.inc()
         store = self.store
         replacements = plan.closures + plan.rewrites
         if replacements:

@@ -187,3 +187,5 @@ class Query:
     valid: ValidClause = field(default_factory=ValidAtNow)
     when: Optional[WhenClause] = None
     as_of: Optional[int] = None
+    #: ``EXPLAIN ANALYZE`` prefix: execute with per-operator profiling.
+    explain: bool = False

@@ -44,6 +44,7 @@ from repro.mql.ast_nodes import WhenClause
 from repro.mql.parser import bind_parameters, parse_query
 from repro.mql.planner import IndexLookup, QueryPlan, TypeScan, plan
 from repro.mql.result import QueryResult, ResultEntry
+from repro.obs import NULL_TRACER, QueryProfile
 from repro.temporal import FOREVER, TMIN, AllenRelation, Interval, Timestamp, allen_relation
 
 _OPERATORS = {
@@ -57,35 +58,69 @@ _OPERATORS = {
 
 
 def execute_query(db, text: str,
-                  params: Optional[Dict[str, Any]] = None) -> QueryResult:
-    """Parse, bind ``$name`` parameters, analyze, plan, and run."""
+                  params: Optional[Dict[str, Any]] = None,
+                  profile: bool = False) -> QueryResult:
+    """Parse, bind ``$name`` parameters, analyze, plan, and run.
+
+    Profiling is enabled by an ``EXPLAIN ANALYZE`` prefix on the query
+    text or by ``profile=True``; the result then carries a
+    :class:`repro.obs.QueryProfile` in its ``profile`` attribute.
+    """
     query = bind_parameters(parse_query(text), params)
     analyzed = analyze(query, db.schema)
     query_plan = plan(analyzed, db.engine)
-    return execute_plan(db, query_plan)
+    return execute_plan(db, query_plan, profile=profile or query.explain)
 
 
-def execute_plan(db, query_plan: QueryPlan) -> QueryResult:
+def execute_plan(db, query_plan: QueryPlan,
+                 profile: bool = False) -> QueryResult:
     """Run an already planned query (the benchmarks reuse plans)."""
+    tracer = getattr(db, "tracer", None) or NULL_TRACER
+    if profile and tracer is not NULL_TRACER:
+        with tracer.capture() as capture:
+            result = _execute(db, query_plan, tracer)
+        result.profile = QueryProfile(capture.spans,
+                                      query_plan.describe())
+        return result
+    return _execute(db, query_plan, tracer)
+
+
+def _execute(db, query_plan: QueryPlan, tracer) -> QueryResult:
     analyzed = query_plan.analyzed
-    roots = _root_candidates(db, query_plan)
-    valid = analyzed.valid
-    if isinstance(valid, (ValidAt, ValidAtNow)):
-        # "NOW" in valid time means the current, open-ended state: the
-        # far-future instant every until-changed version contains.
-        at = valid.at if isinstance(valid, ValidAt) else FOREVER - 1
-        entries = _evaluate_slice(db, analyzed, roots, at)
-    elif isinstance(valid, ValidDuring):
-        entries = _evaluate_window(db, analyzed, roots,
-                                   Interval(valid.start, valid.end))
-    elif isinstance(valid, ValidHistory):
-        entries = _evaluate_window(db, analyzed, roots,
-                                   Interval(TMIN, FOREVER))
-    else:  # pragma: no cover - parser produces no other clause
-        raise EvaluationError(f"unknown temporal clause {valid!r}")
-    if analyzed.query.when is not None:
-        entries = _filter_when(entries, analyzed.query.when)
-    entries = _project(analyzed, entries)
+    with tracer.span("mql.execute", plan=query_plan.describe()) as top:
+        with tracer.span("access",
+                         path=type(query_plan.root_access).__name__) as span:
+            roots = _root_candidates(db, query_plan)
+            span.set("roots", len(roots))
+        valid = analyzed.valid
+        if isinstance(valid, (ValidAt, ValidAtNow)):
+            # "NOW" in valid time means the current, open-ended state: the
+            # far-future instant every until-changed version contains.
+            at = valid.at if isinstance(valid, ValidAt) else FOREVER - 1
+            with tracer.span("slice", at=at) as span:
+                entries = _evaluate_slice(db, analyzed, roots, at)
+                span.set("entries", len(entries))
+        elif isinstance(valid, ValidDuring):
+            window = Interval(valid.start, valid.end)
+            with tracer.span("window", window=str(window)) as span:
+                entries = _evaluate_window(db, analyzed, roots, window)
+                span.set("entries", len(entries))
+        elif isinstance(valid, ValidHistory):
+            window = Interval(TMIN, FOREVER)
+            with tracer.span("window", window="history") as span:
+                entries = _evaluate_window(db, analyzed, roots, window)
+                span.set("entries", len(entries))
+        else:  # pragma: no cover - parser produces no other clause
+            raise EvaluationError(f"unknown temporal clause {valid!r}")
+        if analyzed.query.when is not None:
+            with tracer.span("filter.when",
+                             relation=analyzed.query.when.relation) as span:
+                entries = _filter_when(entries, analyzed.query.when)
+                span.set("entries", len(entries))
+        with tracer.span("project") as span:
+            entries = _project(analyzed, entries)
+            span.set("entries", len(entries))
+        top.set("entries", len(entries))
     return QueryResult(entries, query_plan.describe(),
                        isinstance(analyzed.query.select, SelectPaths))
 

@@ -30,6 +30,8 @@ KEYWORDS = {
     "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "ALL",
     "VALID", "AT", "DURING", "HISTORY", "AS", "OF",
     "TRUE", "FALSE", "NULL", "NOW", "FOREVER", "TMIN",
+    # Profiling prefix: EXPLAIN ANALYZE <query>.
+    "EXPLAIN", "ANALYZE",
     # WHEN clause: Allen-style relations on result validity.
     "WHEN", "OVERLAPS", "CONTAINS", "MEETS", "BEFORE", "AFTER",
     "EQUALS", "STARTS", "FINISHES",
@@ -46,7 +48,8 @@ SYMBOLS = ["!=", "<=", ">=", "=", "<", ">", ".", ",", "(", ")", "[", "]"]
 #: ``contains`` being a popular link name is the motivating case.
 SOFT_KEYWORDS = {"OVERLAPS", "CONTAINS", "MEETS", "BEFORE", "AFTER",
                  "EQUALS", "STARTS", "FINISHES", "WHEN", "AT", "OF",
-                 "DURING", "HISTORY", "COUNT", "SUM", "AVG", "MIN", "MAX"}
+                 "DURING", "HISTORY", "COUNT", "SUM", "AVG", "MIN", "MAX",
+                 "EXPLAIN", "ANALYZE"}
 
 
 @dataclass(frozen=True, slots=True)

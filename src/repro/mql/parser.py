@@ -87,6 +87,10 @@ class _Stream:
 def parse_query(text: str) -> Query:
     """Parse one MQL query; raises :class:`ParseError` on bad syntax."""
     stream = _Stream(tokenize(text))
+    explain = False
+    if stream.accept_keyword("EXPLAIN"):
+        stream.expect_keyword("ANALYZE")
+        explain = True
     stream.expect_keyword("SELECT")
     select = _parse_select(stream)
     stream.expect_keyword("FROM")
@@ -107,7 +111,7 @@ def parse_query(text: str) -> Query:
     if stream.current.type is not TokenType.END:
         raise ParseError(f"unexpected trailing {stream.current}",
                          stream.current.position)
-    return Query(select, molecule, where, valid, when, as_of)
+    return Query(select, molecule, where, valid, when, as_of, explain)
 
 
 # -- SELECT -----------------------------------------------------------------
@@ -341,7 +345,7 @@ def bind_parameters(query: Query, params: Optional[dict]) -> Query:
             f"unused query parameters: "
             f"{', '.join('$' + name for name in sorted(unused))}")
     return Query(query.select, query.molecule, where, query.valid,
-                 query.when, query.as_of)
+                 query.when, query.as_of, query.explain)
 
 
 _WHEN_RELATIONS = ("OVERLAPS", "DURING", "CONTAINS", "MEETS", "BEFORE",

@@ -34,6 +34,9 @@ class QueryResult:
         self._entries = entries
         self.plan = plan
         self.projected = projected
+        #: A :class:`repro.obs.QueryProfile` when the query ran under
+        #: ``EXPLAIN ANALYZE`` (or ``profile=True``); None otherwise.
+        self.profile: Optional[Any] = None
 
     def __len__(self) -> int:
         return len(self._entries)

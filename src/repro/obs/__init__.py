@@ -1,0 +1,34 @@
+"""Kernel-wide observability: metrics registry, trace spans, profiles.
+
+Every layer of the kernel (disk, buffer, heap, B+-tree, indexes, engine,
+builder, WAL, evaluator) routes its cost counters through one
+:class:`~repro.obs.registry.MetricsRegistry` owned by the database
+facade.  On top of the registry, :class:`~repro.obs.trace.Tracer`
+records hierarchical spans — wall time plus the metric deltas observed
+inside each span — and the MQL evaluator attaches the resulting
+:class:`~repro.obs.profile.QueryProfile` to a query result when
+profiling is requested (``EXPLAIN ANALYZE`` or
+``python -m repro profile``).
+
+Design constraint: with no capture active, instrumentation must be
+near-zero-cost.  Counters are plain slotted objects incremented by
+attribute (the same machine work as the ad-hoc dataclass counters they
+replaced), and :meth:`Tracer.span` returns a shared no-op context
+manager unless a capture is active on the calling thread.
+"""
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Span, TraceCapture, Tracer
+from repro.obs.profile import QueryProfile
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "QueryProfile",
+    "Span",
+    "TraceCapture",
+    "Tracer",
+]

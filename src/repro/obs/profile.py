@@ -1,0 +1,101 @@
+"""Per-query profiles: the span tree behind ``EXPLAIN ANALYZE``.
+
+The MQL evaluator opens one span per plan operator (root access,
+molecule construction, WHEN filtering, projection).  A
+:class:`QueryProfile` wraps the captured tree with the plan description
+and renders it as the operator table the CLI prints, or exports it as a
+JSON-safe dict.
+
+The rendered metric columns are the machine-independent costs the
+reconstructed evaluation reports: page touches (buffer pins split into
+hits/misses), physical disk I/O, index probes, B+-tree node reads,
+versions scanned, and molecules built.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.obs.trace import Span
+
+#: (counter name, short column label) pairs rendered per span, in order.
+_COLUMNS = (
+    ("buffer.hits", "hit"),
+    ("buffer.misses", "miss"),
+    ("disk.reads", "read"),
+    ("disk.writes", "write"),
+    ("index.probes", "probes"),
+    ("btree.node_reads", "nodes"),
+    ("engine.versions_scanned", "versions"),
+    ("builder.molecules", "molecules"),
+)
+
+
+def _metric_cells(span: Span) -> List[str]:
+    cells: List[str] = []
+    hits = span.metric("buffer.hits")
+    misses = span.metric("buffer.misses")
+    if hits or misses:
+        cells.append(f"pages={hits + misses} ({hits} hit/{misses} miss)")
+    for name, label in _COLUMNS[2:]:
+        value = span.metric(name)
+        if value:
+            cells.append(f"{label}={value}")
+    return cells
+
+
+class QueryProfile:
+    """The profiled execution of one MQL query."""
+
+    def __init__(self, spans: List[Span], plan: str) -> None:
+        self.spans = spans
+        self.plan = plan
+
+    @property
+    def root(self) -> Span:
+        if not self.spans:
+            raise ValueError("empty profile")
+        return self.spans[0]
+
+    def find(self, name: str) -> List[Span]:
+        """Every span with *name*, pre-order across the whole tree."""
+        return [span for top in self.spans for span in top.walk()
+                if span.name == name]
+
+    # -- export -----------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"plan": self.plan,
+                "spans": [span.to_dict() for span in self.spans]}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    # -- rendering ----------------------------------------------------------------
+
+    def render(self) -> str:
+        """The operator tree as the CLI prints it."""
+        lines = [f"plan: {self.plan}"]
+        for span in self.spans:
+            self._render_span(span, lines, prefix="", last=True, top=True)
+        return "\n".join(lines)
+
+    def _render_span(self, span: Span, lines: List[str], prefix: str,
+                     last: bool, top: bool = False) -> None:
+        connector = "" if top else ("└─ " if last else "├─ ")
+        attrs = " ".join(f"{key}={value}" for key, value in span.attrs.items())
+        head = span.name + (f" [{attrs}]" if attrs else "")
+        cells = "  ".join(_metric_cells(span))
+        line = f"{prefix}{connector}{head:<44} {span.duration * 1e3:8.3f} ms"
+        if cells:
+            line += f"  {cells}"
+        lines.append(line)
+        child_prefix = prefix + ("" if top else ("   " if last else "│  "))
+        for index, child in enumerate(span.children):
+            self._render_span(child, lines, child_prefix,
+                              last=index == len(span.children) - 1)
+
+    def __repr__(self) -> str:
+        names = ", ".join(span.name for span in self.spans)
+        return f"QueryProfile([{names}], plan={self.plan})"

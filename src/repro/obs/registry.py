@@ -1,0 +1,257 @@
+"""The metrics registry: named counters, gauges, and histograms.
+
+Instruments are created once (memoized by name + labels) and then
+incremented by plain attribute arithmetic — the hot-path cost is one
+``+=`` on a slotted object, the same work as the ad-hoc dataclass
+counters the registry replaced.  Reading happens out of band: spans
+diff :meth:`MetricsRegistry.totals`, benchmarks and the CLI export
+:meth:`MetricsRegistry.snapshot` as JSON.
+
+Naming convention: dotted ``layer.metric`` names (``disk.reads``,
+``buffer.hits``, ``wal.appends``); optional labels qualify an instrument
+(``btree.node_reads{index="attr:Part.name"}``).  Label sets are expected
+to stay small (layer names, index names, segment names) — the registry
+stores one instrument per distinct (name, labels) pair.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _display(name: str, labels: _LabelKey) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count (reset only between experiments)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: _LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    @property
+    def key(self) -> str:
+        return _display(self.name, self.labels)
+
+    def __repr__(self) -> str:
+        return f"Counter({self.key}={self.value})"
+
+
+class Gauge:
+    """A value that goes up and down (pool residency, active txns)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: _LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    @property
+    def key(self) -> str:
+        return _display(self.name, self.labels)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.key}={self.value})"
+
+
+#: Default histogram bucket upper bounds — powers of two suit the page
+#: and record-count distributions the kernel observes.
+DEFAULT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 1024)
+
+
+class Histogram:
+    """Bucketed distribution with count/sum/min/max summary."""
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count",
+                 "total", "minimum", "maximum")
+
+    def __init__(self, name: str, labels: _LabelKey = (),
+                 bounds: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # +inf overflow
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = None
+        self.maximum = None
+
+    @property
+    def key(self) -> str:
+        return _display(self.name, self.labels)
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.key} n={self.count} mean={self.mean:.2f})"
+
+
+class MetricsRegistry:
+    """One registry per database: the single home of all cost counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, _LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, _LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, _LabelKey], Histogram] = {}
+
+    # -- instrument creation (memoized) ---------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _label_key(labels))
+        counter = self._counters.get(key)
+        if counter is None:
+            with self._lock:
+                counter = self._counters.setdefault(key, Counter(*key))
+        return counter
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _label_key(labels))
+        gauge = self._gauges.get(key)
+        if gauge is None:
+            with self._lock:
+                gauge = self._gauges.setdefault(key, Gauge(*key))
+        return gauge
+
+    def histogram(self, name: str,
+                  bounds: Tuple[float, ...] = DEFAULT_BUCKETS,
+                  **labels: Any) -> Histogram:
+        key = (name, _label_key(labels))
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            with self._lock:
+                histogram = self._histograms.setdefault(
+                    key, Histogram(key[0], key[1], bounds))
+        return histogram
+
+    # -- reading ----------------------------------------------------------------
+
+    def counters(self) -> Iterator[Counter]:
+        return iter(list(self._counters.values()))
+
+    def value(self, name: str, **labels: Any) -> int:
+        """Current value of one counter (0 when never created)."""
+        counter = self._counters.get((name, _label_key(labels)))
+        return counter.value if counter is not None else 0
+
+    def total(self, name: str) -> int:
+        """Sum of one counter name across all its label sets."""
+        return sum(c.value for (n, _), c in self._counters.items()
+                   if n == name)
+
+    def totals(self) -> Dict[str, int]:
+        """Counter values keyed by display name — the span-delta feed."""
+        return {counter.key: counter.value
+                for counter in self._counters.values()}
+
+    def totals_by_name(self) -> Dict[str, int]:
+        """Counter values aggregated over labels, keyed by bare name."""
+        out: Dict[str, int] = {}
+        for (name, _), counter in self._counters.items():
+            out[name] = out.get(name, 0) + counter.value
+        return out
+
+    def layer_breakdown(self) -> Dict[str, Dict[str, int]]:
+        """Counters grouped by layer (the prefix before the first dot)."""
+        layers: Dict[str, Dict[str, int]] = {}
+        for (name, _), counter in self._counters.items():
+            layer, _, metric = name.partition(".")
+            bucket = layers.setdefault(layer, {})
+            bucket[metric] = bucket.get(metric, 0) + counter.value
+        return layers
+
+    # -- export -------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-safe snapshot of every instrument."""
+        counters: List[Dict[str, Any]] = []
+        for counter in self._counters.values():
+            counters.append({"name": counter.name,
+                             "labels": dict(counter.labels),
+                             "value": counter.value})
+        gauges: List[Dict[str, Any]] = []
+        for gauge in self._gauges.values():
+            gauges.append({"name": gauge.name,
+                           "labels": dict(gauge.labels),
+                           "value": gauge.value})
+        histograms: List[Dict[str, Any]] = []
+        for histogram in self._histograms.values():
+            histograms.append({
+                "name": histogram.name,
+                "labels": dict(histogram.labels),
+                "count": histogram.count,
+                "sum": histogram.total,
+                "min": histogram.minimum,
+                "max": histogram.maximum,
+                "buckets": [{"le": bound, "count": count}
+                            for bound, count in zip(histogram.bounds,
+                                                    histogram.bucket_counts)]
+                           + [{"le": "inf",
+                               "count": histogram.bucket_counts[-1]}],
+            })
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def reset(self, prefix: Optional[str] = None) -> None:
+        """Zero every instrument, or only those whose name has *prefix*."""
+        for registry in (self._counters, self._gauges, self._histograms):
+            for (name, _), instrument in registry.items():
+                if prefix is None or name.startswith(prefix):
+                    instrument.reset()

@@ -1,0 +1,213 @@
+"""Hierarchical trace spans over the metrics registry.
+
+A :class:`Tracer` owns a thread-local capture state.  While a capture is
+active (``with tracer.capture() as spans:``), every ``tracer.span(...)``
+opens a :class:`Span` that records wall time and — by diffing the
+registry's counter totals at entry and exit — the metric deltas observed
+inside it, children included (inclusive accounting, as in SQL
+``EXPLAIN ANALYZE``).
+
+With no capture active, :meth:`Tracer.span` hands back a shared no-op
+context manager without allocating a span, so instrumented code paths
+pay only the thread-local lookup.  Hot per-page paths (buffer pin,
+disk read) never open spans at all — they only bump counters; spans live
+at operator granularity (root access, molecule construction,
+projection).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.registry import MetricsRegistry
+
+
+class Span:
+    """One traced region: name, attributes, wall time, metric deltas."""
+
+    __slots__ = ("name", "attrs", "duration", "metrics", "children",
+                 "_start_totals", "_start_time")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.duration = 0.0               # seconds, set at exit
+        self.metrics: Dict[str, int] = {}  # nonzero counter deltas
+        self.children: List["Span"] = []
+        self._start_totals: Dict[str, int] = {}
+        self._start_time = 0.0
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach an attribute (root count, molecule count, ...)."""
+        self.attrs[key] = value
+
+    def metric(self, name: str) -> int:
+        """The span's delta for one counter (aggregated over labels)."""
+        total = 0
+        for key, value in self.metrics.items():
+            if key == name or key.startswith(name + "{"):
+                total += value
+        return total
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "duration_ms": round(self.duration * 1000.0, 3),
+            "metrics": dict(self.metrics),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name}, {self.duration * 1000.0:.2f}ms, "
+                f"{len(self.children)} children)")
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out when no capture is active."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def metric(self, name: str) -> int:
+        return 0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager driving one live span (only built while capturing)."""
+
+    __slots__ = ("_tracer", "_span", "_sink")
+
+    def __init__(self, tracer: "Tracer", span: Span,
+                 sink: List[Span]) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._sink = sink
+
+    def __enter__(self) -> Span:
+        span = self._span
+        span._start_totals = self._tracer._registry.totals()
+        self._tracer._stack().append(span)
+        span._start_time = time.perf_counter()
+        return span
+
+    def __exit__(self, *exc: object) -> bool:
+        span = self._span
+        span.duration = time.perf_counter() - span._start_time
+        start = span._start_totals
+        deltas: Dict[str, int] = {}
+        for key, value in self._tracer._registry.totals().items():
+            delta = value - start.get(key, 0)
+            if delta:
+                deltas[key] = delta
+        span.metrics = deltas
+        span._start_totals = {}
+        stack = self._tracer._stack()
+        stack.pop()
+        (stack[-1].children if stack else self._sink).append(span)
+        return False
+
+
+class TraceCapture:
+    """The spans collected by one ``tracer.capture()`` region."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+
+    @property
+    def root(self) -> Optional[Span]:
+        return self.spans[0] if self.spans else None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"spans": [span.to_dict() for span in self.spans]}
+
+
+class Tracer:
+    """Thread-local span capture bound to one metrics registry."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._registry = registry
+        self._local = threading.local()
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry
+
+    @property
+    def capturing(self) -> bool:
+        return getattr(self._local, "capture", None) is not None
+
+    def _stack(self) -> List[Span]:
+        return self._local.stack
+
+    def capture(self) -> "_CaptureContext":
+        """Activate span collection on this thread (re-entrant: an inner
+        capture stacks over — and hides — the outer one until it exits)."""
+        return _CaptureContext(self)
+
+    def span(self, name: str, **attrs: Any):
+        """Open a traced region; a no-op unless a capture is active."""
+        capture = getattr(self._local, "capture", None)
+        if capture is None:
+            return NULL_SPAN
+        return _SpanContext(self, Span(name, attrs), capture.spans)
+
+
+class _CaptureContext:
+    __slots__ = ("_tracer", "_capture", "_outer")
+
+    def __init__(self, tracer: Tracer) -> None:
+        self._tracer = tracer
+        self._capture = TraceCapture()
+        self._outer: Any = None
+
+    def __enter__(self) -> TraceCapture:
+        local = self._tracer._local
+        self._outer = (getattr(local, "capture", None),
+                       getattr(local, "stack", None))
+        local.capture = self._capture
+        local.stack = []
+        return self._capture
+
+    def __exit__(self, *exc: object) -> bool:
+        local = self._tracer._local
+        local.capture, local.stack = self._outer
+        return False
+
+
+class _NullTracer:
+    """Stand-in for readers without a tracer (oracle, bare engines)."""
+
+    __slots__ = ()
+
+    @property
+    def capturing(self) -> bool:
+        return False
+
+    def capture(self):  # pragma: no cover - never sensible, but safe
+        raise RuntimeError("the null tracer cannot capture")
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return NULL_SPAN
+
+
+NULL_TRACER = _NullTracer()

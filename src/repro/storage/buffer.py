@@ -17,10 +17,10 @@ import enum
 import threading
 from collections import OrderedDict
 from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Optional
 
 from repro.errors import BufferPoolExhaustedError, PageError
+from repro.obs import MetricsRegistry
 from repro.storage.disk import DiskManager
 
 
@@ -31,14 +31,36 @@ class ReplacementPolicy(enum.Enum):
     CLOCK = "clock"
 
 
-@dataclass
 class BufferStats:
-    """Buffer pool effectiveness counters."""
+    """Buffer pool effectiveness counters.
 
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    dirty_writebacks: int = 0
+    A view over the ``buffer.*`` counters of the metrics registry; the
+    pool increments the counters directly on its hot paths.
+    """
+
+    __slots__ = ("_hits", "_misses", "_evictions", "_dirty_writebacks")
+
+    def __init__(self, metrics: MetricsRegistry) -> None:
+        self._hits = metrics.counter("buffer.hits")
+        self._misses = metrics.counter("buffer.misses")
+        self._evictions = metrics.counter("buffer.evictions")
+        self._dirty_writebacks = metrics.counter("buffer.dirty_writebacks")
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
+
+    @property
+    def dirty_writebacks(self) -> int:
+        return self._dirty_writebacks.value
 
     @property
     def hit_ratio(self) -> float:
@@ -46,10 +68,10 @@ class BufferStats:
         return self.hits / total if total else 0.0
 
     def reset(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.dirty_writebacks = 0
+        self._hits.reset()
+        self._misses.reset()
+        self._evictions.reset()
+        self._dirty_writebacks.reset()
 
 
 class Frame:
@@ -73,7 +95,8 @@ class BufferManager:
     """Pin-count buffer pool with pluggable replacement."""
 
     def __init__(self, disk: DiskManager, capacity: int = 128,
-                 policy: ReplacementPolicy = ReplacementPolicy.LRU) -> None:
+                 policy: ReplacementPolicy = ReplacementPolicy.LRU,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if capacity < 1:
             raise PageError(f"buffer capacity must be >= 1, got {capacity}")
         self._disk = disk
@@ -84,7 +107,13 @@ class BufferManager:
         # moved to the end whenever it is pinned.
         self._frames: "OrderedDict[int, Frame]" = OrderedDict()
         self._clock_hand = 0
-        self.stats = BufferStats()
+        self.metrics = metrics if metrics is not None else disk.metrics
+        self.stats = BufferStats(self.metrics)
+        self._c_hits = self.metrics.counter("buffer.hits")
+        self._c_misses = self.metrics.counter("buffer.misses")
+        self._c_evictions = self.metrics.counter("buffer.evictions")
+        self._c_dirty_writebacks = self.metrics.counter(
+            "buffer.dirty_writebacks")
 
     @property
     def capacity(self) -> int:
@@ -108,9 +137,9 @@ class BufferManager:
         with self._lock:
             frame = self._frames.get(page_id)
             if frame is not None:
-                self.stats.hits += 1
+                self._c_hits.inc()
             else:
-                self.stats.misses += 1
+                self._c_misses.inc()
                 self._ensure_free_slot()
                 frame = Frame(page_id, self._disk.read_page(page_id))
                 self._frames[page_id] = frame
@@ -168,7 +197,7 @@ class BufferManager:
                   else self._pick_clock_victim())
         self._write_back(victim)
         del self._frames[victim.page_id]
-        self.stats.evictions += 1
+        self._c_evictions.inc()
 
     def _pick_lru_victim(self) -> Frame:
         for frame in self._frames.values():  # oldest first
@@ -198,7 +227,7 @@ class BufferManager:
     def _write_back(self, frame: Frame) -> None:
         if frame.dirty:
             self._disk.write_page(frame.page_id, bytes(frame.data))
-            self.stats.dirty_writebacks += 1
+            self._c_dirty_writebacks.inc()
             frame.dirty = False
 
     # -- maintenance ---------------------------------------------------------------

@@ -21,9 +21,10 @@ from __future__ import annotations
 import os
 import struct
 import threading
-from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import PageError, StorageError
+from repro.obs import MetricsRegistry
 from repro.storage.constants import (
     DEFAULT_PAGE_SIZE,
     FILE_HEADER_SIZE,
@@ -36,33 +37,62 @@ _HEADER = struct.Struct("<8sIQQ")  # magic, page_size, page_count, free_head
 _FREE_LINK = struct.Struct("<Q")
 
 
-@dataclass
 class DiskStats:
-    """Physical I/O counters, cumulative since open (or last reset)."""
+    """Physical I/O counters, cumulative since open (or last reset).
 
-    reads: int = 0
-    writes: int = 0
-    allocations: int = 0
-    deallocations: int = 0
+    A read-oriented view over the ``disk.*`` counters of the metrics
+    registry; the manager increments the counters directly on its hot
+    paths.
+    """
+
+    __slots__ = ("_reads", "_writes", "_allocations", "_deallocations")
+
+    def __init__(self, metrics: MetricsRegistry) -> None:
+        self._reads = metrics.counter("disk.reads")
+        self._writes = metrics.counter("disk.writes")
+        self._allocations = metrics.counter("disk.allocations")
+        self._deallocations = metrics.counter("disk.deallocations")
+
+    @property
+    def reads(self) -> int:
+        return self._reads.value
+
+    @property
+    def writes(self) -> int:
+        return self._writes.value
+
+    @property
+    def allocations(self) -> int:
+        return self._allocations.value
+
+    @property
+    def deallocations(self) -> int:
+        return self._deallocations.value
 
     def reset(self) -> None:
-        self.reads = 0
-        self.writes = 0
-        self.allocations = 0
-        self.deallocations = 0
+        self._reads.reset()
+        self._writes.reset()
+        self._allocations.reset()
+        self._deallocations.reset()
 
 
 class DiskManager:
     """Owns one database file and serves page-granular reads and writes."""
 
     def __init__(self, path: str | os.PathLike[str],
-                 page_size: int = DEFAULT_PAGE_SIZE) -> None:
+                 page_size: int = DEFAULT_PAGE_SIZE,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if page_size < MIN_PAGE_SIZE:
             raise StorageError(
                 f"page size {page_size} below minimum {MIN_PAGE_SIZE}")
         self._path = os.fspath(path)
         self._lock = threading.Lock()
-        self.stats = DiskStats()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.stats = DiskStats(self.metrics)
+        self._c_reads = self.metrics.counter("disk.reads")
+        self._c_writes = self.metrics.counter("disk.writes")
+        self._c_allocations = self.metrics.counter("disk.allocations")
+        self._c_deallocations = self.metrics.counter("disk.deallocations")
         exists = os.path.exists(self._path) and os.path.getsize(self._path) > 0
         # "r+b" preserves an existing file; "w+b" would truncate it.
         self._file = open(self._path, "r+b" if exists else "w+b")
@@ -134,7 +164,7 @@ class DiskManager:
             data = self._file.read(self._page_size)
             if len(data) != self._page_size:
                 raise PageError(f"short read on page {page_id}")
-            self.stats.reads += 1
+            self._c_reads.inc()
             return bytearray(data)
 
     def write_page(self, page_id: int, data: bytes) -> None:
@@ -147,26 +177,26 @@ class DiskManager:
                     f"got {len(data)}")
             self._file.seek(page_id * self._page_size)
             self._file.write(data)
-            self.stats.writes += 1
+            self._c_writes.inc()
 
     # -- allocation ----------------------------------------------------------------
 
     def allocate_page(self) -> int:
         """Return the id of a fresh, zeroed page."""
         with self._lock:
-            self.stats.allocations += 1
+            self._c_allocations.inc()
             if self._free_head != INVALID_PAGE_ID:
                 page_id = self._free_head
                 self._file.seek(page_id * self._page_size)
                 link_raw = self._file.read(_FREE_LINK.size)
-                self.stats.reads += 1
+                self._c_reads.inc()
                 (self._free_head,) = _FREE_LINK.unpack(link_raw)
             else:
                 page_id = self._page_count
                 self._page_count += 1
             self._file.seek(page_id * self._page_size)
             self._file.write(b"\x00" * self._page_size)
-            self.stats.writes += 1
+            self._c_writes.inc()
             self._write_header()
             return page_id
 
@@ -174,11 +204,11 @@ class DiskManager:
         """Return a page to the free list for later reuse."""
         with self._lock:
             self._check_pid(page_id)
-            self.stats.deallocations += 1
+            self._c_deallocations.inc()
             self._file.seek(page_id * self._page_size)
             self._file.write(_FREE_LINK.pack(self._free_head).ljust(
                 self._page_size, b"\x00"))
-            self.stats.writes += 1
+            self._c_writes.inc()
             self._free_head = page_id
             self._write_header()
 

@@ -73,6 +73,11 @@ class HeapSegment:
         # Rebuilt lazily; kept approximate and corrected on PageFullError.
         self._free_map: Dict[int, int] = {}
         self._free_map_ready = False
+        metrics = buffer.metrics
+        self._c_reads = metrics.counter("heap.record_reads", segment=name)
+        self._c_inserts = metrics.counter("heap.record_inserts", segment=name)
+        self._c_deletes = metrics.counter("heap.record_deletes", segment=name)
+        self._c_spanned = metrics.counter("heap.spanned_inserts", segment=name)
 
     # -- catalog integration -------------------------------------------------
 
@@ -156,8 +161,10 @@ class HeapSegment:
 
     def insert(self, payload: bytes) -> RecordId:
         """Store *payload*, spanning pages if necessary; return its id."""
+        self._c_inserts.inc()
         if len(payload) <= self.max_unspanned():
             return self._insert_fragment(bytes([_FLAG_WHOLE]) + payload)
+        self._c_spanned.inc()
         chunk = self.max_unspanned() - RecordId.PACKED_SIZE
         if chunk <= 0:
             raise StorageError("page size too small for spanned records")
@@ -177,6 +184,7 @@ class HeapSegment:
 
     def read(self, rid: RecordId) -> bytes:
         """Return the full payload of the logical record at *rid*."""
+        self._c_reads.inc()
         body = self._read_fragment(rid)
         flag = body[0]
         if flag == _FLAG_WHOLE:
@@ -203,6 +211,7 @@ class HeapSegment:
 
     def delete(self, rid: RecordId) -> None:
         """Remove the logical record at *rid*, including all fragments."""
+        self._c_deletes.inc()
         body = self._read_fragment(rid)
         flag = body[0]
         self._delete_fragment(rid)

@@ -83,6 +83,11 @@ class TransactionManager:
         self._mutex = threading.Lock()
         self._next_txn_id = 1
         self._active: Dict[int, Transaction] = {}
+        self.metrics = wal.metrics
+        self._c_begins = self.metrics.counter("txn.begins")
+        self._c_commits = self.metrics.counter("txn.commits")
+        self._c_aborts = self.metrics.counter("txn.aborts")
+        self._c_operations = self.metrics.counter("txn.operations")
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -91,6 +96,7 @@ class TransactionManager:
             txn_id = self._next_txn_id
             self._next_txn_id += 1
         tt = self._clock.tick()
+        self._c_begins.inc()
         txn = Transaction(txn_id, tt, self)
         self._wal.append(LogRecordType.BEGIN, txn_id, {"tt": tt})
         with self._mutex:
@@ -102,6 +108,7 @@ class TransactionManager:
         """Log one operation of *txn*; must precede applying it."""
         txn.require_active()
         txn.operations_logged += 1
+        self._c_operations.inc()
         return self._wal.append(LogRecordType.OPERATION, txn.txn_id, payload)
 
     def commit(self, txn: Transaction) -> None:
@@ -109,6 +116,7 @@ class TransactionManager:
         txn.require_active()
         self._wal.append(LogRecordType.COMMIT, txn.txn_id)
         self._wal.flush()
+        self._c_commits.inc()
         txn._state = TxnState.COMMITTED
         self.locks.release_all(txn.txn_id)
         with self._mutex:
@@ -121,6 +129,7 @@ class TransactionManager:
             action()
         self._wal.append(LogRecordType.ABORT, txn.txn_id)
         self._wal.flush(sync=False)
+        self._c_aborts.inc()
         txn._state = TxnState.ABORTED
         self.locks.release_all(txn.txn_id)
         with self._mutex:

@@ -63,7 +63,11 @@ def replay_operations(engine: Any, wal: WriteAheadLog,
     assigned (the caller advances the clock and the id allocator past
     these).
     """
+    metrics = getattr(engine, "metrics", None) or wal.metrics
+    c_replayed = metrics.counter("recovery.records_replayed")
+    c_transactions = metrics.counter("recovery.transactions")
     committed = committed_transactions(wal, after_lsn)
+    c_transactions.inc(len(committed))
     replayed = 0
     max_tt = -1
     max_atom_id = 0
@@ -79,6 +83,7 @@ def replay_operations(engine: Any, wal: WriteAheadLog,
         max_atom_id = max(max_atom_id, _apply_operation(engine, payload))
         max_tt = max(max_tt, int(payload.get("tt", -1)))
         replayed += 1
+        c_replayed.inc()
     return {"operations": replayed, "transactions": len(committed),
             "max_tt": max_tt, "max_atom_id": max_atom_id}
 

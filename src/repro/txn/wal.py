@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterator, Optional
 
 from repro.errors import WALError
+from repro.obs import MetricsRegistry
 
 _HEADER = struct.Struct("<BQII")  # type, txn_id, payload_len, crc
 _LSN = struct.Struct("<Q")
@@ -61,10 +62,15 @@ class WriteAheadLog:
     """
 
     def __init__(self, path: str | os.PathLike[str],
-                 sync_on_commit: bool = True) -> None:
+                 sync_on_commit: bool = True,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self._path = os.fspath(path)
         self._sync_on_commit = sync_on_commit
         self._lock = threading.Lock()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._c_appends = self.metrics.counter("wal.appends")
+        self._c_bytes = self.metrics.counter("wal.bytes")
+        self._c_fsyncs = self.metrics.counter("wal.fsyncs")
         self._file = open(self._path, "ab+")
         self._next_lsn = self._recover_next_lsn()
 
@@ -99,7 +105,10 @@ class WriteAheadLog:
             header = _HEADER.pack(record_type.value, txn_id, len(body), 0)
             crc = zlib.crc32(_LSN.pack(lsn) + header + body)
             header = _HEADER.pack(record_type.value, txn_id, len(body), crc)
-            self._file.write(_LSN.pack(lsn) + header + body)
+            record = _LSN.pack(lsn) + header + body
+            self._file.write(record)
+            self._c_appends.inc()
+            self._c_bytes.inc(len(record))
             return lsn
 
     def flush(self, sync: Optional[bool] = None) -> None:
@@ -108,6 +117,7 @@ class WriteAheadLog:
             self._file.flush()
             if sync if sync is not None else self._sync_on_commit:
                 os.fsync(self._file.fileno())
+                self._c_fsyncs.inc()
 
     # -- reading --------------------------------------------------------------
 
@@ -153,6 +163,7 @@ class WriteAheadLog:
             self._file.truncate()
             self._file.flush()
             os.fsync(self._file.fileno())
+            self._c_fsyncs.inc()
 
     def close(self) -> None:
         with self._lock:

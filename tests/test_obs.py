@@ -1,0 +1,389 @@
+"""Tests for the observability layer: registry, spans, query profiles."""
+
+import json
+
+import pytest
+
+from repro import (
+    AtomType,
+    Attribute,
+    Cardinality,
+    DataType,
+    DatabaseConfig,
+    LinkType,
+    Schema,
+    TemporalDatabase,
+)
+from repro.obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    QueryProfile,
+    Tracer,
+)
+from repro.obs.trace import NULL_SPAN
+
+
+# -- registry ---------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_counter_inc_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("disk.reads")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert registry.value("disk.reads") == 5
+        assert registry.value("disk.never_touched") == 0
+
+    def test_counters_memoized(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a.b") is registry.counter("a.b")
+        assert (registry.counter("a.b", x="1")
+                is registry.counter("a.b", x="1"))
+        assert registry.counter("a.b") is not registry.counter("a.b", x="1")
+
+    def test_labels_partition_a_name(self):
+        registry = MetricsRegistry()
+        registry.counter("btree.node_reads", index="i1").inc(2)
+        registry.counter("btree.node_reads", index="i2").inc(3)
+        assert registry.value("btree.node_reads", index="i1") == 2
+        assert registry.total("btree.node_reads") == 5
+
+    def test_totals_use_display_keys(self):
+        registry = MetricsRegistry()
+        registry.counter("a.x").inc()
+        registry.counter("a.y", k="v").inc(2)
+        assert registry.totals() == {"a.x": 1, "a.y{k=v}": 2}
+        assert registry.totals_by_name() == {"a.x": 1, "a.y": 2}
+
+    def test_layer_breakdown_groups_by_prefix(self):
+        registry = MetricsRegistry()
+        registry.counter("disk.reads").inc(3)
+        registry.counter("buffer.hits").inc(7)
+        registry.counter("buffer.misses", pool="p").inc(1)
+        breakdown = registry.layer_breakdown()
+        assert breakdown["disk"] == {"reads": 3}
+        assert breakdown["buffer"] == {"hits": 7, "misses": 1}
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("pool.resident")
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 3
+        gauge.set(11)
+        assert gauge.value == 11
+
+    def test_histogram_buckets_and_summary(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h.sizes", bounds=(2, 4))
+        for value in (1, 2, 3, 9):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.total == 15
+        assert histogram.minimum == 1
+        assert histogram.maximum == 9
+        assert histogram.mean == pytest.approx(3.75)
+        assert histogram.bucket_counts == [2, 1, 1]  # <=2, <=4, +inf
+
+    def test_reset_with_and_without_prefix(self):
+        registry = MetricsRegistry()
+        registry.counter("disk.reads").inc(3)
+        registry.counter("buffer.hits").inc(7)
+        registry.reset("disk.")
+        assert registry.value("disk.reads") == 0
+        assert registry.value("buffer.hits") == 7
+        registry.reset()
+        assert registry.value("buffer.hits") == 0
+
+    def test_snapshot_json_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("disk.reads").inc(3)
+        registry.counter("btree.node_reads", index="i1").inc(2)
+        registry.gauge("pool.resident").set(4)
+        registry.histogram("h.sizes", bounds=(2, 4)).observe(3)
+        snapshot = registry.snapshot()
+        decoded = json.loads(json.dumps(snapshot))
+        assert decoded == snapshot
+        counters = {(c["name"], tuple(sorted(c["labels"].items()))): c["value"]
+                    for c in decoded["counters"]}
+        assert counters[("disk.reads", ())] == 3
+        assert counters[("btree.node_reads", (("index", "i1"),))] == 2
+        assert decoded["gauges"][0]["value"] == 4
+        (histogram,) = decoded["histograms"]
+        assert histogram["count"] == 1
+        assert histogram["buckets"][-1]["le"] == "inf"
+
+
+# -- tracer -----------------------------------------------------------------
+
+
+class TestTracer:
+    def test_span_is_noop_without_capture(self):
+        tracer = Tracer(MetricsRegistry())
+        assert tracer.span("anything") is NULL_SPAN
+        with tracer.span("anything") as span:
+            span.set("k", "v")  # must silently do nothing
+            assert span.metric("x") == 0
+
+    def test_null_tracer_never_captures(self):
+        assert NULL_TRACER.span("x") is NULL_SPAN
+        assert not NULL_TRACER.capturing
+
+    def test_nesting_and_metric_deltas(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("work.units")
+        tracer = Tracer(registry)
+        with tracer.capture() as capture:
+            with tracer.span("outer") as outer:
+                counter.inc(1)
+                with tracer.span("inner") as inner:
+                    counter.inc(4)
+                    inner.set("detail", True)
+        assert capture.root is outer
+        assert outer.children == [inner]
+        assert inner.metrics == {"work.units": 4}
+        # Inclusive accounting: the parent sees its children's work too.
+        assert outer.metric("work.units") == 5
+        assert inner.attrs["detail"] is True
+        assert outer.duration >= inner.duration >= 0.0
+
+    def test_metric_aggregates_label_variants(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry)
+        with tracer.capture() as capture:
+            with tracer.span("s"):
+                registry.counter("btree.node_reads", index="a").inc(2)
+                registry.counter("btree.node_reads", index="b").inc(3)
+        assert capture.root.metric("btree.node_reads") == 5
+
+    def test_capture_is_reentrant(self):
+        tracer = Tracer(MetricsRegistry())
+        with tracer.capture() as outer_capture:
+            with tracer.span("outer"):
+                with tracer.capture() as inner_capture:
+                    with tracer.span("inner"):
+                        pass
+                # back on the outer capture after the inner one closed
+                with tracer.span("outer2"):
+                    pass
+        assert [s.name for s in inner_capture.spans] == ["inner"]
+        assert [s.name for s in outer_capture.spans] == ["outer"]
+        assert [c.name for c in outer_capture.spans[0].children] == ["outer2"]
+
+    def test_span_walk_and_to_dict(self):
+        tracer = Tracer(MetricsRegistry())
+        with tracer.capture() as capture:
+            with tracer.span("a", kind="root"):
+                with tracer.span("b"):
+                    pass
+        names = [span.name for span in capture.root.walk()]
+        assert names == ["a", "b"]
+        as_dict = capture.root.to_dict()
+        assert as_dict["name"] == "a"
+        assert as_dict["attrs"] == {"kind": "root"}
+        assert as_dict["children"][0]["name"] == "b"
+        json.dumps(as_dict)  # JSON-safe
+
+
+# -- end-to-end: EXPLAIN ANALYZE through a real database --------------------
+
+
+def _schema() -> Schema:
+    schema = Schema("cad")
+    schema.add_atom_type(AtomType("Part", [
+        Attribute("name", DataType.STRING, required=True),
+        Attribute("cost", DataType.FLOAT),
+    ]))
+    schema.add_atom_type(AtomType("Component", [
+        Attribute("weight", DataType.FLOAT),
+    ]))
+    schema.add_link_type(LinkType("contains", "Part", "Component",
+                                  Cardinality.MANY_TO_MANY))
+    return schema
+
+
+@pytest.fixture
+def obs_db(tmp_path):
+    db = TemporalDatabase.create(str(tmp_path / "db"), _schema(),
+                                 DatabaseConfig(buffer_pages=32))
+    with db.transaction() as txn:
+        for i in range(4):
+            part = txn.insert("Part", {"name": f"p{i}", "cost": float(i)}, 0)
+            comp = txn.insert("Component", {"weight": i * 1.0}, 0)
+            txn.link("contains", part, comp, 0)
+    yield db
+    if not db._closed:
+        db.close()
+
+
+class TestExplainAnalyze:
+    def test_plain_query_has_no_profile(self, obs_db):
+        result = obs_db.query("SELECT ALL FROM Part VALID AT 5")
+        assert result.profile is None
+
+    def test_explain_analyze_attaches_profile(self, obs_db):
+        result = obs_db.query(
+            "EXPLAIN ANALYZE SELECT ALL FROM Part.contains.Component "
+            "VALID AT 5")
+        assert len(result) == 4  # profiling must not change the answer
+        profile = result.profile
+        assert isinstance(profile, QueryProfile)
+        root = profile.root
+        assert root.name == "mql.execute"
+        assert [c.name for c in root.children] == ["access", "slice",
+                                                   "project"]
+        (access,) = profile.find("access")
+        assert access.attrs["roots"] == 4
+        (sl,) = profile.find("slice")
+        assert sl.metric("builder.molecules") == 4
+        assert root.metric("buffer.hits") + root.metric("buffer.misses") > 0
+
+    def test_db_explain_equals_prefix(self, obs_db):
+        result = obs_db.explain("SELECT ALL FROM Part VALID AT 5")
+        assert result.profile is not None
+        assert result.profile.plan == result.plan
+
+    def test_window_query_profiles_window_operator(self, obs_db):
+        result = obs_db.explain(
+            "SELECT Part.name FROM Part WHERE Part.cost >= 1 "
+            "VALID DURING [0, 10) WHEN OVERLAPS [0, 10)")
+        names = [c.name for c in result.profile.root.children]
+        assert names == ["access", "window", "filter.when", "project"]
+
+    def test_profile_render_and_json(self, obs_db):
+        result = obs_db.explain("SELECT ALL FROM Part VALID AT 5")
+        text = result.profile.render()
+        assert text.startswith("plan: ")
+        assert "mql.execute" in text and "ms" in text
+        decoded = json.loads(result.profile.to_json())
+        assert decoded["plan"] == result.plan
+        assert decoded["spans"][0]["name"] == "mql.execute"
+
+    def test_profiling_leaves_no_capture_behind(self, obs_db):
+        obs_db.explain("SELECT ALL FROM Part VALID AT 5")
+        assert not obs_db.tracer.capturing
+        assert obs_db.query("SELECT ALL FROM Part VALID AT 5").profile is None
+
+    def test_explain_analyze_requires_analyze(self, obs_db):
+        from repro.errors import ParseError
+        with pytest.raises(ParseError):
+            obs_db.query("EXPLAIN SELECT ALL FROM Part VALID AT 5")
+
+
+# -- the kernel's own counters ----------------------------------------------
+
+
+class TestKernelCounters:
+    def test_io_stats_compat_shim(self, obs_db):
+        stats = obs_db.io_stats()
+        assert set(stats) == {"disk_reads", "disk_writes", "buffer_hits",
+                              "buffer_misses", "buffer_evictions",
+                              "wal_bytes", "file_bytes"}
+        assert stats["buffer_hits"] == obs_db.metrics.value("buffer.hits")
+        obs_db.reset_io_stats()
+        after = obs_db.io_stats()
+        assert after["disk_reads"] == 0
+        assert after["buffer_hits"] == 0
+
+    def test_wal_counters(self, obs_db):
+        appends = obs_db.metrics.value("wal.appends")
+        wal_bytes = obs_db.metrics.value("wal.bytes")
+        fsyncs = obs_db.metrics.value("wal.fsyncs")
+        assert appends > 0  # the seeding transaction logged records
+        assert wal_bytes > 0
+        with obs_db.transaction() as txn:
+            txn.insert("Part", {"name": "extra"}, 0)
+        assert obs_db.metrics.value("wal.appends") >= appends + 3
+        assert obs_db.metrics.value("wal.bytes") > wal_bytes
+        # Commits don't fsync under the default sync_commits=False; a
+        # forced flush must be counted.
+        obs_db._wal.flush(sync=True)
+        assert obs_db.metrics.value("wal.fsyncs") == fsyncs + 1
+
+    def test_txn_counters(self, obs_db):
+        begins = obs_db.metrics.value("txn.begins")
+        with obs_db.transaction() as txn:
+            txn.insert("Part", {"name": "one-more"}, 0)
+        assert obs_db.metrics.value("txn.begins") == begins + 1
+        assert obs_db.metrics.value("txn.commits") >= 1
+        assert obs_db.metrics.value("txn.operations") >= 1
+
+    def test_recovery_counters(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = TemporalDatabase.create(path, _schema())
+        with db.transaction() as txn:
+            txn.insert("Part", {"name": "a"}, 0)
+        # Simulate a crash: skip close() so the WAL tail must be replayed.
+        db.buffer.flush_all()
+        db._wal.flush()
+        db._wal.close()
+        db._disk.close()
+        reopened = TemporalDatabase.open(path)
+        assert reopened.last_recovery is not None
+        assert (reopened.metrics.value("recovery.records_replayed")
+                == reopened.last_recovery["operations"] > 0)
+        assert reopened.metrics.value("recovery.transactions") >= 1
+        reopened.close()
+
+    def test_metrics_snapshot_round_trips(self, obs_db):
+        obs_db.query("SELECT ALL FROM Part.contains.Component VALID AT 5")
+        snapshot = obs_db.metrics_snapshot()
+        decoded = json.loads(json.dumps(snapshot))
+        assert decoded == snapshot
+        names = {entry["name"] for entry in decoded["counters"]}
+        assert {"disk.writes", "buffer.hits", "wal.appends",
+                "engine.versions_scanned", "builder.molecules"} <= names
+
+    def test_engine_and_builder_counters_move(self, obs_db):
+        before = obs_db.metrics.value("builder.molecules")
+        obs_db.query("SELECT ALL FROM Part VALID AT 5")
+        assert obs_db.metrics.value("builder.molecules") == before + 4
+        assert obs_db.metrics.total("engine.versions_scanned") > 0
+
+
+# -- the CLI ----------------------------------------------------------------
+
+
+class TestProfileCli:
+    @pytest.fixture
+    def cli_db(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = TemporalDatabase.create(path, _schema())
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "p"}, 0)
+            comp = txn.insert("Component", {"weight": 1.0}, 0)
+            txn.link("contains", part, comp, 0)
+        db.close()
+        return path
+
+    def test_profile_command_renders_tree(self, cli_db, capsys):
+        from repro.__main__ import main
+        code = main(["profile", cli_db,
+                     "SELECT ALL FROM Part.contains.Component VALID AT 5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan:" in out
+        assert "mql.execute" in out
+        assert "access" in out and "slice" in out and "project" in out
+
+    def test_profile_command_json(self, cli_db, capsys):
+        from repro.__main__ import main
+        code = main(["profile", cli_db,
+                     "SELECT ALL FROM Part VALID AT 5", "--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["entries"] == 1
+        assert document["profile"]["spans"][0]["name"] == "mql.execute"
+        names = {c["name"] for c in document["metrics"]["counters"]}
+        assert "buffer.hits" in names
+
+    def test_query_command_prints_profile_on_prefix(self, cli_db, capsys):
+        from repro.__main__ import main
+        code = main(["query", cli_db,
+                     "EXPLAIN ANALYZE SELECT ALL FROM Part VALID AT 5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-- plan:" in out
+        assert "mql.execute" in out
