@@ -20,10 +20,23 @@ Typical use::
     db.close()
 
 Durability discipline: operations are logged before being applied
-(write-ahead), the log is forced at commit, and checkpoints snapshot the
-page file and catalog; after a crash, :meth:`TemporalDatabase.open`
-restores the last checkpoint and replays committed operations — see
-:mod:`repro.txn.recovery`.
+(write-ahead), and **by default the log is fsynced before** ``commit()``
+**returns** — concurrent commits share one fsync through the WAL's
+group commit, so the cost is amortized across committers.  Setting
+``DatabaseConfig(durability="none")`` opts out for benchmarks and bulk
+loads: commits are then acknowledged without even flushing the log, and
+a crash may lose them.  Checkpoints snapshot the page file and catalog
+as one atomic manifest generation; after a crash,
+:meth:`TemporalDatabase.open` restores the last checkpoint and replays
+committed operations — see :mod:`repro.txn.recovery` and
+``docs/durability.md``.
+
+Concurrency discipline: the facade holds a shared-read /
+exclusive-write latch (:class:`repro.txn.locks.ReadWriteLock`) around
+the in-memory engine.  Any number of threads may run time-slice,
+history, and MQL queries in parallel; each mutation, undo, checkpoint,
+and DDL call briefly takes the exclusive side.  Transaction-level
+conflicts are still ordered by atom-granular two-phase locking.
 """
 
 from __future__ import annotations
@@ -52,12 +65,12 @@ from repro.storage.strategies import (
     open_version_store,
 )
 from repro.temporal import FOREVER, Interval, Timestamp, TransactionClock
-from repro.txn.locks import LockManager, LockMode
+from repro.txn.locks import LockManager, LockMode, ReadWriteLock
 from repro.txn.manager import Transaction, TransactionManager
 from repro.txn.recovery import (
-    checkpoint_copy,
-    checkpoint_restore,
+    publish_checkpoint,
     replay_operations,
+    restore_checkpoint,
 )
 from repro.txn.wal import WriteAheadLog
 
@@ -66,20 +79,51 @@ _CATALOG_FILE = "catalog.json"
 _WAL_FILE = "wal.log"
 
 
+#: Valid values of :attr:`DatabaseConfig.durability`.
+DURABILITY_MODES = ("sync", "none")
+
+
 @dataclass
 class DatabaseConfig:
     """Tunable knobs of a database instance.
 
     ``strategy``, ``page_size`` are fixed at creation; the others may
     differ between opens.
+
+    ``durability`` selects the commit contract:
+
+    * ``"sync"`` (default) — ``commit()`` returns only after its COMMIT
+      record is fsynced; concurrent commits share one fsync via group
+      commit (disable the sharing with ``group_commit=False`` to get a
+      per-commit fsync).
+    * ``"none"`` — commits are acknowledged without forcing (or even
+      flushing) the log; a crash may silently lose them.  Benchmarks
+      and recoverable bulk loads only.
+
+    ``sync_commits`` is the deprecated boolean spelling of the same
+    knob; when given it overrides ``durability``.
     """
 
     strategy: VersionStrategy = VersionStrategy.SEPARATED
     page_size: int = DEFAULT_PAGE_SIZE
     buffer_pages: int = 256
     replacement: ReplacementPolicy = ReplacementPolicy.LRU
-    sync_commits: bool = False
+    durability: str = "sync"
+    group_commit: bool = True
     lock_timeout: float = 10.0
+    sync_commits: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.sync_commits is not None:
+            self.durability = "sync" if self.sync_commits else "none"
+        if self.durability not in DURABILITY_MODES:
+            raise ValueError(
+                f"durability must be one of {DURABILITY_MODES}, "
+                f"got {self.durability!r}")
+
+    @property
+    def fsync_on_commit(self) -> bool:
+        return self.durability == "sync"
 
 
 class TransactionContext:
@@ -169,7 +213,7 @@ class TransactionContext:
             db._locks.acquire(self._txn.txn_id, ("atom", atom_id),
                               LockMode.EXCLUSIVE)
         db._txn_manager.log_operation(self._txn, payload)
-        with db._engine_mutex:
+        with db._state_latch.write():
             undos = _apply_with_undo(db.engine, payload)
         for undo in undos:
             self._txn.add_undo(undo)
@@ -177,10 +221,12 @@ class TransactionContext:
     # -- reads (see the atom's state as of now, own writes included) -----------
 
     def version_at(self, atom_id: int, at: Timestamp) -> Optional[Version]:
-        return self._db.engine.version_at(atom_id, at)
+        with self._db._state_latch.read():
+            return self._db.engine.version_at(atom_id, at)
 
     def history(self, atom_id: int) -> List[Version]:
-        return self._db.engine.all_versions(atom_id)
+        with self._db._state_latch.read():
+            return self._db.engine.all_versions(atom_id)
 
     def query(self, text: str):
         """Run an MQL query inside this transaction's view."""
@@ -237,7 +283,10 @@ class TemporalDatabase:
         self.config = config
         self._catalog = catalog
         self._closed = False
-        self._engine_mutex = threading.RLock()
+        #: Shared-read / exclusive-write latch over the in-memory engine:
+        #: reader threads run queries in parallel, each mutation and
+        #: checkpoint briefly excludes them.
+        self._state_latch = ReadWriteLock()
         #: Summary of the last crash recovery, or None (set by open()).
         self.last_recovery: Optional[Dict[str, int]] = None
 
@@ -263,11 +312,13 @@ class TemporalDatabase:
         self._next_atom_id = catalog.next_atom_id
         self._id_mutex = threading.Lock()
         self._wal = WriteAheadLog(os.path.join(path, _WAL_FILE),
-                                  sync_on_commit=config.sync_commits,
-                                  metrics=self.metrics)
+                                  sync_on_commit=config.fsync_on_commit,
+                                  metrics=self.metrics,
+                                  group_commit=config.group_commit)
         self._locks = LockManager(timeout=config.lock_timeout)
         self._txn_manager = TransactionManager(self._wal, self._locks,
-                                               self._clock)
+                                               self._clock,
+                                               write_guard=self._state_latch)
         if _fresh:
             self.checkpoint()
 
@@ -306,9 +357,10 @@ class TemporalDatabase:
         needs_replay = not clean and os.path.exists(wal_path)
         if needs_replay:
             # The page image may contain effects of unfinished work: fall
-            # back to the checkpoint and replay the committed tail.
-            checkpoint_restore(os.path.join(path, _PAGES_FILE))
-            checkpoint_restore(os.path.join(path, _CATALOG_FILE))
+            # back to the checkpoint and replay the committed tail.  Both
+            # files come from one manifest generation — never a mix.
+            restore_checkpoint(path, [os.path.join(path, _PAGES_FILE),
+                                      os.path.join(path, _CATALOG_FILE)])
             catalog.load()
             schema = Schema.from_dict(catalog.schema or {})
         db = cls(path, schema, catalog, config, _fresh=False)
@@ -365,26 +417,35 @@ class TemporalDatabase:
                    tt: Optional[Timestamp] = None) -> Optional[Version]:
         """The atom's version valid at *at*, as believed at *tt*."""
         self._require_open()
-        return self.engine.version_at(atom_id, at, tt)
+        with self._state_latch.read():
+            return self.engine.version_at(atom_id, at, tt)
 
     def history(self, atom_id: int) -> List[Version]:
         """The atom's full recorded bitemporal history."""
         self._require_open()
-        return self.engine.all_versions(atom_id)
+        with self._state_latch.read():
+            return self.engine.all_versions(atom_id)
 
     def lifespan(self, atom_id: int, tt: Optional[Timestamp] = None):
         """The temporal element over which the atom exists, as believed
         at transaction time *tt* (default: current knowledge)."""
         self._require_open()
-        return self.engine.lifespan(atom_id, tt)
+        with self._state_latch.read():
+            return self.engine.lifespan(atom_id, tt)
 
     def molecule_at(self, root_id: int, molecule_type: "str | MoleculeType",
                     at: Timestamp,
                     tt: Optional[Timestamp] = None) -> Optional[Molecule]:
-        """Build the molecule rooted at *root_id* valid at instant *at*."""
+        """Build the molecule rooted at *root_id* valid at instant *at*.
+
+        Holds the shared side of the state latch for the whole build, so
+        the returned molecule is a consistent snapshot — a concurrent
+        writer cannot interleave between the atom fetches.
+        """
         self._require_open()
         mtype = self._resolve_molecule_type(molecule_type)
-        return self.builder.build_at(root_id, mtype, at, tt)
+        with self._state_latch.read():
+            return self.builder.build_at(root_id, mtype, at, tt)
 
     def molecule_history(self, root_id: int,
                          molecule_type: "str | MoleculeType",
@@ -394,7 +455,8 @@ class TemporalDatabase:
         """The molecule's coalesced states over *window*."""
         self._require_open()
         mtype = self._resolve_molecule_type(molecule_type)
-        return self.builder.build_history(root_id, mtype, window, tt)
+        with self._state_latch.read():
+            return self.builder.build_history(root_id, mtype, window, tt)
 
     def _resolve_molecule_type(
             self, molecule_type: "str | MoleculeType") -> MoleculeType:
@@ -413,7 +475,8 @@ class TemporalDatabase:
         """
         self._require_open()
         from repro.mql import execute_query  # local import: avoids a cycle
-        return execute_query(self, text, params)
+        with self._state_latch.read():
+            return execute_query(self, text, params)
 
     def explain(self, text: str, params: Optional[Dict[str, Any]] = None):
         """Execute *text* with per-operator profiling forced on.
@@ -424,11 +487,13 @@ class TemporalDatabase:
         """
         self._require_open()
         from repro.mql import execute_query  # local import: avoids a cycle
-        return execute_query(self, text, params, profile=True)
+        with self._state_latch.read():
+            return execute_query(self, text, params, profile=True)
 
     def atoms_of_type(self, type_name: str) -> List[int]:
         self._require_open()
-        return list(self.engine.atoms_of_type(type_name))
+        with self._state_latch.read():
+            return list(self.engine.atoms_of_type(type_name))
 
     # ------------------------------------------------------------------
     # DDL
@@ -438,7 +503,7 @@ class TemporalDatabase:
                                attribute_name: str) -> str:
         """Create an attribute index (checkpointed immediately)."""
         self._require_open()
-        with self._engine_mutex:
+        with self._state_latch.write():
             name = self.engine.create_attribute_index(type_name,
                                                       attribute_name)
         self.checkpoint()
@@ -447,7 +512,7 @@ class TemporalDatabase:
     def create_vt_index(self, type_name: str) -> str:
         """Create a valid-time change index (checkpointed immediately)."""
         self._require_open()
-        with self._engine_mutex:
+        with self._state_latch.write():
             name = self.engine.create_vt_index(type_name)
         self.checkpoint()
         return name
@@ -459,11 +524,15 @@ class TemporalDatabase:
     def checkpoint(self) -> None:
         """Flush everything and snapshot the page file and catalog.
 
-        After a checkpoint, recovery only replays log records newer than
-        it (``applied_lsn``).
+        The snapshot is published as one atomic manifest generation
+        (:func:`repro.txn.recovery.publish_checkpoint`): a crash at any
+        point during the checkpoint leaves the previous generation — a
+        matching page-file/catalog pair — intact.  After a checkpoint,
+        recovery only replays log records newer than it
+        (``applied_lsn``).
         """
         self._require_open()
-        with self._engine_mutex:
+        with self._state_latch.write():
             self.buffer.flush_all()
             self._disk.sync()
             catalog = self._catalog
@@ -473,8 +542,12 @@ class TemporalDatabase:
             catalog.clock = self._clock.now()
             catalog.applied_lsn = self._wal.next_lsn - 1
             catalog.save()
-            checkpoint_copy(os.path.join(self.path, _PAGES_FILE))
-            checkpoint_copy(os.path.join(self.path, _CATALOG_FILE))
+            self._publish_checkpoint()
+
+    def _publish_checkpoint(self) -> None:
+        publish_checkpoint(self.path,
+                           [os.path.join(self.path, _PAGES_FILE),
+                            os.path.join(self.path, _CATALOG_FILE)])
 
     def close(self) -> None:
         """Checkpoint, truncate the log, and mark a clean shutdown."""
@@ -488,7 +561,10 @@ class TemporalDatabase:
         self._catalog.applied_lsn = 0
         self._catalog.extras["clean_shutdown"] = True
         self._catalog.save()
-        checkpoint_copy(os.path.join(self.path, _CATALOG_FILE))
+        # Republish so the checkpointed catalog also carries the reset
+        # applied_lsn — a crash after close() must replay the (empty,
+        # restarted) log from LSN 0, not from the pre-truncate LSN.
+        self._publish_checkpoint()
         self._wal.close()
         self._disk.close()
         self._closed = True

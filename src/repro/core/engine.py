@@ -17,6 +17,14 @@ separate atom-to-type map.
 The engine is deliberately free of transactions and locks — the database
 facade wraps every call in logging and locking; recovery replays logged
 operations through the very same methods.
+
+Concurrency contract: the read methods (``version_at``, ``all_versions``,
+``lifespan``, ``atoms_of_type``, the candidate selectors) never mutate
+engine-level state, so any number of threads may call them concurrently
+*provided no mutation runs at the same time* — the facade enforces this
+with its shared-read / exclusive-write latch.  The buffer pool and disk
+manager below are internally locked; everything between them and this
+class is read-pure on the read paths.
 """
 
 from __future__ import annotations

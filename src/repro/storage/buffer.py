@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import enum
 import threading
+from bisect import bisect_right
 from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
@@ -106,7 +107,13 @@ class BufferManager:
         # Insertion order doubles as recency order under LRU: a frame is
         # moved to the end whenever it is pinned.
         self._frames: "OrderedDict[int, Frame]" = OrderedDict()
-        self._clock_hand = 0
+        # The clock hand is tracked by *page id* (the last key visited),
+        # not by index into a keys() snapshot: frames come and go between
+        # sweeps, and a positional hand would drift to arbitrary frames,
+        # losing second-chance fairness.  Sweep order is ascending page
+        # id, wrapping around; the hand resumes after the last-visited id
+        # even when that page has since been evicted or freed.
+        self._clock_hand_key: Optional[int] = None
         self.metrics = metrics if metrics is not None else disk.metrics
         self.stats = BufferStats(self.metrics)
         self._c_hits = self.metrics.counter("buffer.hits")
@@ -207,13 +214,18 @@ class BufferManager:
             f"all {self._capacity} buffer frames are pinned")
 
     def _pick_clock_victim(self) -> Frame:
-        keys = list(self._frames.keys())
+        keys = sorted(self._frames)
         n = len(keys)
+        # Resume the sweep just past the last-visited page id; bisect
+        # finds the position even when that page is no longer resident.
+        position = (0 if self._clock_hand_key is None
+                    else bisect_right(keys, self._clock_hand_key) % n)
         # Two sweeps: the first clears reference bits, the second must find
         # an unreferenced, unpinned frame if any unpinned frame exists.
         for _ in range(2 * n):
-            key = keys[self._clock_hand % n]
-            self._clock_hand = (self._clock_hand + 1) % n
+            key = keys[position]
+            position = (position + 1) % n
+            self._clock_hand_key = key
             frame = self._frames[key]
             if frame.pin_count > 0:
                 continue

@@ -7,9 +7,9 @@ a cutoff is physically removed; ``AS OF τ`` queries with ``τ`` older
 than the cutoff become unanswerable, everything else is unaffected.
 
 The vacuum rebuilds each affected atom in place through the version
-store (delete and re-append), takes the engine mutex, requires a
-quiescent database, and checkpoints when done so the reclaimed space
-is durable.
+store (delete and re-append), holds the exclusive side of the facade's
+state latch, requires a quiescent database, and checkpoints when done
+so the reclaimed space is durable.
 """
 
 from __future__ import annotations
@@ -47,7 +47,7 @@ def vacuum_superseded(db: TemporalDatabase,
         raise TransactionStateError("vacuum requires a quiescent database")
     report = VacuumReport()
     store = db.engine.store
-    with db._engine_mutex:
+    with db._state_latch.write():
         for atom_id in list(store.atom_ids()):
             report.atoms_visited += 1
             stored_versions = store.read_all(atom_id)

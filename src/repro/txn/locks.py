@@ -10,6 +10,14 @@ blocks, the manager checks whether waiting would close a cycle and, if
 so, raises :class:`DeadlockError` in the requester (the requester is the
 victim — the simplest deterministic policy).  A configurable timeout
 bounds pathological waits.
+
+:class:`ReadWriteLock` is the second primitive of this module: a
+thread-level shared-read / exclusive-write latch the database facade
+uses to let any number of reader threads run time-slice and history
+queries in parallel while each mutation (and checkpoint) gets the
+engine to itself.  It is *not* a transactional lock — atom-level 2PL
+above still orders conflicting transactions; the latch only protects
+the in-memory engine structures during one operation.
 """
 
 from __future__ import annotations
@@ -17,10 +25,114 @@ from __future__ import annotations
 import enum
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Set
+from typing import Dict, Hashable, Iterator, Optional, Set
 
 from repro.errors import DeadlockError, LockTimeoutError
+
+
+class ReadWriteLock:
+    """Reentrant shared-read / exclusive-write latch with writer preference.
+
+    * Any number of threads may hold the read side concurrently.
+    * The write side is exclusive against readers and other writers.
+    * A thread holding the write side may re-enter both sides freely
+      (its nested reads and writes are no-ops).
+    * A thread holding only the read side may re-enter the read side —
+      even while a writer is queued — but must not request the write
+      side (lock upgrades deadlock by construction and raise
+      ``RuntimeError`` instead).
+    * New readers queue behind waiting writers so a steady stream of
+      readers cannot starve mutations.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition(threading.Lock())
+        self._readers: Dict[int, int] = {}      # thread id -> read depth
+        self._writer: Optional[int] = None      # thread id of the writer
+        self._writer_depth = 0
+        self._waiting_writers = 0
+
+    # -- read side ----------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth += 1  # nested read inside a write
+                return
+            while self._writer is not None or (
+                    self._waiting_writers and me not in self._readers):
+                self._cond.wait()
+            self._readers[me] = self._readers.get(me, 0) + 1
+
+    def release_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth -= 1
+                return
+            depth = self._readers.get(me, 0)
+            if depth <= 0:
+                raise RuntimeError("release_read without acquire_read")
+            if depth == 1:
+                del self._readers[me]
+                if not self._readers:
+                    self._cond.notify_all()
+            else:
+                self._readers[me] = depth - 1
+
+    # -- write side ---------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth += 1
+                return
+            if me in self._readers:
+                raise RuntimeError(
+                    "read-to-write lock upgrade would deadlock; release "
+                    "the read side first")
+            self._waiting_writers += 1
+            try:
+                while self._writer is not None or self._readers:
+                    self._cond.wait()
+                self._writer = me
+                self._writer_depth = 1
+            finally:
+                self._waiting_writers -= 1
+
+    def release_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer != me:
+                raise RuntimeError("release_write by a non-writer thread")
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    # -- context managers ---------------------------------------------------
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        """Scoped shared acquisition: ``with lock.read(): ...``."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        """Scoped exclusive acquisition: ``with lock.write(): ...``."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
 
 
 class LockMode(enum.Enum):

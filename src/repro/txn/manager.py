@@ -2,11 +2,19 @@
 
 The engine applies operations to storage immediately (through the buffer
 pool) and registers a compensating *undo action* per operation with the
-transaction.  Commit forces the log; abort runs the undo actions in
-reverse.  Because the on-disk image may contain effects of uncommitted
-or unfinished transactions after a crash, crash recovery never trusts
-the image directly — it restores the last checkpoint and replays
-committed operations from the log (:mod:`repro.txn.recovery`).
+transaction.  Commit appends the COMMIT record and forces the log up to
+it via the WAL's group commit (:meth:`~repro.txn.wal.WriteAheadLog.sync_to`)
+— when many transactions commit concurrently they share one ``fsync``.
+Abort runs the undo actions in reverse.  Because the on-disk image may
+contain effects of uncommitted or unfinished transactions after a crash,
+crash recovery never trusts the image directly — it restores the last
+checkpoint and replays committed operations from the log
+(:mod:`repro.txn.recovery`).
+
+Undo actions mutate engine state, so when the database facade supplies
+its shared-read/exclusive-write latch (``write_guard``), abort holds the
+exclusive side while compensating — concurrent readers never observe a
+half-rolled-back transaction.
 
 Transaction time is assigned at ``begin`` from the logical clock and
 recorded in the BEGIN log record so replay stamps identical times.
@@ -16,11 +24,12 @@ from __future__ import annotations
 
 import enum
 import threading
-from typing import Any, Callable, Dict, List
+from contextlib import nullcontext
+from typing import Any, Callable, ContextManager, Dict, List, Optional
 
 from repro.errors import TransactionStateError
 from repro.temporal import TransactionClock
-from repro.txn.locks import LockManager
+from repro.txn.locks import LockManager, ReadWriteLock
 from repro.txn.wal import LogRecordType, WriteAheadLog
 
 UndoAction = Callable[[], None]
@@ -76,10 +85,12 @@ class TransactionManager:
     """Creates transactions and drives their commit/abort protocol."""
 
     def __init__(self, wal: WriteAheadLog, locks: LockManager,
-                 clock: TransactionClock) -> None:
+                 clock: TransactionClock,
+                 write_guard: Optional[ReadWriteLock] = None) -> None:
         self._wal = wal
         self.locks = locks
         self._clock = clock
+        self._write_guard = write_guard
         self._mutex = threading.Lock()
         self._next_txn_id = 1
         self._active: Dict[int, Transaction] = {}
@@ -112,10 +123,15 @@ class TransactionManager:
         return self._wal.append(LogRecordType.OPERATION, txn.txn_id, payload)
 
     def commit(self, txn: Transaction) -> None:
-        """Force-log the commit, then release the transaction's locks."""
+        """Force-log the commit (group commit), then release the locks.
+
+        When :meth:`commit` returns under the default durability mode,
+        the COMMIT record has been fsynced — possibly by another
+        committing thread's fsync that covered this transaction's LSN.
+        """
         txn.require_active()
-        self._wal.append(LogRecordType.COMMIT, txn.txn_id)
-        self._wal.flush()
+        commit_lsn = self._wal.append(LogRecordType.COMMIT, txn.txn_id)
+        self._wal.sync_to(commit_lsn)
         self._c_commits.inc()
         txn._state = TxnState.COMMITTED
         self.locks.release_all(txn.txn_id)
@@ -125,8 +141,12 @@ class TransactionManager:
     def abort(self, txn: Transaction) -> None:
         """Undo applied operations in reverse, log the abort, release."""
         txn.require_active()
-        for action in reversed(txn._undo):
-            action()
+        guard: ContextManager[Any] = (self._write_guard.write()
+                                      if self._write_guard is not None
+                                      else nullcontext())
+        with guard:
+            for action in reversed(txn._undo):
+                action()
         self._wal.append(LogRecordType.ABORT, txn.txn_id)
         self._wal.flush(sync=False)
         self._c_aborts.inc()

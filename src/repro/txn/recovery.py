@@ -5,7 +5,7 @@ buffer pool may write pages of uncommitted transactions to disk (a
 *steal* policy), so after a crash the page file is not trustworthy.
 Recovery therefore never reads it:
 
-1. the page file and catalog are restored from the last checkpoint copy;
+1. the page file and catalog are restored from the last checkpoint;
 2. the write-ahead log is scanned once to find committed transactions
    newer than the checkpoint (``applied_lsn``);
 3. their OPERATION records are replayed, in LSN order, through the same
@@ -15,13 +15,27 @@ Recovery therefore never reads it:
 
 Two-phase locking ordered conflicting operations at run time, so LSN
 order is a valid serialization order.
+
+A checkpoint consists of *several* files (the page file and the
+catalog) that must be restored **as a pair**: the catalog's
+``applied_lsn`` says which log prefix the page image already contains,
+so mixing a new page copy with an old catalog copy (or vice versa)
+would double-apply or skip operations.  Checkpoints are therefore
+published atomically through a generation **manifest**: every file is
+first staged as ``<file>.ckpt.<generation>`` and fsynced, then a small
+JSON manifest naming the complete generation is atomically renamed
+into place (``ckpt.manifest``).  A crash at any point mid-checkpoint
+leaves the manifest pointing at the previous, complete generation.
+The legacy per-file ``<file>.ckpt`` copies (pre-manifest databases)
+remain readable as a fallback.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import shutil
-from typing import Any, Dict, Set
+from typing import Any, Dict, List, Optional, Set
 
 from repro.errors import RecoveryError
 from repro.txn.wal import LogRecordType, WriteAheadLog
@@ -29,16 +43,131 @@ from repro.txn.wal import LogRecordType, WriteAheadLog
 #: File-name suffix of checkpoint copies.
 CHECKPOINT_SUFFIX = ".ckpt"
 
+#: Name of the checkpoint manifest inside a database directory.
+MANIFEST_FILE = "ckpt.manifest"
+
+
+def _fsync_file(path: str) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_directory(directory: str) -> None:
+    """Force directory metadata (renames, new files) to disk."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # platform without directory fds; best effort
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def read_manifest(directory: str) -> Optional[Dict[str, Any]]:
+    """The current checkpoint manifest, or ``None`` (legacy/fresh dir)."""
+    path = os.path.join(directory, MANIFEST_FILE)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError:
+        return None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise RecoveryError(f"unreadable checkpoint manifest {path}") from exc
+    if not isinstance(manifest, dict) or "files" not in manifest:
+        raise RecoveryError(f"malformed checkpoint manifest {path}")
+    return manifest
+
+
+def publish_checkpoint(directory: str, paths: List[str]) -> int:
+    """Atomically publish a checkpoint generation covering *paths*.
+
+    Every file is staged as ``<file>.ckpt.<gen>`` and fsynced before the
+    manifest rename makes the generation current — a crash anywhere in
+    between leaves the previous generation intact.  Returns the new
+    generation number.
+    """
+    manifest = read_manifest(directory)
+    generation = int(manifest["generation"]) + 1 if manifest else 1
+    files: Dict[str, str] = {}
+    for path in paths:
+        base = os.path.basename(path)
+        staged = os.path.join(directory,
+                              f"{base}{CHECKPOINT_SUFFIX}.{generation}")
+        temp = staged + ".tmp"
+        shutil.copyfile(path, temp)
+        _fsync_file(temp)
+        os.replace(temp, staged)
+        files[base] = os.path.basename(staged)
+    manifest_tmp = os.path.join(directory, MANIFEST_FILE + ".tmp")
+    with open(manifest_tmp, "w", encoding="utf-8") as handle:
+        json.dump({"generation": generation, "files": files}, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(manifest_tmp, os.path.join(directory, MANIFEST_FILE))
+    _fsync_directory(directory)
+    _cleanup_stale_generations(directory, generation)
+    return generation
+
+
+def _cleanup_stale_generations(directory: str, current: int) -> None:
+    """Delete checkpoint files of superseded generations (best effort)."""
+    marker = CHECKPOINT_SUFFIX + "."
+    for name in os.listdir(directory):
+        head, sep, tail = name.rpartition(marker)
+        if not sep or not head:
+            continue
+        generation_text = tail[:-4] if tail.endswith(".tmp") else tail
+        if generation_text.isdigit() and int(generation_text) != current:
+            try:
+                os.remove(os.path.join(directory, name))
+            except OSError:
+                pass
+
+
+def restore_checkpoint(directory: str, paths: List[str]) -> None:
+    """Overwrite *paths* with their copies from the current checkpoint.
+
+    Prefers the manifest generation; falls back to legacy per-file
+    ``.ckpt`` twins for databases checkpointed before manifests existed.
+    """
+    manifest = read_manifest(directory)
+    if manifest is None:
+        for path in paths:
+            checkpoint_restore(path)
+        return
+    files = manifest["files"]
+    for path in paths:
+        base = os.path.basename(path)
+        source_name = files.get(base)
+        if source_name is None:
+            raise RecoveryError(
+                f"checkpoint manifest has no copy of {base}")
+        source = os.path.join(directory, source_name)
+        if not os.path.exists(source):
+            raise RecoveryError(f"missing checkpoint file {source}")
+        shutil.copyfile(source, path)
+
 
 def checkpoint_copy(path: str) -> None:
-    """Atomically snapshot *path* to its checkpoint twin."""
+    """Atomically snapshot *path* to its legacy checkpoint twin.
+
+    Retained for single-file callers and pre-manifest databases; new
+    checkpoints go through :func:`publish_checkpoint`, which snapshots
+    all checkpoint files as one atomic generation.
+    """
     temp = path + CHECKPOINT_SUFFIX + ".tmp"
     shutil.copyfile(path, temp)
     os.replace(temp, path + CHECKPOINT_SUFFIX)
 
 
 def checkpoint_restore(path: str) -> None:
-    """Overwrite *path* with its checkpoint twin."""
+    """Overwrite *path* with its legacy checkpoint twin."""
     source = path + CHECKPOINT_SUFFIX
     if not os.path.exists(source):
         raise RecoveryError(f"no checkpoint copy for {path}")

@@ -1,4 +1,4 @@
-"""Write-ahead log: append-only logical operation log.
+"""Write-ahead log: append-only logical operation log with group commit.
 
 The engine follows a *logical redo* discipline: every operation of a
 transaction is logged as a self-contained, deterministic description
@@ -6,6 +6,22 @@ transaction is logged as a self-contained, deterministic description
 commit.  Recovery replays the committed operations newer than the last
 checkpoint against the checkpointed database image — see
 :mod:`repro.txn.recovery`.
+
+Commit forcing uses **group commit**: a committing thread calls
+:meth:`WriteAheadLog.sync_to` with the LSN of its COMMIT record; the
+first such thread becomes the *leader*, flushes and ``fsync``\\ s the
+file once, and every thread whose LSN that single fsync covered returns
+without issuing its own.  Under N concurrent committers the fsync cost
+is amortized across the batch (``wal.group_commits`` counts fsync
+rounds, ``wal.commit_batch_size`` records how many commits each round
+made durable, and ``wal.fsyncs`` therefore stays well below
+``txn.commits``).
+
+When the log is opened with ``sync_on_commit=False`` (the facade's
+``durability="none"``), :meth:`sync_to` is a no-op: records may sit in
+the process's user-space buffer, and even a plain process kill can lose
+acknowledged commits.  That mode exists for benchmarks and bulk loads
+only.
 
 Record wire format::
 
@@ -25,9 +41,10 @@ import json
 import os
 import struct
 import threading
+import time
 import zlib
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from repro.errors import WALError
 from repro.obs import MetricsRegistry
@@ -63,14 +80,28 @@ class WriteAheadLog:
 
     def __init__(self, path: str | os.PathLike[str],
                  sync_on_commit: bool = True,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 group_commit: bool = True,
+                 group_window: float = 0.003) -> None:
         self._path = os.fspath(path)
         self._sync_on_commit = sync_on_commit
+        self._group_commit = group_commit
+        self._group_window = group_window
         self._lock = threading.Lock()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._c_appends = self.metrics.counter("wal.appends")
         self._c_bytes = self.metrics.counter("wal.bytes")
         self._c_fsyncs = self.metrics.counter("wal.fsyncs")
+        self._c_group_commits = self.metrics.counter("wal.group_commits")
+        self._h_batch_size = self.metrics.histogram("wal.commit_batch_size")
+        # Group-commit state: guarded by _commit_cv's lock, never by _lock.
+        self._commit_cv = threading.Condition(threading.Lock())
+        self._durable_lsn = 0
+        self._sync_leader_active = False
+        self._pending_syncs: List[int] = []
+        # True when the last group showed concurrent commit load; gates
+        # the leader's straggler window so solo committers never wait.
+        self._group_had_company = False
         self._file = open(self._path, "ab+")
         self._next_lsn = self._recover_next_lsn()
 
@@ -112,12 +143,94 @@ class WriteAheadLog:
             return lsn
 
     def flush(self, sync: Optional[bool] = None) -> None:
-        """Flush buffered records; fsync when forcing a commit."""
+        """Flush buffered records to the OS; optionally force to disk.
+
+        ``sync`` overrides the log's configured ``sync_on_commit``
+        default: ``flush(sync=True)`` always fsyncs, ``flush(sync=False)``
+        never does, and ``flush()`` follows the configuration.
+        """
+        force = self._sync_on_commit if sync is None else sync
         with self._lock:
             self._file.flush()
-            if sync if sync is not None else self._sync_on_commit:
+            if force:
                 os.fsync(self._file.fileno())
                 self._c_fsyncs.inc()
+
+    @property
+    def durable_lsn(self) -> int:
+        """Highest LSN known to have reached stable storage via
+        :meth:`sync_to` (0 before the first group commit)."""
+        with self._commit_cv:
+            return self._durable_lsn
+
+    def sync_to(self, lsn: int) -> None:
+        """Make every record up to *lsn* durable (the commit force point).
+
+        With ``sync_on_commit=False`` this is a no-op — the facade's
+        ``durability="none"`` contract is that acknowledged commits may
+        be lost.  Otherwise the calling thread either joins an
+        in-flight group commit (waiting until a leader's fsync covers
+        its LSN) or becomes the leader itself and fsyncs once for every
+        queued committer.  With ``group_commit=False`` each caller
+        fsyncs individually (the per-commit-fsync baseline benchmarks
+        compare against).
+        """
+        if not self._sync_on_commit:
+            return
+        if not self._group_commit:
+            self.flush(sync=True)
+            with self._commit_cv:
+                self._durable_lsn = max(self._durable_lsn, lsn)
+            return
+        with self._commit_cv:
+            if lsn <= self._durable_lsn:
+                return
+            self._pending_syncs.append(lsn)
+            while True:
+                if lsn <= self._durable_lsn:
+                    return
+                if not self._sync_leader_active:
+                    self._sync_leader_active = True
+                    break
+                self._commit_cv.wait()
+        # Leader path: one flush+fsync covers every record appended so
+        # far, including commits that queued while we were elected.  The
+        # fsync deliberately runs *outside* the append lock: the flush
+        # fixed which bytes the fsync makes durable, and keeping appends
+        # unblocked during the device flush is what lets the next batch
+        # form while this one syncs.
+        target = -1
+        try:
+            # Straggler window (PostgreSQL's commit_delay idea): when the
+            # previous round had company, concurrent committers are mid
+            # flight right now — a short wait lets them append their
+            # COMMIT records and ride this fsync instead of paying their
+            # own.  Solo committers skip it entirely.
+            if self._group_window > 0:
+                with self._commit_cv:
+                    company = (self._group_had_company
+                               or len(self._pending_syncs) > 1)
+                if company:
+                    time.sleep(self._group_window)
+            with self._lock:
+                target = self._next_lsn - 1
+                self._file.flush()
+                fd = self._file.fileno()
+            os.fsync(fd)
+            self._c_fsyncs.inc()
+        finally:
+            with self._commit_cv:
+                if target >= 0:
+                    served = [p for p in self._pending_syncs if p <= target]
+                    self._pending_syncs = [p for p in self._pending_syncs
+                                           if p > target]
+                    self._durable_lsn = max(self._durable_lsn, target)
+                    self._c_group_commits.inc()
+                    self._h_batch_size.observe(len(served))
+                    self._group_had_company = (len(served) > 1
+                                               or bool(self._pending_syncs))
+                self._sync_leader_active = False
+                self._commit_cv.notify_all()
 
     # -- reading --------------------------------------------------------------
 
@@ -164,6 +277,10 @@ class WriteAheadLog:
             self._file.flush()
             os.fsync(self._file.fileno())
             self._c_fsyncs.inc()
+            truncated_at = self._next_lsn - 1
+        with self._commit_cv:
+            # An empty log is trivially durable up to its last LSN.
+            self._durable_lsn = max(self._durable_lsn, truncated_at)
 
     def close(self) -> None:
         with self._lock:

@@ -125,6 +125,52 @@ class TestClockPolicy:
             assert pids[0] in clock_pool._frames
         assert clock_pool.stats.evictions == 2
 
+
+    def test_hand_resumes_by_page_id(self, clock_pool):
+        # Sweep order is ascending page id; the hand resumes just past
+        # the last-visited id.
+        pids = _fill(clock_pool, 3)
+        a, b, c = sorted(clock_pool._frames)
+        for frame in clock_pool._frames.values():
+            frame.referenced = False
+        clock_pool._clock_hand_key = a
+        clock_pool.new_page()  # sweep starts at b, which is unreferenced
+        assert b not in clock_pool._frames
+        assert a in clock_pool._frames and c in clock_pool._frames
+
+    def test_hand_survives_eviction_of_hand_page(self, clock_pool):
+        # The page the hand last visited may be freed between sweeps;
+        # the hand must resume at its successor, not drift arbitrarily
+        # (the old positional hand indexed a stale keys() snapshot).
+        _fill(clock_pool, 3)
+        a, b, c = sorted(clock_pool._frames)
+        clock_pool._clock_hand_key = b
+        clock_pool.free_page(b)  # hand page vanishes
+        refill = clock_pool.new_page()  # no sweep: a slot is free
+        clock_pool.unpin(refill.page_id)
+        for frame in clock_pool._frames.values():
+            frame.referenced = False
+        clock_pool.new_page()  # resumes after the missing id: visits c
+        assert c not in clock_pool._frames
+        assert a in clock_pool._frames
+
+    def test_hot_page_survives_churn(self, clock_pool):
+        # A page that is re-referenced between sweeps must never be the
+        # victim while colder pages are available, no matter how much
+        # the pool churns around it (the drifting hand of the old code
+        # violated this by skipping frames after evictions).
+        pids = _fill(clock_pool, 3)
+        hot = pids[0]
+        for pid in pids[1:]:
+            clock_pool._frames[pid].referenced = False  # cold start
+        for _ in range(30):
+            clock_pool.pin(hot)        # re-arm the reference bit
+            clock_pool.unpin(hot)
+            frame = clock_pool.new_page()  # churn: force an eviction
+            clock_pool.unpin(frame.page_id)
+            assert hot in clock_pool._frames, "hot page evicted under churn"
+        assert clock_pool.stats.evictions == 30
+
     def test_eviction_counter_routed_through_registry(self, clock_pool):
         _fill(clock_pool, 6)
         assert clock_pool.stats.evictions >= 3

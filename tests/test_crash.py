@@ -1,0 +1,366 @@
+"""Crash-fault-injection harness: real ``kill -9`` plus byte-level
+torn-write simulations.
+
+Three layers of crash realism, in decreasing order of fidelity:
+
+1. **Process kill**: a child process commits transactions and prints an
+   acknowledgement *after* each commit returns; the parent SIGKILLs it
+   mid-stream and reopens the database.  Under the default ``sync``
+   durability every acknowledged commit must be recovered; under
+   ``durability="none"`` the same workload demonstrably loses
+   acknowledged commits (the records never leave the process buffer).
+2. **Machine crash to the fsynced prefix**: the WAL file is truncated to
+   the size it had at the last ``fsync`` (recorded by instrumenting
+   ``os.fsync``), modelling power loss where the OS page cache vanishes.
+   Because commits acknowledge only after fsync, recovery must land
+   exactly on the acknowledged prefix.
+3. **Torn tail**: the WAL is cut at arbitrary byte offsets; recovery
+   must come up at exactly the longest wholly-committed prefix, never
+   half a transaction and never an error.
+
+Plus mid-checkpoint crash coverage: staged-but-unpublished checkpoint
+generations and stale temp files must be ignored in favour of the last
+published manifest generation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro import DatabaseConfig, TemporalDatabase
+from repro.txn.recovery import (
+    MANIFEST_FILE,
+    publish_checkpoint,
+    read_manifest,
+)
+
+# -- layer 1: real SIGKILL against a child process ---------------------------------
+
+CHILD_SCRIPT = textwrap.dedent("""\
+    import sys
+
+    from repro import (AtomType, Attribute, DataType, DatabaseConfig,
+                       Schema, TemporalDatabase)
+
+    path, durability = sys.argv[1], sys.argv[2]
+    schema = Schema("crash")
+    schema.add_atom_type(AtomType("Part", [
+        Attribute("name", DataType.STRING, required=True)]))
+    db = TemporalDatabase.create(
+        path, schema, DatabaseConfig(buffer_pages=16, durability=durability))
+    for i in range(1000):
+        with db.transaction() as txn:
+            atom = txn.insert("Part", {"name": f"part-{i}"}, valid_from=0)
+        # The commit above has returned: under sync durability this line
+        # is only reached once the COMMIT record is on stable storage.
+        sys.stdout.write(f"ACK {atom}\\n")
+        sys.stdout.flush()
+    """)
+
+
+def _run_child_until_kill(tmp_path, durability, acks_before_kill=6):
+    """Start the committing child, SIGKILL it after N acks, return acks."""
+    db_path = str(tmp_path / "killdb")
+    script = tmp_path / "child.py"
+    script.write_text(CHILD_SCRIPT)
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    child = subprocess.Popen(
+        [sys.executable, str(script), db_path, durability],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env, text=True)
+    acked = []
+    try:
+        assert child.stdout is not None
+        for line in child.stdout:
+            if line.startswith("ACK "):
+                acked.append(int(line.split()[1]))
+            if len(acked) >= acks_before_kill:
+                break
+        else:  # child exited early: surface its stderr
+            pytest.fail(f"child exited: {child.stderr.read()}")
+        child.kill()  # SIGKILL: no atexit, no flush, no close
+        child.wait(timeout=30)
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait(timeout=30)
+    assert child.returncode == -signal.SIGKILL
+    return db_path, acked
+
+
+class TestProcessKill:
+    def test_default_durability_recovers_every_acked_commit(self, tmp_path):
+        db_path, acked = _run_child_until_kill(tmp_path, "sync")
+        assert len(acked) >= 6
+        recovered = TemporalDatabase.open(db_path)
+        try:
+            survivors = set(recovered.atoms_of_type("Part"))
+            missing = [a for a in acked if a not in survivors]
+            assert missing == [], \
+                f"acknowledged commits lost under sync durability: {missing}"
+            for atom in acked:
+                assert recovered.version_at(atom, 0) is not None
+        finally:
+            recovered.close()
+
+    def test_durability_none_loses_acked_commits(self, tmp_path):
+        """The opt-out really is unsafe: acked commits vanish on kill -9.
+
+        With ``durability="none"`` commit records stay in the process
+        stdio buffer, so a SIGKILL after the ack deterministically
+        drops them — this is the regression test for the old silent
+        ``sync_commits=False`` default.
+        """
+        db_path, acked = _run_child_until_kill(tmp_path, "none")
+        assert len(acked) >= 6
+        recovered = TemporalDatabase.open(db_path)
+        try:
+            survivors = set(recovered.atoms_of_type("Part"))
+            lost = [a for a in acked if a not in survivors]
+            assert lost, ("durability='none' lost nothing; the crash "
+                          "demonstration is no longer meaningful")
+        finally:
+            recovered.close()
+
+
+# -- layers 2+3: byte-level WAL surgery --------------------------------------------
+
+def _build_committed_sequence(tmp_path, cad_schema, *, group_commit=True):
+    """Commit a chain of updates, recording the WAL size after each commit.
+
+    Returns ``(path, part_id, sizes)`` where ``sizes[i]`` is the WAL
+    byte length that made commit ``i`` durable (commit ``i`` sets
+    ``cost`` to ``float(i)``).
+    """
+    path = str(tmp_path / "sweepdb")
+    db = TemporalDatabase.create(
+        path, cad_schema,
+        DatabaseConfig(buffer_pages=32, group_commit=group_commit))
+    sizes = []
+    with db.transaction() as txn:
+        part = txn.insert("Part", {"name": "sweep", "cost": 0.0},
+                          valid_from=0)
+    sizes.append(db._wal._file.tell())
+    for i in range(1, 6):
+        with db.transaction() as txn:
+            txn.update(part, {"cost": float(i)}, valid_from=0)
+        sizes.append(db._wal._file.tell())
+    # Crash: abandon the object; commits already fsynced the WAL.
+    db._disk._file.flush()
+    return path, part, sizes
+
+
+def _highest_committed(sizes, truncated_to):
+    """Index of the newest commit wholly contained in the truncated WAL."""
+    best = -1
+    for index, size in enumerate(sizes):
+        if size <= truncated_to:
+            best = index
+    return best
+
+
+class TestTornTailSweep:
+    def test_recovery_lands_on_exact_committed_prefix(self, tmp_path,
+                                                      cad_schema):
+        import shutil
+        path, part, sizes = _build_committed_sequence(tmp_path, cad_schema)
+        raw = open(os.path.join(path, "wal.log"), "rb").read()
+        assert len(raw) == sizes[-1]
+        # Sweep cut points across the whole log: every commit boundary,
+        # plus tears strictly inside records around each boundary.  Each
+        # cut recovers a pristine copy of the crash image, because
+        # opening (and closing) a database rewrites its files.
+        cuts = set(sizes)
+        for size in sizes:
+            cuts.update({size - 3, size + 3, size - 11})
+        cuts = sorted(c for c in cuts if sizes[0] <= c <= len(raw))
+        for cut in cuts:
+            copy = str(tmp_path / f"cut-{cut}")
+            shutil.copytree(path, copy)
+            with open(os.path.join(copy, "wal.log"), "wb") as handle:
+                handle.write(raw[:cut])
+            db = TemporalDatabase.open(copy)
+            try:
+                expected = _highest_committed(sizes, cut)
+                assert expected >= 0  # first commit is always inside
+                version = db.version_at(part, 0)
+                assert version is not None
+                assert version.values["cost"] == float(expected), \
+                    f"cut at {cut}: wanted commit {expected}"
+            finally:
+                db.close()
+                shutil.rmtree(copy, ignore_errors=True)
+
+    def test_scribbled_tail_is_discarded(self, tmp_path, cad_schema):
+        """Garbage bytes past the last commit do not break recovery."""
+        path, part, sizes = _build_committed_sequence(tmp_path, cad_schema)
+        wal_path = os.path.join(path, "wal.log")
+        with open(wal_path, "ab") as handle:
+            handle.write(b"\x7f" * 37)  # torn write of a never-synced txn
+        db = TemporalDatabase.open(path)
+        try:
+            assert db.version_at(part, 0).values["cost"] == float(
+                len(sizes) - 1)
+        finally:
+            db.close()
+
+
+class TestMachineCrashToFsyncedPrefix:
+    def test_acked_commits_inside_fsynced_prefix(self, tmp_path, cad_schema,
+                                                 monkeypatch):
+        """Power-loss model: the disk keeps only what fsync covered.
+
+        ``os.fsync`` is instrumented to record the WAL length each time
+        the WAL module calls it; after a simulated power cut back to the
+        *last* fsynced length, every commit that acknowledged must be
+        recovered (commits acknowledge only after their covering fsync).
+        """
+        import repro.txn.wal as wal_module
+        real_fsync = os.fsync
+        fsynced_sizes = []
+
+        def recording_fsync(fd):
+            real_fsync(fd)
+            fsynced_sizes.append(os.fstat(fd).st_size)
+
+        monkeypatch.setattr(wal_module.os, "fsync", recording_fsync)
+        path, part, sizes = _build_committed_sequence(tmp_path, cad_schema)
+        assert fsynced_sizes, "no fsync recorded despite sync durability"
+        durable_size = fsynced_sizes[-1]
+        assert durable_size >= sizes[-1], \
+            "a commit acknowledged before its bytes were fsynced"
+        wal_path = os.path.join(path, "wal.log")
+        raw = open(wal_path, "rb").read()
+        with open(wal_path, "wb") as handle:
+            handle.write(raw[:durable_size])
+        db = TemporalDatabase.open(path)
+        try:
+            assert db.version_at(part, 0).values["cost"] == float(
+                len(sizes) - 1)
+        finally:
+            db.close()
+
+
+# -- mid-checkpoint crashes --------------------------------------------------------
+
+def _checkpoint_paths(path):
+    return [os.path.join(path, "pages.db"), os.path.join(path, "catalog.json")]
+
+
+class TestMidCheckpointCrash:
+    def _make(self, tmp_path, cad_schema):
+        path = str(tmp_path / "ckptdb")
+        db = TemporalDatabase.create(path, cad_schema,
+                                     DatabaseConfig(buffer_pages=32))
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "ckpt", "cost": 1.0},
+                              valid_from=0)
+        db.checkpoint()
+        with db.transaction() as txn:
+            txn.update(part, {"cost": 2.0}, valid_from=0)
+        return path, part, db
+
+    def test_staged_but_unpublished_generation_ignored(self, tmp_path,
+                                                       cad_schema):
+        """Crash after staging the page copy but before the manifest rename."""
+        path, part, db = self._make(tmp_path, cad_schema)
+        manifest = read_manifest(path)
+        next_gen = manifest["generation"] + 1
+        # Simulate the partial publish: one staged file of the next
+        # generation exists, the manifest still names the old one.
+        pages = _checkpoint_paths(path)[0]
+        db.buffer.flush_all()
+        db._disk._file.flush()
+        import shutil
+        shutil.copyfile(pages, f"{pages}.ckpt.{next_gen}")
+        db._wal._file.flush()
+        recovered = TemporalDatabase.open(path)
+        try:
+            # Restored from the published generation (so the post-checkpoint
+            # update replays exactly once), not from the orphaned staged copy.
+            assert recovered.version_at(part, 0).values["cost"] == 2.0
+            assert read_manifest(path)["generation"] > manifest["generation"]
+        finally:
+            recovered.close()
+        # The orphaned staged file is swept by the recovery checkpoint.
+        assert not os.path.exists(f"{pages}.ckpt.{next_gen}")
+
+    def test_stale_tmp_files_ignored_and_cleaned(self, tmp_path, cad_schema):
+        """Crash mid-copy leaves ``.tmp`` litter; recovery shrugs it off."""
+        path, part, db = self._make(tmp_path, cad_schema)
+        gen = read_manifest(path)["generation"]
+        litter = os.path.join(path, f"pages.db.ckpt.{gen + 1}.tmp")
+        with open(litter, "wb") as handle:
+            handle.write(b"\x00" * 64)  # half-copied page snapshot
+        db._wal._file.flush()
+        recovered = TemporalDatabase.open(path)
+        try:
+            assert recovered.version_at(part, 0).values["cost"] == 2.0
+        finally:
+            recovered.close()
+        # The next successful checkpoint sweeps stale generations away.
+        assert not os.path.exists(litter)
+
+    def test_torn_manifest_tmp_never_current(self, tmp_path, cad_schema):
+        """A torn manifest ``.tmp`` must not shadow the published manifest."""
+        path, part, db = self._make(tmp_path, cad_schema)
+        torn = os.path.join(path, MANIFEST_FILE + ".tmp")
+        with open(torn, "w", encoding="utf-8") as handle:
+            handle.write('{"generation": 99, "files"')  # cut mid-write
+        db._wal._file.flush()
+        recovered = TemporalDatabase.open(path)
+        try:
+            assert recovered.version_at(part, 0).values["cost"] == 2.0
+        finally:
+            recovered.close()
+
+    def test_publish_checkpoint_generations_advance(self, tmp_path,
+                                                    cad_schema):
+        path, part, db = self._make(tmp_path, cad_schema)
+        first = read_manifest(path)["generation"]
+        db.checkpoint()
+        second = read_manifest(path)["generation"]
+        assert second == first + 1
+        files = read_manifest(path)["files"]
+        assert set(files) == {"pages.db", "catalog.json"}
+        for staged in files.values():
+            assert os.path.exists(os.path.join(path, staged))
+        # Superseded generation files were cleaned up.
+        assert not os.path.exists(
+            os.path.join(path, f"pages.db.ckpt.{first}"))
+        db.close()
+
+    def test_legacy_checkpoint_without_manifest_still_restores(
+            self, tmp_path, cad_schema):
+        """Pre-manifest databases (bare ``.ckpt`` twins) remain openable."""
+        path = str(tmp_path / "legacydb")
+        db = TemporalDatabase.create(path, cad_schema,
+                                     DatabaseConfig(buffer_pages=32))
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "old", "cost": 7.0},
+                              valid_from=0)
+        db.checkpoint()
+        db._wal._file.flush()
+        db._disk._file.flush()
+        # Rewrite the checkpoint in the legacy single-file layout.
+        manifest = read_manifest(path)
+        import shutil
+        for base, staged in manifest["files"].items():
+            shutil.copyfile(os.path.join(path, staged),
+                            os.path.join(path, base + ".ckpt"))
+        os.remove(os.path.join(path, MANIFEST_FILE))
+        recovered = TemporalDatabase.open(path)
+        try:
+            assert recovered.version_at(part, 0).values["cost"] == 7.0
+        finally:
+            recovered.close()

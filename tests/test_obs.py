@@ -297,10 +297,12 @@ class TestKernelCounters:
             txn.insert("Part", {"name": "extra"}, 0)
         assert obs_db.metrics.value("wal.appends") >= appends + 3
         assert obs_db.metrics.value("wal.bytes") > wal_bytes
-        # Commits don't fsync under the default sync_commits=False; a
-        # forced flush must be counted.
+        # Commits fsync under the default durability="sync" (via group
+        # commit), and a forced flush is counted too.
+        assert obs_db.metrics.value("wal.fsyncs") >= fsyncs + 1
+        before_flush = obs_db.metrics.value("wal.fsyncs")
         obs_db._wal.flush(sync=True)
-        assert obs_db.metrics.value("wal.fsyncs") == fsyncs + 1
+        assert obs_db.metrics.value("wal.fsyncs") == before_flush + 1
 
     def test_txn_counters(self, obs_db):
         begins = obs_db.metrics.value("txn.begins")

@@ -90,3 +90,97 @@ class TestDurability:
         before = wal.size_bytes()
         wal.append(LogRecordType.OPERATION, 1, {"op": "payload"})
         assert wal.size_bytes() > before
+
+
+class TestFlushOverrides:
+    """``flush(sync=...)`` has three behaviours; each is observable via
+    the ``wal.fsyncs`` counter."""
+
+    def test_default_follows_nosync_config(self, wal):
+        wal.append(LogRecordType.BEGIN, 1, {"tt": 0})
+        before = wal.metrics.value("wal.fsyncs")
+        wal.flush()  # sync=None: follow sync_on_commit=False
+        assert wal.metrics.value("wal.fsyncs") == before
+
+    def test_default_follows_sync_config(self, tmp_path):
+        log = WriteAheadLog(tmp_path / "sync.log", sync_on_commit=True)
+        try:
+            log.append(LogRecordType.BEGIN, 1, {"tt": 0})
+            before = log.metrics.value("wal.fsyncs")
+            log.flush()  # sync=None: follow sync_on_commit=True
+            assert log.metrics.value("wal.fsyncs") == before + 1
+        finally:
+            log.close()
+
+    def test_sync_true_overrides_nosync_config(self, wal):
+        wal.append(LogRecordType.BEGIN, 1, {"tt": 0})
+        before = wal.metrics.value("wal.fsyncs")
+        wal.flush(sync=True)
+        assert wal.metrics.value("wal.fsyncs") == before + 1
+
+    def test_sync_false_overrides_sync_config(self, tmp_path):
+        log = WriteAheadLog(tmp_path / "sync.log", sync_on_commit=True)
+        try:
+            log.append(LogRecordType.BEGIN, 1, {"tt": 0})
+            before = log.metrics.value("wal.fsyncs")
+            log.flush(sync=False)
+            assert log.metrics.value("wal.fsyncs") == before
+        finally:
+            log.close()
+
+
+class TestSyncTo:
+    def test_noop_without_sync_on_commit(self, wal):
+        lsn = wal.append(LogRecordType.COMMIT, 1)
+        wal.sync_to(lsn)
+        assert wal.durable_lsn == 0
+        assert wal.metrics.value("wal.fsyncs") == 0
+
+    def test_single_committer_fsyncs_once(self, tmp_path):
+        log = WriteAheadLog(tmp_path / "gc.log", sync_on_commit=True)
+        try:
+            log.append(LogRecordType.BEGIN, 1, {"tt": 0})
+            lsn = log.append(LogRecordType.COMMIT, 1)
+            before = log.metrics.value("wal.fsyncs")
+            log.sync_to(lsn)
+            assert log.durable_lsn == lsn
+            assert log.metrics.value("wal.fsyncs") == before + 1
+            assert log.metrics.value("wal.group_commits") == 1
+            # Syncing an already-durable LSN is free.
+            log.sync_to(lsn)
+            assert log.metrics.value("wal.fsyncs") == before + 1
+        finally:
+            log.close()
+
+    def test_leader_covers_later_appends(self, tmp_path):
+        """The leader's fsync covers everything appended before it runs."""
+        log = WriteAheadLog(tmp_path / "gc.log", sync_on_commit=True)
+        try:
+            first = log.append(LogRecordType.COMMIT, 1)
+            later = log.append(LogRecordType.COMMIT, 2)
+            log.sync_to(first)
+            assert log.durable_lsn >= later  # one fsync, both durable
+            before = log.metrics.value("wal.fsyncs")
+            log.sync_to(later)  # already covered: no second fsync
+            assert log.metrics.value("wal.fsyncs") == before
+        finally:
+            log.close()
+
+    def test_per_commit_fsync_mode(self, tmp_path):
+        log = WriteAheadLog(tmp_path / "pc.log", sync_on_commit=True,
+                            group_commit=False)
+        try:
+            before = log.metrics.value("wal.fsyncs")
+            for txn in range(3):
+                lsn = log.append(LogRecordType.COMMIT, txn + 1)
+                log.sync_to(lsn)
+            assert log.metrics.value("wal.fsyncs") == before + 3
+            assert log.durable_lsn == log.next_lsn - 1
+            assert log.metrics.value("wal.group_commits") == 0
+        finally:
+            log.close()
+
+    def test_truncate_marks_log_durable(self, wal):
+        lsn = wal.append(LogRecordType.COMMIT, 1)
+        wal.truncate()
+        assert wal.durable_lsn == lsn
