@@ -8,11 +8,19 @@ instant silently drop out (a reference may point at an atom born later or
 already ended — the reference is part of the parent's state, the partner's
 existence is its own).
 
+Expansion is *level-at-a-time*: instead of probing the reader once per
+child, each BFS depth level gathers every child id discovered across the
+whole frontier (all roots of a batch included) and issues one set-oriented
+``version_at_many`` call, which the storage layer answers with grouped
+page accesses.  Readers that lack the batch API (simple oracles, test
+doubles) are served by a per-atom fallback with identical semantics.
+
 For interval (``VALID DURING``) queries the builder runs an event sweep:
 build the slice at the window start, find the earliest valid-time boundary
 of any involved or referenced atom after the current instant, and rebuild
-there; adjacent slices with identical composition are coalesced.  The
-result is the molecule's *history*: a list of (interval, molecule) states.
+there; adjacent slices with identical composition are coalesced.  A
+per-call memo keeps each consulted atom's boundary points so the sweep
+reads and decodes every history once, not once per slice.
 
 The builder reads through the :class:`VersionReader` protocol so the same
 construction logic serves the on-disk engine and the in-memory oracle.
@@ -20,7 +28,9 @@ construction logic serves the on-disk engine and the in-memory oracle.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Protocol, Set, Tuple
+from bisect import bisect_right
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Iterable, List, Optional, Protocol, Set, Tuple
 
 from repro.core import history as hist
 from repro.core.molecule import Molecule, MoleculeAtom, MoleculeType
@@ -31,7 +41,13 @@ from repro.temporal import FOREVER, Interval, Timestamp
 
 
 class VersionReader(Protocol):
-    """What the builder needs from an engine: per-atom version access."""
+    """What the builder needs from an engine: per-atom version access.
+
+    Readers *may* additionally provide the set-oriented
+    ``version_at_many(atom_ids, at, tt)`` and ``all_versions_many(atom_ids)``
+    of :class:`~repro.core.engine.StorageEngine`; the builder detects them
+    and batches every expansion level through them when present.
+    """
 
     def atom_type_name(self, atom_id: int) -> str:
         """The atom's type name (atoms never change type)."""
@@ -42,6 +58,14 @@ class VersionReader(Protocol):
 
     def all_versions(self, atom_id: int) -> List[Version]:
         """The full recorded history of the atom, in sequence order."""
+
+
+# One pending child expansion: the parent's children list to append to,
+# the edge taken, the child id, the edge budget left *at the parent*, the
+# parent's depth, the parent's budget map, the path down to (and
+# including) the parent, and the index of the tree being grown.
+_Request = Tuple[List[MoleculeAtom], "object", int, int, int, dict,
+                 frozenset, int]
 
 
 class MoleculeBuilder:
@@ -57,6 +81,31 @@ class MoleculeBuilder:
         self._c_atoms = metrics.counter("builder.atoms_expanded")
         self._c_slices = metrics.counter("builder.slices")
         self._c_boundary_scans = metrics.counter("builder.boundary_scans")
+        self._c_parallel = metrics.counter("builder.parallel_builds")
+        self._h_batch = metrics.histogram("builder.batch_size")
+        #: History sweeps memoize per-atom boundary points by default;
+        #: benchmarks flip this off to measure the per-slice rescan cost.
+        self.history_memo_enabled = True
+
+    # -- set-oriented fetch ----------------------------------------------------
+
+    def _fetch_many(self, atom_ids: Iterable[int], at: Timestamp,
+                    tt: Optional[Timestamp]
+                    ) -> Dict[int, Optional[Version]]:
+        """One version fetch for a whole frontier level.
+
+        Uses the reader's batch API when it has one; otherwise falls back
+        to per-atom ``version_at`` calls with identical results.
+        """
+        ids = list(dict.fromkeys(atom_ids))
+        if not ids:
+            return {}
+        self._h_batch.observe(len(ids))
+        fetch = getattr(self._reader, "version_at_many", None)
+        if fetch is not None:
+            return fetch(ids, at, tt)
+        return {atom_id: self._reader.version_at(atom_id, at, tt)
+                for atom_id in ids}
 
     # -- time-slice construction ---------------------------------------------
 
@@ -71,67 +120,117 @@ class MoleculeBuilder:
         return molecule
 
     def build_many(self, root_ids: Iterable[int], mtype: MoleculeType,
-                   at: Timestamp, tt: Optional[Timestamp] = None
-                   ) -> List[Molecule]:
-        """Molecules for every root id that is valid at the instant."""
-        molecules = []
-        for root_id in root_ids:
-            molecule = self.build_at(root_id, mtype, at, tt)
-            if molecule is not None:
-                molecules.append(molecule)
-        return molecules
+                   at: Timestamp, tt: Optional[Timestamp] = None,
+                   parallelism: int = 1) -> List[Molecule]:
+        """Molecules for every root id that is valid at the instant.
+
+        Duplicate root ids are built once (first occurrence wins the
+        position).  All roots are grown level-at-a-time sharing one
+        version batch per level.  With ``parallelism > 1`` the roots are
+        fanned across a thread pool; results are returned in input order
+        regardless of scheduling, so every mode yields the identical
+        list.  The caller must hold the facade's read latch (or otherwise
+        guarantee no concurrent mutation) for the duration of the call.
+        """
+        ids = list(dict.fromkeys(root_ids))
+        if not ids:
+            return []
+        if parallelism <= 1 or len(ids) == 1:
+            built = self._build_forest(ids, mtype, at, tt)
+        else:
+            self._c_parallel.inc()
+            workers = min(parallelism, len(ids))
+            # Round-robin striping balances skewed molecule sizes better
+            # than contiguous chunks; order is restored below.
+            chunks = [ids[offset::workers] for offset in range(workers)]
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(self._build_forest, chunk, mtype,
+                                       at, tt)
+                           for chunk in chunks]
+                by_root: Dict[int, Optional[Molecule]] = {}
+                for chunk, future in zip(chunks, futures):
+                    for root_id, (molecule, _) in zip(chunk, future.result()):
+                        by_root[root_id] = molecule
+            built = [(by_root[root_id], set()) for root_id in ids]
+        return [molecule for molecule, _ in built if molecule is not None]
 
     def _build_collect(self, root_id: int, mtype: MoleculeType,
                        at: Timestamp, tt: Optional[Timestamp]
                        ) -> Tuple[Optional[Molecule], Set[int]]:
         """Build a slice and collect every atom id consulted (including
         referenced atoms that were invalid at the instant)."""
-        self._c_slices.inc()
-        consulted: Set[int] = {root_id}
-        root_version = self._reader.version_at(root_id, at, tt)
-        if root_version is None:
-            return None, consulted
-        budgets = {edge: edge.max_depth for edge in mtype.edges}
-        root_atom = self._expand(root_id, mtype.root, root_version, mtype,
-                                 at, tt, consulted, depth=0,
-                                 budgets=budgets, path=frozenset())
-        self._c_molecules.inc()
-        return Molecule(mtype, root_atom), consulted
+        return self._build_forest([root_id], mtype, at, tt)[0]
 
-    def _expand(self, atom_id: int, type_name: str, version: Version,
-                mtype: MoleculeType, at: Timestamp,
-                tt: Optional[Timestamp], consulted: Set[int],
-                depth: int, budgets: dict,
-                path: frozenset) -> MoleculeAtom:
-        if depth > mtype.max_path_length():
-            raise EvaluationError(
-                "molecule expansion exceeded its type's depth bound "
-                "(cyclic molecule type?)")
-        self._c_atoms.inc()
-        path = path | {atom_id}
-        atom = MoleculeAtom(atom_id, type_name, version)
-        for edge in mtype.edges_from(type_name):
-            children: List[MoleculeAtom] = []
-            remaining = budgets.get(edge, edge.max_depth)
-            if remaining <= 0:
-                atom.children[edge] = children
+    def _build_forest(self, root_ids: List[int], mtype: MoleculeType,
+                      at: Timestamp, tt: Optional[Timestamp]
+                      ) -> List[Tuple[Optional[Molecule], Set[int]]]:
+        """Level-at-a-time construction of one molecule per root id.
+
+        Every depth level across *all* trees is resolved by a single
+        batched fetch.  Returns ``(molecule or None, consulted ids)`` per
+        root, in input order.
+        """
+        self._c_slices.inc(len(root_ids))
+        consulted: List[Set[int]] = [{root_id} for root_id in root_ids]
+        roots: List[Optional[MoleculeAtom]] = [None] * len(root_ids)
+        root_versions = self._fetch_many(root_ids, at, tt)
+        depth_bound = mtype.max_path_length()
+        # Frontier of materialized-but-unexpanded atoms.
+        frontier: List[Tuple[int, MoleculeAtom, int, dict, frozenset]] = []
+        for index, root_id in enumerate(root_ids):
+            version = root_versions.get(root_id)
+            if version is None:
                 continue
-            partner_ids = version.refs.get(edge.parent_ref_key, frozenset())
-            for child_id in sorted(partner_ids):
-                consulted.add(child_id)
-                if child_id in path:
-                    continue  # a data cycle: never revisit along one path
-                child_version = self._reader.version_at(child_id, at, tt)
-                if child_version is None:
+            roots[index] = MoleculeAtom(root_id, mtype.root, version)
+            budgets = {edge: edge.max_depth for edge in mtype.edges}
+            frontier.append((index, roots[index], 0, budgets, frozenset()))
+        while frontier:
+            requests: List[_Request] = []
+            for index, atom, depth, budgets, path in frontier:
+                if depth > depth_bound:
+                    raise EvaluationError(
+                        "molecule expansion exceeded its type's depth bound "
+                        "(cyclic molecule type?)")
+                self._c_atoms.inc()
+                path = path | {atom.atom_id}
+                for edge in mtype.edges_from(atom.type_name):
+                    children: List[MoleculeAtom] = []
+                    atom.children[edge] = children
+                    remaining = budgets.get(edge, edge.max_depth)
+                    if remaining <= 0:
+                        continue
+                    partner_ids = atom.version.refs.get(
+                        edge.parent_ref_key, frozenset())
+                    for child_id in sorted(partner_ids):
+                        consulted[index].add(child_id)
+                        if child_id in path:
+                            continue  # a data cycle: never revisit on a path
+                        requests.append((children, edge, child_id, remaining,
+                                         depth, budgets, path, index))
+            if not requests:
+                break
+            versions = self._fetch_many(
+                (request[2] for request in requests), at, tt)
+            frontier = []
+            for (children, edge, child_id, remaining, depth, budgets,
+                 path, index) in requests:
+                version = versions.get(child_id)
+                if version is None:
                     continue  # referenced but not valid at this instant
                 child_budgets = dict(budgets)
                 child_budgets[edge] = remaining - 1
-                children.append(self._expand(child_id, edge.child,
-                                             child_version, mtype, at, tt,
-                                             consulted, depth + 1,
-                                             child_budgets, path))
-            atom.children[edge] = children
-        return atom
+                child = MoleculeAtom(child_id, edge.child, version)
+                children.append(child)
+                frontier.append((index, child, depth + 1, child_budgets,
+                                 path))
+        results: List[Tuple[Optional[Molecule], Set[int]]] = []
+        for index, root_atom in enumerate(roots):
+            if root_atom is None:
+                results.append((None, consulted[index]))
+            else:
+                self._c_molecules.inc()
+                results.append((Molecule(mtype, root_atom), consulted[index]))
+        return results
 
     # -- interval construction -----------------------------------------------------
 
@@ -147,9 +246,11 @@ class MoleculeBuilder:
         """
         states: List[Tuple[Interval, Molecule]] = []
         at = window.start
+        memo: Optional[Dict[int, List[Timestamp]]] = (
+            {} if self.history_memo_enabled else None)
         while at < window.end:
             molecule, consulted = self._build_collect(root_id, mtype, at, tt)
-            next_at = self._next_boundary(consulted, at, tt)
+            next_at = self._next_boundary(consulted, at, tt, memo)
             span_end = min(next_at, window.end)
             if molecule is not None:
                 span = Interval(at, span_end)
@@ -165,15 +266,48 @@ class MoleculeBuilder:
             at = next_at
         return states
 
+    def _boundary_points(self, versions: List[Version],
+                         tt: Optional[Timestamp]) -> List[Timestamp]:
+        """Sorted distinct valid-time boundaries of the live versions."""
+        points: Set[Timestamp] = set()
+        for _, version in hist.live_versions(versions, tt):
+            points.add(version.vt.start)
+            points.add(version.vt.end)
+        return sorted(points)
+
     def _next_boundary(self, atom_ids: Set[int], after: Timestamp,
-                       tt: Optional[Timestamp]) -> Timestamp:
-        """Earliest valid-time boundary after *after* among the atoms."""
+                       tt: Optional[Timestamp],
+                       memo: Optional[Dict[int, List[Timestamp]]] = None
+                       ) -> Timestamp:
+        """Earliest valid-time boundary after *after* among the atoms.
+
+        With a *memo* (one dict per ``build_history`` call), each atom's
+        history is read and decoded once for the whole sweep — missing
+        atoms are filled through one batched ``all_versions_many`` when
+        the reader offers it.
+        """
         self._c_boundary_scans.inc()
+        if memo is not None:
+            missing = [atom_id for atom_id in atom_ids
+                       if atom_id not in memo]
+            if missing:
+                batch = getattr(self._reader, "all_versions_many", None)
+                histories = batch(missing) if batch is not None else {}
+                for atom_id in missing:
+                    versions = histories.get(atom_id)
+                    if versions is None:
+                        # Per-atom read: raises UnknownAtomError for
+                        # vanished atoms exactly like the unmemoized path.
+                        versions = self._reader.all_versions(atom_id)
+                    memo[atom_id] = self._boundary_points(versions, tt)
         boundary = FOREVER
         for atom_id in atom_ids:
-            for _, version in hist.live_versions(
-                    self._reader.all_versions(atom_id), tt):
-                for point in (version.vt.start, version.vt.end):
-                    if after < point < boundary:
-                        boundary = point
+            if memo is not None:
+                points = memo[atom_id]
+            else:
+                points = self._boundary_points(
+                    self._reader.all_versions(atom_id), tt)
+            position = bisect_right(points, after)
+            if position < len(points) and points[position] < boundary:
+                boundary = points[position]
         return boundary

@@ -307,6 +307,10 @@ class TemporalDatabase:
         self.indexes = IndexManager(self.buffer, index_state)
         self.engine = StorageEngine(schema, self.store, self.indexes)
         self.builder = MoleculeBuilder(self.engine)
+        # Compiled-query cache (parse + analysis per normalized text);
+        # local import because repro.mql imports the engine above us.
+        from repro.mql.planner import PlanCache
+        self._plan_cache = PlanCache(metrics=self.metrics)
 
         self._clock = TransactionClock(catalog.clock)
         self._next_atom_id = catalog.next_atom_id
@@ -458,6 +462,25 @@ class TemporalDatabase:
         with self._state_latch.read():
             return self.builder.build_history(root_id, mtype, window, tt)
 
+    def molecules_at(self, root_ids: List[int],
+                     molecule_type: "str | MoleculeType",
+                     at: Timestamp, tt: Optional[Timestamp] = None,
+                     parallelism: int = 1) -> List[Molecule]:
+        """Build molecules for many roots in one set-oriented pass.
+
+        Duplicate root ids are built once; results come back in input
+        order, with roots invalid at the instant dropped.  With
+        ``parallelism > 1`` the roots are fanned across a thread pool —
+        the whole call holds the shared-read latch, so every worker sees
+        the same consistent snapshot, and the result is deterministic
+        and identical to the single-threaded mode.
+        """
+        self._require_open()
+        mtype = self._resolve_molecule_type(molecule_type)
+        with self._state_latch.read():
+            return self.builder.build_many(root_ids, mtype, at, tt,
+                                           parallelism=parallelism)
+
     def _resolve_molecule_type(
             self, molecule_type: "str | MoleculeType") -> MoleculeType:
         if isinstance(molecule_type, MoleculeType):
@@ -506,6 +529,7 @@ class TemporalDatabase:
         with self._state_latch.write():
             name = self.engine.create_attribute_index(type_name,
                                                       attribute_name)
+        self._plan_cache.clear()
         self.checkpoint()
         return name
 
@@ -514,6 +538,7 @@ class TemporalDatabase:
         self._require_open()
         with self._state_latch.write():
             name = self.engine.create_vt_index(type_name)
+        self._plan_cache.clear()
         self.checkpoint()
         return name
 

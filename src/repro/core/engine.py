@@ -24,13 +24,27 @@ engine-level state, so any number of threads may call them concurrently
 *provided no mutation runs at the same time* — the facade enforces this
 with its shared-read / exclusive-write latch.  The buffer pool and disk
 manager below are internally locked; everything between them and this
-class is read-pure on the read paths.
+class is read-pure on the read paths, except the decoded-version cache,
+which carries its own lock (and the type-name map, whose updates are
+single-dict operations, atomic under the GIL).
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+import threading
+from collections import OrderedDict
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.access.indexes import (
     IndexManager,
@@ -54,12 +68,86 @@ _TYPE_PREFIX = struct.Struct("<H")
 
 UndoAction = Callable[[], None]
 
+#: Default capacity of the decoded-version cache (entries, not bytes).
+DEFAULT_DECODE_CACHE_SIZE = 4096
+
+
+class DecodedVersionCache:
+    """Bounded LRU of decoded versions, keyed by ``(atom_id, seq)``.
+
+    A sequence number is stable for the lifetime of an atom but its
+    *content* changes under ``replace_version``/``pop_version``, so the
+    engine invalidates the whole atom on every mutation touch (including
+    undo).  A per-atom key index makes that O(cached versions of the
+    atom) instead of a full sweep.  Thread-safe: parallel molecule
+    builders hit it concurrently under the facade's shared-read latch.
+    """
+
+    def __init__(self, capacity: int, metrics) -> None:
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple[int, int], Tuple[str, Version]]" \
+            = OrderedDict()
+        self._by_atom: Dict[int, Set[int]] = {}
+        self._c_hits = metrics.counter("engine.decode_cache.hits")
+        self._c_misses = metrics.counter("engine.decode_cache.misses")
+        self._c_invalidations = metrics.counter(
+            "engine.decode_cache.invalidations")
+
+    def get(self, atom_id: int, seq: int) -> Optional[Tuple[str, Version]]:
+        key = (atom_id, seq)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._c_misses.inc()
+                return None
+            self._entries.move_to_end(key)
+            self._c_hits.inc()
+            return entry
+
+    def put(self, atom_id: int, seq: int, type_name: str,
+            version: Version) -> None:
+        key = (atom_id, seq)
+        with self._lock:
+            if key in self._entries:
+                self._entries[key] = (type_name, version)
+                self._entries.move_to_end(key)
+                return
+            self._entries[key] = (type_name, version)
+            self._by_atom.setdefault(atom_id, set()).add(seq)
+            while len(self._entries) > self._capacity:
+                (old_atom, old_seq), _ = self._entries.popitem(last=False)
+                seqs = self._by_atom.get(old_atom)
+                if seqs is not None:
+                    seqs.discard(old_seq)
+                    if not seqs:
+                        del self._by_atom[old_atom]
+
+    def invalidate_atom(self, atom_id: int) -> None:
+        with self._lock:
+            self._c_invalidations.inc()
+            seqs = self._by_atom.pop(atom_id, None)
+            if not seqs:
+                return
+            for seq in seqs:
+                self._entries.pop((atom_id, seq), None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._by_atom.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
 
 class StorageEngine:
     """Logical operations over one version store."""
 
     def __init__(self, schema: Schema, store: VersionStore,
-                 indexes: IndexManager) -> None:
+                 indexes: IndexManager,
+                 decode_cache_size: int = DEFAULT_DECODE_CACHE_SIZE) -> None:
         self.schema = schema
         self.store = store
         self.indexes = indexes
@@ -71,6 +159,12 @@ class StorageEngine:
         self._c_versions_scanned = self.metrics.counter(
             "engine.versions_scanned")
         self._c_mutations = self.metrics.counter("engine.mutations")
+        self._decode_cache = DecodedVersionCache(decode_cache_size,
+                                                 self.metrics)
+        # Atoms never change type (insert enforces it), so this map only
+        # needs invalidation to forget atoms that disappear entirely; it
+        # is dropped on every mutation touch anyway for uniformity.
+        self._type_names: Dict[int, str] = {}
 
     # ------------------------------------------------------------------
     # Encoding helpers (type-prefixed payloads)
@@ -97,10 +191,36 @@ class StorageEngine:
     # VersionReader protocol (used by the molecule builder)
     # ------------------------------------------------------------------
 
+    def _decode_cached(self, atom_id: int, seq: int,
+                       stored: StoredVersion) -> Tuple[str, Version]:
+        """Decode *stored* through the decoded-version cache."""
+        cached = self._decode_cache.get(atom_id, seq)
+        if cached is not None:
+            return cached
+        type_name, version = self._decode(stored)
+        self._decode_cache.put(atom_id, seq, type_name, version)
+        self._type_names.setdefault(atom_id, type_name)
+        return type_name, version
+
+    def invalidate_atom_caches(self, atom_id: int) -> None:
+        """Forget every cached decode for *atom_id*.
+
+        Called on every mutation touch (forward and undo) and by
+        maintenance tools that rewrite the store directly (vacuum).
+        """
+        self._decode_cache.invalidate_atom(atom_id)
+        self._type_names.pop(atom_id, None)
+
     def atom_type_name(self, atom_id: int) -> str:
-        _, stored = self.store.read_current(atom_id)
-        (type_id,) = _TYPE_PREFIX.unpack_from(stored.payload, 0)
-        return self._type_by_id[type_id]
+        type_name = self._type_names.get(atom_id)
+        if type_name is None:
+            # Unknown atoms must keep raising exactly as before: the
+            # store probe below is the authority, never the map.
+            _, stored = self.store.read_current(atom_id)
+            (type_id,) = _TYPE_PREFIX.unpack_from(stored.payload, 0)
+            type_name = self._type_by_id[type_id]
+            self._type_names[atom_id] = type_name
+        return type_name
 
     def version_at(self, atom_id: int, at: Timestamp,
                    tt: Optional[Timestamp] = None) -> Optional[Version]:
@@ -113,23 +233,71 @@ class StorageEngine:
             if not hits:
                 return None
             self._c_versions_scanned.inc(len(hits))
-            return self._decode(hits[0][1])[1]
+            seq, stored = hits[0]
+            return self._decode_cached(atom_id, seq, stored)[1]
         return hist.version_at(self.all_versions(atom_id), at, tt)
+
+    def version_at_many(self, atom_ids: Iterable[int], at: Timestamp,
+                        tt: Optional[Timestamp] = None
+                        ) -> Dict[int, Optional[Version]]:
+        """Batched :meth:`version_at`: one result per distinct atom id.
+
+        Unknown atoms map to ``None``, exactly as ``version_at`` returns
+        ``None`` for them.  The batch goes through the store's
+        set-oriented read path, so directory and record pages shared by
+        several atoms are pinned once for the whole call.
+        """
+        ids = list(dict.fromkeys(atom_ids))
+        result: Dict[int, Optional[Version]] = {}
+        if not ids:
+            return result
+        self._c_version_reads.inc(len(ids))
+        if tt is not None:
+            histories = self.all_versions_many(ids)
+            for atom_id in ids:
+                versions = histories.get(atom_id)
+                result[atom_id] = (None if versions is None
+                                   else hist.version_at(versions, at, tt))
+            return result
+        hits_by_atom = self.store.read_at_many(ids, at)
+        for atom_id in ids:
+            hits = hits_by_atom.get(atom_id)
+            if not hits:
+                result[atom_id] = None
+                continue
+            self._c_versions_scanned.inc(len(hits))
+            seq, stored = hits[0]
+            result[atom_id] = self._decode_cached(atom_id, seq, stored)[1]
+        return result
 
     def all_versions(self, atom_id: int) -> List[Version]:
         if not self.store.exists(atom_id):
             raise UnknownAtomError(f"no atom {atom_id}")
-        versions = [self._decode(sv)[1]
-                    for sv in self.store.read_all(atom_id)]
+        versions = [self._decode_cached(atom_id, seq, sv)[1]
+                    for seq, sv in enumerate(self.store.read_all(atom_id))]
         self._c_versions_scanned.inc(len(versions))
         return versions
+
+    def all_versions_many(self, atom_ids: Iterable[int]
+                          ) -> Dict[int, List[Version]]:
+        """Batched :meth:`all_versions`; unknown atoms are *omitted*
+        rather than raising, so callers can detect and handle them."""
+        ids = list(dict.fromkeys(atom_ids))
+        stored_histories = self.store.read_all_many(ids)
+        result: Dict[int, List[Version]] = {}
+        for atom_id, stored_versions in stored_histories.items():
+            result[atom_id] = [
+                self._decode_cached(atom_id, seq, sv)[1]
+                for seq, sv in enumerate(stored_versions)]
+            self._c_versions_scanned.inc(len(stored_versions))
+        return result
 
     def current_version(self, atom_id: int) -> Version:
         """The newest recorded version (regardless of validity)."""
         if not self.store.exists(atom_id):
             raise UnknownAtomError(f"no atom {atom_id}")
-        _, stored = self.store.read_current(atom_id)
-        return self._decode(stored)[1]
+        seq, stored = self.store.read_current(atom_id)
+        return self._decode_cached(atom_id, seq, stored)[1]
 
     def atom_exists(self, atom_id: int) -> bool:
         return self.store.exists(atom_id)
@@ -146,6 +314,14 @@ class StorageEngine:
     # Plan application with index maintenance and undo capture
     # ------------------------------------------------------------------
 
+    def _undo_invalidating(self, atom_id: int,
+                           action: UndoAction) -> UndoAction:
+        """Wrap an undo so rollback also drops the atom's cached decodes."""
+        def run() -> None:
+            action()
+            self.invalidate_atom_caches(atom_id)
+        return run
+
     def _apply_plan(self, atom_id: int, type_name: str,
                     plan: hist.HistoryPlan,
                     undos: List[UndoAction]) -> None:
@@ -158,8 +334,9 @@ class StorageEngine:
             old = originals[seq]
             store.replace_version(atom_id, seq,
                                   self._encode(type_name, replacement))
-            undos.append(lambda s=seq, o=old: store.replace_version(
-                atom_id, s, o))
+            undos.append(self._undo_invalidating(
+                atom_id,
+                lambda s=seq, o=old: store.replace_version(atom_id, s, o)))
         # Closures only change timestamps, but rewrites carry transformed
         # values the indexes have not seen yet.
         for _seq, replacement in plan.rewrites:
@@ -167,13 +344,15 @@ class StorageEngine:
         first_append = not store.exists(atom_id)
         for version in plan.appends:
             store.append_version(atom_id, self._encode(type_name, version))
-            undos.append(lambda: store.pop_version(atom_id))
+            undos.append(self._undo_invalidating(
+                atom_id, lambda: store.pop_version(atom_id)))
             self._index_version(type_name, atom_id, version)
         if first_append and plan.appends:
             type_id = self.schema.atom_type(type_name).type_id
             self.indexes.register_atom(type_id, atom_id)
             undos.append(lambda: self.indexes.unregister_atom(type_id,
                                                               atom_id))
+        self.invalidate_atom_caches(atom_id)
 
     def _index_version(self, type_name: str, atom_id: int,
                        version: Version) -> None:

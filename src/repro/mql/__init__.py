@@ -35,7 +35,8 @@ resolution) → :mod:`planner` (root-access selection) →
 from repro.mql.evaluator import execute_query
 from repro.mql.lexer import tokenize
 from repro.mql.parser import parse_query
+from repro.mql.planner import PlanCache
 from repro.mql.result import QueryResult, ResultEntry
 
-__all__ = ["execute_query", "tokenize", "parse_query", "QueryResult",
-           "ResultEntry"]
+__all__ = ["execute_query", "tokenize", "parse_query", "PlanCache",
+           "QueryResult", "ResultEntry"]

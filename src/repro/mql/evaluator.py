@@ -41,8 +41,14 @@ from repro.mql.ast_nodes import (
     ValidHistory,
 )
 from repro.mql.ast_nodes import WhenClause
-from repro.mql.parser import bind_parameters, parse_query
-from repro.mql.planner import IndexLookup, QueryPlan, TypeScan, plan
+from repro.mql.parser import bind_parameters, has_parameters, parse_query
+from repro.mql.planner import (
+    CompiledQuery,
+    IndexLookup,
+    QueryPlan,
+    TypeScan,
+    plan,
+)
 from repro.mql.result import QueryResult, ResultEntry
 from repro.obs import NULL_TRACER, QueryProfile
 from repro.temporal import FOREVER, TMIN, AllenRelation, Interval, Timestamp, allen_relation
@@ -66,10 +72,38 @@ def execute_query(db, text: str,
     text or by ``profile=True``; the result then carries a
     :class:`repro.obs.QueryProfile` in its ``profile`` attribute.
     """
-    query = bind_parameters(parse_query(text), params)
-    analyzed = analyze(query, db.schema)
+    analyzed = _compile(db, text, params)
     query_plan = plan(analyzed, db.engine)
-    return execute_plan(db, query_plan, profile=profile or query.explain)
+    return execute_plan(db, query_plan,
+                        profile=profile or analyzed.query.explain)
+
+
+def _compile(db, text: str,
+             params: Optional[Dict[str, Any]]) -> AnalyzedQuery:
+    """Parse + bind + analyze, through the database's plan cache.
+
+    The cache stores the parsed query per normalized text; for texts
+    without ``$name`` placeholders it also stores the analyzed form, so
+    a repeated point query skips compilation entirely.  Parameterized
+    texts rebind and re-analyze per call — parameters stay late-bound
+    and keep their literal type checks.
+    """
+    cache = getattr(db, "_plan_cache", None)
+    if cache is None:
+        query = bind_parameters(parse_query(text), params)
+        return analyze(query, db.schema)
+    entry = cache.get(text)
+    if entry is None:
+        entry = CompiledQuery(parse_query(text), None)
+        cache.put(text, entry)
+    if not params and entry.analyzed is not None:
+        return entry.analyzed
+    if not params and not has_parameters(entry.query):
+        analyzed = analyze(entry.query, db.schema)
+        cache.put(text, CompiledQuery(entry.query, analyzed))
+        return analyzed
+    query = bind_parameters(entry.query, params)
+    return analyze(query, db.schema)
 
 
 def execute_plan(db, query_plan: QueryPlan,
@@ -186,15 +220,14 @@ def _evaluate_slice(db, analyzed: AnalyzedQuery, roots: Iterable[int],
                     at: Timestamp) -> List[ResultEntry]:
     tt = analyzed.as_of
     entries: List[ResultEntry] = []
-    for root_id in roots:
-        molecule = db.builder.build_at(root_id, analyzed.molecule_type,
-                                       at, tt)
-        if molecule is None:
-            continue
+    # All candidate roots grow level-at-a-time through one shared
+    # version batch per depth; roots invalid at the instant drop out.
+    molecules = db.builder.build_many(roots, analyzed.molecule_type, at, tt)
+    for molecule in molecules:
         if not _satisfies(analyzed.query.where, molecule):
             continue
-        entries.append(ResultEntry(root_id, Interval.instant(at),
-                                   molecule, None))
+        entries.append(ResultEntry(molecule.root.atom_id,
+                                   Interval.instant(at), molecule, None))
     return entries
 
 

@@ -301,6 +301,19 @@ def _parse_valid(stream: _Stream) -> ValidClause:
 # -- parameter binding ---------------------------------------------------------
 
 
+def has_parameters(query: Query) -> bool:
+    """Whether any ``$name`` placeholder remains in the WHERE clause."""
+    def walk(predicate) -> bool:
+        if isinstance(predicate, Comparison):
+            return isinstance(predicate.literal.value, ParamRef)
+        if isinstance(predicate, (And, Or)):
+            return any(walk(operand) for operand in predicate.operands)
+        if isinstance(predicate, Not):
+            return walk(predicate.operand)
+        return False
+    return query.where is not None and walk(query.where)
+
+
 def bind_parameters(query: Query, params: Optional[dict]) -> Query:
     """Replace ``$name`` placeholders with bound values.
 

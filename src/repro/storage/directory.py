@@ -16,7 +16,7 @@ are linked through the slotted page's reserved header area.
 from __future__ import annotations
 
 import struct
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import PageFullError, StorageError
 from repro.storage.buffer import BufferManager
@@ -120,6 +120,38 @@ class AtomDirectory:
         with self._buffer.page(page_id) as frame:
             _, payload = self._unpack_entry(SlottedPage(frame.data).read(slot))
             return payload
+
+    def get_many(self, atom_ids: Iterable[int]) -> Dict[int, Optional[bytes]]:
+        """Batched :meth:`get`: payloads for many atoms at once.
+
+        Requests are grouped by bucket so every chain is walked once per
+        batch no matter how many of its atoms were asked for — a chain
+        page is pinned once per batch instead of once per atom.  Returns
+        ``{atom_id: payload or None}`` with every requested id present.
+        """
+        result: Dict[int, Optional[bytes]] = {}
+        by_bucket: Dict[int, List[int]] = {}
+        for atom_id in atom_ids:
+            if atom_id in result:
+                continue
+            result[atom_id] = None
+            by_bucket.setdefault(
+                hash(atom_id) % len(self._buckets), []).append(atom_id)
+        for bucket_index, wanted in by_bucket.items():
+            pending = set(wanted)
+            page_id = self._buckets[bucket_index]
+            while page_id != INVALID_PAGE_ID and pending:
+                with self._buffer.page(page_id) as frame:
+                    page = SlottedPage(frame.data)
+                    for slot in page.iter_slots():
+                        key, payload = self._unpack_entry(page.read(slot))
+                        if key in pending:
+                            result[key] = payload
+                            pending.discard(key)
+                            if not pending:
+                                break
+                    page_id = _get_next(frame.data)
+        return result
 
     def __contains__(self, atom_id: int) -> bool:
         return self._locate(atom_id) is not None

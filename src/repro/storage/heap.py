@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import PageFullError, RecordNotFoundError, StorageError
 from repro.storage.buffer import BufferManager
@@ -208,6 +208,53 @@ class HeapSegment:
                 raise StorageError(
                     f"{self.name}: corrupt spanning chain at {next_rid}")
         return b"".join(parts)
+
+    def read_many(self, rids: Iterable[RecordId]) -> Dict[RecordId, bytes]:
+        """Batched :meth:`read`: payloads for many records at once.
+
+        Record ids are sorted and grouped by page so each underlying page
+        is pinned once per batch regardless of how many of its records
+        were requested.  Spanned records (head fragments) fall back to
+        the chained per-fragment read.  Returns ``{rid: payload}`` for
+        every distinct requested id; a missing record raises
+        :class:`RecordNotFoundError`, exactly like :meth:`read`.
+        """
+        out: Dict[RecordId, bytes] = {}
+        spanned: List[RecordId] = []
+        group: List[RecordId] = []
+        for rid in sorted(set(rids)):
+            if group and group[-1].page_id != rid.page_id:
+                self._read_page_group(group, out, spanned)
+                group = []
+            group.append(rid)
+        if group:
+            self._read_page_group(group, out, spanned)
+        for rid in spanned:
+            out[rid] = self.read(rid)
+        return out
+
+    def _read_page_group(self, rids: List[RecordId],
+                         out: Dict[RecordId, bytes],
+                         spanned: List[RecordId]) -> None:
+        """Read all *rids* of one page under a single pin."""
+        with self._buffer.page(rids[0].page_id) as frame:
+            page = SlottedPage(frame.data)
+            for rid in rids:
+                try:
+                    body = page.read(rid.slot)
+                except Exception as exc:
+                    raise RecordNotFoundError(
+                        f"{self.name}: no record {rid}") from exc
+                flag = body[0]
+                if flag == _FLAG_WHOLE:
+                    self._c_reads.inc()
+                    out[rid] = body[1:]
+                elif flag == _FLAG_HEAD:
+                    spanned.append(rid)
+                else:
+                    raise RecordNotFoundError(
+                        f"{self.name}: {rid} addresses a spanning fragment, "
+                        f"not a record head")
 
     def delete(self, rid: RecordId) -> None:
         """Remove the logical record at *rid*, including all fragments."""

@@ -36,7 +36,7 @@ from __future__ import annotations
 import enum
 import struct
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import StorageError, UnknownAtomError
 from repro.storage.buffer import BufferManager
@@ -141,6 +141,44 @@ class VersionStore:
         """The newest (highest-sequence) version."""
         raise NotImplementedError
 
+    # -- batched reads ---------------------------------------------------------
+    #
+    # The set-oriented entry points: one call answers many atoms, so a
+    # strategy can sort its directory probes and pin every touched page
+    # once per batch rather than once per atom.  The generic fallbacks
+    # below just loop; each strategy overrides them with a grouped plan.
+
+    def read_at_many(self, atom_ids: Iterable[int],
+                     at: int) -> Dict[int, List[Tuple[int, StoredVersion]]]:
+        """Batched :meth:`read_at`.
+
+        Returns ``{atom_id: hits}`` with every distinct requested id
+        present; atoms not in the store map to an empty hit list instead
+        of raising.
+        """
+        result: Dict[int, List[Tuple[int, StoredVersion]]] = {}
+        for atom_id in atom_ids:
+            if atom_id in result:
+                continue
+            try:
+                result[atom_id] = self.read_at(atom_id, at)
+            except UnknownAtomError:
+                result[atom_id] = []
+        return result
+
+    def read_all_many(self, atom_ids: Iterable[int]
+                      ) -> Dict[int, List[StoredVersion]]:
+        """Batched :meth:`read_all`; atoms not in the store are omitted."""
+        result: Dict[int, List[StoredVersion]] = {}
+        for atom_id in atom_ids:
+            if atom_id in result:
+                continue
+            try:
+                result[atom_id] = self.read_all(atom_id)
+            except UnknownAtomError:
+                continue
+        return result
+
     def version_count(self, atom_id: int) -> int:
         raise NotImplementedError
 
@@ -180,6 +218,11 @@ class _BaseStore(VersionStore):
         if payload is None:
             raise UnknownAtomError(f"atom {atom_id} not in store")
         return payload
+
+    def _entries_many(self, atom_ids: Iterable[int]
+                      ) -> Dict[int, Optional[bytes]]:
+        """Directory payloads for a batch (missing atoms map to None)."""
+        return self._directory.get_many(atom_ids)
 
     def exists(self, atom_id: int) -> bool:
         return atom_id in self._directory
@@ -314,6 +357,41 @@ class ClusteredStore(_BaseStore):
     def version_count(self, atom_id: int) -> int:
         return self._dir_entry(atom_id)[1]
 
+    # -- batched reads ---------------------------------------------------------
+
+    def _records_many(self, atom_ids: Iterable[int]
+                      ) -> Dict[int, List[StoredVersion]]:
+        """Decode the history record of every known atom in the batch.
+
+        One grouped directory pass, then one grouped record pass —
+        history records sharing a page are served under a single pin.
+        """
+        rid_for: Dict[int, RecordId] = {}
+        for atom_id, payload in self._entries_many(atom_ids).items():
+            if payload is None:
+                continue
+            page, slot, _count = self._DIR_VALUE.unpack(payload)
+            rid_for[atom_id] = RecordId(page, slot)
+        records = self._segment.read_many(rid_for.values())
+        return {atom_id: self._decode(records[rid])
+                for atom_id, rid in rid_for.items()}
+
+    def read_at_many(self, atom_ids: Iterable[int],
+                     at: int) -> Dict[int, List[Tuple[int, StoredVersion]]]:
+        histories = self._records_many(atom_ids)
+        result: Dict[int, List[Tuple[int, StoredVersion]]] = {}
+        for atom_id in dict.fromkeys(atom_ids):
+            versions = histories.get(atom_id)
+            result[atom_id] = (
+                [] if versions is None else
+                [(seq, sv) for seq, sv in enumerate(versions)
+                 if sv.live and sv.contains(at)])
+        return result
+
+    def read_all_many(self, atom_ids: Iterable[int]
+                      ) -> Dict[int, List[StoredVersion]]:
+        return self._records_many(atom_ids)
+
 
 # ---------------------------------------------------------------------------
 # CHAINED: one record per version, linked backwards from the newest
@@ -442,6 +520,66 @@ class ChainedStore(_BaseStore):
     def version_count(self, atom_id: int) -> int:
         return self._dir_entry(atom_id)[1]
 
+    # -- batched reads ---------------------------------------------------------
+    #
+    # Chains are walked breadth-first across the whole batch: every round
+    # reads the frontier record of *all* still-active atoms through one
+    # page-grouped read_many, so chain records co-located on a page cost
+    # one pin for the whole batch rather than one per atom.
+
+    def _frontier(self, atom_ids: Iterable[int]
+                  ) -> Tuple[Dict[int, Tuple[RecordId, int]], List[int]]:
+        frontier: Dict[int, Tuple[RecordId, int]] = {}
+        missing: List[int] = []
+        for atom_id, payload in self._entries_many(atom_ids).items():
+            if payload is None:
+                missing.append(atom_id)
+                continue
+            page, slot, count = self._DIR_VALUE.unpack(payload)
+            frontier[atom_id] = (RecordId(page, slot), count - 1)
+        return frontier, missing
+
+    def read_at_many(self, atom_ids: Iterable[int],
+                     at: int) -> Dict[int, List[Tuple[int, StoredVersion]]]:
+        frontier, missing = self._frontier(atom_ids)
+        result: Dict[int, List[Tuple[int, StoredVersion]]] = {
+            atom_id: [] for atom_id in missing}
+        while frontier:
+            records = self._segment.read_many(
+                rid for rid, _ in frontier.values())
+            advanced: Dict[int, Tuple[RecordId, int]] = {}
+            for atom_id, (rid, seq) in frontier.items():
+                prev, sv = self._decode(records[rid])
+                if sv.live and sv.contains(at):
+                    result[atom_id] = [(seq, sv)]
+                elif prev != _NO_RECORD:
+                    advanced[atom_id] = (prev, seq - 1)
+                else:
+                    result[atom_id] = []
+            frontier = advanced
+        for atom_id in dict.fromkeys(atom_ids):
+            result.setdefault(atom_id, [])
+        return result
+
+    def read_all_many(self, atom_ids: Iterable[int]
+                      ) -> Dict[int, List[StoredVersion]]:
+        frontier, _missing = self._frontier(atom_ids)
+        collected: Dict[int, List[StoredVersion]] = {
+            atom_id: [] for atom_id in frontier}
+        while frontier:
+            records = self._segment.read_many(
+                rid for rid, _ in frontier.values())
+            advanced: Dict[int, Tuple[RecordId, int]] = {}
+            for atom_id, (rid, seq) in frontier.items():
+                prev, sv = self._decode(records[rid])
+                collected[atom_id].append(sv)  # newest first
+                if prev != _NO_RECORD:
+                    advanced[atom_id] = (prev, seq - 1)
+            frontier = advanced
+        for versions in collected.values():
+            versions.reverse()
+        return collected
+
 
 # ---------------------------------------------------------------------------
 # SEPARATED: dense current segment + append-only history + version directory
@@ -494,18 +632,22 @@ class SeparatedStore(_BaseStore):
             current.page_id, current.slot, vdir.page_id, vdir.slot,
             count, vt_start, vt_end, 1 if live else 0))
 
-    def _read_vdir(self, vdir_rid: RecordId) -> List[Tuple[int, int, bool,
-                                                           RecordId]]:
-        if vdir_rid == _NO_RECORD:
-            return []
-        record = self._vdir.read(vdir_rid)
+    @classmethod
+    def _parse_vdir(cls, record: bytes) -> List[Tuple[int, int, bool,
+                                                      RecordId]]:
         entries = []
-        for at in range(0, len(record), self._VDIR_ENTRY.size):
-            vt_start, vt_end, live, page, slot = self._VDIR_ENTRY.unpack_from(
+        for at in range(0, len(record), cls._VDIR_ENTRY.size):
+            vt_start, vt_end, live, page, slot = cls._VDIR_ENTRY.unpack_from(
                 record, at)
             entries.append((vt_start, vt_end, bool(live),
                             RecordId(page, slot)))
         return entries
+
+    def _read_vdir(self, vdir_rid: RecordId) -> List[Tuple[int, int, bool,
+                                                           RecordId]]:
+        if vdir_rid == _NO_RECORD:
+            return []
+        return self._parse_vdir(self._vdir.read(vdir_rid))
 
     def _encode_vdir(self, entries: List[Tuple[int, int, bool,
                                                RecordId]]) -> bytes:
@@ -613,6 +755,82 @@ class SeparatedStore(_BaseStore):
 
     def version_count(self, atom_id: int) -> int:
         return self._dir_entry(atom_id)[2]
+
+    # -- batched reads ---------------------------------------------------------
+    #
+    # A batch runs in waves — directory, then current segment, then
+    # version directories, then history records — each wave a single
+    # page-grouped read, so the dense current segment in particular is
+    # pinned once per page per batch (the strategy's best case).
+
+    def read_at_many(self, atom_ids: Iterable[int],
+                     at: int) -> Dict[int, List[Tuple[int, StoredVersion]]]:
+        result: Dict[int, List[Tuple[int, StoredVersion]]] = {}
+        current_fetch: Dict[int, Tuple[RecordId, int]] = {}
+        vdir_fetch: Dict[int, RecordId] = {}
+        for atom_id, payload in self._entries_many(atom_ids).items():
+            if payload is None:
+                result[atom_id] = []
+                continue
+            (cpage, cslot, vpage, vslot, count,
+             vt_start, vt_end, live) = self._DIR_VALUE.unpack(payload)
+            if live and vt_start <= at < vt_end:
+                current_fetch[atom_id] = (RecordId(cpage, cslot), count - 1)
+            else:
+                vdir_fetch[atom_id] = RecordId(vpage, vslot)
+        current_records = self._current.read_many(
+            rid for rid, _ in current_fetch.values())
+        for atom_id, (rid, seq) in current_fetch.items():
+            result[atom_id] = [
+                (seq, self._decode_version(current_records[rid]))]
+        vdir_records = self._vdir.read_many(
+            rid for rid in vdir_fetch.values() if rid != _NO_RECORD)
+        hist_fetch: List[Tuple[int, int, RecordId]] = []
+        for atom_id, vdir_rid in vdir_fetch.items():
+            result[atom_id] = []
+            if vdir_rid == _NO_RECORD:
+                continue
+            for seq, (e_start, e_end, e_live, rid) in enumerate(
+                    self._parse_vdir(vdir_records[vdir_rid])):
+                if e_live and e_start <= at < e_end:
+                    hist_fetch.append((atom_id, seq, rid))
+        hist_records = self._history.read_many(
+            rid for _, _, rid in hist_fetch)
+        for atom_id, seq, rid in hist_fetch:
+            result[atom_id].append(
+                (seq, self._decode_version(hist_records[rid])))
+        return result
+
+    def read_all_many(self, atom_ids: Iterable[int]
+                      ) -> Dict[int, List[StoredVersion]]:
+        current_fetch: Dict[int, RecordId] = {}
+        vdir_fetch: Dict[int, RecordId] = {}
+        for atom_id, payload in self._entries_many(atom_ids).items():
+            if payload is None:
+                continue
+            (cpage, cslot, vpage, vslot, _count,
+             _vs, _ve, _live) = self._DIR_VALUE.unpack(payload)
+            current_fetch[atom_id] = RecordId(cpage, cslot)
+            vdir_fetch[atom_id] = RecordId(vpage, vslot)
+        vdir_records = self._vdir.read_many(
+            rid for rid in vdir_fetch.values() if rid != _NO_RECORD)
+        hist_order: Dict[int, List[RecordId]] = {}
+        for atom_id, vdir_rid in vdir_fetch.items():
+            hist_order[atom_id] = (
+                [] if vdir_rid == _NO_RECORD else
+                [rid for _, _, _, rid
+                 in self._parse_vdir(vdir_records[vdir_rid])])
+        hist_records = self._history.read_many(
+            rid for rids in hist_order.values() for rid in rids)
+        current_records = self._current.read_many(current_fetch.values())
+        result: Dict[int, List[StoredVersion]] = {}
+        for atom_id, current_rid in current_fetch.items():
+            versions = [self._decode_version(hist_records[rid])
+                        for rid in hist_order[atom_id]]
+            versions.append(
+                self._decode_version(current_records[current_rid]))
+            result[atom_id] = versions
+        return result
 
 
 _STORE_CLASSES = {

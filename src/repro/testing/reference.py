@@ -65,10 +65,23 @@ class ReferenceDatabase:
             return None
         return hist.version_at(versions, at, tt)
 
+    def version_at_many(self, atom_ids, at: Timestamp,
+                        tt: Optional[Timestamp] = None
+                        ) -> Dict[int, Optional[Version]]:
+        """Batched ``version_at`` (engine-compatible, trivially looped)."""
+        return {atom_id: self.version_at(atom_id, at, tt)
+                for atom_id in dict.fromkeys(atom_ids)}
+
     def all_versions(self, atom_id: int) -> List[Version]:
         if atom_id not in self._histories:
             raise UnknownAtomError(f"no atom {atom_id}")
         return list(self._histories[atom_id])
+
+    def all_versions_many(self, atom_ids) -> Dict[int, List[Version]]:
+        """Batched ``all_versions``; unknown atoms are omitted."""
+        return {atom_id: list(self._histories[atom_id])
+                for atom_id in dict.fromkeys(atom_ids)
+                if atom_id in self._histories}
 
     def atom_exists(self, atom_id: int) -> bool:
         return atom_id in self._histories

@@ -71,5 +71,8 @@ def vacuum_superseded(db: TemporalDatabase,
             else:
                 # Every version gone: the atom itself disappears.
                 db.engine.indexes.unregister_atom(type_id, atom_id)
+            # The rewrite bypassed _apply_plan, so sequence numbers may
+            # now address different versions: drop the cached decodes.
+            db.engine.invalidate_atom_caches(atom_id)
     db.checkpoint()
     return report

@@ -70,6 +70,37 @@ class TestWorkloadDifferential:
                 assert m.same_composition_as(t)
         db.close()
 
+    @pytest.mark.parametrize("parallelism", [1, 4])
+    def test_batched_build_many_matches_oracle(self, tmp_path, strategy,
+                                               parallelism):
+        """The set-oriented read path (batched fetch, decode cache, and
+        optional thread parallelism) returns exactly what per-root oracle
+        construction does, in root order."""
+        spec = small_spec(seed=7)
+        ops, groups = generate_bom(spec)
+        ref = ReferenceDatabase(cad_schema())
+        ref_ids = apply_to_reference(ref, ops)
+        db = TemporalDatabase.create(
+            str(tmp_path / f"dbpar{parallelism}"), cad_schema(),
+            DatabaseConfig(strategy=strategy, buffer_pages=48))
+        db_ids = apply_to_database(db, ops)
+        roots = [db_ids[handle] for handle in groups["Part"]]
+        back = {db_ids[handle]: ref_ids[handle]
+                for handle in groups["Part"]}
+        for at in (0, 1, 2, spec.versions_per_atom):
+            mine = db.molecules_at(roots, "Part.contains.Component", at,
+                                   parallelism=parallelism)
+            theirs = [ref.molecule_at(back[root],
+                                      "Part.contains.Component", at)
+                      for root in roots]
+            theirs = [m for m in theirs if m is not None]
+            assert len(mine) == len(theirs), at
+            for m, t in zip(mine, theirs):
+                assert m.atom_count() == t.atom_count()
+                assert sorted(a.type_name for a in m.atoms()) == sorted(
+                    a.type_name for a in t.atoms())
+        db.close()
+
 
 @st.composite
 def op_batches(draw):

@@ -1,0 +1,136 @@
+"""MQL plan cache: reuse, parameter rebinding, eviction, DDL invalidation.
+
+Query texts are parsed (and, when parameter-free, analyzed) once and
+reused; parameterized texts cache the parse only, so late-bound values
+still get full literal type checking.  DDL changes index availability,
+so it clears the cache outright.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.mql.planner import PlanCache
+from repro.obs import MetricsRegistry
+
+
+@pytest.fixture
+def stocked(db):
+    with db.transaction() as txn:
+        for name, cost in (("wheel", 10.0), ("frame", 120.0),
+                           ("seat", 35.0)):
+            txn.insert("Part", {"name": name, "cost": cost}, valid_from=0)
+    return db
+
+
+def _cache_stats(db):
+    return {
+        "hits": db.metrics.value("mql.plan_cache.hits"),
+        "misses": db.metrics.value("mql.plan_cache.misses"),
+        "evictions": db.metrics.value("mql.plan_cache.evictions"),
+    }
+
+
+class TestReuse:
+    def test_repeated_query_hits_the_cache(self, stocked):
+        db = stocked
+        text = "SELECT ALL FROM Part WHERE Part.cost > 50 VALID AT 5"
+        first = db.query(text)
+        before = _cache_stats(db)
+        second = db.query(text)
+        after = _cache_stats(db)
+        assert after["hits"] > before["hits"]
+        assert len(first.entries) == len(second.entries) == 1
+
+    def test_whitespace_variants_share_an_entry(self, stocked):
+        db = stocked
+        db.query("SELECT ALL FROM Part VALID AT 5")
+        before = _cache_stats(db)
+        db.query("SELECT  ALL\n FROM   Part  VALID AT 5")
+        after = _cache_stats(db)
+        assert after["hits"] > before["hits"]
+        assert after["misses"] == before["misses"]
+
+    def test_results_stay_correct_across_reuse(self, stocked):
+        db = stocked
+        text = "SELECT Part.name FROM Part WHERE Part.cost < 50 VALID AT 5"
+        first = db.query(text)
+        second = db.query(text)
+        names = lambda result: sorted(
+            entry.row["Part.name"] for entry in result.entries)
+        assert names(first) == names(second) == ["seat", "wheel"]
+
+
+class TestParameters:
+    TEXT = "SELECT ALL FROM Part WHERE Part.cost > $limit VALID AT 5"
+
+    def test_same_text_different_params_different_results(self, stocked):
+        db = stocked
+        cheap = db.query(self.TEXT, params={"limit": 5.0})
+        pricey = db.query(self.TEXT, params={"limit": 100.0})
+        assert len(cheap.entries) == 3
+        assert len(pricey.entries) == 1
+        # The parse was shared: the second run hit the cache.
+        before = _cache_stats(db)
+        db.query(self.TEXT, params={"limit": 100.0})
+        assert _cache_stats(db)["hits"] > before["hits"]
+
+    def test_cached_parse_still_type_checks_bindings(self, stocked):
+        db = stocked
+        db.query(self.TEXT, params={"limit": 5.0})  # prime the cache
+        with pytest.raises(ParseError):
+            db.query(self.TEXT, params={"limit": object()})
+
+    def test_unbound_parameter_still_rejected(self, stocked):
+        with pytest.raises(ParseError):
+            stocked.query(self.TEXT)
+
+
+class TestEviction:
+    def test_capacity_bounds_the_cache(self):
+        cache = PlanCache(capacity=2, metrics=MetricsRegistry())
+        cache.put("q1", "plan1")
+        cache.put("q2", "plan2")
+        cache.put("q3", "plan3")
+        assert len(cache) == 2
+        assert cache.get("q1") is None      # oldest evicted
+        assert cache.get("q3") == "plan3"
+
+    def test_get_refreshes_recency(self):
+        cache = PlanCache(capacity=2, metrics=MetricsRegistry())
+        cache.put("q1", "plan1")
+        cache.put("q2", "plan2")
+        cache.get("q1")                     # q1 is now most recent
+        cache.put("q3", "plan3")
+        assert cache.get("q1") == "plan1"
+        assert cache.get("q2") is None
+
+    def test_eviction_counter_moves_in_a_database(self, stocked):
+        db = stocked
+        db._plan_cache = PlanCache(capacity=2, metrics=db.metrics)
+        for limit in range(4):
+            db.query(f"SELECT ALL FROM Part WHERE Part.cost > {limit} "
+                     f"VALID AT 5")
+        assert _cache_stats(db)["evictions"] >= 2
+
+
+class TestDDLInvalidation:
+    def test_create_attribute_index_clears_cache(self, stocked):
+        db = stocked
+        db.query("SELECT ALL FROM Part WHERE Part.name = 'wheel' "
+                 "VALID AT 5")
+        assert len(db._plan_cache) > 0
+        db.create_attribute_index("Part", "name")
+        assert len(db._plan_cache) == 0
+        # And the re-planned query picks up the new index without error.
+        result = db.query("SELECT ALL FROM Part WHERE Part.name = 'wheel' "
+                          "VALID AT 5")
+        assert len(result.entries) == 1
+
+    def test_create_vt_index_clears_cache(self, stocked):
+        db = stocked
+        db.query("SELECT ALL FROM Part VALID AT 5")
+        assert len(db._plan_cache) > 0
+        db.create_vt_index("Part")
+        assert len(db._plan_cache) == 0

@@ -1,0 +1,201 @@
+"""Decoded-version cache: correctness across every invalidation path.
+
+The engine memoizes decoded versions by ``(atom_id, seq)`` and atom type
+names by atom id.  A stale entry would silently serve old state, so
+every route that rewrites stored bytes — update/correct/delete,
+transaction rollback (undo), recovery replay, and vacuum — must drop the
+atom's entries.  These tests drive each route and verify reads through
+the cache match ground truth, alongside the cache's own metrics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DatabaseConfig, TemporalDatabase
+from repro.core.engine import DecodedVersionCache
+from repro.errors import UnknownAtomError
+from repro.temporal import FOREVER
+from repro.tools.vacuum import vacuum_superseded
+
+
+def _insert_part(db, name="wheel", cost=1.0, valid_from=0):
+    with db.transaction() as txn:
+        return txn.insert("Part", {"name": name, "cost": cost},
+                          valid_from=valid_from)
+
+
+def _cache_counters(db):
+    metrics = db.metrics
+    return {
+        "hits": metrics.value("engine.decode_cache.hits"),
+        "misses": metrics.value("engine.decode_cache.misses"),
+        "invalidations": metrics.value("engine.decode_cache.invalidations"),
+    }
+
+
+class TestCacheServesAndCounts:
+    def test_repeated_reads_hit_the_cache(self, db):
+        part = _insert_part(db)
+        before = _cache_counters(db)
+        first = db.version_at(part, 5)
+        between = _cache_counters(db)
+        second = db.version_at(part, 5)
+        after = _cache_counters(db)
+        assert first.values == second.values
+        assert between["misses"] > before["misses"]
+        assert after["hits"] > between["hits"]
+
+    def test_mutations_count_invalidations(self, db):
+        part = _insert_part(db)
+        db.version_at(part, 5)
+        before = _cache_counters(db)
+        with db.transaction() as txn:
+            txn.update(part, {"cost": 9.0}, valid_from=0)
+        after = _cache_counters(db)
+        assert after["invalidations"] > before["invalidations"]
+
+
+class TestMutationInvalidation:
+    def test_update_is_visible_through_the_cache(self, db):
+        part = _insert_part(db, cost=1.0)
+        assert db.version_at(part, 5).values["cost"] == 1.0
+        with db.transaction() as txn:
+            txn.update(part, {"cost": 2.5}, valid_from=0)
+        assert db.version_at(part, 5).values["cost"] == 2.5
+
+    def test_correct_is_visible_through_the_cache(self, db):
+        part = _insert_part(db, cost=1.0)
+        assert db.version_at(part, 5).values["cost"] == 1.0
+        with db.transaction() as txn:
+            txn.correct(part, 0, FOREVER, {"cost": 3.0})
+        assert db.version_at(part, 5).values["cost"] == 3.0
+
+    def test_delete_is_visible_through_the_cache(self, db):
+        part = _insert_part(db)
+        assert db.version_at(part, 5) is not None
+        with db.transaction() as txn:
+            txn.delete(part, valid_from=0)
+        assert db.version_at(part, 5) is None
+
+    def test_history_reads_track_mutations(self, db):
+        part = _insert_part(db, cost=1.0)
+        assert len(db.history(part)) == 1
+        with db.transaction() as txn:
+            txn.update(part, {"cost": 2.0}, valid_from=10)
+        history = db.history(part)
+        assert len(history) > 1
+        # Re-read through the now-warm cache: identical content.
+        again = db.history(part)
+        assert [v.values for v in history] == [v.values for v in again]
+
+
+class TestRollbackInvalidation:
+    def test_abort_undoes_update_without_stale_reads(self, db):
+        part = _insert_part(db, cost=1.0)
+        assert db.version_at(part, 5).values["cost"] == 1.0
+        txn = db.begin()
+        txn.update(part, {"cost": 99.0}, valid_from=0)
+        # Inside the transaction the new value is cached...
+        assert txn.version_at(part, 5).values["cost"] == 99.0
+        txn.abort()
+        # ...and the undo must have dropped it again.
+        assert db.version_at(part, 5).values["cost"] == 1.0
+
+    def test_abort_undoes_insert(self, db):
+        txn = db.begin()
+        part = txn.insert("Part", {"name": "ghost"}, valid_from=0)
+        assert txn.version_at(part, 5) is not None
+        txn.abort()
+        assert db.version_at(part, 5) is None
+        with pytest.raises(UnknownAtomError):
+            db.engine.atom_type_name(part)
+
+    def test_abort_undoes_link(self, db):
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "p"}, valid_from=0)
+            comp = txn.insert("Component", {"cname": "c"}, valid_from=0)
+        db.version_at(part, 5)  # warm the cache
+        txn = db.begin()
+        txn.link("contains", part, comp, valid_from=0)
+        txn.abort()
+        version = db.version_at(part, 5)
+        assert not version.refs
+
+
+class TestRecoveryInvalidation:
+    def test_replayed_state_reads_correctly(self, tmp_path, cad_schema,
+                                            strategy):
+        db = TemporalDatabase.create(
+            str(tmp_path / "crashdb"), cad_schema,
+            DatabaseConfig(strategy=strategy, buffer_pages=32))
+        part = _insert_part(db, cost=1.0)
+        db.checkpoint()
+        db.version_at(part, 5)  # warm caches before the post-checkpoint work
+        with db.transaction() as txn:
+            txn.update(part, {"cost": 7.0}, valid_from=0)
+        assert db.version_at(part, 5).values["cost"] == 7.0
+        # Crash: abandon without close; reopen replays through the engine.
+        db._wal._file.flush()
+        db._disk._file.flush()
+        recovered = TemporalDatabase.open(str(tmp_path / "crashdb"))
+        assert recovered.last_recovery is not None
+        assert recovered.version_at(part, 5).values["cost"] == 7.0
+        assert recovered.version_at(part, 5).values["cost"] == 7.0
+        recovered.close()
+
+
+class TestVacuumInvalidation:
+    def test_vacuum_rewrite_does_not_leave_stale_decodes(self, db):
+        part = _insert_part(db, cost=1.0)
+        with db.transaction() as txn:
+            txn.update(part, {"cost": 2.0}, valid_from=0)
+        with db.transaction() as txn:
+            txn.update(part, {"cost": 3.0}, valid_from=0)
+        # Warm the cache with the full pre-vacuum history.
+        before = db.history(part)
+        assert db.version_at(part, 5).values["cost"] == 3.0
+        cutoff = db._clock.now()
+        report = vacuum_superseded(db, cutoff)
+        assert report.versions_removed > 0
+        # Sequence numbers shifted under the rewrite: reads must reflect
+        # the compacted store, not the cached pre-vacuum decodes.
+        after = db.history(part)
+        assert len(after) == len(before) - report.versions_removed
+        assert db.version_at(part, 5).values["cost"] == 3.0
+
+
+class TestTypeNameMap:
+    def test_unknown_atom_still_raises(self, db):
+        with pytest.raises(UnknownAtomError):
+            db.engine.atom_type_name(424242)
+
+    def test_repeat_lookups_avoid_record_reads(self, db):
+        part = _insert_part(db)
+        db.engine.atom_type_name(part)  # populate the map
+        reads_before = db.metrics.total("heap.record_reads")
+        for _ in range(5):
+            assert db.engine.atom_type_name(part) == "Part"
+        assert db.metrics.total("heap.record_reads") == reads_before
+
+
+class TestEviction:
+    def test_tiny_cache_stays_correct(self, db):
+        db.engine._decode_cache = DecodedVersionCache(2, db.metrics)
+        parts = [_insert_part(db, name=f"p{i}", cost=float(i))
+                 for i in range(6)]
+        for index, part in enumerate(parts):
+            assert db.version_at(part, 5).values["cost"] == float(index)
+        # Sweep again in reverse so every read churns the 2-entry LRU.
+        for index, part in reversed(list(enumerate(parts))):
+            assert db.version_at(part, 5).values["cost"] == float(index)
+        assert len(db.engine._decode_cache) <= 2
+
+    def test_lru_capacity_is_enforced(self):
+        from repro.obs import MetricsRegistry
+        cache = DecodedVersionCache(3, MetricsRegistry())
+        for atom_id in range(5):
+            cache.put(atom_id, 0, "Part", object())
+        assert len(cache) == 3
+        assert cache.get(0, 0) is None      # evicted
+        assert cache.get(4, 0) is not None  # newest survives
