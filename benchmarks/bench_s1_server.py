@@ -1,0 +1,149 @@
+"""R-S1 — The network service layer: wire overhead and concurrency.
+
+The embedded kernel answers a point query in fractions of a
+millisecond; putting a socket in front of it must not bury that.  Three
+questions:
+
+1. **Round-trip overhead** — the same point query in-process vs over a
+   loopback connection (frame encode + TCP + dispatch + frame decode).
+   The timing table carries both rows; the wire row minus the local row
+   is the protocol tax.
+2. **PREPARE/EXECUTE payoff** — repeated parameterized EXECUTEs ride
+   the plan cache's parameterized-analysis cache; the timing rows
+   compare cold QUERY text against prepared EXECUTE.
+3. **Concurrent clients** — deterministic section: total throughput at
+   1/2/4/8 threaded clients over the shared server, every response
+   checked byte-identical against the in-process oracle, plus the
+   shed/timeout counters (which must stay zero at these rates).
+
+Loopback TCP only — numbers measure the software stack, not a NIC.
+"""
+
+import threading
+import time
+
+import pytest
+
+from benchmarks._util import build_db, emit, header
+from repro.server import ClientPool, DatabaseClient, DatabaseServer
+from repro.server.protocol import encode_payload, result_to_payload
+from repro.workloads import fanout_spec
+
+POINT_QUERY = "SELECT ALL FROM Part WHERE Part.name = $name VALID AT 40"
+SCAN_QUERY = "SELECT Part.name, Part.cost FROM Part VALID AT 40"
+CLIENT_COUNTS = [1, 2, 4, 8]
+REQUESTS_PER_CLIENT = 50
+
+
+def test_s1_report_header(benchmark, capsys):
+    header(capsys, "R-S1",
+           "wire overhead, prepared execution, concurrent clients")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    path = tmp_path_factory.mktemp("s1") / "db"
+    db, ids, groups = build_db(str(path), fanout_spec(fanout=8),
+                               buffer_pages=512)
+    server = DatabaseServer(db).start()
+    yield db, server
+    server.shutdown()
+    db.close()
+
+
+@pytest.fixture(scope="module")
+def client(served):
+    _, server = served
+    with DatabaseClient(server.host, server.port) as connection:
+        yield connection
+
+
+# -- 1: round-trip overhead --------------------------------------------------
+
+
+def test_s1_local_point_query(benchmark, served):
+    db, _ = served
+    benchmark(lambda: db.query(POINT_QUERY, params={"name": "part-0"}))
+
+
+def test_s1_wire_point_query(benchmark, client):
+    benchmark(lambda: client.query(POINT_QUERY,
+                                   params={"name": "part-0"}))
+
+
+def test_s1_local_scan_query(benchmark, served):
+    db, _ = served
+    benchmark(lambda: db.query(SCAN_QUERY))
+
+
+def test_s1_wire_scan_query(benchmark, client):
+    benchmark(lambda: client.query(SCAN_QUERY))
+
+
+# -- 2: prepared execution ---------------------------------------------------
+
+
+def test_s1_wire_prepared_execute(benchmark, client):
+    statement = client.prepare(POINT_QUERY)
+    benchmark(lambda: statement.execute({"name": "part-0"}))
+
+
+# -- 3: concurrent clients ---------------------------------------------------
+
+
+def test_s1_concurrent_client_scaling(served, capsys):
+    db, server = served
+    oracle = encode_payload(result_to_payload(db.query(SCAN_QUERY)))
+    emit(capsys, "",
+         "clients | total requests | wall s | req/s | identical")
+    for clients in CLIENT_COUNTS:
+        mismatches = []
+
+        def worker():
+            with DatabaseClient(server.host, server.port) as conn:
+                for _ in range(REQUESTS_PER_CLIENT):
+                    body = conn.query(SCAN_QUERY)
+                    if encode_payload(body) != oracle:
+                        mismatches.append(body)
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(clients)]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        total = clients * REQUESTS_PER_CLIENT
+        emit(capsys,
+             f"{clients:>7} | {total:>14} | {elapsed:>6.2f} "
+             f"| {total / elapsed:>5.0f} | "
+             f"{'yes' if not mismatches else 'NO'}")
+        assert not mismatches, f"{len(mismatches)} mismatches at " \
+                               f"{clients} clients"
+    shed = db.metrics.value("server.load_shed")
+    timeouts = db.metrics.value("server.queue_timeouts")
+    emit(capsys, f"load_shed={shed} queue_timeouts={timeouts}")
+    assert shed == 0 and timeouts == 0
+
+
+def test_s1_pool_reuse_beats_reconnect(served, capsys):
+    """Connection setup cost, amortized by the pool."""
+    _, server = served
+    rounds = 30
+    started = time.perf_counter()
+    for _ in range(rounds):
+        with DatabaseClient(server.host, server.port) as conn:
+            conn.query(SCAN_QUERY)
+    reconnect = time.perf_counter() - started
+    with ClientPool(server.host, server.port, size=1) as pool:
+        started = time.perf_counter()
+        for _ in range(rounds):
+            pool.query(SCAN_QUERY)
+        pooled = time.perf_counter() - started
+    emit(capsys, "",
+         f"{rounds} queries: reconnect-per-query {reconnect:.3f}s, "
+         f"pooled {pooled:.3f}s "
+         f"({reconnect / max(pooled, 1e-9):.1f}x)")
+    assert pooled < reconnect

@@ -10,6 +10,8 @@ Commands:
 * ``timeline DB ATOM_ID``    — print the coalesced current-belief timeline
 * ``verify DB``              — run the integrity verifier
 * ``vacuum DB --before-tt T``— remove versions superseded before T
+* ``serve --path DB --port N`` — serve the database over TCP
+* ``shell --connect HOST:PORT`` — interactive MQL shell over the wire
 
 All commands open the database read-mostly and close it cleanly.
 """
@@ -168,6 +170,93 @@ def cmd_load(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.server import AdmissionController, DatabaseServer
+
+    db = _open(args.path)
+    admission = AdmissionController(
+        max_inflight=args.max_inflight,
+        max_queued=args.max_queued,
+        request_timeout=args.request_timeout,
+        slow_query_ms=args.slow_query_ms,
+        metrics=db.metrics)
+    server = DatabaseServer(
+        db, host=args.host, port=args.port,
+        max_connections=args.max_connections,
+        idle_timeout=args.idle_timeout,
+        admission=admission)
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop.set())
+    server.start()
+    print(f"serving {args.path} on {server.host}:{server.port} "
+          f"(max {args.max_connections} connections, "
+          f"{args.max_inflight} in flight)", flush=True)
+    try:
+        stop.wait()
+    finally:
+        print("shutting down: draining requests, checkpointing...",
+              flush=True)
+        server.shutdown()
+        db.close()
+        print("closed cleanly", flush=True)
+    return 0
+
+
+def cmd_shell(args: argparse.Namespace) -> int:
+    from repro.errors import ConnectionClosedError, RemoteError
+    from repro.server import DatabaseClient
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"error: --connect needs HOST:PORT, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+    client = DatabaseClient(host, int(port))
+    print(f"connected to {host}:{port} "
+          f"(schema {client.session.get('schema')}, "
+          f"session {client.session.get('session_id')})")
+    print("type MQL and press enter; \\q quits, \\explain Q profiles Q")
+    try:
+        while True:
+            try:
+                line = input("mql> ").strip()
+            except EOFError:
+                break
+            if not line:
+                continue
+            if line in ("\\q", "quit", "exit"):
+                break
+            try:
+                if line.startswith("\\explain "):
+                    body = client.explain(line[len("\\explain "):])
+                else:
+                    body = client.query(line)
+            except RemoteError as exc:
+                print(f"error: {exc}")
+                continue
+            except ConnectionClosedError as exc:
+                print(f"connection lost: {exc}", file=sys.stderr)
+                return 1
+            for entry in body["entries"]:
+                start, end = entry["valid"]
+                cells = entry.get("row") or entry.get("molecule") or {}
+                print(f"  root {entry['root_id']} [{start},{end}): {cells}")
+            print(f"-- {len(body['entries'])} "
+                  f"entr{'y' if len(body['entries']) == 1 else 'ies'}, "
+                  f"plan: {body['plan']}")
+            if "profile" in body:
+                import json as _json
+                print(_json.dumps(body["profile"], indent=2,
+                                  sort_keys=True))
+    finally:
+        client.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -229,6 +318,25 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--strategy",
                       choices=[s.value for s in VersionStrategy])
     load.set_defaults(handler=cmd_load)
+
+    serve = commands.add_parser(
+        "serve", help="serve a database over TCP")
+    serve.add_argument("--path", required=True,
+                       help="database directory to serve")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7042)
+    serve.add_argument("--max-connections", type=int, default=32)
+    serve.add_argument("--max-inflight", type=int, default=8)
+    serve.add_argument("--max-queued", type=int, default=32)
+    serve.add_argument("--request-timeout", type=float, default=10.0)
+    serve.add_argument("--slow-query-ms", type=float, default=250.0)
+    serve.add_argument("--idle-timeout", type=float, default=300.0)
+    serve.set_defaults(handler=cmd_serve)
+
+    shell = commands.add_parser(
+        "shell", help="interactive MQL shell against a running server")
+    shell.add_argument("--connect", required=True, metavar="HOST:PORT")
+    shell.set_defaults(handler=cmd_shell)
 
     return parser
 

@@ -49,7 +49,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.access.indexes import IndexManager
 from repro.core.builder import MoleculeBuilder
-from repro.core.engine import StorageEngine
+from repro.core.engine import DEFAULT_DECODE_CACHE_BYTES, StorageEngine
 from repro.core.molecule import Molecule, MoleculeType
 from repro.core.schema import Schema
 from repro.core.version import Version
@@ -111,6 +111,7 @@ class DatabaseConfig:
     durability: str = "sync"
     group_commit: bool = True
     lock_timeout: float = 10.0
+    decode_cache_bytes: int = DEFAULT_DECODE_CACHE_BYTES
     sync_commits: Optional[bool] = None
 
     def __post_init__(self) -> None:
@@ -283,6 +284,9 @@ class TemporalDatabase:
         self.config = config
         self._catalog = catalog
         self._closed = False
+        #: Serializes close() against itself: double- and concurrent
+        #: close are no-ops after the first one wins.
+        self._close_mutex = threading.Lock()
         #: Shared-read / exclusive-write latch over the in-memory engine:
         #: reader threads run queries in parallel, each mutation and
         #: checkpoint briefly excludes them.
@@ -305,7 +309,8 @@ class TemporalDatabase:
                                         store_state)
         index_state = catalog.extras.get("index_state") or None
         self.indexes = IndexManager(self.buffer, index_state)
-        self.engine = StorageEngine(schema, self.store, self.indexes)
+        self.engine = StorageEngine(schema, self.store, self.indexes,
+                                    decode_cache_bytes=config.decode_cache_bytes)
         self.builder = MoleculeBuilder(self.engine)
         # Compiled-query cache (parse + analysis per normalized text);
         # local import because repro.mql imports the engine above us.
@@ -420,21 +425,18 @@ class TemporalDatabase:
     def version_at(self, atom_id: int, at: Timestamp,
                    tt: Optional[Timestamp] = None) -> Optional[Version]:
         """The atom's version valid at *at*, as believed at *tt*."""
-        self._require_open()
-        with self._state_latch.read():
+        with self._read_view():
             return self.engine.version_at(atom_id, at, tt)
 
     def history(self, atom_id: int) -> List[Version]:
         """The atom's full recorded bitemporal history."""
-        self._require_open()
-        with self._state_latch.read():
+        with self._read_view():
             return self.engine.all_versions(atom_id)
 
     def lifespan(self, atom_id: int, tt: Optional[Timestamp] = None):
         """The temporal element over which the atom exists, as believed
         at transaction time *tt* (default: current knowledge)."""
-        self._require_open()
-        with self._state_latch.read():
+        with self._read_view():
             return self.engine.lifespan(atom_id, tt)
 
     def molecule_at(self, root_id: int, molecule_type: "str | MoleculeType",
@@ -446,9 +448,8 @@ class TemporalDatabase:
         the returned molecule is a consistent snapshot — a concurrent
         writer cannot interleave between the atom fetches.
         """
-        self._require_open()
         mtype = self._resolve_molecule_type(molecule_type)
-        with self._state_latch.read():
+        with self._read_view():
             return self.builder.build_at(root_id, mtype, at, tt)
 
     def molecule_history(self, root_id: int,
@@ -457,9 +458,8 @@ class TemporalDatabase:
                          tt: Optional[Timestamp] = None
                          ) -> List[Tuple[Interval, Molecule]]:
         """The molecule's coalesced states over *window*."""
-        self._require_open()
         mtype = self._resolve_molecule_type(molecule_type)
-        with self._state_latch.read():
+        with self._read_view():
             return self.builder.build_history(root_id, mtype, window, tt)
 
     def molecules_at(self, root_ids: List[int],
@@ -475,9 +475,8 @@ class TemporalDatabase:
         the same consistent snapshot, and the result is deterministic
         and identical to the single-threaded mode.
         """
-        self._require_open()
         mtype = self._resolve_molecule_type(molecule_type)
-        with self._state_latch.read():
+        with self._read_view():
             return self.builder.build_many(root_ids, mtype, at, tt,
                                            parallelism=parallelism)
 
@@ -496,9 +495,8 @@ class TemporalDatabase:
             db.query("SELECT ALL FROM Part WHERE Part.name = $n "
                      "VALID AT 5", params={"n": "wheel"})
         """
-        self._require_open()
         from repro.mql import execute_query  # local import: avoids a cycle
-        with self._state_latch.read():
+        with self._read_view():
             return execute_query(self, text, params)
 
     def explain(self, text: str, params: Optional[Dict[str, Any]] = None):
@@ -508,14 +506,12 @@ class TemporalDatabase:
         returned result carries a :class:`repro.obs.QueryProfile` in its
         ``profile`` attribute.
         """
-        self._require_open()
         from repro.mql import execute_query  # local import: avoids a cycle
-        with self._state_latch.read():
+        with self._read_view():
             return execute_query(self, text, params, profile=True)
 
     def atoms_of_type(self, type_name: str) -> List[int]:
-        self._require_open()
-        with self._state_latch.read():
+        with self._read_view():
             return list(self.engine.atoms_of_type(type_name))
 
     # ------------------------------------------------------------------
@@ -575,28 +571,56 @@ class TemporalDatabase:
                             os.path.join(self.path, _CATALOG_FILE)])
 
     def close(self) -> None:
-        """Checkpoint, truncate the log, and mark a clean shutdown."""
-        if self._closed:
-            return
-        if self._txn_manager.active_transactions():
-            raise TransactionStateError(
-                "cannot close with active transactions")
-        self.checkpoint()
-        self._wal.truncate()
-        self._catalog.applied_lsn = 0
-        self._catalog.extras["clean_shutdown"] = True
-        self._catalog.save()
-        # Republish so the checkpointed catalog also carries the reset
-        # applied_lsn — a crash after close() must replay the (empty,
-        # restarted) log from LSN 0, not from the pre-truncate LSN.
-        self._publish_checkpoint()
-        self._wal.close()
-        self._disk.close()
-        self._closed = True
+        """Checkpoint, truncate the log, and mark a clean shutdown.
+
+        Idempotent and safe to call concurrently with in-flight reads:
+        the first caller wins (later and concurrent calls return once it
+        finished), and the closed flag flips while holding the exclusive
+        side of the state latch — every read running under the shared
+        side completes against open files, and reads arriving afterwards
+        fail fast with :class:`StorageError` instead of hitting a closed
+        file handle.
+        """
+        with self._close_mutex:
+            if self._closed:
+                return
+            if self._txn_manager.active_transactions():
+                raise TransactionStateError(
+                    "cannot close with active transactions")
+            self.checkpoint()
+            self._wal.truncate()
+            self._catalog.applied_lsn = 0
+            self._catalog.extras["clean_shutdown"] = True
+            self._catalog.save()
+            # Republish so the checkpointed catalog also carries the reset
+            # applied_lsn — a crash after close() must replay the (empty,
+            # restarted) log from LSN 0, not from the pre-truncate LSN.
+            self._publish_checkpoint()
+            # Drain in-flight readers before invalidating the handles:
+            # they hold the shared side, so taking the exclusive side is
+            # a barrier, and the flag flips before any new reader can
+            # pass the re-check inside _read_view().
+            with self._state_latch.write():
+                self._closed = True
+            self._wal.close()
+            self._disk.close()
 
     def _require_open(self) -> None:
         if self._closed:
             raise StorageError("database is closed")
+
+    @contextmanager
+    def _read_view(self) -> Iterator[None]:
+        """Shared-read latch plus a closed re-check under the latch.
+
+        The early check gives a crisp error without latch traffic; the
+        re-check closes the race where close() flips the flag between a
+        reader's check and its latch acquisition.
+        """
+        self._require_open()
+        with self._state_latch.read():
+            self._require_open()
+            yield
 
     def __enter__(self) -> "TemporalDatabase":
         return self

@@ -68,12 +68,26 @@ _TYPE_PREFIX = struct.Struct("<H")
 
 UndoAction = Callable[[], None]
 
-#: Default capacity of the decoded-version cache (entries, not bytes).
-DEFAULT_DECODE_CACHE_SIZE = 4096
+#: Default budget of the decoded-version cache in bytes.  The previous
+#: bound was 4096 *entries*, which for typical ~100-byte payloads sat
+#: around half a megabyte but could balloon arbitrarily for wide atoms;
+#: a byte budget makes the cache's footprint a real, tunable number that
+#: can share one memory budget with the buffer pool.
+DEFAULT_DECODE_CACHE_BYTES = 8 * 1024 * 1024
+
+#: Fixed per-entry accounting overhead (key tuple, OrderedDict slot,
+#: Version object headers) added to each entry's payload size.
+DECODE_CACHE_ENTRY_OVERHEAD = 160
 
 
 class DecodedVersionCache:
-    """Bounded LRU of decoded versions, keyed by ``(atom_id, seq)``.
+    """Byte-bounded LRU of decoded versions, keyed by ``(atom_id, seq)``.
+
+    Each entry is charged its *encoded payload size* plus a fixed
+    overhead — the encoded size is a faithful, already-known proxy for
+    the decoded footprint (attribute values and reference sets dominate
+    both).  Occupancy is surfaced as the ``engine.decode_cache.bytes``
+    gauge so the cache and the buffer pool can share one memory budget.
 
     A sequence number is stable for the lifetime of an atom but its
     *content* changes under ``replace_version``/``pop_version``, so the
@@ -83,16 +97,29 @@ class DecodedVersionCache:
     builders hit it concurrently under the facade's shared-read latch.
     """
 
-    def __init__(self, capacity: int, metrics) -> None:
-        self._capacity = capacity
+    def __init__(self, capacity_bytes: int, metrics) -> None:
+        self._capacity_bytes = capacity_bytes
         self._lock = threading.Lock()
-        self._entries: "OrderedDict[Tuple[int, int], Tuple[str, Version]]" \
-            = OrderedDict()
+        # key -> (type_name, version, charged cost in bytes)
+        self._entries: "OrderedDict[Tuple[int, int], \
+            Tuple[str, Version, int]]" = OrderedDict()
         self._by_atom: Dict[int, Set[int]] = {}
+        self._bytes = 0
         self._c_hits = metrics.counter("engine.decode_cache.hits")
         self._c_misses = metrics.counter("engine.decode_cache.misses")
         self._c_invalidations = metrics.counter(
             "engine.decode_cache.invalidations")
+        self._c_evictions = metrics.counter("engine.decode_cache.evictions")
+        self._g_bytes = metrics.gauge("engine.decode_cache.bytes")
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._capacity_bytes
+
+    @property
+    def bytes_used(self) -> int:
+        with self._lock:
+            return self._bytes
 
     def get(self, atom_id: int, seq: int) -> Optional[Tuple[str, Version]]:
         key = (atom_id, seq)
@@ -103,25 +130,32 @@ class DecodedVersionCache:
                 return None
             self._entries.move_to_end(key)
             self._c_hits.inc()
-            return entry
+            return entry[0], entry[1]
 
     def put(self, atom_id: int, seq: int, type_name: str,
-            version: Version) -> None:
+            version: Version, nbytes: int = 0) -> None:
+        cost = nbytes + DECODE_CACHE_ENTRY_OVERHEAD
+        if cost > self._capacity_bytes:
+            return  # an oversized entry would thrash the whole cache
         key = (atom_id, seq)
         with self._lock:
-            if key in self._entries:
-                self._entries[key] = (type_name, version)
-                self._entries.move_to_end(key)
-                return
-            self._entries[key] = (type_name, version)
+            existing = self._entries.get(key)
+            if existing is not None:
+                self._bytes -= existing[2]
+            self._entries[key] = (type_name, version, cost)
+            self._entries.move_to_end(key)
+            self._bytes += cost
             self._by_atom.setdefault(atom_id, set()).add(seq)
-            while len(self._entries) > self._capacity:
-                (old_atom, old_seq), _ = self._entries.popitem(last=False)
+            while self._bytes > self._capacity_bytes and self._entries:
+                (old_atom, old_seq), old = self._entries.popitem(last=False)
+                self._bytes -= old[2]
+                self._c_evictions.inc()
                 seqs = self._by_atom.get(old_atom)
                 if seqs is not None:
                     seqs.discard(old_seq)
                     if not seqs:
                         del self._by_atom[old_atom]
+            self._g_bytes.set(self._bytes)
 
     def invalidate_atom(self, atom_id: int) -> None:
         with self._lock:
@@ -130,12 +164,17 @@ class DecodedVersionCache:
             if not seqs:
                 return
             for seq in seqs:
-                self._entries.pop((atom_id, seq), None)
+                entry = self._entries.pop((atom_id, seq), None)
+                if entry is not None:
+                    self._bytes -= entry[2]
+            self._g_bytes.set(self._bytes)
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
             self._by_atom.clear()
+            self._bytes = 0
+            self._g_bytes.set(0)
 
     def __len__(self) -> int:
         with self._lock:
@@ -147,7 +186,7 @@ class StorageEngine:
 
     def __init__(self, schema: Schema, store: VersionStore,
                  indexes: IndexManager,
-                 decode_cache_size: int = DEFAULT_DECODE_CACHE_SIZE) -> None:
+                 decode_cache_bytes: int = DEFAULT_DECODE_CACHE_BYTES) -> None:
         self.schema = schema
         self.store = store
         self.indexes = indexes
@@ -159,7 +198,7 @@ class StorageEngine:
         self._c_versions_scanned = self.metrics.counter(
             "engine.versions_scanned")
         self._c_mutations = self.metrics.counter("engine.mutations")
-        self._decode_cache = DecodedVersionCache(decode_cache_size,
+        self._decode_cache = DecodedVersionCache(decode_cache_bytes,
                                                  self.metrics)
         # Atoms never change type (insert enforces it), so this map only
         # needs invalidation to forget atoms that disappear entirely; it
@@ -198,7 +237,8 @@ class StorageEngine:
         if cached is not None:
             return cached
         type_name, version = self._decode(stored)
-        self._decode_cache.put(atom_id, seq, type_name, version)
+        self._decode_cache.put(atom_id, seq, type_name, version,
+                               nbytes=len(stored.payload))
         self._type_names.setdefault(atom_id, type_name)
         return type_name, version
 

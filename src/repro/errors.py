@@ -159,6 +159,59 @@ class WALError(TransactionError):
 
 
 # ---------------------------------------------------------------------------
+# Network service layer
+# ---------------------------------------------------------------------------
+
+
+class ServerError(ReproError):
+    """Base class for client/server (remote access) errors."""
+
+
+class ProtocolError(ServerError):
+    """A wire frame violates the protocol (bad CRC, oversized length,
+    malformed payload, out-of-order handshake)."""
+
+
+class HandshakeError(ProtocolError):
+    """Client and server could not agree on a protocol version."""
+
+
+class ServerSaturatedError(ServerError):
+    """The server shed this request: its admission limits (connections,
+    in-flight requests, queue depth) are exhausted.  Transient — back
+    off and retry."""
+
+
+class RequestTimeoutError(ServerError):
+    """The request did not obtain an execution slot within the
+    per-request timeout.  Transient — back off and retry."""
+
+
+class ConnectionClosedError(ServerError):
+    """The peer closed the connection (or the session was reaped)."""
+
+
+class RemoteError(ServerError):
+    """An error raised server-side and reconstructed at the client.
+
+    ``remote_type`` carries the server-side exception class name and
+    ``transient`` whether a retry may succeed.
+    """
+
+    def __init__(self, remote_type: str, message: str,
+                 transient: bool = False) -> None:
+        super().__init__(f"{remote_type}: {message}")
+        self.remote_type = remote_type
+        self.remote_message = message
+        self.transient = transient
+
+
+#: Error classes a client may transparently retry after a backoff.
+TRANSIENT_ERRORS = ("ServerSaturatedError", "RequestTimeoutError",
+                    "DeadlockError", "LockTimeoutError")
+
+
+# ---------------------------------------------------------------------------
 # Query language
 # ---------------------------------------------------------------------------
 

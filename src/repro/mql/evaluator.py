@@ -43,10 +43,12 @@ from repro.mql.ast_nodes import (
 from repro.mql.ast_nodes import WhenClause
 from repro.mql.parser import bind_parameters, has_parameters, parse_query
 from repro.mql.planner import (
+    MAX_PARAM_SIGNATURES,
     CompiledQuery,
     IndexLookup,
     QueryPlan,
     TypeScan,
+    param_signature,
     plan,
 )
 from repro.mql.result import QueryResult, ResultEntry
@@ -85,8 +87,12 @@ def _compile(db, text: str,
     The cache stores the parsed query per normalized text; for texts
     without ``$name`` placeholders it also stores the analyzed form, so
     a repeated point query skips compilation entirely.  Parameterized
-    texts rebind and re-analyze per call — parameters stay late-bound
-    and keep their literal type checks.
+    texts rebind per call (parameters stay late-bound) but reuse the
+    analysis of an earlier binding with the *same parameter types*: the
+    analyzer's literal checks are type-directed, so a same-typed
+    rebinding cannot change the analysis outcome, and the re-analyze
+    walk (molecule resolution + schema checks) is skipped.  This is the
+    hot path of the server's PREPARE/EXECUTE protocol.
     """
     cache = getattr(db, "_plan_cache", None)
     if cache is None:
@@ -102,8 +108,20 @@ def _compile(db, text: str,
         analyzed = analyze(entry.query, db.schema)
         cache.put(text, CompiledQuery(entry.query, analyzed))
         return analyzed
+    # bind_parameters still runs per call: it validates names and value
+    # types and substitutes the fresh values into the parsed AST.
     query = bind_parameters(entry.query, params)
-    return analyze(query, db.schema)
+    signature = param_signature(params)
+    reusable = entry.analyzed_by_types.get(signature)
+    if reusable is not None:
+        cache.c_param_analysis_hits.inc()
+        return AnalyzedQuery(query, reusable.molecule_type,
+                             query.valid, query.as_of)
+    cache.c_param_analysis_misses.inc()
+    analyzed = analyze(query, db.schema)
+    if len(entry.analyzed_by_types) < MAX_PARAM_SIGNATURES:
+        entry.analyzed_by_types[signature] = analyzed
+    return analyzed
 
 
 def execute_plan(db, query_plan: QueryPlan,

@@ -16,8 +16,8 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Any, List, Optional, Union
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.core.engine import StorageEngine
 from repro.mql.analyzer import AnalyzedQuery
@@ -64,21 +64,54 @@ class QueryPlan:
 #: Default maximum number of cached compiled queries.
 DEFAULT_PLAN_CACHE_SIZE = 256
 
+#: Cap on distinct parameter-type signatures cached per compiled query.
+#: A well-behaved client binds each ``$name`` with one stable type, so
+#: one or two signatures cover it; the cap only guards against a caller
+#: cycling through types adversarially.
+MAX_PARAM_SIGNATURES = 16
+
+#: A parameter-type signature: ``((name, type), ...)`` sorted by name.
+ParamSignature = Tuple[Tuple[str, type], ...]
+
+
+def param_signature(params: Optional[Dict[str, Any]]) -> ParamSignature:
+    """The type signature of a parameter binding.
+
+    Two bindings with the same signature are interchangeable for
+    analysis: every check the analyzer performs on a bound literal
+    (comparability with the attribute's data type, the bool/int split,
+    NULL-only-with-equality) depends on the value's *type*, never the
+    value itself.
+    """
+    return tuple((name, type(value))
+                 for name, value in sorted((params or {}).items()))
+
 
 @dataclass(frozen=True, slots=True)
 class CompiledQuery:
-    """A cache entry: the parsed (unbound) query, plus — for queries
-    without ``$name`` parameters — its analyzed form.
+    """A cache entry: the parsed (unbound) query, plus analyzed forms.
 
-    Parameterized texts cache only the parse; binding and analysis rerun
-    per execution so late-bound values still get the analyzer's literal
-    type checks.  Root-access planning always reruns (it consults live
-    index state), so a cached entry can never go stale across DDL — the
-    cache is still cleared on DDL as a matter of hygiene.
+    ``analyzed`` is the fully analyzed query for parameter-free texts —
+    a repeated point query skips compilation entirely.  For
+    parameterized texts, ``analyzed_by_types`` maps a
+    :func:`param_signature` to the analyzed form of *some* earlier
+    binding with those types: rebinding fresh values into the parsed AST
+    is cheap, and because the analyzer's literal checks are purely
+    type-directed, the expensive parts of analysis (molecule-type
+    resolution and validation, predicate/projection schema walks) carry
+    over unchanged — a repeated EXECUTE with same-typed parameters skips
+    the re-analyze walk.  A binding with a new signature takes the full
+    path once and caches its outcome.
+
+    Root-access planning always reruns (it consults live index state),
+    so a cached entry can never go stale across DDL — the cache is still
+    cleared on DDL as a matter of hygiene.
     """
 
     query: Query
     analyzed: Optional[AnalyzedQuery]
+    analyzed_by_types: Dict[ParamSignature, AnalyzedQuery] = field(
+        default_factory=dict)
 
 
 class PlanCache:
@@ -105,6 +138,11 @@ class PlanCache:
         self._c_hits = metrics.counter("mql.plan_cache.hits")
         self._c_misses = metrics.counter("mql.plan_cache.misses")
         self._c_evictions = metrics.counter("mql.plan_cache.evictions")
+        #: Parameterized analysis reuse (incremented by the evaluator).
+        self.c_param_analysis_hits = metrics.counter(
+            "mql.plan_cache.param_analysis_hits")
+        self.c_param_analysis_misses = metrics.counter(
+            "mql.plan_cache.param_analysis_misses")
 
     @staticmethod
     def normalize(text: str) -> str:

@@ -1,0 +1,53 @@
+"""Network service layer: wire protocol, server, client, admission.
+
+The database kernel is embedded (one process owns the files); this
+package puts a socket in front of it so many client processes share one
+kernel.  The pieces:
+
+* :mod:`repro.server.protocol` — length-prefixed, CRC-checked binary
+  frames with canonical JSON payloads; the byte-level contract both
+  sides (and the tests' differential oracle) share.
+* :mod:`repro.server.admission` — load shedding: bounded in-flight
+  requests, a bounded wait queue, per-request queue timeouts, and a
+  slow-query log.
+* :mod:`repro.server.server` — a threaded TCP server, one worker per
+  connection, per-session transaction state, idle reaping, and graceful
+  drain-then-checkpoint shutdown.
+* :mod:`repro.server.client` — a blocking client with prepared
+  statements, context-manager transactions, transient-error retry, and
+  a thread-safe connection pool.
+"""
+
+from repro.server.admission import AdmissionController, SlowQueryLog
+from repro.server.client import ClientPool, DatabaseClient
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    Frame,
+    Opcode,
+    decode_payload,
+    encode_frame,
+    encode_payload,
+    error_payload,
+    read_frame,
+    result_to_payload,
+)
+from repro.server.server import DatabaseServer
+
+__all__ = [
+    "AdmissionController",
+    "ClientPool",
+    "DatabaseClient",
+    "DatabaseServer",
+    "Frame",
+    "MAX_FRAME_BYTES",
+    "Opcode",
+    "PROTOCOL_VERSION",
+    "SlowQueryLog",
+    "decode_payload",
+    "encode_frame",
+    "encode_payload",
+    "error_payload",
+    "read_frame",
+    "result_to_payload",
+]

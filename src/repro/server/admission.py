@@ -1,0 +1,193 @@
+"""Admission control: bounded concurrency with explicit shedding.
+
+A saturated server must refuse work *visibly* — a structured ERROR
+frame the client can retry on — never by letting requests pile up until
+the process dies or clients time out blind.  The controller bounds two
+things:
+
+* **in-flight requests** — at most ``max_inflight`` requests execute at
+  once (they still contend on the kernel's own latches; this bound
+  keeps the thread pile and memory footprint flat under overload);
+* **the wait queue** — at most ``max_queued`` requests wait for a slot.
+  A request arriving past that is shed immediately with
+  :class:`~repro.errors.ServerSaturatedError`.
+
+A queued request that waits longer than ``request_timeout`` seconds is
+rejected with :class:`~repro.errors.RequestTimeoutError`.  The timeout
+governs *queue wait*, not execution — a request that has started runs
+to completion (the kernel has no preemption points), which is the same
+cooperative contract as a classic ``statement_timeout``; see
+``docs/server.md``.
+
+The slow-query log keeps the most recent requests whose total latency
+crossed a threshold, for post-hoc "what was slow at 3am" forensics
+without tracing overhead on the fast path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+from contextlib import contextmanager
+
+from repro.errors import RequestTimeoutError, ServerSaturatedError
+
+#: Latency histogram bounds (seconds): sub-millisecond to tens of them.
+LATENCY_BOUNDS = (0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
+
+
+@dataclass(frozen=True, slots=True)
+class SlowQueryEntry:
+    """One over-threshold request, as the log keeps it."""
+
+    session_id: int
+    opcode: str
+    text: str
+    seconds: float
+
+
+class SlowQueryLog:
+    """Bounded ring of the most recent slow requests.  Thread-safe."""
+
+    def __init__(self, threshold_ms: float = 250.0,
+                 capacity: int = 128) -> None:
+        self.threshold_ms = threshold_ms
+        self._entries: Deque[SlowQueryEntry] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def record(self, session_id: int, opcode: str, text: str,
+               seconds: float) -> None:
+        if seconds * 1000.0 < self.threshold_ms:
+            return
+        with self._lock:
+            self._entries.append(
+                SlowQueryEntry(session_id, opcode, text, seconds))
+
+    def entries(self) -> List[SlowQueryEntry]:
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class AdmissionController:
+    """Gate requests through a bounded in-flight set and wait queue."""
+
+    def __init__(self, max_inflight: int = 8, max_queued: int = 32,
+                 request_timeout: Optional[float] = 10.0,
+                 slow_query_ms: float = 250.0,
+                 metrics=None) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if max_queued < 0:
+            raise ValueError("max_queued must be >= 0")
+        self.max_inflight = max_inflight
+        self.max_queued = max_queued
+        self.request_timeout = request_timeout
+        self.slow_queries = SlowQueryLog(threshold_ms=slow_query_ms)
+        self._lock = threading.Lock()
+        self._slot_freed = threading.Condition(self._lock)
+        self._inflight = 0
+        self._queued = 0
+        if metrics is None:
+            from repro.obs import MetricsRegistry
+            metrics = MetricsRegistry()
+        self._c_requests = metrics.counter("server.requests")
+        self._c_shed = metrics.counter("server.load_shed")
+        self._c_timeouts = metrics.counter("server.queue_timeouts")
+        self._g_inflight = metrics.gauge("server.requests.inflight")
+        self._g_queued = metrics.gauge("server.requests.queued")
+        self._h_latency = metrics.histogram("server.request_seconds",
+                                            LATENCY_BOUNDS)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    @property
+    def queued(self) -> int:
+        with self._lock:
+            return self._queued
+
+    # -- admission -----------------------------------------------------------
+
+    def _acquire(self) -> None:
+        deadline = (None if self.request_timeout is None
+                    else time.monotonic() + self.request_timeout)
+        with self._slot_freed:
+            if self._inflight < self.max_inflight:
+                self._inflight += 1
+                self._g_inflight.set(self._inflight)
+                return
+            if self._queued >= self.max_queued:
+                self._c_shed.inc()
+                raise ServerSaturatedError(
+                    f"server saturated: {self._inflight} in flight, "
+                    f"{self._queued} queued (max {self.max_queued})")
+            self._queued += 1
+            self._g_queued.set(self._queued)
+            try:
+                while self._inflight >= self.max_inflight:
+                    if deadline is None:
+                        self._slot_freed.wait()
+                        continue
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._slot_freed.wait(remaining):
+                        if self._inflight < self.max_inflight:
+                            break
+                        self._c_timeouts.inc()
+                        raise RequestTimeoutError(
+                            f"request waited over "
+                            f"{self.request_timeout:.3g}s for a slot")
+                self._inflight += 1
+                self._g_inflight.set(self._inflight)
+            finally:
+                self._queued -= 1
+                self._g_queued.set(self._queued)
+
+    def _release(self) -> None:
+        with self._slot_freed:
+            self._inflight -= 1
+            self._g_inflight.set(self._inflight)
+            self._slot_freed.notify()
+
+    @contextmanager
+    def admit(self, session_id: int, opcode: str,
+              text: str = "") -> Iterator[None]:
+        """Hold an execution slot for the duration of one request.
+
+        Raises :class:`ServerSaturatedError` (queue full) or
+        :class:`RequestTimeoutError` (queue wait exceeded) *before*
+        yielding — the caller converts either into a transient ERROR
+        frame.  On exit the request's latency lands in the histogram
+        and, when over threshold, the slow-query log.
+        """
+        self._c_requests.inc()
+        self._acquire()
+        started = time.monotonic()
+        try:
+            yield
+        finally:
+            elapsed = time.monotonic() - started
+            self._release()
+            self._h_latency.observe(elapsed)
+            self.slow_queries.record(session_id, opcode, text, elapsed)
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "max_inflight": self.max_inflight,
+                "max_queued": self.max_queued,
+                "inflight": self._inflight,
+                "queued": self._queued,
+                "request_timeout": self.request_timeout,
+            }

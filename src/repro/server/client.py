@@ -1,0 +1,413 @@
+"""Blocking client: handshake, requests, transactions, retry, pooling.
+
+:class:`DatabaseClient` is one TCP connection.  The protocol is strict
+request/response, so a connection-level mutex serializes callers — for
+parallel clients use one connection per thread or a
+:class:`ClientPool`.
+
+Retry policy: only errors the server flags ``transient`` (saturation,
+queue timeout, deadlock, lock timeout) are retried, with capped
+exponential backoff, and *never* while this client holds an open
+transaction — a retried frame inside a transaction could double-apply a
+mutation; the right unit of retry there is the whole transaction, which
+belongs to the caller.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import (
+    ConnectionClosedError,
+    HandshakeError,
+    ProtocolError,
+    RemoteError,
+)
+from repro.server.protocol import (
+    PROTOCOL_MAGIC,
+    PROTOCOL_VERSION,
+    Opcode,
+    decode_payload,
+    encode_payload,
+    read_frame,
+    write_frame,
+)
+
+#: Retry schedule defaults: attempts beyond the first, base and cap of
+#: the exponential backoff (seconds).
+DEFAULT_MAX_RETRIES = 3
+DEFAULT_BACKOFF_BASE = 0.05
+DEFAULT_BACKOFF_CAP = 1.0
+
+
+class DatabaseClient:
+    """One connection to a :class:`~repro.server.server.DatabaseServer`."""
+
+    def __init__(self, host: str, port: int,
+                 connect_timeout: float = 5.0,
+                 request_timeout: Optional[float] = 30.0,
+                 max_retries: int = DEFAULT_MAX_RETRIES,
+                 backoff_base: float = DEFAULT_BACKOFF_BASE,
+                 backoff_cap: float = DEFAULT_BACKOFF_CAP) -> None:
+        self.host = host
+        self.port = port
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._lock = threading.Lock()
+        self._request_id = 0
+        self._in_transaction = False
+        self._closed = False
+        self._sock = socket.create_connection((host, port),
+                                              timeout=connect_timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock.settimeout(request_timeout)
+        self.session = self._handshake()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _handshake(self) -> Dict[str, Any]:
+        hello = {"magic": PROTOCOL_MAGIC, "protocol": PROTOCOL_VERSION,
+                 "client": "repro-client"}
+        try:
+            return self._roundtrip(Opcode.HELLO, hello)
+        except RemoteError as exc:
+            self.close()
+            raise HandshakeError(exc.remote_message) from exc
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                write_frame(self._sock, Opcode.CLOSE,
+                            self._next_request_id(), b"{}")
+                read_frame(self._sock)
+            except (OSError, ProtocolError, ConnectionClosedError):
+                pass
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "DatabaseClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- request plumbing ----------------------------------------------------
+
+    def _next_request_id(self) -> int:
+        self._request_id = (self._request_id + 1) & 0xFFFFFFFF
+        return self._request_id
+
+    def _roundtrip(self, opcode: Opcode, payload: Dict[str, Any]) -> Any:
+        """One request frame out, one response frame in.  Not retried."""
+        with self._lock:
+            if self._closed:
+                raise ConnectionClosedError("client is closed")
+            request_id = self._next_request_id()
+            try:
+                write_frame(self._sock, opcode, request_id,
+                            encode_payload(payload))
+                frame = read_frame(self._sock)
+            except socket.timeout as exc:
+                # The response is lost; the stream position is unknown.
+                self._abandon()
+                raise ConnectionClosedError(
+                    "timed out waiting for a response") from exc
+            except OSError as exc:
+                self._abandon()
+                raise ConnectionClosedError(str(exc)) from exc
+        if frame.request_id != request_id:
+            raise ProtocolError(
+                f"response for request {frame.request_id}, "
+                f"expected {request_id}")
+        body = decode_payload(frame.payload)
+        if frame.opcode == Opcode.ERROR:
+            raise RemoteError(body.get("error", "ReproError"),
+                              body.get("message", ""),
+                              transient=bool(body.get("transient")))
+        if frame.opcode != Opcode.RESULT:
+            raise ProtocolError(f"unexpected response opcode "
+                                f"{frame.opcode}")
+        return body
+
+    def _abandon(self) -> None:
+        """Mark the connection unusable after a stream-level failure."""
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def _request(self, opcode: Opcode, payload: Dict[str, Any]) -> Any:
+        """A round-trip with transient-error retry (outside txns only)."""
+        attempt = 0
+        while True:
+            try:
+                return self._roundtrip(opcode, payload)
+            except RemoteError as exc:
+                if not exc.transient or self._in_transaction:
+                    raise
+                if attempt >= self.max_retries:
+                    raise
+                delay = min(self.backoff_cap,
+                            self.backoff_base * (2 ** attempt))
+                attempt += 1
+                time.sleep(delay)
+
+    # -- public API ----------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self._request(Opcode.PING, {})
+
+    def query(self, text: str,
+              params: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Run MQL; returns the decoded result payload (see
+        ``docs/server.md`` for its shape)."""
+        payload: Dict[str, Any] = {"text": text}
+        if params:
+            payload["params"] = params
+        return self._request(Opcode.QUERY, payload)
+
+    def prepare(self, text: str) -> "PreparedStatement":
+        body = self._request(Opcode.PREPARE, {"text": text})
+        return PreparedStatement(self, text,
+                                 parameterized=body.get("parameterized",
+                                                        False))
+
+    def execute(self, text: str,
+                params: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"text": text}
+        if params:
+            payload["params"] = params
+        return self._request(Opcode.EXECUTE, payload)
+
+    def explain(self, text: str,
+                params: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"text": text}
+        if params:
+            payload["params"] = params
+        return self._request(Opcode.EXPLAIN, payload)
+
+    def mutate(self, op: str, **args: Any) -> Dict[str, Any]:
+        """Send one mutation (autocommitted unless a txn is open)."""
+        return self._request(Opcode.MUTATE, {"op": op, "args": args})
+
+    # -- transactions --------------------------------------------------------
+
+    def begin(self) -> "ClientTransaction":
+        body = self._roundtrip(Opcode.BEGIN, {})
+        self._in_transaction = True
+        return ClientTransaction(self, body["txn_id"])
+
+    @contextmanager
+    def transaction(self) -> Iterator["ClientTransaction"]:
+        """Context-managed transaction: commit on exit, rollback on
+        exception (mirroring ``TemporalDatabase.transaction``)."""
+        txn = self.begin()
+        try:
+            yield txn
+        except BaseException:
+            txn.rollback()
+            raise
+        else:
+            txn.commit()
+
+
+class ClientTransaction:
+    """Handle for one server-side transaction on one connection."""
+
+    def __init__(self, client: DatabaseClient, txn_id: int) -> None:
+        self._client = client
+        self.txn_id = txn_id
+        self.active = True
+
+    def _mutate(self, op: str, **args: Any) -> Dict[str, Any]:
+        if not self.active:
+            raise ConnectionClosedError("transaction already finished")
+        return self._client._roundtrip(Opcode.MUTATE,
+                                       {"op": op, "args": args})
+
+    def insert(self, type_name: str, values: Dict[str, Any],
+               valid_from: int, valid_to: Optional[int] = None,
+               atom_id: Optional[int] = None) -> int:
+        args: Dict[str, Any] = {"type": type_name, "values": values,
+                                "valid_from": valid_from}
+        if valid_to is not None:
+            args["valid_to"] = valid_to
+        if atom_id is not None:
+            args["atom_id"] = atom_id
+        return self._mutate("insert", **args)["atom_id"]
+
+    def update(self, atom_id: int, changes: Dict[str, Any],
+               valid_from: int, valid_to: Optional[int] = None) -> None:
+        args: Dict[str, Any] = {"atom_id": atom_id, "changes": changes,
+                                "valid_from": valid_from}
+        if valid_to is not None:
+            args["valid_to"] = valid_to
+        self._mutate("update", **args)
+
+    def delete(self, atom_id: int, valid_from: int,
+               valid_to: Optional[int] = None) -> None:
+        args: Dict[str, Any] = {"atom_id": atom_id,
+                                "valid_from": valid_from}
+        if valid_to is not None:
+            args["valid_to"] = valid_to
+        self._mutate("delete", **args)
+
+    def correct(self, atom_id: int, window_start: int, window_end: int,
+                changes: Dict[str, Any]) -> None:
+        self._mutate("correct", atom_id=atom_id,
+                     window_start=window_start, window_end=window_end,
+                     changes=changes)
+
+    def link(self, link_name: str, source_id: int, target_id: int,
+             valid_from: int, valid_to: Optional[int] = None) -> None:
+        args: Dict[str, Any] = {"link": link_name, "source_id": source_id,
+                                "target_id": target_id,
+                                "valid_from": valid_from}
+        if valid_to is not None:
+            args["valid_to"] = valid_to
+        self._mutate("link", **args)
+
+    def unlink(self, link_name: str, source_id: int, target_id: int,
+               valid_from: int, valid_to: Optional[int] = None) -> None:
+        args: Dict[str, Any] = {"link": link_name, "source_id": source_id,
+                                "target_id": target_id,
+                                "valid_from": valid_from}
+        if valid_to is not None:
+            args["valid_to"] = valid_to
+        self._mutate("unlink", **args)
+
+    def query(self, text: str,
+              params: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"text": text}
+        if params:
+            payload["params"] = params
+        return self._client._roundtrip(Opcode.QUERY, payload)
+
+    def commit(self) -> None:
+        if not self.active:
+            return
+        try:
+            self._client._roundtrip(Opcode.COMMIT, {})
+        finally:
+            self.active = False
+            self._client._in_transaction = False
+
+    def rollback(self) -> None:
+        if not self.active:
+            return
+        try:
+            self._client._roundtrip(Opcode.ROLLBACK, {})
+        except ConnectionClosedError:
+            pass  # the server rolls back on disconnect anyway
+        finally:
+            self.active = False
+            self._client._in_transaction = False
+
+
+class PreparedStatement:
+    """A statement whose parse is primed in the server's plan cache."""
+
+    def __init__(self, client: DatabaseClient, text: str,
+                 parameterized: bool) -> None:
+        self._client = client
+        self.text = text
+        self.parameterized = parameterized
+
+    def execute(self, params: Optional[Dict[str, Any]] = None
+                ) -> Dict[str, Any]:
+        return self._client.execute(self.text, params)
+
+
+class ClientPool:
+    """Thread-safe pool of connections to one server.
+
+    Connections are created lazily up to ``size`` and handed out
+    exclusively; :meth:`acquire` blocks when all are lent.  A connection
+    that died in use (``ConnectionClosedError`` marks it closed) is
+    discarded instead of returned, so the pool self-heals.
+    """
+
+    def __init__(self, host: str, port: int, size: int = 4,
+                 **client_kwargs: Any) -> None:
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.host = host
+        self.port = port
+        self.size = size
+        self._client_kwargs = client_kwargs
+        self._lock = threading.Lock()
+        self._available_cond = threading.Condition(self._lock)
+        self._idle: List[DatabaseClient] = []
+        self._created = 0
+        self._closed = False
+
+    def _connect(self) -> DatabaseClient:
+        return DatabaseClient(self.host, self.port, **self._client_kwargs)
+
+    @contextmanager
+    def acquire(self) -> Iterator[DatabaseClient]:
+        with self._available_cond:
+            while True:
+                if self._closed:
+                    raise ConnectionClosedError("pool is closed")
+                if self._idle:
+                    client = self._idle.pop()
+                    break
+                if self._created < self.size:
+                    self._created += 1
+                    client = None  # create outside the lock
+                    break
+                self._available_cond.wait()
+        if client is None:
+            try:
+                client = self._connect()
+            except BaseException:
+                with self._available_cond:
+                    self._created -= 1
+                    self._available_cond.notify()
+                raise
+        try:
+            yield client
+        finally:
+            dead = client._closed
+            with self._available_cond:
+                if dead or self._closed:
+                    self._created -= 1
+                else:
+                    self._idle.append(client)
+                self._available_cond.notify()
+            if dead or self._closed:
+                client.close()
+
+    def query(self, text: str,
+              params: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        with self.acquire() as client:
+            return client.query(text, params)
+
+    def close(self) -> None:
+        with self._available_cond:
+            if self._closed:
+                return
+            self._closed = True
+            idle, self._idle = self._idle, []
+            self._created -= len(idle)
+            self._available_cond.notify_all()
+        for client in idle:
+            client.close()
+
+    def __enter__(self) -> "ClientPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,218 @@
+"""Wire protocol: length-prefixed, CRC-checked frames over TCP.
+
+Frame layout (all integers little-endian)::
+
+    u32 length     -- bytes after this field: 1 + 4 + len(payload) + 4
+    u8  opcode     -- Opcode value (unknown values reach dispatch, which
+                      answers with an ERROR frame rather than dropping
+                      the connection)
+    u32 request_id -- echoed verbatim in the response frame
+    ..  payload    -- canonical JSON (UTF-8, sorted keys, no spaces)
+    u32 crc32      -- zlib.crc32 over opcode + request_id + payload
+
+The CRC turns a torn or corrupted frame into a clean
+:class:`~repro.errors.ProtocolError` instead of a JSON parse error deep
+inside dispatch.  Payloads are *canonical* JSON — ``sort_keys`` and
+fixed separators — so the same logical result always serializes to the
+same bytes; the differential tests compare server responses against an
+in-process oracle byte for byte.
+
+A connection opens with a handshake: the client sends a HELLO frame
+whose payload carries the magic and protocol version; the server
+answers RESULT with its own version (or ERROR, then closes, on a
+mismatch).  Everything after the handshake is request/response: every
+request frame gets exactly one RESULT or ERROR frame with the same
+``request_id``.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Any, Dict, Optional
+
+from repro.errors import ConnectionClosedError, ProtocolError
+
+#: Protocol magic, sent in the HELLO payload.
+PROTOCOL_MAGIC = "tmad"
+
+#: Wire protocol version; bumped on any incompatible frame change.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on a frame's ``length`` field.  Larger prefixes are treated
+#: as corruption (or abuse) and fail fast without allocating.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: Fixed bytes inside ``length``: opcode (1) + request_id (4) + crc (4).
+_FRAME_OVERHEAD = 9
+
+_HEADER = struct.Struct("<I")
+_OPCODE_REQID = struct.Struct("<BI")
+_CRC = struct.Struct("<I")
+
+
+class Opcode(IntEnum):
+    """Request and response frame types."""
+
+    HELLO = 1
+    QUERY = 2
+    PREPARE = 3
+    EXECUTE = 4
+    BEGIN = 5
+    COMMIT = 6
+    ROLLBACK = 7
+    MUTATE = 8
+    EXPLAIN = 9
+    PING = 10
+    CLOSE = 11
+
+    RESULT = 64
+    ERROR = 65
+
+
+@dataclass(frozen=True, slots=True)
+class Frame:
+    """One decoded frame.  ``opcode`` stays a raw int so unknown values
+    survive to dispatch (which answers them with an ERROR frame)."""
+
+    opcode: int
+    request_id: int
+    payload: bytes
+
+    def decode(self) -> Any:
+        return decode_payload(self.payload)
+
+
+# -- payload encoding ----------------------------------------------------------
+
+
+def encode_payload(obj: Any) -> bytes:
+    """Canonical JSON bytes: sorted keys, minimal separators, UTF-8."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=False).encode("utf-8")
+
+
+def decode_payload(data: bytes) -> Any:
+    try:
+        return json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+
+
+def error_payload(exc: BaseException, transient: bool = False
+                  ) -> Dict[str, Any]:
+    """The structured body of an ERROR frame.
+
+    Carries the server-side exception class name so the client can
+    re-raise something meaningful, and a ``transient`` flag driving the
+    client's retry policy.
+    """
+    return {"error": type(exc).__name__, "message": str(exc),
+            "transient": bool(transient)}
+
+
+# -- frame encoding ------------------------------------------------------------
+
+
+def encode_frame(opcode: int, request_id: int, payload: bytes) -> bytes:
+    """Serialize one frame, CRC included."""
+    if len(payload) + _FRAME_OVERHEAD > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame cap")
+    body = _OPCODE_REQID.pack(opcode & 0xFF, request_id) + payload
+    return (_HEADER.pack(len(body) + _CRC.size) + body
+            + _CRC.pack(zlib.crc32(body) & 0xFFFFFFFF))
+
+
+def _recv_exactly(sock, count: int) -> bytes:
+    """Read exactly *count* bytes or raise :class:`ConnectionClosedError`.
+
+    A clean EOF on a frame boundary (nothing read yet) raises with
+    ``mid_frame=False`` so the caller can treat it as a normal hangup; an
+    EOF inside a frame is a truncation.
+    """
+    chunks = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            error = ConnectionClosedError(
+                f"connection closed with {remaining} of {count} "
+                f"bytes outstanding")
+            error.mid_frame = len(chunks) > 0
+            raise error
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock) -> Frame:
+    """Read and verify one frame from a socket.
+
+    Raises :class:`ProtocolError` on a bad length prefix or CRC
+    mismatch, :class:`ConnectionClosedError` on EOF (``mid_frame`` set
+    when the peer vanished inside a frame).
+    """
+    (length,) = _HEADER.unpack(_recv_exactly(sock, _HEADER.size))
+    if length < _FRAME_OVERHEAD:
+        raise ProtocolError(f"frame length {length} below the "
+                            f"{_FRAME_OVERHEAD}-byte minimum")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds the "
+                            f"{MAX_FRAME_BYTES}-byte cap")
+    data = _recv_exactly(sock, length)
+    body, crc_bytes = data[:-_CRC.size], data[-_CRC.size:]
+    (expected,) = _CRC.unpack(crc_bytes)
+    actual = zlib.crc32(body) & 0xFFFFFFFF
+    if actual != expected:
+        raise ProtocolError(
+            f"frame CRC mismatch: got {actual:#010x}, "
+            f"frame claims {expected:#010x}")
+    opcode, request_id = _OPCODE_REQID.unpack_from(body)
+    return Frame(opcode, request_id, body[_OPCODE_REQID.size:])
+
+
+def write_frame(sock, opcode: int, request_id: int, payload: bytes) -> None:
+    sock.sendall(encode_frame(opcode, request_id, payload))
+
+
+# -- result serialization ------------------------------------------------------
+
+
+def _interval_to_list(interval) -> list:
+    return [interval.start, interval.end]
+
+
+def result_to_payload(result, profile: Optional[Any] = None
+                      ) -> Dict[str, Any]:
+    """Canonical dictionary form of a :class:`~repro.mql.result.QueryResult`.
+
+    This is the single serializer both the server and the tests'
+    in-process oracle use, so "byte-identical to local execution" is a
+    meaningful check: same entries in, same canonical JSON out.
+    """
+    entries = []
+    for entry in result:
+        item: Dict[str, Any] = {
+            "root_id": entry.root_id,
+            "valid": _interval_to_list(entry.valid),
+        }
+        if result.projected:
+            item["row"] = entry.row
+        else:
+            item["molecule"] = (entry.molecule.to_dict()
+                                if entry.molecule is not None else None)
+        entries.append(item)
+    payload: Dict[str, Any] = {
+        "plan": result.plan,
+        "projected": result.projected,
+        "entries": entries,
+    }
+    chosen = profile if profile is not None else result.profile
+    if chosen is not None:
+        payload["profile"] = chosen.to_dict()
+    return payload

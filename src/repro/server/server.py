@@ -1,0 +1,509 @@
+"""Threaded TCP server in front of one embedded TemporalDatabase.
+
+One accept loop hands each connection to a dedicated worker thread
+(classic thread-per-connection — the kernel's ReadWriteLock already
+arbitrates readers and writers, so worker threads map directly onto the
+concurrency the engine supports).  Each connection is a *session*:
+
+* a monotonically increasing session id,
+* at most one open transaction (BEGIN … COMMIT/ROLLBACK frames map
+  straight onto the kernel's transaction manager; MUTATE frames outside
+  a transaction auto-commit),
+* a last-activity clock the idle reaper checks.
+
+Every request passes through the :class:`AdmissionController` before it
+touches the kernel; a shed request gets a transient ERROR frame, never
+a hang.  Graceful shutdown stops accepting, nudges idle sessions
+closed, waits for in-flight workers to drain, rolls back whatever
+transactions remained open, and checkpoints the database so a
+subsequent open needs no recovery.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from repro.errors import (
+    HandshakeError,
+    ProtocolError,
+    ReproError,
+    RequestTimeoutError,
+    ServerSaturatedError,
+    TransactionStateError,
+    ConnectionClosedError,
+)
+from repro.errors import TRANSIENT_ERRORS
+from repro.obs import QueryProfile
+from repro.server.admission import AdmissionController
+from repro.temporal import FOREVER
+from repro.server.protocol import (
+    PROTOCOL_MAGIC,
+    PROTOCOL_VERSION,
+    Frame,
+    Opcode,
+    encode_payload,
+    error_payload,
+    read_frame,
+    result_to_payload,
+    write_frame,
+)
+
+#: How often (seconds) the reaper sweeps for idle sessions.
+REAPER_INTERVAL = 1.0
+
+
+class Session:
+    """Per-connection state: socket, open transaction, activity clock."""
+
+    def __init__(self, session_id: int, conn: socket.socket,
+                 peer: str) -> None:
+        self.id = session_id
+        self.conn = conn
+        self.peer = peer
+        self.txn = None  # TransactionContext while a txn is open
+        self.last_active = time.monotonic()
+        self.closing = False
+
+    def touch(self) -> None:
+        self.last_active = time.monotonic()
+
+
+class DatabaseServer:
+    """Serve one TemporalDatabase over TCP.
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port``
+    after construction) — the form every test uses.
+    """
+
+    def __init__(self, db, host: str = "127.0.0.1", port: int = 0,
+                 max_connections: int = 32,
+                 idle_timeout: Optional[float] = 300.0,
+                 admission: Optional[AdmissionController] = None) -> None:
+        self.db = db
+        self.max_connections = max_connections
+        self.idle_timeout = idle_timeout
+        self.admission = admission or AdmissionController(
+            metrics=db.metrics)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(128)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._sessions: Dict[int, Session] = {}
+        self._sessions_lock = threading.Lock()
+        self._next_session = 0
+        self._workers: Dict[int, threading.Thread] = {}
+        self._stopping = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._reaper_thread: Optional[threading.Thread] = None
+        metrics = db.metrics
+        self._g_connections = metrics.gauge("server.connections.active")
+        self._c_accepted = metrics.counter("server.connections.accepted")
+        self._c_refused = metrics.counter("server.connections.refused")
+        self._c_reaped = metrics.counter("server.connections.reaped")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "DatabaseServer":
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-server-accept",
+            daemon=True)
+        self._accept_thread.start()
+        self._reaper_thread = threading.Thread(
+            target=self._reaper_loop, name="repro-server-reaper",
+            daemon=True)
+        self._reaper_thread.start()
+        return self
+
+    def __enter__(self) -> "DatabaseServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+    def shutdown(self, drain_timeout: float = 10.0) -> None:
+        """Graceful stop: drain in-flight work, then checkpoint.
+
+        Idempotent.  New connections are refused immediately; existing
+        workers get ``drain_timeout`` seconds to finish their current
+        request and notice the stop flag, after which their sockets are
+        closed under them.  Open transactions roll back (the client
+        never got a COMMIT acknowledgement, so nothing is lost), and the
+        database checkpoints so the next open replays no WAL.
+        """
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        try:
+            # shutdown() (not just close()) forces a blocked accept() in
+            # the listener thread to return; close() alone leaves the
+            # kernel-side listening socket alive while the syscall holds
+            # its file reference, so the port would keep accepting.
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(1.0)
+        deadline = time.monotonic() + drain_timeout
+        with self._sessions_lock:
+            sessions = list(self._sessions.values())
+            workers = list(self._workers.values())
+        for session in sessions:
+            session.closing = True
+            # Unblock workers parked in recv: half-close the socket so
+            # their read returns EOF while any in-flight response still
+            # drains.
+            try:
+                session.conn.shutdown(socket.SHUT_RD)
+            except OSError:
+                pass
+        for worker in workers:
+            remaining = deadline - time.monotonic()
+            if remaining > 0:
+                worker.join(remaining)
+        with self._sessions_lock:
+            leftovers = list(self._sessions.values())
+        for session in leftovers:
+            self._close_session(session)
+        self.db.checkpoint()
+
+    # -- accept / reap -------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, addr = self._listener.accept()
+            except OSError:
+                return  # listener closed by shutdown()
+            with self._sessions_lock:
+                at_capacity = len(self._sessions) >= self.max_connections
+            if at_capacity:
+                self._c_refused.inc()
+                try:
+                    write_frame(conn, Opcode.ERROR, 0, encode_payload(
+                        error_payload(ServerSaturatedError(
+                            f"connection limit of {self.max_connections} "
+                            f"reached"), transient=True)))
+                except OSError:
+                    pass
+                conn.close()
+                continue
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._sessions_lock:
+                self._next_session += 1
+                session = Session(self._next_session, conn,
+                                  f"{addr[0]}:{addr[1]}")
+                self._sessions[session.id] = session
+                worker = threading.Thread(
+                    target=self._serve_session, args=(session,),
+                    name=f"repro-server-session-{session.id}", daemon=True)
+                self._workers[session.id] = worker
+            self._c_accepted.inc()
+            self._g_connections.set(len(self._sessions))
+            worker.start()
+
+    def _reaper_loop(self) -> None:
+        while not self._stopping.wait(REAPER_INTERVAL):
+            if self.idle_timeout is None:
+                continue
+            cutoff = time.monotonic() - self.idle_timeout
+            with self._sessions_lock:
+                idle = [s for s in self._sessions.values()
+                        if s.last_active < cutoff and not s.closing]
+            for session in idle:
+                session.closing = True
+                self._c_reaped.inc()
+                try:
+                    session.conn.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+
+    def _close_session(self, session: Session) -> None:
+        if session.txn is not None and session.txn.is_active:
+            try:
+                session.txn.abort()
+            except ReproError:
+                pass
+        session.txn = None
+        try:
+            session.conn.close()
+        except OSError:
+            pass
+        with self._sessions_lock:
+            self._sessions.pop(session.id, None)
+            self._workers.pop(session.id, None)
+            remaining = len(self._sessions)
+        self._g_connections.set(remaining)
+
+    # -- per-session loop ----------------------------------------------------
+
+    def _serve_session(self, session: Session) -> None:
+        try:
+            if not self._handshake(session):
+                return
+            while not self._stopping.is_set() and not session.closing:
+                try:
+                    frame = read_frame(session.conn)
+                except ConnectionClosedError:
+                    return  # client hung up (clean or mid-frame)
+                except ProtocolError as exc:
+                    # Corrupt framing: report once, then drop the
+                    # connection — resynchronising a byte stream after a
+                    # bad length prefix is guesswork.
+                    self._send_error(session, 0, exc, transient=False)
+                    return
+                except OSError:
+                    return
+                session.touch()
+                if not self._dispatch(session, frame):
+                    return
+        finally:
+            self._close_session(session)
+
+    def _handshake(self, session: Session) -> bool:
+        try:
+            frame = read_frame(session.conn)
+        except (ReproError, OSError):
+            return False
+        if frame.opcode != Opcode.HELLO:
+            self._send_error(session, frame.request_id, HandshakeError(
+                "expected HELLO as the first frame"))
+            return False
+        try:
+            hello = frame.decode()
+        except ProtocolError as exc:
+            self._send_error(session, frame.request_id, exc)
+            return False
+        if (not isinstance(hello, dict)
+                or hello.get("magic") != PROTOCOL_MAGIC):
+            self._send_error(session, frame.request_id, HandshakeError(
+                "bad protocol magic"))
+            return False
+        if hello.get("protocol") != PROTOCOL_VERSION:
+            self._send_error(session, frame.request_id, HandshakeError(
+                f"unsupported protocol version "
+                f"{hello.get('protocol')!r}; server speaks "
+                f"{PROTOCOL_VERSION}"))
+            return False
+        self._send_result(session, frame.request_id, {
+            "magic": PROTOCOL_MAGIC,
+            "protocol": PROTOCOL_VERSION,
+            "server": "repro",
+            "session_id": session.id,
+            "schema": self.db.schema.name,
+        })
+        return True
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _dispatch(self, session: Session, frame: Frame) -> bool:
+        """Handle one request frame; False ends the session."""
+        opcode_name = (Opcode(frame.opcode).name
+                       if frame.opcode in Opcode._value2member_map_
+                       else f"op#{frame.opcode}")
+        try:
+            payload = frame.decode() if frame.payload else {}
+            if not isinstance(payload, dict):
+                raise ProtocolError("request payload must be a JSON object")
+            text = payload.get("text", "") if isinstance(payload, dict) else ""
+            with self.admission.admit(session.id, opcode_name, text):
+                with self.db.tracer.span("server.request",
+                                         opcode=opcode_name,
+                                         session=session.id):
+                    return self._handle(session, frame, payload)
+        except (ServerSaturatedError, RequestTimeoutError) as exc:
+            self._send_error(session, frame.request_id, exc, transient=True)
+            return True
+        except ReproError as exc:
+            transient = type(exc).__name__ in TRANSIENT_ERRORS
+            self._send_error(session, frame.request_id, exc,
+                             transient=transient)
+            return True
+        except OSError:
+            return False
+        except Exception as exc:  # noqa: BLE001 - a bug must not kill the
+            # session loop; surface it to the client instead.
+            self._send_error(session, frame.request_id, exc)
+            return True
+
+    def _handle(self, session: Session, frame: Frame,
+                payload: Dict[str, Any]) -> bool:
+        opcode = frame.opcode
+        request_id = frame.request_id
+        db = self.db
+        if opcode == Opcode.PING:
+            self._send_result(session, request_id, {
+                "pong": True, "admission": self.admission.snapshot()})
+            return True
+        if opcode == Opcode.QUERY or opcode == Opcode.EXECUTE:
+            result = db.query(self._text(payload),
+                              params=payload.get("params"))
+            self._send_result(session, request_id,
+                              result_to_payload(result))
+            return True
+        if opcode == Opcode.PREPARE:
+            return self._handle_prepare(session, request_id, payload)
+        if opcode == Opcode.EXPLAIN:
+            return self._handle_explain(session, request_id, payload)
+        if opcode == Opcode.BEGIN:
+            if session.txn is not None and session.txn.is_active:
+                raise TransactionStateError(
+                    "session already has an open transaction")
+            session.txn = db.begin()
+            self._send_result(session, request_id,
+                              {"txn_id": session.txn.txn_id})
+            return True
+        if opcode == Opcode.COMMIT:
+            txn = self._require_txn(session)
+            txn.commit()
+            session.txn = None
+            self._send_result(session, request_id, {"committed": True})
+            return True
+        if opcode == Opcode.ROLLBACK:
+            txn = self._require_txn(session)
+            txn.abort()
+            session.txn = None
+            self._send_result(session, request_id, {"rolled_back": True})
+            return True
+        if opcode == Opcode.MUTATE:
+            return self._handle_mutate(session, request_id, payload)
+        if opcode == Opcode.CLOSE:
+            self._send_result(session, request_id, {"closed": True})
+            return False
+        raise ProtocolError(f"unknown opcode {opcode}")
+
+    # -- handlers ------------------------------------------------------------
+
+    @staticmethod
+    def _text(payload: Dict[str, Any]) -> str:
+        text = payload.get("text")
+        if not isinstance(text, str) or not text:
+            raise ProtocolError("request needs a non-empty 'text' field")
+        return text
+
+    def _require_txn(self, session: Session):
+        if session.txn is None or not session.txn.is_active:
+            raise TransactionStateError(
+                "no open transaction on this session")
+        return session.txn
+
+    def _handle_prepare(self, session: Session, request_id: int,
+                        payload: Dict[str, Any]) -> bool:
+        """Parse (and cache) a statement without running it.
+
+        Priming the plan cache here means the first EXECUTE pays only
+        bind + analyze, and later same-typed EXECUTEs only bind — the
+        parameterized-analysis cache does the rest.
+        """
+        from repro.mql.parser import has_parameters, parse_query
+        from repro.mql.planner import CompiledQuery
+
+        text = self._text(payload)
+        cache = getattr(self.db, "_plan_cache", None)
+        entry = cache.get(text) if cache is not None else None
+        if entry is None:
+            query = parse_query(text)
+            if cache is not None:
+                entry = CompiledQuery(query, None)
+                cache.put(text, entry)
+        else:
+            query = entry.query
+        self._send_result(session, request_id, {
+            "prepared": True,
+            "parameterized": has_parameters(query),
+        })
+        return True
+
+    def _handle_explain(self, session: Session, request_id: int,
+                        payload: Dict[str, Any]) -> bool:
+        """EXPLAIN ANALYZE over the wire, server spans included.
+
+        The server opens its own capture so the profile shows the whole
+        request — a ``server.request`` root wrapping the kernel's
+        ``mql.execute`` tree — rather than only the query internals.
+        """
+        db = self.db
+        with db.tracer.capture() as capture:
+            with db.tracer.span("server.request", opcode="EXPLAIN",
+                                session=session.id):
+                result = db.query(self._text(payload),
+                                  params=payload.get("params"))
+        profile = QueryProfile(capture.spans, result.plan)
+        self._send_result(session, request_id,
+                          result_to_payload(result, profile=profile))
+        return True
+
+    def _handle_mutate(self, session: Session, request_id: int,
+                       payload: Dict[str, Any]) -> bool:
+        op = payload.get("op")
+        args = payload.get("args")
+        if not isinstance(op, str) or not isinstance(args, dict):
+            raise ProtocolError(
+                "MUTATE needs 'op' (string) and 'args' (object)")
+        if session.txn is not None and session.txn.is_active:
+            response = self._apply_mutation(session.txn, op, args)
+        else:
+            # Autocommit: a lone mutation gets its own transaction.
+            with self.db.transaction() as txn:
+                response = self._apply_mutation(txn, op, args)
+        self._send_result(session, request_id, response)
+        return True
+
+    @staticmethod
+    def _apply_mutation(txn, op: str, args: Dict[str, Any]
+                        ) -> Dict[str, Any]:
+        try:
+            if op == "insert":
+                atom_id = txn.insert(
+                    args["type"], args["values"], args["valid_from"],
+                    args.get("valid_to", FOREVER),
+                    atom_id=args.get("atom_id"))
+                return {"atom_id": atom_id}
+            if op == "update":
+                txn.update(args["atom_id"], args["changes"],
+                           args["valid_from"], args.get("valid_to", FOREVER))
+                return {"ok": True}
+            if op == "delete":
+                txn.delete(args["atom_id"], args["valid_from"],
+                           args.get("valid_to", FOREVER))
+                return {"ok": True}
+            if op == "correct":
+                txn.correct(args["atom_id"], args["window_start"],
+                            args["window_end"], args["changes"])
+                return {"ok": True}
+            if op == "link":
+                txn.link(args["link"], args["source_id"],
+                         args["target_id"], args["valid_from"],
+                         args.get("valid_to", FOREVER))
+                return {"ok": True}
+            if op == "unlink":
+                txn.unlink(args["link"], args["source_id"],
+                           args["target_id"], args["valid_from"],
+                           args.get("valid_to", FOREVER))
+                return {"ok": True}
+        except KeyError as exc:
+            raise ProtocolError(
+                f"MUTATE {op} missing argument {exc.args[0]!r}") from exc
+        raise ProtocolError(f"unknown mutation op {op!r}")
+
+    # -- frame output --------------------------------------------------------
+
+    def _send_result(self, session: Session, request_id: int,
+                     payload: Dict[str, Any]) -> None:
+        write_frame(session.conn, Opcode.RESULT, request_id,
+                    encode_payload(payload))
+
+    def _send_error(self, session: Session, request_id: int,
+                    exc: BaseException, transient: bool = False) -> None:
+        try:
+            write_frame(session.conn, Opcode.ERROR, request_id,
+                        encode_payload(error_payload(exc, transient)))
+        except OSError:
+            pass

@@ -4,6 +4,8 @@ The ``db`` fixture parametrizes every test over all three storage
 strategies.
 """
 
+import time
+
 import pytest
 
 from repro import DatabaseConfig, TemporalDatabase, VersionStrategy
@@ -276,6 +278,64 @@ class TestPersistence:
             db.close()
         txn.abort()
         db.close()
+
+    def test_concurrent_double_close_is_safe(self, tmp_path, cad_schema):
+        import threading
+
+        db = TemporalDatabase.create(str(tmp_path / "p"), cad_schema)
+        with db.transaction() as txn:
+            txn.insert("Part", {"name": "x"}, valid_from=0)
+        errors = []
+
+        def closer():
+            try:
+                db.close()
+            except Exception as exc:  # pragma: no cover - the failure case
+                errors.append(exc)
+
+        threads = [threading.Thread(target=closer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert db._closed
+
+    def test_close_concurrent_with_reads_never_hits_closed_files(
+            self, tmp_path, cad_schema):
+        """Readers racing close() either finish or get StorageError —
+        never a ValueError from a closed file handle."""
+        import threading
+
+        db = TemporalDatabase.create(
+            str(tmp_path / "p"), cad_schema,
+            DatabaseConfig(buffer_pages=4))  # force real page reads
+        with db.transaction() as txn:
+            parts = [txn.insert("Part", {"name": f"p{i}"}, valid_from=0)
+                     for i in range(50)]
+        unexpected = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    for part in parts:
+                        db.version_at(part, 5)
+                except StorageError:
+                    return  # the documented post-close behaviour
+                except Exception as exc:  # pragma: no cover
+                    unexpected.append(exc)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.05)
+        db.close()
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not unexpected
 
 
 class TestReads:

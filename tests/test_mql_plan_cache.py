@@ -87,6 +87,66 @@ class TestParameters:
             stocked.query(self.TEXT)
 
 
+class TestParamTypeAnalysisReuse:
+    TEXT = "SELECT ALL FROM Part WHERE Part.cost > $limit VALID AT 5"
+
+    def _param_stats(self, db):
+        return {
+            "hits": db.metrics.value(
+                "mql.plan_cache.param_analysis_hits"),
+            "misses": db.metrics.value(
+                "mql.plan_cache.param_analysis_misses"),
+        }
+
+    def test_same_typed_rebinding_skips_reanalysis(self, stocked):
+        db = stocked
+        db.query(self.TEXT, params={"limit": 5.0})
+        before = self._param_stats(db)
+        assert before["misses"] >= 1
+        db.query(self.TEXT, params={"limit": 100.0})
+        after = self._param_stats(db)
+        assert after["hits"] > before["hits"]
+        assert after["misses"] == before["misses"]
+
+    def test_new_type_signature_reanalyzes_once(self, stocked):
+        db = stocked
+        db.query(self.TEXT, params={"limit": 5.0})    # float: miss
+        db.query(self.TEXT, params={"limit": 5})      # int: new miss
+        mid = self._param_stats(db)
+        db.query(self.TEXT, params={"limit": 7})      # int again: hit
+        after = self._param_stats(db)
+        assert mid["misses"] >= 2
+        assert after["hits"] > mid["hits"]
+        assert after["misses"] == mid["misses"]
+
+    def test_results_identical_across_reused_analysis(self, stocked):
+        db = stocked
+        text = ("SELECT Part.name FROM Part WHERE Part.cost > $limit "
+                "VALID AT 5")
+        baseline = db.query(text, params={"limit": 100.0})
+        reused = db.query(text, params={"limit": 100.0})
+        rows = lambda r: sorted(e.row["Part.name"] for e in r.entries)
+        assert rows(baseline) == rows(reused) == ["frame"]
+        # Different value, same type: analysis reused, result differs.
+        cheap = db.query(text, params={"limit": 5.0})
+        assert len(cheap.entries) == 3
+
+    def test_bad_type_still_rejected_after_priming(self, stocked):
+        db = stocked
+        db.query(self.TEXT, params={"limit": 5.0})  # prime float path
+        with pytest.raises(ParseError):
+            db.query(self.TEXT, params={"limit": object()})
+
+    def test_signature_cap_bounds_entry_growth(self, stocked):
+        from repro.mql.planner import MAX_PARAM_SIGNATURES, param_signature
+        db = stocked
+        db.query(self.TEXT, params={"limit": 5.0})
+        entry = db._plan_cache.get(self.TEXT)
+        assert len(entry.analyzed_by_types) == 1
+        assert param_signature({"limit": 5.0}) in entry.analyzed_by_types
+        assert len(entry.analyzed_by_types) <= MAX_PARAM_SIGNATURES
+
+
 class TestEviction:
     def test_capacity_bounds_the_cache(self):
         cache = PlanCache(capacity=2, metrics=MetricsRegistry())

@@ -13,7 +13,10 @@ from __future__ import annotations
 import pytest
 
 from repro import DatabaseConfig, TemporalDatabase
-from repro.core.engine import DecodedVersionCache
+from repro.core.engine import (
+    DECODE_CACHE_ENTRY_OVERHEAD,
+    DecodedVersionCache,
+)
 from repro.errors import UnknownAtomError
 from repro.temporal import FOREVER
 from repro.tools.vacuum import vacuum_superseded
@@ -181,21 +184,82 @@ class TestTypeNameMap:
 
 class TestEviction:
     def test_tiny_cache_stays_correct(self, db):
-        db.engine._decode_cache = DecodedVersionCache(2, db.metrics)
+        # A budget of two entries' worth of bytes: every read churns the
+        # LRU, and correctness must not depend on residency.
+        budget = 2 * (DECODE_CACHE_ENTRY_OVERHEAD + 80)
+        db.engine._decode_cache = DecodedVersionCache(budget, db.metrics)
         parts = [_insert_part(db, name=f"p{i}", cost=float(i))
                  for i in range(6)]
         for index, part in enumerate(parts):
             assert db.version_at(part, 5).values["cost"] == float(index)
-        # Sweep again in reverse so every read churns the 2-entry LRU.
         for index, part in reversed(list(enumerate(parts))):
             assert db.version_at(part, 5).values["cost"] == float(index)
-        assert len(db.engine._decode_cache) <= 2
+        assert db.engine._decode_cache.bytes_used <= budget
 
-    def test_lru_capacity_is_enforced(self):
+    def test_lru_byte_budget_is_enforced(self):
         from repro.obs import MetricsRegistry
-        cache = DecodedVersionCache(3, MetricsRegistry())
+        per_entry = DECODE_CACHE_ENTRY_OVERHEAD + 100
+        cache = DecodedVersionCache(3 * per_entry, MetricsRegistry())
         for atom_id in range(5):
-            cache.put(atom_id, 0, "Part", object())
+            cache.put(atom_id, 0, "Part", object(), nbytes=100)
         assert len(cache) == 3
+        assert cache.bytes_used == 3 * per_entry
         assert cache.get(0, 0) is None      # evicted
         assert cache.get(4, 0) is not None  # newest survives
+
+    def test_oversized_entry_is_not_cached(self):
+        from repro.obs import MetricsRegistry
+        cache = DecodedVersionCache(1024, MetricsRegistry())
+        cache.put(1, 0, "Part", object(), nbytes=4096)
+        assert len(cache) == 0
+        assert cache.bytes_used == 0
+
+    def test_wide_values_charge_more_than_narrow_ones(self, db):
+        cache = db.engine._decode_cache
+        _insert_part(db, name="x")
+        narrow = cache.bytes_used
+        assert narrow == 0  # writes do not populate the cache
+        part = _insert_part(db, name="y")
+        db.version_at(part, 5)
+        after_narrow = cache.bytes_used
+        wide = _insert_part(db, name="z" * 500)
+        db.version_at(wide, 5)
+        after_wide = cache.bytes_used
+        assert after_wide - after_narrow > after_narrow
+
+
+class TestByteAccounting:
+    def test_gauge_tracks_occupancy(self, db):
+        part = _insert_part(db)
+        assert db.metrics._gauges  # gauge registered at engine build
+        db.version_at(part, 5)
+        used = db.engine._decode_cache.bytes_used
+        assert used > 0
+        gauge = db.metrics.gauge("engine.decode_cache.bytes")
+        assert gauge.value == used
+
+    def test_invalidation_returns_bytes(self, db):
+        part = _insert_part(db)
+        db.version_at(part, 5)
+        assert db.engine._decode_cache.bytes_used > 0
+        with db.transaction() as txn:
+            txn.update(part, {"cost": 2.0}, valid_from=0)
+        # The atom's cached decodes were dropped with their bytes.
+        gauge = db.metrics.gauge("engine.decode_cache.bytes")
+        assert gauge.value == db.engine._decode_cache.bytes_used
+
+    def test_clear_zeroes_bytes_and_gauge(self, db):
+        part = _insert_part(db)
+        db.version_at(part, 5)
+        db.engine._decode_cache.clear()
+        assert db.engine._decode_cache.bytes_used == 0
+        assert db.metrics.gauge("engine.decode_cache.bytes").value == 0
+
+    def test_config_knob_reaches_the_engine(self, tmp_path, cad_schema):
+        db = TemporalDatabase.create(
+            str(tmp_path / "knobdb"), cad_schema,
+            DatabaseConfig(decode_cache_bytes=4096))
+        try:
+            assert db.engine._decode_cache.capacity_bytes == 4096
+        finally:
+            db.close()

@@ -1,0 +1,505 @@
+"""Server integration: sessions, transactions, admission, shutdown.
+
+The load-bearing test is the differential one: N concurrent network
+clients must read results *byte-identical* to in-process execution —
+the server adds transport, never semantics.  Around it: handshake
+negotiation, wire transactions (commit/rollback/disconnect), load
+shedding with structured transient errors, idle reaping, connection
+caps, and graceful drain-then-checkpoint shutdown.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import DatabaseConfig, TemporalDatabase
+from repro.errors import ConnectionClosedError, HandshakeError, RemoteError
+from repro.server import (
+    AdmissionController,
+    ClientPool,
+    DatabaseClient,
+    DatabaseServer,
+)
+from repro.server.protocol import (
+    PROTOCOL_MAGIC,
+    PROTOCOL_VERSION,
+    Opcode,
+    encode_payload,
+    read_frame,
+    result_to_payload,
+    write_frame,
+)
+
+
+@pytest.fixture
+def sdb(tmp_path, cad_schema):
+    """A single-strategy database for server tests (speed)."""
+    database = TemporalDatabase.create(
+        str(tmp_path / "serverdb"), cad_schema,
+        DatabaseConfig(buffer_pages=64))
+    yield database
+    try:
+        database.close()
+    except Exception:
+        pass
+
+
+@pytest.fixture
+def server(sdb):
+    with DatabaseServer(sdb, max_connections=16) as srv:
+        yield srv
+
+
+def _stock(db, count=4):
+    with db.transaction() as txn:
+        for index in range(count):
+            txn.insert("Part", {"name": f"part{index}",
+                                "cost": float(index * 10)}, valid_from=0)
+
+
+def _raw_connection(server):
+    """A bare socket past the handshake, for frame-level assertions."""
+    sock = socket.create_connection((server.host, server.port), timeout=5)
+    sock.settimeout(5)
+    write_frame(sock, Opcode.HELLO, 1, encode_payload(
+        {"magic": PROTOCOL_MAGIC, "protocol": PROTOCOL_VERSION}))
+    frame = read_frame(sock)
+    assert frame.opcode == Opcode.RESULT
+    return sock
+
+
+class TestHandshake:
+    def test_reports_version_schema_and_session(self, server):
+        with DatabaseClient(server.host, server.port) as client:
+            assert client.session["protocol"] == PROTOCOL_VERSION
+            assert client.session["schema"] == "cad"
+            assert client.session["session_id"] >= 1
+
+    def test_bad_magic_is_refused(self, server):
+        sock = socket.create_connection((server.host, server.port),
+                                        timeout=5)
+        sock.settimeout(5)
+        write_frame(sock, Opcode.HELLO, 1, encode_payload(
+            {"magic": "nope", "protocol": PROTOCOL_VERSION}))
+        frame = read_frame(sock)
+        assert frame.opcode == Opcode.ERROR
+        assert frame.decode()["error"] == "HandshakeError"
+        sock.close()
+
+    def test_version_mismatch_is_refused(self, server):
+        sock = socket.create_connection((server.host, server.port),
+                                        timeout=5)
+        sock.settimeout(5)
+        write_frame(sock, Opcode.HELLO, 1, encode_payload(
+            {"magic": PROTOCOL_MAGIC, "protocol": 999}))
+        frame = read_frame(sock)
+        assert frame.opcode == Opcode.ERROR
+        body = frame.decode()
+        assert body["error"] == "HandshakeError"
+        assert "999" in body["message"]
+        sock.close()
+
+    def test_non_hello_first_frame_is_refused(self, server):
+        sock = socket.create_connection((server.host, server.port),
+                                        timeout=5)
+        sock.settimeout(5)
+        write_frame(sock, Opcode.QUERY, 1, encode_payload(
+            {"text": "SELECT ALL FROM Part VALID AT 5"}))
+        frame = read_frame(sock)
+        assert frame.opcode == Opcode.ERROR
+        sock.close()
+
+    def test_client_raises_handshake_error(self, sdb):
+        import repro.server.client as client_module
+        with DatabaseServer(sdb) as srv:
+            original = client_module.PROTOCOL_VERSION
+            client_module.PROTOCOL_VERSION = 999
+            try:
+                with pytest.raises(HandshakeError):
+                    DatabaseClient(srv.host, srv.port)
+            finally:
+                client_module.PROTOCOL_VERSION = original
+
+
+class TestDifferentialOracle:
+    QUERIES = (
+        "SELECT ALL FROM Part VALID AT 5",
+        "SELECT Part.name FROM Part WHERE Part.cost > 10 VALID AT 5",
+        "SELECT ALL FROM Part WHERE Part.name = 'part1' VALID AT 5",
+        "SELECT Part.name, Part.cost FROM Part VALID HISTORY",
+    )
+
+    def test_concurrent_clients_match_local_bytes(self, sdb, server):
+        """≥4 network clients, results byte-for-byte equal to local."""
+        _stock(sdb, count=6)
+        oracle = {text: encode_payload(result_to_payload(sdb.query(text)))
+                  for text in self.QUERIES}
+        failures = []
+
+        def worker(worker_id):
+            try:
+                with DatabaseClient(server.host, server.port) as client:
+                    for round_no in range(5):
+                        for text in self.QUERIES:
+                            remote = encode_payload(client.query(text))
+                            if remote != oracle[text]:
+                                failures.append(
+                                    (worker_id, round_no, text))
+            except Exception as exc:  # noqa: BLE001 - collected below
+                failures.append((worker_id, "exception", repr(exc)))
+
+        threads = [threading.Thread(target=worker, args=(n,))
+                   for n in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        assert not failures, failures
+
+    def test_writers_and_readers_interleave_safely(self, sdb, server):
+        """Concurrent wire writers + readers; final state matches an
+        in-process read exactly."""
+        _stock(sdb, count=2)
+        errors = []
+
+        def writer(worker_id):
+            try:
+                with DatabaseClient(server.host, server.port) as client:
+                    for index in range(4):
+                        with client.transaction() as txn:
+                            txn.insert("Part", {
+                                "name": f"w{worker_id}-{index}",
+                                "cost": float(worker_id)}, valid_from=0)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(repr(exc))
+
+        def reader():
+            try:
+                with DatabaseClient(server.host, server.port) as client:
+                    for _ in range(10):
+                        body = client.query(
+                            "SELECT Part.name FROM Part VALID AT 5")
+                        assert len(body["entries"]) >= 2
+            except Exception as exc:  # noqa: BLE001
+                errors.append(repr(exc))
+
+        threads = ([threading.Thread(target=writer, args=(n,))
+                    for n in range(3)]
+                   + [threading.Thread(target=reader) for _ in range(3)])
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        assert not errors, errors
+        text = "SELECT Part.name FROM Part VALID AT 5"
+        local = encode_payload(result_to_payload(sdb.query(text)))
+        with DatabaseClient(server.host, server.port) as client:
+            assert encode_payload(client.query(text)) == local
+        # 3 writers x 4 inserts + 2 stocked parts
+        assert len(sdb.query(text).entries) == 14
+
+
+class TestTransactionsOverTheWire:
+    def test_commit_makes_writes_visible_to_other_clients(self, server):
+        with DatabaseClient(server.host, server.port) as alice, \
+                DatabaseClient(server.host, server.port) as bob:
+            with alice.transaction() as txn:
+                txn.insert("Part", {"name": "axle", "cost": 7.0},
+                           valid_from=0)
+            body = bob.query("SELECT Part.name FROM Part VALID AT 5")
+            names = [e["row"]["Part.name"] for e in body["entries"]]
+            assert names == ["axle"]
+
+    def test_rollback_discards_writes(self, server):
+        with DatabaseClient(server.host, server.port) as client:
+            txn = client.begin()
+            txn.insert("Part", {"name": "ghost"}, valid_from=0)
+            txn.rollback()
+            body = client.query("SELECT ALL FROM Part VALID AT 5")
+            assert body["entries"] == []
+
+    def test_exception_in_context_manager_rolls_back(self, server):
+        with DatabaseClient(server.host, server.port) as client:
+            with pytest.raises(RuntimeError):
+                with client.transaction() as txn:
+                    txn.insert("Part", {"name": "doomed"}, valid_from=0)
+                    raise RuntimeError("abort it")
+            body = client.query("SELECT ALL FROM Part VALID AT 5")
+            assert body["entries"] == []
+
+    def test_disconnect_with_open_transaction_rolls_back(self, server):
+        sock = _raw_connection(server)
+        write_frame(sock, Opcode.BEGIN, 2, b"{}")
+        assert read_frame(sock).opcode == Opcode.RESULT
+        write_frame(sock, Opcode.MUTATE, 3, encode_payload(
+            {"op": "insert", "args": {"type": "Part",
+                                      "values": {"name": "orphan"},
+                                      "valid_from": 0}}))
+        assert read_frame(sock).opcode == Opcode.RESULT
+        sock.close()  # vanish mid-transaction
+        deadline = time.monotonic() + 5
+        with DatabaseClient(server.host, server.port) as client:
+            while time.monotonic() < deadline:
+                body = client.query("SELECT ALL FROM Part VALID AT 5")
+                if body["entries"] == []:
+                    return
+                time.sleep(0.05)
+        pytest.fail("orphaned transaction was not rolled back")
+
+    def test_double_begin_is_a_clean_error(self, server):
+        with DatabaseClient(server.host, server.port) as client:
+            client.begin()
+            with pytest.raises(RemoteError) as info:
+                client._roundtrip(Opcode.BEGIN, {})
+            assert info.value.remote_type == "TransactionStateError"
+
+    def test_commit_without_begin_is_a_clean_error(self, server):
+        with DatabaseClient(server.host, server.port) as client:
+            with pytest.raises(RemoteError) as info:
+                client._roundtrip(Opcode.COMMIT, {})
+            assert info.value.remote_type == "TransactionStateError"
+
+    def test_mutations_autocommit_outside_a_transaction(self, server):
+        with DatabaseClient(server.host, server.port) as client:
+            atom_id = client.mutate("insert", type="Part",
+                                    values={"name": "solo"},
+                                    valid_from=0)["atom_id"]
+            assert atom_id >= 1
+            body = client.query("SELECT Part.name FROM Part VALID AT 5")
+            assert [e["row"]["Part.name"] for e in body["entries"]] \
+                == ["solo"]
+
+
+class TestErrorFrames:
+    def test_query_errors_carry_the_server_class(self, server):
+        with DatabaseClient(server.host, server.port) as client:
+            with pytest.raises(RemoteError) as info:
+                client.query("SELECT ALL FROM Nonexistent VALID AT 5")
+            assert not info.value.transient
+            # the session survives a failed request
+            assert client.ping()["pong"] is True
+
+    def test_unknown_opcode_gets_an_error_frame_not_a_hangup(self, server):
+        sock = _raw_connection(server)
+        write_frame(sock, 200, 9, b"{}")
+        frame = read_frame(sock)
+        assert frame.opcode == Opcode.ERROR
+        assert frame.request_id == 9
+        assert frame.decode()["error"] == "ProtocolError"
+        # connection still usable afterwards
+        write_frame(sock, Opcode.PING, 10, b"{}")
+        assert read_frame(sock).opcode == Opcode.RESULT
+        sock.close()
+
+    def test_corrupt_frame_reports_then_closes(self, server):
+        sock = _raw_connection(server)
+        sock.sendall(b"\x10\x00\x00\x00" + b"\xde\xad\xbe\xef" * 4)
+        frame = read_frame(sock)
+        assert frame.opcode == Opcode.ERROR
+        assert frame.decode()["error"] == "ProtocolError"
+        # after a framing error the server hangs up
+        assert sock.recv(1) == b""
+        sock.close()
+
+    def test_garbage_bytes_never_kill_the_server(self, server):
+        import random
+        rng = random.Random(7)
+        for _ in range(20):
+            sock = socket.create_connection((server.host, server.port),
+                                            timeout=5)
+            blob = bytes(rng.randrange(256)
+                         for _ in range(rng.randrange(1, 128)))
+            try:
+                sock.sendall(blob)
+                sock.close()
+            except OSError:
+                pass
+        # the server still serves fresh, well-formed connections
+        with DatabaseClient(server.host, server.port) as client:
+            assert client.ping()["pong"] is True
+
+
+class TestAdmission:
+    def test_saturation_sheds_with_a_transient_error(self, sdb):
+        admission = AdmissionController(max_inflight=1, max_queued=0,
+                                        metrics=sdb.metrics)
+        with DatabaseServer(sdb, admission=admission) as srv:
+            admission._acquire()  # occupy the only slot
+            try:
+                with DatabaseClient(srv.host, srv.port,
+                                    max_retries=0) as client:
+                    with pytest.raises(RemoteError) as info:
+                        client.ping()
+                    assert info.value.remote_type == "ServerSaturatedError"
+                    assert info.value.transient
+            finally:
+                admission._release()
+            assert sdb.metrics.value("server.load_shed") >= 1
+
+    def test_queue_timeout_is_transient(self, sdb):
+        admission = AdmissionController(max_inflight=1, max_queued=4,
+                                        request_timeout=0.1,
+                                        metrics=sdb.metrics)
+        with DatabaseServer(sdb, admission=admission) as srv:
+            admission._acquire()
+            try:
+                with DatabaseClient(srv.host, srv.port,
+                                    max_retries=0) as client:
+                    with pytest.raises(RemoteError) as info:
+                        client.ping()
+                    assert info.value.remote_type == "RequestTimeoutError"
+                    assert info.value.transient
+            finally:
+                admission._release()
+
+    def test_client_retries_through_transient_saturation(self, sdb):
+        admission = AdmissionController(max_inflight=1, max_queued=0,
+                                        metrics=sdb.metrics)
+        with DatabaseServer(sdb, admission=admission) as srv:
+            admission._acquire()
+            releaser = threading.Timer(0.15, admission._release)
+            releaser.start()
+            try:
+                with DatabaseClient(srv.host, srv.port, max_retries=5,
+                                    backoff_base=0.05) as client:
+                    assert client.ping()["pong"] is True
+            finally:
+                releaser.join()
+
+    def test_connection_cap_refuses_with_error_frame(self, sdb):
+        with DatabaseServer(sdb, max_connections=1) as srv:
+            keeper = DatabaseClient(srv.host, srv.port)
+            try:
+                sock = socket.create_connection((srv.host, srv.port),
+                                                timeout=5)
+                sock.settimeout(5)
+                frame = read_frame(sock)
+                assert frame.opcode == Opcode.ERROR
+                body = frame.decode()
+                assert body["error"] == "ServerSaturatedError"
+                assert body["transient"] is True
+                sock.close()
+            finally:
+                keeper.close()
+
+    def test_request_metrics_and_slow_query_log(self, sdb):
+        admission = AdmissionController(slow_query_ms=0.0,
+                                        metrics=sdb.metrics)
+        with DatabaseServer(sdb, admission=admission) as srv:
+            with DatabaseClient(srv.host, srv.port) as client:
+                client.query("SELECT ALL FROM Part VALID AT 5")
+            assert sdb.metrics.value("server.requests") >= 1
+            histogram = sdb.metrics.histogram("server.request_seconds")
+            assert histogram.count >= 1
+            entries = admission.slow_queries.entries()
+            assert any(e.opcode == "QUERY" and "SELECT" in e.text
+                       for e in entries)
+
+
+class TestSessionLifecycle:
+    def test_idle_sessions_are_reaped(self, sdb, monkeypatch):
+        import repro.server.server as server_module
+        monkeypatch.setattr(server_module, "REAPER_INTERVAL", 0.05)
+        with DatabaseServer(sdb, idle_timeout=0.1) as srv:
+            client = DatabaseClient(srv.host, srv.port)
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                if sdb.metrics.value("server.connections.reaped") >= 1:
+                    break
+                time.sleep(0.05)
+            assert sdb.metrics.value("server.connections.reaped") >= 1
+            with pytest.raises(ConnectionClosedError):
+                for _ in range(3):
+                    client.ping()
+
+    def test_active_gauge_tracks_connections(self, sdb, server):
+        gauge = sdb.metrics.gauge("server.connections.active")
+        client = DatabaseClient(server.host, server.port)
+        assert gauge.value >= 1
+        client.close()
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline and gauge.value != 0:
+            time.sleep(0.02)
+        assert gauge.value == 0
+
+    def test_explain_over_the_wire_includes_server_span(self, sdb, server):
+        _stock(sdb)
+        with DatabaseClient(server.host, server.port) as client:
+            body = client.explain("SELECT ALL FROM Part VALID AT 5")
+        spans = body["profile"]["spans"]
+        assert spans[0]["name"] == "server.request"
+        child_names = [c["name"] for c in spans[0]["children"]]
+        assert "mql.execute" in child_names
+
+
+class TestGracefulShutdown:
+    def test_shutdown_is_idempotent_and_checkpoints(self, sdb):
+        server = DatabaseServer(sdb).start()
+        with DatabaseClient(server.host, server.port) as client:
+            client.mutate("insert", type="Part", values={"name": "saved"},
+                          valid_from=0)
+        server.shutdown()
+        server.shutdown()  # second call is a no-op
+        # drained and checkpointed: a clean close needs no extra work
+        sdb.close()
+
+    def test_shutdown_drains_inflight_requests(self, sdb):
+        _stock(sdb, count=4)
+        with DatabaseServer(sdb) as srv:
+            results = []
+
+            def run_queries():
+                with DatabaseClient(srv.host, srv.port) as client:
+                    for _ in range(20):
+                        body = client.query(
+                            "SELECT ALL FROM Part VALID AT 5")
+                        results.append(len(body["entries"]))
+
+            thread = threading.Thread(target=run_queries)
+            thread.start()
+            time.sleep(0.05)
+            srv.shutdown()
+            thread.join(10)
+            # every response that arrived was complete and correct
+            assert results
+            assert all(count == 4 for count in results)
+
+    def test_new_connections_refused_after_shutdown(self, sdb):
+        server = DatabaseServer(sdb).start()
+        server.shutdown()
+        with pytest.raises(OSError):
+            socket.create_connection((server.host, server.port),
+                                     timeout=0.5)
+
+
+class TestClientPool:
+    def test_pool_serves_parallel_queries(self, sdb, server):
+        _stock(sdb, count=3)
+        oracle = encode_payload(result_to_payload(
+            sdb.query("SELECT ALL FROM Part VALID AT 5")))
+        mismatches = []
+        with ClientPool(server.host, server.port, size=3) as pool:
+            def worker():
+                for _ in range(5):
+                    body = pool.query("SELECT ALL FROM Part VALID AT 5")
+                    if encode_payload(body) != oracle:
+                        mismatches.append(body)
+            threads = [threading.Thread(target=worker) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(30)
+        assert not mismatches
+
+    def test_pool_discards_dead_connections(self, sdb):
+        with DatabaseServer(sdb) as srv:
+            pool = ClientPool(srv.host, srv.port, size=1)
+            with pool.acquire() as client:
+                client._abandon()  # simulate a died-in-use connection
+            # pool replaces it transparently
+            assert pool.query("SELECT ALL FROM Part VALID AT 5") is not None
+            pool.close()
