@@ -182,6 +182,25 @@ class AdmissionController:
             self._h_latency.observe(elapsed)
             self.slow_queries.record(session_id, opcode, text, elapsed)
 
+    @contextmanager
+    def admit_ungated(self, session_id: int, opcode: str,
+                      text: str = "") -> Iterator[None]:
+        """Metrics-only admission for frames that *release* resources.
+
+        COMMIT/ROLLBACK/CLOSE free locks, undo state, and sessions;
+        shedding one under load would strand a server-side transaction
+        the client believes finished.  They are therefore counted and
+        timed like any request but never queued or refused.
+        """
+        self._c_requests.inc()
+        started = time.monotonic()
+        try:
+            yield
+        finally:
+            elapsed = time.monotonic() - started
+            self._h_latency.observe(elapsed)
+            self.slow_queries.record(session_id, opcode, text, elapsed)
+
     def snapshot(self) -> Dict[str, Any]:
         with self._lock:
             return {

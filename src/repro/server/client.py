@@ -122,13 +122,22 @@ class DatabaseClient:
                 self._abandon()
                 raise ConnectionClosedError(
                     "timed out waiting for a response") from exc
+            except ConnectionClosedError:
+                self._abandon()
+                raise
+            except ProtocolError:
+                # Bad length prefix or CRC: the byte stream is
+                # desynchronized and can never be trusted again.
+                self._abandon()
+                raise
             except OSError as exc:
                 self._abandon()
                 raise ConnectionClosedError(str(exc)) from exc
-        if frame.request_id != request_id:
-            raise ProtocolError(
-                f"response for request {frame.request_id}, "
-                f"expected {request_id}")
+            if frame.request_id != request_id:
+                self._abandon()
+                raise ProtocolError(
+                    f"response for request {frame.request_id}, "
+                    f"expected {request_id}")
         body = decode_payload(frame.payload)
         if frame.opcode == Opcode.ERROR:
             raise RemoteError(body.get("error", "ReproError"),
@@ -146,6 +155,34 @@ class DatabaseClient:
             self._sock.close()
         except OSError:
             pass
+
+    def _reset_transaction_state(self) -> None:
+        """Ensure no server-side transaction survives on this connection.
+
+        Called after a failed COMMIT and when a pooled connection comes
+        back with a transaction still open.  If the server cannot
+        confirm the transaction is gone, the connection is abandoned —
+        the server rolls a session's transaction back on disconnect, so
+        dropping the link is always a safe (if blunt) resolution.
+        """
+        if not self._in_transaction:
+            return
+        self._in_transaction = False
+        if self._closed:
+            return  # disconnect already rolls the transaction back
+        try:
+            self._roundtrip(Opcode.ROLLBACK, {})
+        except RemoteError as exc:
+            if exc.transient:
+                # The server did not process the ROLLBACK; only
+                # dropping the connection guarantees the txn dies.
+                self._abandon()
+            # Non-transient (e.g. "no open transaction") means the
+            # server definitively has nothing left open.
+        except (ConnectionClosedError, ProtocolError):
+            pass  # _roundtrip already abandoned the connection
+        except OSError:
+            self._abandon()
 
     def _request(self, opcode: Opcode, payload: Dict[str, Any]) -> Any:
         """A round-trip with transient-error retry (outside txns only)."""
@@ -299,17 +336,43 @@ class ClientTransaction:
             return
         try:
             self._client._roundtrip(Opcode.COMMIT, {})
-        finally:
+        except RemoteError:
+            # The COMMIT was refused (it bypasses admission control,
+            # but e.g. a WAL failure is still possible) and the
+            # server-side transaction may remain open — a later
+            # "autocommit" mutation on this connection would silently
+            # join it and be lost with it.  Resolve the transaction
+            # before surfacing the failure.
+            self.active = False
+            self._client._reset_transaction_state()
+            raise
+        except BaseException:
+            # Stream-level failure: _roundtrip abandoned the connection
+            # and the server rolls the transaction back when the
+            # session dies.  An interrupt mid-roundtrip leaves the
+            # stream state unknown — abandon then, too.
             self.active = False
             self._client._in_transaction = False
+            if not self._client._closed:
+                self._client._abandon()
+            raise
+        self.active = False
+        self._client._in_transaction = False
 
     def rollback(self) -> None:
         if not self.active:
             return
         try:
             self._client._roundtrip(Opcode.ROLLBACK, {})
-        except ConnectionClosedError:
-            pass  # the server rolls back on disconnect anyway
+        except (ConnectionClosedError, ProtocolError):
+            pass  # connection abandoned; the server rolls back for us
+        except RemoteError as exc:
+            if exc.transient:
+                # The server never processed the ROLLBACK; only a
+                # disconnect guarantees the transaction dies.
+                self._client._abandon()
+            # Non-transient means the server handled the frame —
+            # nothing is left open on the session.
         finally:
             self.active = False
             self._client._in_transaction = False
@@ -380,6 +443,14 @@ class ClientPool:
         try:
             yield client
         finally:
+            # A borrower that left a transaction open (begin() without
+            # commit/rollback) must not hand it to the next borrower,
+            # whose "autocommit" mutations would silently join it and
+            # be rolled back with it.  Roll it back — or, when that
+            # cannot be confirmed, discard the connection like a dead
+            # one.
+            if not client._closed and client._in_transaction:
+                client._reset_transaction_state()
             dead = client._closed
             with self._available_cond:
                 if dead or self._closed:

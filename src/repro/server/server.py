@@ -54,6 +54,19 @@ from repro.server.protocol import (
 #: How often (seconds) the reaper sweeps for idle sessions.
 REAPER_INTERVAL = 1.0
 
+#: How long (seconds) a shutdown-path close waits for the session's
+#: in-flight request before leaving its transaction to the worker's own
+#: cleanup.
+CLOSE_INTERLOCK_TIMEOUT = 5.0
+
+#: Frames that release resources (locks, undo state, the session
+#: itself) rather than consume them.  They bypass admission gating:
+#: shedding a COMMIT/ROLLBACK would strand a server-side transaction
+#: the client believes finished — later "autocommit" mutations on that
+#: connection would silently join it and be rolled back with it.
+_UNGATED_OPCODES = frozenset(
+    (int(Opcode.COMMIT), int(Opcode.ROLLBACK), int(Opcode.CLOSE)))
+
 
 class Session:
     """Per-connection state: socket, open transaction, activity clock."""
@@ -66,6 +79,12 @@ class Session:
         self.txn = None  # TransactionContext while a txn is open
         self.last_active = time.monotonic()
         self.closing = False
+        # Held around request dispatch so a shutdown-path abort of
+        # self.txn cannot run concurrently with a request using it.
+        self.lock = threading.Lock()
+        # True while a request is being dispatched; the idle reaper
+        # must not judge a long-running request as an idle session.
+        self.inflight = False
 
     def touch(self) -> None:
         self.last_active = time.monotonic()
@@ -172,6 +191,13 @@ class DatabaseServer:
             leftovers = list(self._sessions.values())
         for session in leftovers:
             self._close_session(session)
+        # Workers that ignored the drain window were errored out by the
+        # socket close above; give them a moment to unwind so the
+        # checkpoint does not walk engine state they are still mutating.
+        with self._sessions_lock:
+            stragglers = list(self._workers.values())
+        for worker in stragglers:
+            worker.join(1.0)
         self.db.checkpoint()
 
     # -- accept / reap -------------------------------------------------------
@@ -216,7 +242,8 @@ class DatabaseServer:
             cutoff = time.monotonic() - self.idle_timeout
             with self._sessions_lock:
                 idle = [s for s in self._sessions.values()
-                        if s.last_active < cutoff and not s.closing]
+                        if s.last_active < cutoff and not s.closing
+                        and not s.inflight]
             for session in idle:
                 session.closing = True
                 self._c_reaped.inc()
@@ -226,12 +253,24 @@ class DatabaseServer:
                     pass
 
     def _close_session(self, session: Session) -> None:
-        if session.txn is not None and session.txn.is_active:
+        # Interlock with the worker: the shutdown path can reach here
+        # while the session's worker is still mid-request inside the
+        # very transaction we are about to abort.  The session lock is
+        # held around dispatch, so acquiring it proves no request is in
+        # flight.  If the worker is stuck past the timeout, leave the
+        # transaction alone — closing the socket below errors the
+        # worker out, and its own cleanup pass aborts safely.
+        locked = session.lock.acquire(timeout=CLOSE_INTERLOCK_TIMEOUT)
+        if locked:
             try:
-                session.txn.abort()
-            except ReproError:
-                pass
-        session.txn = None
+                if session.txn is not None and session.txn.is_active:
+                    try:
+                        session.txn.abort()
+                    except ReproError:
+                        pass
+                session.txn = None
+            finally:
+                session.lock.release()
         try:
             session.conn.close()
         except OSError:
@@ -262,7 +301,14 @@ class DatabaseServer:
                 except OSError:
                     return
                 session.touch()
-                if not self._dispatch(session, frame):
+                session.inflight = True
+                try:
+                    with session.lock:
+                        done = not self._dispatch(session, frame)
+                finally:
+                    session.inflight = False
+                    session.touch()
+                if done:
                     return
         finally:
             self._close_session(session)
@@ -313,7 +359,12 @@ class DatabaseServer:
             if not isinstance(payload, dict):
                 raise ProtocolError("request payload must be a JSON object")
             text = payload.get("text", "") if isinstance(payload, dict) else ""
-            with self.admission.admit(session.id, opcode_name, text):
+            if frame.opcode in _UNGATED_OPCODES:
+                gate = self.admission.admit_ungated(session.id,
+                                                    opcode_name, text)
+            else:
+                gate = self.admission.admit(session.id, opcode_name, text)
+            with gate:
                 with self.db.tracer.span("server.request",
                                          opcode=opcode_name,
                                          session=session.id):

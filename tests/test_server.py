@@ -503,3 +503,195 @@ class TestClientPool:
             # pool replaces it transparently
             assert pool.query("SELECT ALL FROM Part VALID AT 5") is not None
             pool.close()
+
+
+def _wait_admission_idle(admission, timeout=5.0):
+    """The server releases its slot *after* writing the response, so a
+    client that just got an answer may race the release; wait it out."""
+    deadline = time.monotonic() + timeout
+    while admission.inflight and time.monotonic() < deadline:
+        time.sleep(0.005)
+    assert admission.inflight == 0
+
+
+class TestTransactionFrameRobustness:
+    """Regressions: a failed COMMIT/ROLLBACK must never leave the
+    client believing a server-side transaction is gone while the server
+    still holds it open (later "autocommit" mutations would silently
+    join it and be lost with it)."""
+
+    def test_commit_bypasses_admission_under_saturation(self, sdb):
+        admission = AdmissionController(max_inflight=1, max_queued=0,
+                                        metrics=sdb.metrics)
+        with DatabaseServer(sdb, admission=admission) as srv:
+            with DatabaseClient(srv.host, srv.port,
+                                max_retries=0) as client:
+                txn = client.begin()
+                txn.insert("Part", {"name": "committed-under-load"},
+                           valid_from=0)
+                _wait_admission_idle(admission)
+                admission._acquire()  # saturate: gated frames shed now
+                try:
+                    txn.commit()  # must not be shed
+                finally:
+                    admission._release()
+                body = client.query("SELECT Part.name FROM Part "
+                                    "VALID AT 5")
+                assert [e["row"]["Part.name"] for e in body["entries"]] \
+                    == ["committed-under-load"]
+
+    def test_rollback_bypasses_admission_under_saturation(self, sdb):
+        admission = AdmissionController(max_inflight=1, max_queued=0,
+                                        metrics=sdb.metrics)
+        with DatabaseServer(sdb, admission=admission) as srv:
+            with DatabaseClient(srv.host, srv.port,
+                                max_retries=0) as client:
+                txn = client.begin()
+                txn.insert("Part", {"name": "doomed"}, valid_from=0)
+                _wait_admission_idle(admission)
+                admission._acquire()
+                try:
+                    txn.rollback()  # must not be shed
+                finally:
+                    admission._release()
+                assert client._closed is False
+                assert client._in_transaction is False
+                body = client.query("SELECT ALL FROM Part VALID AT 5")
+                assert body["entries"] == []
+
+    def test_failed_commit_does_not_leak_zombie_transaction(self, server):
+        with DatabaseClient(server.host, server.port) as client:
+            real_roundtrip = client._roundtrip
+            shed = []
+
+            def flaky(opcode, payload):
+                if opcode == Opcode.COMMIT and not shed:
+                    shed.append(True)
+                    raise RemoteError("ServerSaturatedError",
+                                      "synthetic shed", transient=True)
+                return real_roundtrip(opcode, payload)
+
+            client._roundtrip = flaky
+            txn = client.begin()
+            txn.insert("Part", {"name": "zombie"}, valid_from=0)
+            with pytest.raises(RemoteError):
+                txn.commit()
+            # client state is consistent with the server: no open txn
+            assert client._in_transaction is False
+            # ... so this autocommits instead of joining a zombie txn
+            client.mutate("insert", type="Part",
+                          values={"name": "survivor"}, valid_from=0)
+        with DatabaseClient(server.host, server.port) as checker:
+            body = checker.query("SELECT Part.name FROM Part VALID AT 5")
+            names = sorted(e["row"]["Part.name"]
+                           for e in body["entries"])
+            assert names == ["survivor"]
+
+    def test_pool_rolls_back_transaction_leaked_by_borrower(self, server):
+        with ClientPool(server.host, server.port, size=1) as pool:
+            with pool.acquire() as client:
+                client.begin()
+                client.mutate("insert", type="Part",
+                              values={"name": "leaked"}, valid_from=0)
+                # borrower "forgets" to commit or roll back
+            with pool.acquire() as client:
+                assert client._in_transaction is False
+                client.mutate("insert", type="Part",
+                              values={"name": "clean"}, valid_from=0)
+            body = pool.query("SELECT Part.name FROM Part VALID AT 5")
+            names = sorted(e["row"]["Part.name"] for e in body["entries"])
+            assert names == ["clean"]
+
+
+class TestStreamDesyncAbandon:
+    """Regression: any framing-level failure must mark the connection
+    unusable so callers (and the pool) discard it instead of recycling
+    a desynchronized byte stream."""
+
+    def test_protocol_error_abandons_connection(self, server, monkeypatch):
+        import repro.server.client as client_module
+        from repro.errors import ProtocolError
+
+        client = DatabaseClient(server.host, server.port)
+
+        def bad_read(sock):
+            raise ProtocolError("frame CRC mismatch: synthetic")
+
+        monkeypatch.setattr(client_module, "read_frame", bad_read)
+        with pytest.raises(ProtocolError):
+            client.ping()
+        assert client._closed is True
+
+    def test_request_id_mismatch_abandons_connection(self, server,
+                                                     monkeypatch):
+        import repro.server.client as client_module
+        from repro.errors import ProtocolError
+
+        client = DatabaseClient(server.host, server.port)
+        real_read = client_module.read_frame
+
+        def skewed(sock):
+            frame = real_read(sock)
+            return type(frame)(frame.opcode, frame.request_id + 7,
+                               frame.payload)
+
+        monkeypatch.setattr(client_module, "read_frame", skewed)
+        with pytest.raises(ProtocolError):
+            client.ping()
+        assert client._closed is True
+
+
+class TestServerLifecycleRaces:
+    def test_reaper_spares_long_running_requests(self, sdb, monkeypatch):
+        import repro.server.server as server_module
+        monkeypatch.setattr(server_module, "REAPER_INTERVAL", 0.05)
+        real_query = sdb.query
+
+        def slow_query(text, params=None):
+            time.sleep(0.4)
+            return real_query(text, params=params)
+
+        monkeypatch.setattr(sdb, "query", slow_query)
+        with DatabaseServer(sdb, idle_timeout=0.15) as srv:
+            with DatabaseClient(srv.host, srv.port) as client:
+                body = client.query("SELECT ALL FROM Part VALID AT 5")
+                assert body["entries"] == []
+        assert sdb.metrics.value("server.connections.reaped") == 0
+
+    def test_close_session_interlocks_with_inflight_request(
+            self, sdb, monkeypatch):
+        import repro.server.server as server_module
+        monkeypatch.setattr(server_module, "CLOSE_INTERLOCK_TIMEOUT", 0.1)
+
+        class FakeTxn:
+            is_active = True
+
+            def __init__(self):
+                self.aborted = False
+
+            def abort(self):
+                self.aborted = True
+
+        srv = DatabaseServer(sdb)  # internals only; never started
+        try:
+            left, _right = socket.socketpair()
+            session = server_module.Session(1, left, "test")
+            session.txn = FakeTxn()
+            session.lock.acquire()  # a request is mid-dispatch
+            try:
+                srv._close_session(session)
+                # the abort must NOT run under the worker's feet
+                assert session.txn.aborted is False
+            finally:
+                session.lock.release()
+
+            left2, _right2 = socket.socketpair()
+            quiescent = server_module.Session(2, left2, "test")
+            quiescent.txn = FakeTxn()
+            txn2 = quiescent.txn
+            srv._close_session(quiescent)
+            # with no request in flight the rollback goes through
+            assert txn2.aborted is True
+            assert quiescent.txn is None
+        finally:
+            srv.shutdown()
