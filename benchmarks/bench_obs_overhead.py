@@ -9,7 +9,12 @@ run at effectively the old speed.  Two series make that visible:
   capture is active);
 * ``test_obs_counter_vs_attribute`` — the isolated delta between
   ``Counter.inc()`` and a bare attribute increment, the whole cost the
-  registry adds per counted event.
+  registry adds per counted event;
+* ``test_obs_trace_context_tax`` — the wire-level cost of per-request
+  trace propagation: loopback PING round trips with and without the
+  client stamping a ``trace`` object (two ``os.urandom`` ids plus ~50
+  JSON bytes per frame), measured against the ~0.11 ms R-S1 protocol
+  tax it rides on.
 
 A deterministic row reports the measured per-pin overhead ratio.  The
 assertion is deliberately loose (instrumented <= 3x a bare attribute
@@ -98,3 +103,50 @@ def test_obs_counter_vs_attribute(benchmark, capsys):
     assert ratio < 3.0, f"Counter.inc() regressed: {ratio:.2f}x a bare +="
 
     benchmark.pedantic(counter.inc, rounds=5, iterations=LOOPS)
+
+
+def test_obs_trace_context_tax(capsys, tmp_path):
+    """Per-request trace stamping vs bare frames, over loopback PING.
+
+    PING does no kernel work, so its round trip *is* the protocol tax —
+    the most hostile possible baseline for the trace object's extra id
+    generation and payload bytes.  The assertion is loose (≤ 50 %
+    overhead on shared CI hardware); the measured number recorded in
+    EXPERIMENTS.md is the real claim (~2-3 %).
+    """
+    from repro import DatabaseConfig, TemporalDatabase
+    from repro.server import DatabaseClient, DatabaseServer
+    from repro.workloads import cad_schema
+
+    db = TemporalDatabase.create(str(tmp_path / "tracedb"), cad_schema(),
+                                 DatabaseConfig(buffer_pages=64))
+    server = DatabaseServer(db).start()
+    rounds = 300
+
+    def best_ping_seconds(trace_context):
+        with DatabaseClient(server.host, server.port,
+                            trace_context=trace_context) as conn:
+            for _ in range(50):
+                conn.ping()  # warm the connection and the server path
+            samples = []
+            for _ in range(5):
+                started = time.perf_counter()
+                for _ in range(rounds):
+                    conn.ping()
+                samples.append((time.perf_counter() - started) / rounds)
+            return min(samples)
+
+    try:
+        traced = best_ping_seconds(trace_context=True)
+        bare = best_ping_seconds(trace_context=False)
+    finally:
+        server.shutdown()
+        db.close()
+    ratio = traced / bare if bare else 1.0
+    emit(capsys,
+         f"R-OBS | PING round trip, trace context on/off | "
+         f"{traced * 1e6:7.1f} us vs {bare * 1e6:7.1f} us "
+         f"(tax {max(0.0, ratio - 1.0) * 100:4.1f}%)")
+    assert ratio < 1.5, (
+        f"trace stamping costs {ratio:.2f}x a bare request — "
+        f"far beyond id generation + payload bytes")

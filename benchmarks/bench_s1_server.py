@@ -15,10 +15,17 @@ questions:
    1/2/4/8 threaded clients over the shared server, every response
    checked byte-identical against the in-process oracle, plus the
    shed/timeout counters (which must stay zero at these rates).
+4. **Latency percentiles** — client-observed p50/p95/p99 of the wire
+   point query next to the server's own bucket-estimated percentiles
+   (the ``server.request_seconds`` histogram the STATS opcode and
+   ``/metrics`` expose), written to ``BENCH_S1.json`` for
+   machine-readable tracking across runs.
 
 Loopback TCP only — numbers measure the software stack, not a NIC.
 """
 
+import json
+import pathlib
 import threading
 import time
 
@@ -147,3 +154,67 @@ def test_s1_pool_reuse_beats_reconnect(served, capsys):
          f"pooled {pooled:.3f}s "
          f"({reconnect / max(pooled, 1e-9):.1f}x)")
     assert pooled < reconnect
+
+
+# -- 4: latency percentiles + machine-readable results ------------------------
+
+PERCENTILE_SAMPLES = 300
+
+
+def test_s1_latency_percentiles_and_json(served, client, capsys):
+    """Client-side percentiles vs the server's histogram estimate.
+
+    The client measures true per-request wall times; the server
+    estimates the same distribution from its fixed latency buckets
+    (what STATS and ``/metrics`` serve).  Both land in
+    ``BENCH_S1.json`` so regressions are diffable between runs.
+    """
+    db, server = served
+    latencies = []
+    for _ in range(PERCENTILE_SAMPLES):
+        started = time.perf_counter()
+        client.query(POINT_QUERY, params={"name": "part-0"})
+        latencies.append(time.perf_counter() - started)
+    latencies.sort()
+
+    def pct(q):
+        return latencies[min(len(latencies) - 1,
+                             int(q * len(latencies)))]
+
+    client_side = {"p50": pct(0.50), "p95": pct(0.95), "p99": pct(0.99)}
+    body = client.stats()
+    histogram = next(h for h in body["metrics"]["histograms"]
+                     if h["name"] == "server.request_seconds")
+    server_side = histogram["percentiles"]
+    emit(capsys, "",
+         "R-S1 | wire point query latency | client-observed vs "
+         "server-estimated",
+         "      | " + "  ".join(
+             f"{label} {client_side[label] * 1000:.3f}ms"
+             for label in ("p50", "p95", "p99")) + " (client)",
+         "      | " + "  ".join(
+             f"{label} {server_side[label] * 1000:.3f}ms"
+             for label in ("p50", "p95", "p99")
+             if server_side.get(label) is not None)
+         + f" (server histogram, {histogram['count']} samples)")
+    results = {
+        "experiment": "R-S1",
+        "query": POINT_QUERY,
+        "samples": PERCENTILE_SAMPLES,
+        "client_side_ms": {k: round(v * 1000, 3)
+                           for k, v in client_side.items()},
+        "server_side_ms": {k: (round(v * 1000, 3) if v is not None
+                               else None)
+                           for k, v in server_side.items()},
+        "histogram_samples": histogram["count"],
+        "admission": body["server"]["admission"],
+    }
+    out = pathlib.Path("BENCH_S1.json")
+    out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    emit(capsys, f"      | wrote {out.resolve()}")
+    assert client_side["p50"] <= client_side["p95"] <= client_side["p99"]
+    # The server's own estimate must at least land in the same decade
+    # as the client's view (client adds the wire on top).
+    if server_side.get("p50") is not None:
+        assert server_side["p50"] <= client_side["p99"] * 2

@@ -11,7 +11,11 @@ Commands:
 * ``verify DB``              — run the integrity verifier
 * ``vacuum DB --before-tt T``— remove versions superseded before T
 * ``serve --path DB --port N`` — serve the database over TCP
+  (``--metrics-port`` adds the HTTP /metrics+/health sidecar,
+  ``--event-log FILE`` tees structured events to a JSON-lines file)
 * ``shell --connect HOST:PORT`` — interactive MQL shell over the wire
+* ``monitor --connect HOST:PORT`` — top-like live view of a running
+  server: throughput, latency percentiles, shed rate, buffer hits
 
 All commands open the database read-mostly and close it cleanly.
 """
@@ -174,20 +178,27 @@ def cmd_serve(args: argparse.Namespace) -> int:
     import signal
     import threading
 
+    from repro.obs import EventLog
     from repro.server import AdmissionController, DatabaseServer
 
     db = _open(args.path)
+    event_sink = None
+    if args.event_log:
+        event_sink = open(args.event_log, "a", encoding="utf-8")
     admission = AdmissionController(
         max_inflight=args.max_inflight,
         max_queued=args.max_queued,
         request_timeout=args.request_timeout,
         slow_query_ms=args.slow_query_ms,
-        metrics=db.metrics)
+        metrics=db.metrics,
+        events=EventLog(sink=event_sink))
     server = DatabaseServer(
         db, host=args.host, port=args.port,
         max_connections=args.max_connections,
         idle_timeout=args.idle_timeout,
-        admission=admission)
+        admission=admission,
+        metrics_port=args.metrics_port,
+        metrics_host=args.host)
     stop = threading.Event()
     for signum in (signal.SIGINT, signal.SIGTERM):
         signal.signal(signum, lambda *_: stop.set())
@@ -195,6 +206,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(f"serving {args.path} on {server.host}:{server.port} "
           f"(max {args.max_connections} connections, "
           f"{args.max_inflight} in flight)", flush=True)
+    if server.sidecar is not None:
+        print(f"telemetry on http://{server.sidecar.host}:"
+              f"{server.sidecar.port} (/metrics /health /stats)",
+              flush=True)
     try:
         stop.wait()
     finally:
@@ -202,8 +217,108 @@ def cmd_serve(args: argparse.Namespace) -> int:
               flush=True)
         server.shutdown()
         db.close()
+        if event_sink is not None:
+            event_sink.close()
         print("closed cleanly", flush=True)
     return 0
+
+
+def _counter_total(snapshot, name: str) -> int:
+    return sum(c["value"] for c in snapshot.get("counters", ())
+               if c["name"] == name)
+
+
+def _histogram_entry(snapshot, name: str):
+    for histogram in snapshot.get("histograms", ()):
+        if histogram["name"] == name:
+            return histogram
+    return None
+
+
+def _render_monitor(body, prev, elapsed: float):
+    """``(frame text, counter totals)`` from one STATS response.
+
+    *prev* is the previous poll's ``(requests, shed)`` counter totals
+    (or None on the first frame) — rates are deltas over *elapsed*.
+    """
+    server = body["server"]
+    metrics = body["metrics"]
+    admission = server["admission"]
+    requests = _counter_total(metrics, "server.requests")
+    shed = _counter_total(metrics, "server.load_shed")
+    hits = _counter_total(metrics, "buffer.hits")
+    misses = _counter_total(metrics, "buffer.misses")
+    pins = hits + misses
+    lines = [
+        f"repro server {server['host']}:{server['port']}"
+        f"  up {server['uptime_seconds']:.0f}s"
+        + ("  [DRAINING]" if server.get("draining") else ""),
+        f"sessions {server['sessions']}/{server['max_connections']}"
+        f"  inflight {admission['inflight']}/{admission['max_inflight']}"
+        f"  queued {admission['queued']}/{admission['max_queued']}",
+        f"requests {requests}  shed {shed}"
+        f"  timeouts {_counter_total(metrics, 'server.queue_timeouts')}",
+    ]
+    if prev is not None and elapsed > 0:
+        rate = (requests - prev[0]) / elapsed
+        shed_rate = (shed - prev[1]) / elapsed
+        lines.append(f"throughput {rate:.1f} req/s"
+                     f"  shed {shed_rate:.1f}/s")
+    latency = _histogram_entry(metrics, "server.request_seconds")
+    if latency is not None and latency["count"]:
+        pct = latency["percentiles"]
+        cells = "  ".join(
+            f"{label} {pct[label] * 1000.0:.2f}ms"
+            for label in ("p50", "p95", "p99")
+            if pct.get(label) is not None)
+        lines.append(f"latency {cells}  ({latency['count']} samples)")
+    if pins:
+        lines.append(f"buffer {hits}/{pins} hits "
+                     f"({100.0 * hits / pins:.1f}%)")
+    for event in body.get("events", ()):
+        detail = " ".join(
+            f"{key}={value}" for key, value in sorted(event.items())
+            if key not in ("seq", "ts", "event") and value is not None)
+        lines.append(f"  [{event['seq']:>5}] {event['event']}"
+                     + (f" {detail}" if detail else ""))
+    return "\n".join(lines), (requests, shed)
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.errors import ConnectionClosedError, RemoteError
+    from repro.server import DatabaseClient
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"error: --connect needs HOST:PORT, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+    client = DatabaseClient(host, int(port))
+    prev = None
+    last_poll = time.monotonic()
+    clear = not args.once and sys.stdout.isatty()
+    try:
+        while True:
+            try:
+                body = client.stats(events=args.events)
+            except (RemoteError, ConnectionClosedError) as exc:
+                print(f"server went away: {exc}", file=sys.stderr)
+                return 1
+            now = time.monotonic()
+            frame, totals = _render_monitor(body, prev, now - last_poll)
+            prev, last_poll = totals, now
+            if clear:
+                print("\x1b[2J\x1b[H", end="")
+            print(frame, flush=True)
+            if args.once:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        client.close()
 
 
 def cmd_shell(args: argparse.Namespace) -> int:
@@ -249,9 +364,9 @@ def cmd_shell(args: argparse.Namespace) -> int:
                   f"entr{'y' if len(body['entries']) == 1 else 'ies'}, "
                   f"plan: {body['plan']}")
             if "profile" in body:
-                import json as _json
-                print(_json.dumps(body["profile"], indent=2,
-                                  sort_keys=True))
+                from repro.obs.profile import render_profile_dict
+                print(render_profile_dict({"plan": body["plan"],
+                                           **body["profile"]}))
     finally:
         client.close()
     return 0
@@ -331,12 +446,29 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--request-timeout", type=float, default=10.0)
     serve.add_argument("--slow-query-ms", type=float, default=250.0)
     serve.add_argument("--idle-timeout", type=float, default=300.0)
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       help="serve /metrics, /health, /stats over HTTP "
+                            "on this port (0 = ephemeral)")
+    serve.add_argument("--event-log", default=None, metavar="FILE",
+                       help="append structured events to FILE as JSON "
+                            "lines")
     serve.set_defaults(handler=cmd_serve)
 
     shell = commands.add_parser(
         "shell", help="interactive MQL shell against a running server")
     shell.add_argument("--connect", required=True, metavar="HOST:PORT")
     shell.set_defaults(handler=cmd_shell)
+
+    monitor = commands.add_parser(
+        "monitor", help="live top-like view of a running server")
+    monitor.add_argument("--connect", required=True, metavar="HOST:PORT")
+    monitor.add_argument("--interval", type=float, default=2.0,
+                         help="seconds between refreshes")
+    monitor.add_argument("--events", type=int, default=8,
+                         help="structured event-log entries to show")
+    monitor.add_argument("--once", action="store_true",
+                         help="print one frame and exit (for scripts)")
+    monitor.set_defaults(handler=cmd_monitor)
 
     return parser
 

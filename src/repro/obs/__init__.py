@@ -10,6 +10,15 @@ inside each span — and the MQL evaluator attaches the resulting
 profiling is requested (``EXPLAIN ANALYZE`` or
 ``python -m repro profile``).
 
+Beyond the in-process core, the package carries the wire-level pieces
+the network service layer builds on: distributed trace context
+(``new_trace_id``/``new_span_id`` plus span ``trace_id`` stamping, so
+client and server span trees stitch into one),
+:class:`~repro.obs.events.EventLog` (a ring-buffered JSON-lines stream
+of operational events), and
+:func:`~repro.obs.exposition.render_prometheus` (the ``/metrics`` text
+format standard scrapers consume).
+
 Design constraint: with no capture active, instrumentation must be
 near-zero-cost.  Counters are plain slotted objects incremented by
 attribute (the same machine work as the ad-hoc dataclass counters they
@@ -18,11 +27,21 @@ manager unless a capture is active on the calling thread.
 """
 
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.trace import NULL_TRACER, Span, TraceCapture, Tracer
-from repro.obs.profile import QueryProfile
+from repro.obs.trace import (
+    NULL_TRACER,
+    Span,
+    TraceCapture,
+    Tracer,
+    new_span_id,
+    new_trace_id,
+)
+from repro.obs.events import EventLog
+from repro.obs.exposition import render_prometheus
+from repro.obs.profile import QueryProfile, render_profile_dict
 
 __all__ = [
     "Counter",
+    "EventLog",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -31,4 +50,8 @@ __all__ = [
     "Span",
     "TraceCapture",
     "Tracer",
+    "new_span_id",
+    "new_trace_id",
+    "render_profile_dict",
+    "render_prometheus",
 ]

@@ -1,0 +1,110 @@
+"""Structured event log: a ring-buffered JSON-lines event stream.
+
+Operational events (session open/close, load shed, queue timeout, slow
+query, checkpoint, reaper kill, ...) are recorded as flat JSON-safe
+dictionaries instead of free-text log lines, so the questions operators
+actually ask — "what ran at 3am, on which session, under which trace?"
+— are answerable by filtering fields rather than parsing prose.  This
+is the paper's own temporal-event discipline applied to the service
+itself: the server's history is data.
+
+The log is a bounded ring (oldest events fall off) with a ``tail``
+accessor; the server exposes it through the ``STATS`` opcode and the
+``monitor`` CLI.  An optional *sink* tees every event to a writable
+text stream as one JSON line per event (``serve --event-log FILE``),
+for durable logs beyond the ring.
+
+Every event carries:
+
+* ``seq``  — a monotonically increasing sequence number (gap-free, so a
+  consumer polling ``tail`` can detect events it missed);
+* ``ts``   — wall-clock seconds since the epoch;
+* ``event``— a dotted event name (``session.open``, ``slow_query``);
+* any further keyword fields the emitter attached (``session``,
+  ``request_id``, ``trace_id``, ``opcode``, ...).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, TextIO
+
+#: Default ring capacity — enough for post-hoc forensics, small enough
+#: that a STATS snapshot carrying a tail stays far below the frame cap.
+DEFAULT_CAPACITY = 512
+
+
+class EventLog:
+    """Thread-safe bounded ring of structured events."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 sink: Optional[TextIO] = None,
+                 clock=time.time) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._sink = sink
+        self._clock = clock
+
+    def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
+        """Record one event; returns the stored entry (do not mutate)."""
+        entry: Dict[str, Any] = {"seq": 0, "ts": round(self._clock(), 6),
+                                 "event": event}
+        entry.update(fields)
+        with self._lock:
+            self._seq += 1
+            entry["seq"] = self._seq
+            self._entries.append(entry)
+            sink = self._sink
+            if sink is not None:
+                try:
+                    sink.write(json.dumps(entry, sort_keys=True,
+                                          default=str) + "\n")
+                    sink.flush()
+                except (OSError, ValueError):
+                    # A dead sink (disk full, closed file) must never
+                    # take the serving path down; the ring still holds
+                    # the event.
+                    self._sink = None
+        return entry
+
+    # -- reading -------------------------------------------------------------
+
+    def tail(self, count: Optional[int] = None,
+             event: Optional[str] = None) -> List[Dict[str, Any]]:
+        """The most recent *count* events, oldest first.
+
+        *event* filters by event name (exact match, or a dotted prefix
+        such as ``"session."``).  Entries are copies — callers may
+        mutate them freely.
+        """
+        with self._lock:
+            entries = list(self._entries)
+        if event is not None:
+            entries = [e for e in entries
+                       if e["event"] == event
+                       or e["event"].startswith(event)
+                       and event.endswith(".")]
+        if count is not None:
+            entries = entries[-count:]
+        return [dict(e) for e in entries]
+
+    def to_jsonl(self, count: Optional[int] = None) -> str:
+        """The tail rendered as JSON lines (one event per line)."""
+        return "\n".join(json.dumps(entry, sort_keys=True, default=str)
+                         for entry in self.tail(count))
+
+    @property
+    def last_seq(self) -> int:
+        with self._lock:
+            return self._seq
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

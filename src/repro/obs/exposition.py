@@ -1,0 +1,127 @@
+"""Prometheus text exposition for the metrics registry.
+
+Renders a :class:`~repro.obs.registry.MetricsRegistry` in the text
+format standard scrapers consume (version 0.0.4), so a plain
+``curl http://host:port/metrics`` against the server's HTTP sidecar
+needs zero client code:
+
+* counters — dotted names become underscore names with a ``_total``
+  suffix (``server.requests`` → ``server_requests_total``);
+* gauges — plain sanitized name;
+* histograms — rendered as Prometheus *summaries*: one
+  ``{quantile="0.5"|"0.95"|"0.99"}`` series per instrument (estimated
+  from the bucket counts, see :meth:`Histogram.quantile`) plus the
+  exact ``_sum`` and ``_count`` series.
+
+Label values are escaped per the exposition spec (backslash, double
+quote, newline).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.registry import MetricsRegistry
+
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: The quantiles every histogram is exposed at.
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def metric_name(name: str) -> str:
+    """A registry name as Prometheus accepts it (dots to underscores)."""
+    sanitized = _NAME_SANITIZE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _format_labels(labels: Dict[str, str],
+                   extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = [(metric_name(k), str(v)) for k, v in sorted(labels.items())]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "NaN"
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus(registry: MetricsRegistry,
+                      extra_gauges: Optional[Dict[str, float]] = None
+                      ) -> str:
+    """The whole registry in Prometheus text exposition format.
+
+    *extra_gauges* lets a caller append computed series that live
+    outside the registry (uptime, boolean state flags); each is
+    rendered as a gauge under its (sanitized) name.
+    """
+    lines: List[str] = []
+    snapshot = registry.snapshot()
+
+    grouped_counters: Dict[str, List] = {}
+    for counter in snapshot["counters"]:
+        grouped_counters.setdefault(counter["name"], []).append(counter)
+    for name in sorted(grouped_counters):
+        exposed = metric_name(name) + "_total"
+        lines.append(f"# TYPE {exposed} counter")
+        for counter in grouped_counters[name]:
+            labels = _format_labels(counter["labels"])
+            lines.append(f"{exposed}{labels} "
+                         f"{_format_value(counter['value'])}")
+
+    grouped_gauges: Dict[str, List] = {}
+    for gauge in snapshot["gauges"]:
+        grouped_gauges.setdefault(gauge["name"], []).append(gauge)
+    for name in sorted(grouped_gauges):
+        exposed = metric_name(name)
+        lines.append(f"# TYPE {exposed} gauge")
+        for gauge in grouped_gauges[name]:
+            labels = _format_labels(gauge["labels"])
+            lines.append(f"{exposed}{labels} "
+                         f"{_format_value(gauge['value'])}")
+
+    grouped_histograms: Dict[str, List] = {}
+    for histogram in snapshot["histograms"]:
+        grouped_histograms.setdefault(histogram["name"],
+                                      []).append(histogram)
+    for name in sorted(grouped_histograms):
+        exposed = metric_name(name)
+        lines.append(f"# TYPE {exposed} summary")
+        for histogram in grouped_histograms[name]:
+            percentiles = histogram["percentiles"]
+            for quantile in SUMMARY_QUANTILES:
+                key = f"p{int(quantile * 100)}"
+                labels = _format_labels(histogram["labels"],
+                                        extra=("quantile", str(quantile)))
+                lines.append(f"{exposed}{labels} "
+                             f"{_format_value(percentiles.get(key))}")
+            labels = _format_labels(histogram["labels"])
+            lines.append(f"{exposed}_sum{labels} "
+                         f"{_format_value(histogram['sum'])}")
+            lines.append(f"{exposed}_count{labels} "
+                         f"{_format_value(histogram['count'])}")
+
+    if extra_gauges:
+        for name in sorted(extra_gauges):
+            exposed = metric_name(name)
+            lines.append(f"# TYPE {exposed} gauge")
+            lines.append(f"{exposed} {_format_value(extra_gauges[name])}")
+
+    return "\n".join(lines) + "\n"

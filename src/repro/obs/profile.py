@@ -45,6 +45,65 @@ def _metric_cells(span: Span) -> List[str]:
     return cells
 
 
+def _dict_metric(metrics: Dict[str, int], name: str) -> int:
+    return sum(value for key, value in metrics.items()
+               if key == name or key.startswith(name + "{"))
+
+
+def _dict_metric_cells(span: Dict[str, Any]) -> List[str]:
+    metrics = span.get("metrics") or {}
+    cells: List[str] = []
+    hits = _dict_metric(metrics, "buffer.hits")
+    misses = _dict_metric(metrics, "buffer.misses")
+    if hits or misses:
+        cells.append(f"pages={hits + misses} ({hits} hit/{misses} miss)")
+    for name, label in _COLUMNS[2:]:
+        value = _dict_metric(metrics, name)
+        if value:
+            cells.append(f"{label}={value}")
+    return cells
+
+
+def _render_span_dict(span: Dict[str, Any], lines: List[str], prefix: str,
+                      last: bool, top: bool = False) -> None:
+    connector = "" if top else ("└─ " if last else "├─ ")
+    attrs = " ".join(f"{key}={value}"
+                     for key, value in (span.get("attrs") or {}).items())
+    head = span.get("name", "?") + (f" [{attrs}]" if attrs else "")
+    cells = "  ".join(_dict_metric_cells(span))
+    duration_ms = float(span.get("duration_ms") or 0.0)
+    line = f"{prefix}{connector}{head:<44} {duration_ms:8.3f} ms"
+    if cells:
+        line += f"  {cells}"
+    lines.append(line)
+    child_prefix = prefix + ("" if top else ("   " if last else "│  "))
+    children = span.get("children") or []
+    for index, child in enumerate(children):
+        _render_span_dict(child, lines, child_prefix,
+                          last=index == len(children) - 1)
+
+
+def render_profile_dict(profile: Dict[str, Any]) -> str:
+    """The operator table for a JSON-safe profile dict.
+
+    Accepts the shape :meth:`QueryProfile.to_dict` exports — which is
+    also what ``EXPLAIN`` returns over the wire, where the client holds
+    a stitched span-tree dict (``client.request`` wrapping the server's
+    spans) but no live :class:`~repro.obs.trace.Span` objects to build
+    a :class:`QueryProfile` from.  Renders the same tree the local CLI
+    prints, with the shared ``trace_id`` on the header line when the
+    profile carries one.
+    """
+    header = f"plan: {profile.get('plan', '?')}"
+    trace_id = profile.get("trace_id")
+    if trace_id:
+        header += f"  trace={trace_id}"
+    lines = [header]
+    for span in profile.get("spans") or []:
+        _render_span_dict(span, lines, prefix="", last=True, top=True)
+    return "\n".join(lines)
+
+
 class QueryProfile:
     """The profiled execution of one MQL query."""
 

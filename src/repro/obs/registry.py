@@ -126,6 +126,49 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the *q*-quantile (0..1) from the bucket counts.
+
+        Classic ``histogram_quantile`` estimation: find the bucket the
+        target rank falls into and interpolate linearly inside it (the
+        first bucket interpolates up from zero).  Observations past the
+        last bound live in the overflow bucket, whose estimate is the
+        observed maximum.  The result is clamped to the observed
+        [min, max] so tiny samples never report impossible values.
+        Returns ``None`` while the histogram is empty.
+        """
+        if not self.count:
+            return None
+        if q <= 0.0:
+            return self.minimum
+        if q >= 1.0:
+            return self.maximum
+        rank = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            if bucket and cumulative + bucket >= rank:
+                fraction = (rank - cumulative) / bucket
+                value = lower + (bound - lower) * fraction
+                break
+            cumulative += bucket
+            lower = bound
+        else:  # the overflow (+inf) bucket
+            value = self.maximum if self.maximum is not None else lower
+        if self.minimum is not None:
+            value = max(value, self.minimum)
+        if self.maximum is not None:
+            value = min(value, self.maximum)
+        return value
+
+    #: The quantiles reported by :meth:`percentiles` and every snapshot.
+    REPORTED_QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+    def percentiles(self) -> Dict[str, Optional[float]]:
+        """The standard latency summary: p50/p95/p99 (``None`` if empty)."""
+        return {label: self.quantile(q)
+                for label, q in self.REPORTED_QUANTILES}
+
     def reset(self) -> None:
         self.bucket_counts = [0] * (len(self.bounds) + 1)
         self.count = 0
@@ -238,6 +281,7 @@ class MetricsRegistry:
                 "sum": histogram.total,
                 "min": histogram.minimum,
                 "max": histogram.maximum,
+                "percentiles": histogram.percentiles(),
                 "buckets": [{"le": bound, "count": count}
                             for bound, count in zip(histogram.bounds,
                                                     histogram.bucket_counts)]

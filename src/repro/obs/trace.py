@@ -13,10 +13,21 @@ pay only the thread-local lookup.  Hot per-page paths (buffer pin,
 disk read) never open spans at all — they only bump counters; spans live
 at operator granularity (root access, molecule construction,
 projection).
+
+**Distributed traces.**  A capture may carry a *trace context*
+(``tracer.capture(trace_id=..., parent_span_id=...)``): every span
+recorded under it is then stamped with the shared ``trace_id``, a fresh
+``span_id``, and its parent's ``span_id`` (the capture's
+``parent_span_id`` for top-level spans — typically the id of a span
+open in *another process*, e.g. the client span that stamped the
+request frame).  Two processes that share a ``trace_id`` can stitch
+their span trees into one, which is how ``EXPLAIN`` over the wire
+renders client, transport, and kernel as a single tree.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from typing import Any, Dict, Iterator, List, Optional
@@ -24,10 +35,21 @@ from typing import Any, Dict, Iterator, List, Optional
 from repro.obs.registry import MetricsRegistry
 
 
+def new_trace_id() -> str:
+    """A fresh 128-bit-ish trace id (16 hex chars — unique per request)."""
+    return os.urandom(8).hex()
+
+
+def new_span_id() -> str:
+    """A fresh span id (8 hex chars — unique within a trace)."""
+    return os.urandom(4).hex()
+
+
 class Span:
     """One traced region: name, attributes, wall time, metric deltas."""
 
     __slots__ = ("name", "attrs", "duration", "metrics", "children",
+                 "trace_id", "span_id", "parent_span_id",
                  "_start_totals", "_start_time")
 
     def __init__(self, name: str, attrs: Dict[str, Any]) -> None:
@@ -36,6 +58,9 @@ class Span:
         self.duration = 0.0               # seconds, set at exit
         self.metrics: Dict[str, int] = {}  # nonzero counter deltas
         self.children: List["Span"] = []
+        self.trace_id: Optional[str] = None
+        self.span_id: Optional[str] = None
+        self.parent_span_id: Optional[str] = None
         self._start_totals: Dict[str, int] = {}
         self._start_time = 0.0
 
@@ -58,13 +83,18 @@ class Span:
             yield from child.walk()
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out: Dict[str, Any] = {
             "name": self.name,
             "attrs": dict(self.attrs),
             "duration_ms": round(self.duration * 1000.0, 3),
             "metrics": dict(self.metrics),
             "children": [child.to_dict() for child in self.children],
         }
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+            out["span_id"] = self.span_id
+            out["parent_span_id"] = self.parent_span_id
+        return out
 
     def __repr__(self) -> str:
         return (f"Span({self.name}, {self.duration * 1000.0:.2f}ms, "
@@ -105,8 +135,16 @@ class _SpanContext:
 
     def __enter__(self) -> Span:
         span = self._span
-        span._start_totals = self._tracer._registry.totals()
-        self._tracer._stack().append(span)
+        tracer = self._tracer
+        capture = getattr(tracer._local, "capture", None)
+        stack = tracer._stack()
+        if capture is not None and capture.trace_id is not None:
+            span.trace_id = capture.trace_id
+            span.span_id = new_span_id()
+            span.parent_span_id = (stack[-1].span_id if stack
+                                   else capture.parent_span_id)
+        span._start_totals = tracer._registry.totals()
+        stack.append(span)
         span._start_time = time.perf_counter()
         return span
 
@@ -130,15 +168,22 @@ class _SpanContext:
 class TraceCapture:
     """The spans collected by one ``tracer.capture()`` region."""
 
-    def __init__(self) -> None:
+    def __init__(self, trace_id: Optional[str] = None,
+                 parent_span_id: Optional[str] = None) -> None:
         self.spans: List[Span] = []
+        self.trace_id = trace_id
+        self.parent_span_id = parent_span_id
 
     @property
     def root(self) -> Optional[Span]:
         return self.spans[0] if self.spans else None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"spans": [span.to_dict() for span in self.spans]}
+        out: Dict[str, Any] = {
+            "spans": [span.to_dict() for span in self.spans]}
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        return out
 
 
 class Tracer:
@@ -159,10 +204,17 @@ class Tracer:
     def _stack(self) -> List[Span]:
         return self._local.stack
 
-    def capture(self) -> "_CaptureContext":
+    def capture(self, trace_id: Optional[str] = None,
+                parent_span_id: Optional[str] = None) -> "_CaptureContext":
         """Activate span collection on this thread (re-entrant: an inner
-        capture stacks over — and hides — the outer one until it exits)."""
-        return _CaptureContext(self)
+        capture stacks over — and hides — the outer one until it exits).
+
+        Pass *trace_id* (and optionally *parent_span_id*, the id of a
+        span open elsewhere — e.g. in the client process) to record a
+        distributed trace: every span collected gets that ``trace_id``,
+        a fresh ``span_id``, and a parent link.
+        """
+        return _CaptureContext(self, trace_id, parent_span_id)
 
     def span(self, name: str, **attrs: Any):
         """Open a traced region; a no-op unless a capture is active."""
@@ -175,9 +227,10 @@ class Tracer:
 class _CaptureContext:
     __slots__ = ("_tracer", "_capture", "_outer")
 
-    def __init__(self, tracer: Tracer) -> None:
+    def __init__(self, tracer: Tracer, trace_id: Optional[str] = None,
+                 parent_span_id: Optional[str] = None) -> None:
         self._tracer = tracer
-        self._capture = TraceCapture()
+        self._capture = TraceCapture(trace_id, parent_span_id)
         self._outer: Any = None
 
     def __enter__(self) -> TraceCapture:

@@ -6,29 +6,37 @@ kernel.  The pieces:
 
 * :mod:`repro.server.protocol` — length-prefixed, CRC-checked binary
   frames with canonical JSON payloads; the byte-level contract both
-  sides (and the tests' differential oracle) share.
+  sides (and the tests' differential oracle) share.  Version 2 adds
+  per-request trace context and the STATS opcode.
 * :mod:`repro.server.admission` — load shedding: bounded in-flight
   requests, a bounded wait queue, per-request queue timeouts, and a
-  slow-query log.
+  structured slow-query log backed by the shared event log.
 * :mod:`repro.server.server` — a threaded TCP server, one worker per
-  connection, per-session transaction state, idle reaping, and graceful
-  drain-then-checkpoint shutdown.
+  connection, per-session transaction state, idle reaping, graceful
+  drain-then-checkpoint shutdown, and full introspection (STATS,
+  structured events, cross-process trace stitching).
+* :mod:`repro.server.http_sidecar` — an optional plain-HTTP listener
+  serving ``/metrics`` (Prometheus text format), ``/health``
+  (drain-aware), and ``/stats`` for fleet tooling.
 * :mod:`repro.server.client` — a blocking client with prepared
-  statements, context-manager transactions, transient-error retry, and
-  a thread-safe connection pool.
+  statements, context-manager transactions, transient-error retry,
+  trace-context stamping, and a thread-safe connection pool.
 """
 
 from repro.server.admission import AdmissionController, SlowQueryLog
 from repro.server.client import ClientPool, DatabaseClient
+from repro.server.http_sidecar import MetricsSidecar
 from repro.server.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOL_VERSIONS,
     Frame,
     Opcode,
     decode_payload,
     encode_frame,
     encode_payload,
     error_payload,
+    extract_trace_context,
     read_frame,
     result_to_payload,
 )
@@ -41,13 +49,16 @@ __all__ = [
     "DatabaseServer",
     "Frame",
     "MAX_FRAME_BYTES",
+    "MetricsSidecar",
     "Opcode",
     "PROTOCOL_VERSION",
+    "SUPPORTED_PROTOCOL_VERSIONS",
     "SlowQueryLog",
     "decode_payload",
     "encode_frame",
     "encode_payload",
     "error_payload",
+    "extract_trace_context",
     "read_frame",
     "result_to_payload",
 ]

@@ -19,22 +19,27 @@ to completion (the kernel has no preemption points), which is the same
 cooperative contract as a classic ``statement_timeout``; see
 ``docs/server.md``.
 
-The slow-query log keeps the most recent requests whose total latency
-crossed a threshold, for post-hoc "what was slow at 3am" forensics
-without tracing overhead on the fast path.
+Every admission outcome is also a **structured event** in the shared
+:class:`~repro.obs.events.EventLog`: shed and timed-out requests emit
+``request.shed`` / ``request.queue_timeout``, and requests whose total
+latency crosses the slow-query threshold emit ``slow_query`` carrying
+the request id, session id, opcode name, trace id, query text, and
+latency — correlatable with client-side traces and ERROR frames, unlike
+the free-text log it replaced.  :attr:`slow_queries` remains as a typed
+view over those events.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from collections import deque
 from dataclasses import dataclass
-from typing import Any, Deque, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from contextlib import contextmanager
 
 from repro.errors import RequestTimeoutError, ServerSaturatedError
+from repro.obs.events import EventLog
 
 #: Latency histogram bounds (seconds): sub-millisecond to tens of them.
 LATENCY_BOUNDS = (0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
@@ -42,38 +47,52 @@ LATENCY_BOUNDS = (0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
 
 @dataclass(frozen=True, slots=True)
 class SlowQueryEntry:
-    """One over-threshold request, as the log keeps it."""
+    """One over-threshold request, fully correlatable: the request id
+    matches the wire frame, the trace id matches the client's span."""
 
     session_id: int
     opcode: str
     text: str
     seconds: float
+    request_id: int = 0
+    trace_id: Optional[str] = None
 
 
 class SlowQueryLog:
-    """Bounded ring of the most recent slow requests.  Thread-safe."""
+    """Typed view over the event log's ``slow_query`` events.
 
-    def __init__(self, threshold_ms: float = 250.0,
-                 capacity: int = 128) -> None:
+    Kept for API continuity with the free-text log it replaced; the
+    entries now live in the shared :class:`EventLog` ring (so they are
+    also visible through ``STATS`` and the ``monitor`` CLI), and each
+    carries the request id, session id, opcode name, and trace id.
+    """
+
+    def __init__(self, events: EventLog,
+                 threshold_ms: float = 250.0) -> None:
         self.threshold_ms = threshold_ms
-        self._entries: Deque[SlowQueryEntry] = deque(maxlen=capacity)
-        self._lock = threading.Lock()
+        self._events = events
 
     def record(self, session_id: int, opcode: str, text: str,
-               seconds: float) -> None:
+               seconds: float, request_id: int = 0,
+               trace_id: Optional[str] = None) -> None:
         if seconds * 1000.0 < self.threshold_ms:
             return
-        with self._lock:
-            self._entries.append(
-                SlowQueryEntry(session_id, opcode, text, seconds))
+        self._events.emit("slow_query", session=session_id,
+                          opcode=opcode, text=text,
+                          seconds=round(seconds, 6),
+                          request_id=request_id, trace_id=trace_id)
 
     def entries(self) -> List[SlowQueryEntry]:
-        with self._lock:
-            return list(self._entries)
+        return [SlowQueryEntry(session_id=event.get("session", 0),
+                               opcode=event.get("opcode", ""),
+                               text=event.get("text", ""),
+                               seconds=event.get("seconds", 0.0),
+                               request_id=event.get("request_id", 0),
+                               trace_id=event.get("trace_id"))
+                for event in self._events.tail(event="slow_query")]
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
+        return len(self._events.tail(event="slow_query"))
 
 
 class AdmissionController:
@@ -82,7 +101,8 @@ class AdmissionController:
     def __init__(self, max_inflight: int = 8, max_queued: int = 32,
                  request_timeout: Optional[float] = 10.0,
                  slow_query_ms: float = 250.0,
-                 metrics=None) -> None:
+                 metrics=None,
+                 events: Optional[EventLog] = None) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
         if max_queued < 0:
@@ -90,7 +110,9 @@ class AdmissionController:
         self.max_inflight = max_inflight
         self.max_queued = max_queued
         self.request_timeout = request_timeout
-        self.slow_queries = SlowQueryLog(threshold_ms=slow_query_ms)
+        self.events = events if events is not None else EventLog()
+        self.slow_queries = SlowQueryLog(self.events,
+                                         threshold_ms=slow_query_ms)
         self._lock = threading.Lock()
         self._slot_freed = threading.Condition(self._lock)
         self._inflight = 0
@@ -120,7 +142,9 @@ class AdmissionController:
 
     # -- admission -----------------------------------------------------------
 
-    def _acquire(self) -> None:
+    def _acquire(self, session_id: int = 0, opcode: str = "",
+                 request_id: int = 0,
+                 trace_id: Optional[str] = None) -> None:
         deadline = (None if self.request_timeout is None
                     else time.monotonic() + self.request_timeout)
         with self._slot_freed:
@@ -130,6 +154,11 @@ class AdmissionController:
                 return
             if self._queued >= self.max_queued:
                 self._c_shed.inc()
+                self.events.emit("request.shed", session=session_id,
+                                 opcode=opcode, request_id=request_id,
+                                 trace_id=trace_id,
+                                 inflight=self._inflight,
+                                 queued=self._queued)
                 raise ServerSaturatedError(
                     f"server saturated: {self._inflight} in flight, "
                     f"{self._queued} queued (max {self.max_queued})")
@@ -145,6 +174,11 @@ class AdmissionController:
                         if self._inflight < self.max_inflight:
                             break
                         self._c_timeouts.inc()
+                        self.events.emit("request.queue_timeout",
+                                         session=session_id,
+                                         opcode=opcode,
+                                         request_id=request_id,
+                                         trace_id=trace_id)
                         raise RequestTimeoutError(
                             f"request waited over "
                             f"{self.request_timeout:.3g}s for a slot")
@@ -161,18 +195,19 @@ class AdmissionController:
             self._slot_freed.notify()
 
     @contextmanager
-    def admit(self, session_id: int, opcode: str,
-              text: str = "") -> Iterator[None]:
+    def admit(self, session_id: int, opcode: str, text: str = "",
+              request_id: int = 0,
+              trace_id: Optional[str] = None) -> Iterator[None]:
         """Hold an execution slot for the duration of one request.
 
         Raises :class:`ServerSaturatedError` (queue full) or
         :class:`RequestTimeoutError` (queue wait exceeded) *before*
         yielding — the caller converts either into a transient ERROR
         frame.  On exit the request's latency lands in the histogram
-        and, when over threshold, the slow-query log.
+        and, when over threshold, the slow-query event log.
         """
         self._c_requests.inc()
-        self._acquire()
+        self._acquire(session_id, opcode, request_id, trace_id)
         started = time.monotonic()
         try:
             yield
@@ -180,17 +215,22 @@ class AdmissionController:
             elapsed = time.monotonic() - started
             self._release()
             self._h_latency.observe(elapsed)
-            self.slow_queries.record(session_id, opcode, text, elapsed)
+            self.slow_queries.record(session_id, opcode, text, elapsed,
+                                     request_id=request_id,
+                                     trace_id=trace_id)
 
     @contextmanager
-    def admit_ungated(self, session_id: int, opcode: str,
-                      text: str = "") -> Iterator[None]:
-        """Metrics-only admission for frames that *release* resources.
+    def admit_ungated(self, session_id: int, opcode: str, text: str = "",
+                      request_id: int = 0,
+                      trace_id: Optional[str] = None) -> Iterator[None]:
+        """Metrics-only admission for frames that must never be shed.
 
-        COMMIT/ROLLBACK/CLOSE free locks, undo state, and sessions;
+        COMMIT/ROLLBACK/CLOSE free locks, undo state, and sessions —
         shedding one under load would strand a server-side transaction
-        the client believes finished.  They are therefore counted and
-        timed like any request but never queued or refused.
+        the client believes finished.  STATS is the monitoring plane:
+        an operator diagnosing an overloaded server needs it to answer
+        precisely when gated requests are being refused.  All are
+        counted and timed like any request but never queued or shed.
         """
         self._c_requests.inc()
         started = time.monotonic()
@@ -199,7 +239,9 @@ class AdmissionController:
         finally:
             elapsed = time.monotonic() - started
             self._h_latency.observe(elapsed)
-            self.slow_queries.record(session_id, opcode, text, elapsed)
+            self.slow_queries.record(session_id, opcode, text, elapsed,
+                                     request_id=request_id,
+                                     trace_id=trace_id)
 
     def snapshot(self) -> Dict[str, Any]:
         with self._lock:

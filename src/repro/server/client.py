@@ -11,6 +11,15 @@ exponential backoff, and *never* while this client holds an open
 transaction — a retried frame inside a transaction could double-apply a
 mutation; the right unit of retry there is the whole transaction, which
 belongs to the caller.
+
+Trace propagation (protocol v2): unless ``trace_context=False``, every
+request frame carries a fresh ``trace`` object (``trace_id`` plus the
+client span's ``span_id``), so the server's spans, slow-query events,
+and ERROR frames correlate with this client's requests.
+:meth:`DatabaseClient.explain` goes further and *stitches*: the profile
+it returns is rooted at a ``client.request`` span whose children are
+the server's spans — one tree spanning both processes, linked by the
+shared trace id.
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ from repro.errors import (
     ProtocolError,
     RemoteError,
 )
+from repro.obs import new_span_id, new_trace_id
 from repro.server.protocol import (
     PROTOCOL_MAGIC,
     PROTOCOL_VERSION,
@@ -52,9 +62,11 @@ class DatabaseClient:
                  request_timeout: Optional[float] = 30.0,
                  max_retries: int = DEFAULT_MAX_RETRIES,
                  backoff_base: float = DEFAULT_BACKOFF_BASE,
-                 backoff_cap: float = DEFAULT_BACKOFF_CAP) -> None:
+                 backoff_cap: float = DEFAULT_BACKOFF_CAP,
+                 trace_context: bool = True) -> None:
         self.host = host
         self.port = port
+        self.trace_context = trace_context
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
@@ -109,6 +121,13 @@ class DatabaseClient:
 
     def _roundtrip(self, opcode: Opcode, payload: Dict[str, Any]) -> Any:
         """One request frame out, one response frame in.  Not retried."""
+        if (self.trace_context and opcode != Opcode.HELLO
+                and "trace" not in payload):
+            # Copy before stamping: callers (and the retry loop) reuse
+            # their payload dicts, and each attempt is its own span.
+            payload = dict(payload)
+            payload["trace"] = {"trace_id": new_trace_id(),
+                                "span_id": new_span_id()}
         with self._lock:
             if self._closed:
                 raise ConnectionClosedError("client is closed")
@@ -140,9 +159,14 @@ class DatabaseClient:
                     f"expected {request_id}")
         body = decode_payload(frame.payload)
         if frame.opcode == Opcode.ERROR:
-            raise RemoteError(body.get("error", "ReproError"),
-                              body.get("message", ""),
-                              transient=bool(body.get("transient")))
+            error = RemoteError(body.get("error", "ReproError"),
+                                body.get("message", ""),
+                                transient=bool(body.get("transient")))
+            # The server echoes the request's trace id into the ERROR
+            # frame (protocol v2) so a failure is greppable in the
+            # server's slow-query/event logs.
+            error.trace_id = body.get("trace_id")
+            raise error
         if frame.opcode != Opcode.RESULT:
             raise ProtocolError(f"unexpected response opcode "
                                 f"{frame.opcode}")
@@ -205,6 +229,15 @@ class DatabaseClient:
     def ping(self) -> Dict[str, Any]:
         return self._request(Opcode.PING, {})
 
+    def stats(self, events: int = 0) -> Dict[str, Any]:
+        """Server state + metrics snapshot (``STATS`` opcode, ungated —
+        it answers even while the server sheds gated work).  *events*
+        > 0 appends the last that-many structured event-log entries."""
+        payload: Dict[str, Any] = {}
+        if events:
+            payload["events"] = events
+        return self._request(Opcode.STATS, payload)
+
     def query(self, text: str,
               params: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         """Run MQL; returns the decoded result payload (see
@@ -229,10 +262,41 @@ class DatabaseClient:
 
     def explain(self, text: str,
                 params: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """EXPLAIN ANALYZE over the wire, stitched into one span tree.
+
+        With trace context enabled, the returned profile is rooted at a
+        ``client.request`` span (wall time as *this process* saw it —
+        wire latency included) whose children are the server's spans;
+        client and server spans share one ``trace_id``, and the
+        server-side root parents onto the client span's id.  The gap
+        between the client span's duration and the server root's is the
+        protocol tax: serialization, the TCP hop, and scheduling.
+        """
         payload: Dict[str, Any] = {"text": text}
         if params:
             payload["params"] = params
-        return self._request(Opcode.EXPLAIN, payload)
+        if not self.trace_context:
+            return self._request(Opcode.EXPLAIN, payload)
+        trace_id, span_id = new_trace_id(), new_span_id()
+        payload["trace"] = {"trace_id": trace_id, "span_id": span_id}
+        started = time.perf_counter()
+        body = self._request(Opcode.EXPLAIN, payload)
+        duration_ms = (time.perf_counter() - started) * 1000.0
+        profile = body.get("profile") if isinstance(body, dict) else None
+        if isinstance(profile, dict):
+            profile["spans"] = [{
+                "name": "client.request",
+                "attrs": {"opcode": "EXPLAIN",
+                          "server": f"{self.host}:{self.port}"},
+                "duration_ms": round(duration_ms, 3),
+                "metrics": {},
+                "children": profile.get("spans", []),
+                "trace_id": trace_id,
+                "span_id": span_id,
+                "parent_span_id": None,
+            }]
+            profile["trace_id"] = trace_id
+        return body
 
     def mutate(self, op: str, **args: Any) -> Dict[str, Any]:
         """Send one mutation (autocommitted unless a txn is open)."""

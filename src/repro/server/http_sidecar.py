@@ -1,0 +1,121 @@
+"""Plain-HTTP observability sidecar: ``/metrics``, ``/health``, ``/stats``.
+
+The wire protocol is binary and custom; fleet tooling (Prometheus,
+load balancers, ``curl``) speaks HTTP.  Rather than teach every scraper
+the frame format, the server can open a second, read-only listener that
+serves exactly three paths:
+
+* ``GET /metrics`` — the full registry in Prometheus text exposition
+  format 0.0.4 (counters, gauges, histograms-as-summaries), plus
+  computed gauges for uptime, session count, and drain state;
+* ``GET /health``  — drain-aware liveness: ``200 ok`` while serving,
+  ``503 draining`` from the moment graceful shutdown begins until the
+  process exits, so a load balancer stops routing before the listener
+  disappears;
+* ``GET /stats``   — the same JSON document the ``STATS`` opcode
+  returns (server state + metrics snapshot), for humans with ``curl``.
+
+The sidecar binds in the constructor (so ``port=0`` callers can read
+the assigned port back before starting) and serves from daemon threads;
+it must be stopped *after* drain completes — a health endpoint that
+dies at the start of shutdown cannot report "draining".
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs import render_prometheus
+
+#: Content type mandated by the Prometheus text exposition format.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsSidecar:
+    """One HTTP listener serving a :class:`DatabaseServer`'s telemetry."""
+
+    def __init__(self, server, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self._server = server
+        sidecar = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            # Telemetry is high-frequency and low-value per request;
+            # default request logging to stderr would drown the serve
+            # log, so it is silenced entirely.
+            def log_message(self, fmt, *args):  # noqa: D102
+                pass
+
+            def do_GET(self):  # noqa: D102
+                try:
+                    sidecar._route(self)
+                except (OSError, ValueError):
+                    pass  # scraper hung up mid-response
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "MetricsSidecar":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-sidecar", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(1.0)
+
+    # -- routing -------------------------------------------------------------
+
+    def _route(self, handler: BaseHTTPRequestHandler) -> None:
+        path = handler.path.split("?", 1)[0]
+        if path == "/metrics":
+            self._respond(handler, 200, METRICS_CONTENT_TYPE,
+                          self._render_metrics())
+        elif path == "/health":
+            server = self._server
+            if server.draining:
+                self._respond(handler, 503, "application/json",
+                              json.dumps({"status": "draining"}))
+            else:
+                self._respond(handler, 200, "application/json",
+                              json.dumps({"status": "ok"}))
+        elif path == "/stats":
+            body = {"server": self._server.state_snapshot(),
+                    "metrics": self._server.db.metrics.snapshot()}
+            self._respond(handler, 200, "application/json",
+                          json.dumps(body, sort_keys=True, default=str))
+        else:
+            self._respond(handler, 404, "text/plain",
+                          "unknown path; try /metrics, /health, /stats")
+
+    def _render_metrics(self) -> str:
+        server = self._server
+        state = server.state_snapshot()
+        return render_prometheus(server.db.metrics, extra_gauges={
+            "server_uptime_seconds": state["uptime_seconds"],
+            "server_sessions": state["sessions"],
+            "server_draining": 1.0 if state["draining"] else 0.0,
+            "server_start_time_seconds": time.time()
+            - state["uptime_seconds"],
+        })
+
+    @staticmethod
+    def _respond(handler: BaseHTTPRequestHandler, status: int,
+                 content_type: str, body: str) -> None:
+        data = body.encode("utf-8")
+        handler.send_response(status)
+        handler.send_header("Content-Type", content_type)
+        handler.send_header("Content-Length", str(len(data)))
+        handler.end_headers()
+        handler.wfile.write(data)

@@ -19,10 +19,20 @@ in-process oracle byte for byte.
 
 A connection opens with a handshake: the client sends a HELLO frame
 whose payload carries the magic and protocol version; the server
-answers RESULT with its own version (or ERROR, then closes, on a
-mismatch).  Everything after the handshake is request/response: every
-request frame gets exactly one RESULT or ERROR frame with the same
-``request_id``.
+answers RESULT with the negotiated version (or ERROR, then closes, on a
+version it does not speak).  Everything after the handshake is
+request/response: every request frame gets exactly one RESULT or ERROR
+frame with the same ``request_id``.
+
+Protocol version history:
+
+* **1** — the original frame set (QUERY ... CLOSE).
+* **2** — adds the ``STATS`` opcode and an optional ``trace`` object in
+  request payloads (``{"trace": {"trace_id": ..., "span_id": ...}}``)
+  carrying the client's trace context, so the server's spans, slow-query
+  events, and ERROR frames correlate with the client's.  Version-1
+  clients are still accepted: the ``trace`` key is simply absent and
+  STATS is never sent.
 """
 
 from __future__ import annotations
@@ -39,8 +49,14 @@ from repro.errors import ConnectionClosedError, ProtocolError
 #: Protocol magic, sent in the HELLO payload.
 PROTOCOL_MAGIC = "tmad"
 
-#: Wire protocol version; bumped on any incompatible frame change.
-PROTOCOL_VERSION = 1
+#: Wire protocol version; bumped on any frame-level change.  The server
+#: accepts every version in :data:`SUPPORTED_PROTOCOL_VERSIONS` and the
+#: handshake response carries the negotiated (client's) version.
+PROTOCOL_VERSION = 2
+
+#: Versions the server still speaks.  Version 1 lacks trace context and
+#: the STATS opcode but is otherwise identical.
+SUPPORTED_PROTOCOL_VERSIONS = frozenset((1, 2))
 
 #: Hard cap on a frame's ``length`` field.  Larger prefixes are treated
 #: as corruption (or abuse) and fail fast without allocating.
@@ -68,6 +84,7 @@ class Opcode(IntEnum):
     EXPLAIN = 9
     PING = 10
     CLOSE = 11
+    STATS = 12
 
     RESULT = 64
     ERROR = 65
@@ -102,16 +119,38 @@ def decode_payload(data: bytes) -> Any:
         raise ProtocolError(f"undecodable frame payload: {exc}") from exc
 
 
-def error_payload(exc: BaseException, transient: bool = False
-                  ) -> Dict[str, Any]:
+def error_payload(exc: BaseException, transient: bool = False,
+                  trace_id: Optional[str] = None) -> Dict[str, Any]:
     """The structured body of an ERROR frame.
 
     Carries the server-side exception class name so the client can
-    re-raise something meaningful, and a ``transient`` flag driving the
-    client's retry policy.
+    re-raise something meaningful, a ``transient`` flag driving the
+    client's retry policy, and — when the failed request carried trace
+    context — the ``trace_id`` so the failure correlates with the
+    client's span and the slow-query/event records.
     """
-    return {"error": type(exc).__name__, "message": str(exc),
-            "transient": bool(transient)}
+    body: Dict[str, Any] = {"error": type(exc).__name__,
+                            "message": str(exc),
+                            "transient": bool(transient)}
+    if trace_id is not None:
+        body["trace_id"] = trace_id
+    return body
+
+
+def extract_trace_context(payload: Any
+                          ) -> "tuple[Optional[str], Optional[str]]":
+    """``(trace_id, parent_span_id)`` from a request payload's ``trace``
+    object, tolerating its absence and any malformed shape (version-1
+    clients never send one)."""
+    if not isinstance(payload, dict):
+        return None, None
+    trace = payload.get("trace")
+    if not isinstance(trace, dict):
+        return None, None
+    trace_id = trace.get("trace_id")
+    span_id = trace.get("span_id")
+    return (trace_id if isinstance(trace_id, str) else None,
+            span_id if isinstance(span_id, str) else None)
 
 
 # -- frame encoding ------------------------------------------------------------

@@ -17,6 +17,16 @@ a hang.  Graceful shutdown stops accepting, nudges idle sessions
 closed, waits for in-flight workers to drain, rolls back whatever
 transactions remained open, and checkpoints the database so a
 subsequent open needs no recovery.
+
+Observability: requests carrying a protocol-v2 ``trace`` object are
+served under the client's trace context — the server's spans,
+slow-query events, and ERROR frames all carry the client's
+``trace_id``, so an EXPLAIN over the wire renders client and server as
+one stitched span tree.  Lifecycle transitions (session open/close,
+shed, reap, drain, checkpoint) land in a shared
+:class:`~repro.obs.events.EventLog`; the ``STATS`` opcode and the
+optional HTTP sidecar (``/metrics``, ``/health``, ``/stats``) expose
+the same state to clients, scrapers, and load balancers.
 """
 
 from __future__ import annotations
@@ -36,16 +46,19 @@ from repro.errors import (
     ConnectionClosedError,
 )
 from repro.errors import TRANSIENT_ERRORS
-from repro.obs import QueryProfile
+from repro.obs import QueryProfile, new_trace_id
 from repro.server.admission import AdmissionController
+from repro.server.http_sidecar import MetricsSidecar
 from repro.temporal import FOREVER
 from repro.server.protocol import (
     PROTOCOL_MAGIC,
     PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOL_VERSIONS,
     Frame,
     Opcode,
     encode_payload,
     error_payload,
+    extract_trace_context,
     read_frame,
     result_to_payload,
     write_frame,
@@ -59,13 +72,17 @@ REAPER_INTERVAL = 1.0
 #: cleanup.
 CLOSE_INTERLOCK_TIMEOUT = 5.0
 
-#: Frames that release resources (locks, undo state, the session
-#: itself) rather than consume them.  They bypass admission gating:
-#: shedding a COMMIT/ROLLBACK would strand a server-side transaction
-#: the client believes finished — later "autocommit" mutations on that
-#: connection would silently join it and be rolled back with it.
+#: Frames that bypass admission gating, for two distinct reasons.
+#: COMMIT/ROLLBACK/CLOSE release resources (locks, undo state, the
+#: session itself) rather than consume them: shedding one would strand
+#: a server-side transaction the client believes finished — later
+#: "autocommit" mutations on that connection would silently join it and
+#: be rolled back with it.  STATS is the monitoring plane: an operator
+#: diagnosing a saturated server needs it to answer precisely when
+#: gated requests are being refused.
 _UNGATED_OPCODES = frozenset(
-    (int(Opcode.COMMIT), int(Opcode.ROLLBACK), int(Opcode.CLOSE)))
+    (int(Opcode.COMMIT), int(Opcode.ROLLBACK), int(Opcode.CLOSE),
+     int(Opcode.STATS)))
 
 
 class Session:
@@ -76,6 +93,7 @@ class Session:
         self.id = session_id
         self.conn = conn
         self.peer = peer
+        self.protocol = PROTOCOL_VERSION  # negotiated in the handshake
         self.txn = None  # TransactionContext while a txn is open
         self.last_active = time.monotonic()
         self.closing = False
@@ -100,12 +118,18 @@ class DatabaseServer:
     def __init__(self, db, host: str = "127.0.0.1", port: int = 0,
                  max_connections: int = 32,
                  idle_timeout: Optional[float] = 300.0,
-                 admission: Optional[AdmissionController] = None) -> None:
+                 admission: Optional[AdmissionController] = None,
+                 metrics_port: Optional[int] = None,
+                 metrics_host: str = "127.0.0.1") -> None:
         self.db = db
         self.max_connections = max_connections
         self.idle_timeout = idle_timeout
         self.admission = admission or AdmissionController(
             metrics=db.metrics)
+        #: Shared structured event log (owned by the admission
+        #: controller so shed/slow-query events and lifecycle events
+        #: interleave in one ring).
+        self.events = self.admission.events
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -118,6 +142,18 @@ class DatabaseServer:
         self._stopping = threading.Event()
         self._accept_thread: Optional[threading.Thread] = None
         self._reaper_thread: Optional[threading.Thread] = None
+        self._started_monotonic = time.monotonic()
+        self._started_at = time.time()
+        #: True from the first moment of graceful shutdown until the
+        #: process exits; ``/health`` keys off it.
+        self.draining = False
+        # Bind the sidecar in the constructor (port=0 callers read the
+        # assigned port back before start()); its threads spin up in
+        # start() and die after drain completes in shutdown().
+        self.sidecar: Optional[MetricsSidecar] = None
+        if metrics_port is not None:
+            self.sidecar = MetricsSidecar(self, host=metrics_host,
+                                          port=metrics_port)
         metrics = db.metrics
         self._g_connections = metrics.gauge("server.connections.active")
         self._c_accepted = metrics.counter("server.connections.accepted")
@@ -135,6 +171,11 @@ class DatabaseServer:
             target=self._reaper_loop, name="repro-server-reaper",
             daemon=True)
         self._reaper_thread.start()
+        if self.sidecar is not None:
+            self.sidecar.start()
+        self.events.emit("server.start", host=self.host, port=self.port,
+                         metrics_port=(self.sidecar.port
+                                       if self.sidecar else None))
         return self
 
     def __enter__(self) -> "DatabaseServer":
@@ -155,7 +196,10 @@ class DatabaseServer:
         """
         if self._stopping.is_set():
             return
+        self.draining = True  # /health flips 503 before the drain begins
         self._stopping.set()
+        self.events.emit("server.drain.begin",
+                         sessions=len(self._sessions))
         try:
             # shutdown() (not just close()) forces a blocked accept() in
             # the listener thread to return; close() alone leaves the
@@ -199,6 +243,12 @@ class DatabaseServer:
         for worker in stragglers:
             worker.join(1.0)
         self.db.checkpoint()
+        self.events.emit("server.checkpoint")
+        self.events.emit("server.stop")
+        # The sidecar outlives the drain so /health can answer 503
+        # while it happens; only now does it go away.
+        if self.sidecar is not None:
+            self.sidecar.stop()
 
     # -- accept / reap -------------------------------------------------------
 
@@ -212,6 +262,9 @@ class DatabaseServer:
                 at_capacity = len(self._sessions) >= self.max_connections
             if at_capacity:
                 self._c_refused.inc()
+                self.events.emit("connection.refused",
+                                 peer=f"{addr[0]}:{addr[1]}",
+                                 limit=self.max_connections)
                 try:
                     write_frame(conn, Opcode.ERROR, 0, encode_payload(
                         error_payload(ServerSaturatedError(
@@ -233,6 +286,8 @@ class DatabaseServer:
                 self._workers[session.id] = worker
             self._c_accepted.inc()
             self._g_connections.set(len(self._sessions))
+            self.events.emit("session.open", session=session.id,
+                             peer=session.peer)
             worker.start()
 
     def _reaper_loop(self) -> None:
@@ -247,6 +302,9 @@ class DatabaseServer:
             for session in idle:
                 session.closing = True
                 self._c_reaped.inc()
+                self.events.emit("session.reaped", session=session.id,
+                                 peer=session.peer,
+                                 idle_timeout=self.idle_timeout)
                 try:
                     session.conn.shutdown(socket.SHUT_RDWR)
                 except OSError:
@@ -276,10 +334,15 @@ class DatabaseServer:
         except OSError:
             pass
         with self._sessions_lock:
-            self._sessions.pop(session.id, None)
+            removed = self._sessions.pop(session.id, None)
             self._workers.pop(session.id, None)
             remaining = len(self._sessions)
         self._g_connections.set(remaining)
+        # Both the worker's normal exit and the shutdown path reach
+        # here; only the one that actually removed the session logs it.
+        if removed is not None:
+            self.events.emit("session.close", session=session.id,
+                             peer=session.peer)
 
     # -- per-session loop ----------------------------------------------------
 
@@ -332,15 +395,19 @@ class DatabaseServer:
             self._send_error(session, frame.request_id, HandshakeError(
                 "bad protocol magic"))
             return False
-        if hello.get("protocol") != PROTOCOL_VERSION:
+        version = hello.get("protocol")
+        if version not in SUPPORTED_PROTOCOL_VERSIONS:
             self._send_error(session, frame.request_id, HandshakeError(
-                f"unsupported protocol version "
-                f"{hello.get('protocol')!r}; server speaks "
-                f"{PROTOCOL_VERSION}"))
+                f"unsupported protocol version {version!r}; server "
+                f"speaks {sorted(SUPPORTED_PROTOCOL_VERSIONS)}"))
             return False
+        # Negotiation: answer with the *client's* version, so an old
+        # client sees exactly the protocol it asked for and a new one
+        # learns the server understood v2 (trace context, STATS).
+        session.protocol = version
         self._send_result(session, frame.request_id, {
             "magic": PROTOCOL_MAGIC,
-            "protocol": PROTOCOL_VERSION,
+            "protocol": version,
             "server": "repro",
             "session_id": session.id,
             "schema": self.db.schema.name,
@@ -354,38 +421,50 @@ class DatabaseServer:
         opcode_name = (Opcode(frame.opcode).name
                        if frame.opcode in Opcode._value2member_map_
                        else f"op#{frame.opcode}")
+        trace_id = None
         try:
             payload = frame.decode() if frame.payload else {}
             if not isinstance(payload, dict):
                 raise ProtocolError("request payload must be a JSON object")
+            # Extract trace context before anything can fail, so every
+            # error path below can stamp the ERROR frame with it.
+            trace_id, parent_span_id = extract_trace_context(payload)
             text = payload.get("text", "") if isinstance(payload, dict) else ""
             if frame.opcode in _UNGATED_OPCODES:
-                gate = self.admission.admit_ungated(session.id,
-                                                    opcode_name, text)
+                gate = self.admission.admit_ungated(
+                    session.id, opcode_name, text,
+                    request_id=frame.request_id, trace_id=trace_id)
             else:
-                gate = self.admission.admit(session.id, opcode_name, text)
+                gate = self.admission.admit(
+                    session.id, opcode_name, text,
+                    request_id=frame.request_id, trace_id=trace_id)
             with gate:
                 with self.db.tracer.span("server.request",
                                          opcode=opcode_name,
                                          session=session.id):
-                    return self._handle(session, frame, payload)
+                    return self._handle(session, frame, payload,
+                                        trace_id, parent_span_id)
         except (ServerSaturatedError, RequestTimeoutError) as exc:
-            self._send_error(session, frame.request_id, exc, transient=True)
+            self._send_error(session, frame.request_id, exc,
+                             transient=True, trace_id=trace_id)
             return True
         except ReproError as exc:
             transient = type(exc).__name__ in TRANSIENT_ERRORS
             self._send_error(session, frame.request_id, exc,
-                             transient=transient)
+                             transient=transient, trace_id=trace_id)
             return True
         except OSError:
             return False
         except Exception as exc:  # noqa: BLE001 - a bug must not kill the
             # session loop; surface it to the client instead.
-            self._send_error(session, frame.request_id, exc)
+            self._send_error(session, frame.request_id, exc,
+                             trace_id=trace_id)
             return True
 
     def _handle(self, session: Session, frame: Frame,
-                payload: Dict[str, Any]) -> bool:
+                payload: Dict[str, Any],
+                trace_id: Optional[str] = None,
+                parent_span_id: Optional[str] = None) -> bool:
         opcode = frame.opcode
         request_id = frame.request_id
         db = self.db
@@ -393,6 +472,8 @@ class DatabaseServer:
             self._send_result(session, request_id, {
                 "pong": True, "admission": self.admission.snapshot()})
             return True
+        if opcode == Opcode.STATS:
+            return self._handle_stats(session, request_id, payload)
         if opcode == Opcode.QUERY or opcode == Opcode.EXECUTE:
             result = db.query(self._text(payload),
                               params=payload.get("params"))
@@ -402,7 +483,8 @@ class DatabaseServer:
         if opcode == Opcode.PREPARE:
             return self._handle_prepare(session, request_id, payload)
         if opcode == Opcode.EXPLAIN:
-            return self._handle_explain(session, request_id, payload)
+            return self._handle_explain(session, request_id, payload,
+                                        trace_id, parent_span_id)
         if opcode == Opcode.BEGIN:
             if session.txn is not None and session.txn.is_active:
                 raise TransactionStateError(
@@ -472,16 +554,40 @@ class DatabaseServer:
         })
         return True
 
+    def _handle_stats(self, session: Session, request_id: int,
+                      payload: Dict[str, Any]) -> bool:
+        """Full introspection snapshot: server state + metrics registry.
+
+        ``{"events": N}`` in the payload appends the last *N* entries of
+        the structured event log — the ``monitor`` CLI's data source.
+        """
+        body: Dict[str, Any] = {
+            "server": self.state_snapshot(),
+            "metrics": self.db.metrics.snapshot(),
+        }
+        events = payload.get("events")
+        if isinstance(events, int) and events > 0:
+            body["events"] = self.events.tail(events)
+        self._send_result(session, request_id, body)
+        return True
+
     def _handle_explain(self, session: Session, request_id: int,
-                        payload: Dict[str, Any]) -> bool:
+                        payload: Dict[str, Any],
+                        trace_id: Optional[str] = None,
+                        parent_span_id: Optional[str] = None) -> bool:
         """EXPLAIN ANALYZE over the wire, server spans included.
 
         The server opens its own capture so the profile shows the whole
         request — a ``server.request`` root wrapping the kernel's
         ``mql.execute`` tree — rather than only the query internals.
+        When the request carries trace context (protocol v2), the
+        capture joins the *client's* trace: every server span gets the
+        client's ``trace_id`` and the root parents onto the client's
+        span id, so the client can stitch both processes into one tree.
         """
         db = self.db
-        with db.tracer.capture() as capture:
+        with db.tracer.capture(trace_id=trace_id or new_trace_id(),
+                               parent_span_id=parent_span_id) as capture:
             with db.tracer.span("server.request", opcode="EXPLAIN",
                                 session=session.id):
                 result = db.query(self._text(payload),
@@ -552,9 +658,32 @@ class DatabaseServer:
                     encode_payload(payload))
 
     def _send_error(self, session: Session, request_id: int,
-                    exc: BaseException, transient: bool = False) -> None:
+                    exc: BaseException, transient: bool = False,
+                    trace_id: Optional[str] = None) -> None:
         try:
             write_frame(session.conn, Opcode.ERROR, request_id,
-                        encode_payload(error_payload(exc, transient)))
+                        encode_payload(error_payload(
+                            exc, transient, trace_id=trace_id)))
         except OSError:
             pass
+
+    # -- introspection -------------------------------------------------------
+
+    def state_snapshot(self) -> Dict[str, Any]:
+        """The server's operational state as one JSON-safe document
+        (served by the STATS opcode and the sidecar's ``/stats``)."""
+        with self._sessions_lock:
+            sessions = len(self._sessions)
+        return {
+            "host": self.host,
+            "port": self.port,
+            "started_at": round(self._started_at, 3),
+            "uptime_seconds": round(
+                time.monotonic() - self._started_monotonic, 3),
+            "sessions": sessions,
+            "max_connections": self.max_connections,
+            "draining": self.draining,
+            "protocol_versions": sorted(SUPPORTED_PROTOCOL_VERSIONS),
+            "admission": self.admission.snapshot(),
+            "events_seen": self.events.last_seq,
+        }

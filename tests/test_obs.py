@@ -389,3 +389,300 @@ class TestProfileCli:
         out = capsys.readouterr().out
         assert "-- plan:" in out
         assert "mql.execute" in out
+
+
+# -- histogram quantiles ----------------------------------------------------
+
+
+class TestHistogramQuantiles:
+    BOUNDS = (0.001, 0.01, 0.1, 1.0)
+
+    def test_empty_histogram_has_no_quantiles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("empty.h", self.BOUNDS)
+        assert histogram.quantile(0.5) is None
+        assert histogram.percentiles() == {"p50": None, "p95": None,
+                                           "p99": None}
+
+    def test_single_observation_pins_every_quantile(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("one.h", self.BOUNDS)
+        histogram.observe(0.005)
+        for q in (0.5, 0.95, 0.99):
+            assert histogram.quantile(q) == pytest.approx(0.005)
+
+    def test_interpolation_inside_a_bucket(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("interp.h", (0.0, 10.0))
+        # 100 observations uniform-ish in the (0, 10] bucket; the
+        # estimator interpolates linearly within the bucket.
+        for index in range(100):
+            histogram.observe(index / 10.0)
+        p50 = histogram.quantile(0.5)
+        assert 4.0 <= p50 <= 6.0
+        p99 = histogram.quantile(0.99)
+        assert 9.0 <= p99 <= 10.0
+
+    def test_estimates_clamped_to_observed_range(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("clamp.h", (1.0, 100.0))
+        histogram.observe(2.0)
+        histogram.observe(3.0)
+        # Bucket upper bound is 100 but nothing above 3 was seen.
+        assert histogram.quantile(0.99) <= 3.0
+        assert histogram.quantile(0.01) >= 2.0
+
+    def test_quantiles_are_monotone(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("mono.h", self.BOUNDS)
+        for value in (0.0005, 0.002, 0.02, 0.05, 0.2, 0.5, 2.0):
+            histogram.observe(value)
+        quantiles = [histogram.quantile(q)
+                     for q in (0.1, 0.5, 0.9, 0.99)]
+        assert quantiles == sorted(quantiles)
+
+    def test_snapshot_includes_percentiles(self):
+        registry = MetricsRegistry()
+        registry.histogram("snap.h", self.BOUNDS).observe(0.005)
+        (entry,) = registry.snapshot()["histograms"]
+        assert entry["percentiles"]["p50"] == pytest.approx(0.005)
+
+
+# -- event log --------------------------------------------------------------
+
+
+class TestEventLog:
+    def test_emit_assigns_monotone_seq_and_fields(self):
+        from repro.obs import EventLog
+        log = EventLog(clock=lambda: 42.0)
+        first = log.emit("session.open", session=1)
+        second = log.emit("slow_query", session=1, seconds=0.5)
+        assert first["seq"] == 1 and second["seq"] == 2
+        assert first["ts"] == 42.0
+        assert second["seconds"] == 0.5
+        assert log.last_seq == 2
+
+    def test_ring_drops_oldest(self):
+        from repro.obs import EventLog
+        log = EventLog(capacity=3)
+        for index in range(5):
+            log.emit("tick", n=index)
+        entries = log.tail()
+        assert [e["n"] for e in entries] == [2, 3, 4]
+        assert log.last_seq == 5  # seq keeps counting past evictions
+
+    def test_tail_filters_exact_and_prefix(self):
+        from repro.obs import EventLog
+        log = EventLog()
+        log.emit("session.open", session=1)
+        log.emit("session.close", session=1)
+        log.emit("slow_query", session=1)
+        assert [e["event"] for e in log.tail(event="session.")] == [
+            "session.open", "session.close"]
+        assert [e["event"] for e in log.tail(event="slow_query")] == [
+            "slow_query"]
+        assert log.tail(count=1)[0]["event"] == "slow_query"
+
+    def test_sink_receives_json_lines(self):
+        import io
+        from repro.obs import EventLog
+        sink = io.StringIO()
+        log = EventLog(sink=sink)
+        log.emit("server.start", port=7042)
+        line = sink.getvalue().strip()
+        parsed = json.loads(line)
+        assert parsed["event"] == "server.start"
+        assert parsed["port"] == 7042
+
+    def test_dead_sink_never_breaks_emit(self):
+        import io
+        from repro.obs import EventLog
+        sink = io.StringIO()
+        log = EventLog(sink=sink)
+        sink.close()
+        entry = log.emit("tick")  # must not raise
+        assert entry["seq"] == 1
+        assert len(log) == 1
+
+    def test_emit_is_thread_safe(self):
+        import threading
+        from repro.obs import EventLog
+        log = EventLog(capacity=10_000)
+        def worker():
+            for _ in range(500):
+                log.emit("tick")
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        entries = log.tail()
+        assert log.last_seq == 2000
+        # No duplicated or lost sequence numbers among retained events.
+        seqs = [e["seq"] for e in entries]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+
+# -- prometheus exposition --------------------------------------------------
+
+
+class TestPrometheusExposition:
+    def test_counters_gauges_and_summaries_render(self):
+        from repro.obs import render_prometheus
+        registry = MetricsRegistry()
+        registry.counter("server.requests").inc(7)
+        registry.gauge("server.requests.inflight").set(2)
+        registry.histogram("server.request_seconds",
+                           (0.001, 0.01)).observe(0.002)
+        text = render_prometheus(registry)
+        assert "# TYPE server_requests_total counter" in text
+        assert "server_requests_total 7" in text
+        assert "# TYPE server_requests_inflight gauge" in text
+        assert "server_requests_inflight 2" in text
+        assert "# TYPE server_request_seconds summary" in text
+        assert 'server_request_seconds{quantile="0.5"}' in text
+        assert "server_request_seconds_count 1" in text
+        assert "server_request_seconds_sum" in text
+        assert text.endswith("\n")
+
+    def test_labels_render_sorted_and_escaped(self):
+        from repro.obs import render_prometheus
+        registry = MetricsRegistry()
+        registry.counter("btree.node_reads", index="i\"1\"").inc()
+        text = render_prometheus(registry)
+        assert 'btree_node_reads_total{index="i\\"1\\""} 1' in text
+
+    def test_extra_gauges_appended(self):
+        from repro.obs import render_prometheus
+        registry = MetricsRegistry()
+        text = render_prometheus(registry, extra_gauges={
+            "server_uptime_seconds": 12.5})
+        assert "# TYPE server_uptime_seconds gauge" in text
+        assert "server_uptime_seconds 12.5" in text
+
+    def test_empty_summary_renders_nan(self):
+        from repro.obs import render_prometheus
+        registry = MetricsRegistry()
+        registry.histogram("idle.h", (0.1,))
+        text = render_prometheus(registry)
+        assert 'idle_h{quantile="0.5"} NaN' in text
+        assert "idle_h_count 0" in text
+
+
+# -- distributed trace context ----------------------------------------------
+
+
+class TestTraceContext:
+    def test_capture_without_context_leaves_spans_unstamped(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry)
+        with tracer.capture() as capture:
+            with tracer.span("a"):
+                pass
+        span_dict = capture.spans[0].to_dict()
+        assert "trace_id" not in span_dict
+        assert "trace_id" not in capture.to_dict()
+
+    def test_capture_with_context_stamps_ids_and_parents(self):
+        from repro.obs import new_span_id, new_trace_id
+        registry = MetricsRegistry()
+        tracer = Tracer(registry)
+        trace_id, client_span = new_trace_id(), new_span_id()
+        with tracer.capture(trace_id=trace_id,
+                            parent_span_id=client_span) as capture:
+            with tracer.span("root"):
+                with tracer.span("child"):
+                    pass
+        root = capture.spans[0]
+        child = root.children[0]
+        assert root.trace_id == child.trace_id == trace_id
+        assert root.parent_span_id == client_span
+        assert child.parent_span_id == root.span_id
+        assert root.span_id != child.span_id
+        assert capture.to_dict()["trace_id"] == trace_id
+
+    def test_trace_ids_are_fresh_and_well_formed(self):
+        from repro.obs import new_span_id, new_trace_id
+        trace_ids = {new_trace_id() for _ in range(64)}
+        assert len(trace_ids) == 64
+        assert all(len(t) == 16 for t in trace_ids)
+        assert all(len(new_span_id()) == 8 for _ in range(8))
+
+    def test_concurrent_captures_do_not_bleed_trace_ids(self):
+        """Captures are thread-local: two threads capturing at once
+        under different trace ids must each see only their own."""
+        import threading
+        from repro.obs import new_trace_id
+        registry = MetricsRegistry()
+        tracer = Tracer(registry)
+        failures = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            trace_id = new_trace_id()
+            barrier.wait()
+            for _ in range(50):
+                with tracer.capture(trace_id=trace_id) as capture:
+                    with tracer.span("outer"):
+                        with tracer.span("inner"):
+                            pass
+                for top in capture.spans:
+                    for span in top.walk():
+                        if span.trace_id != trace_id:
+                            failures.append((span.trace_id, trace_id))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+
+
+class TestRenderProfileDict:
+    """The dict renderer used for profiles that arrive over the wire."""
+
+    def _stitched_profile(self):
+        return {
+            "plan": "molecule Part via scan(Part)",
+            "trace_id": "ab" * 8,
+            "spans": [{
+                "name": "client.request",
+                "attrs": {"opcode": "EXPLAIN"},
+                "duration_ms": 1.25,
+                "metrics": {},
+                "children": [{
+                    "name": "server.request",
+                    "attrs": {},
+                    "duration_ms": 1.0,
+                    "metrics": {"buffer.hits": 3, "buffer.misses": 1,
+                                "engine.versions_scanned": 4},
+                    "children": [],
+                }],
+                "trace_id": "ab" * 8,
+                "span_id": "cd" * 4,
+                "parent_span_id": None,
+            }],
+        }
+
+    def test_renders_tree_with_trace_header(self):
+        from repro.obs import render_profile_dict
+        text = render_profile_dict(self._stitched_profile())
+        lines = text.splitlines()
+        assert lines[0] == f"plan: molecule Part via scan(Part)  trace={'ab' * 8}"
+        assert lines[1].startswith("client.request [opcode=EXPLAIN]")
+        assert "└─ server.request" in lines[2]
+        assert "pages=4 (3 hit/1 miss)" in lines[2]
+        assert "versions=4" in lines[2]
+
+    def test_matches_query_profile_render_for_local_trees(self, obs_db):
+        """Same table whether rendered from Spans or from their dict export."""
+        from repro.obs import render_profile_dict
+        result = obs_db.explain("SELECT ALL FROM Part VALID AT 5")
+        profile = result.profile
+        assert profile is not None
+        assert render_profile_dict(profile.to_dict()) == profile.render()
+
+    def test_tolerates_minimal_dict(self):
+        from repro.obs import render_profile_dict
+        assert render_profile_dict({}) == "plan: ?"

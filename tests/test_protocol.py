@@ -174,3 +174,63 @@ class TestResultSerialization:
             db.query("SELECT ALL FROM Part.contains.Component "
                      "VALID AT 5"))
         assert encode_payload(whole) == encode_payload(again)
+
+
+class TestProtocolVersioning:
+    def test_version_two_is_current_and_one_still_supported(self):
+        from repro.server.protocol import (
+            PROTOCOL_VERSION,
+            SUPPORTED_PROTOCOL_VERSIONS,
+        )
+        assert PROTOCOL_VERSION == 2
+        assert {1, 2} <= SUPPORTED_PROTOCOL_VERSIONS
+
+    def test_stats_opcode_exists(self):
+        assert Opcode.STATS == 12
+        assert Opcode(12).name == "STATS"
+
+    def test_v1_payload_without_trace_decodes(self):
+        """An old client's frame — no ``trace`` key — round-trips and
+        yields an empty trace context, not an error."""
+        from repro.server.protocol import extract_trace_context
+        data = frame_bytes(payload=encode_payload(
+            {"text": "SELECT ALL FROM Part VALID AT 5"}))
+        frame = read_frame(ByteSock(data))
+        payload = frame.decode()
+        assert payload["text"].startswith("SELECT")
+        assert extract_trace_context(payload) == (None, None)
+
+    def test_v2_payload_with_trace_round_trips(self):
+        from repro.server.protocol import extract_trace_context
+        body = {"text": "SELECT ALL FROM Part VALID AT 5",
+                "trace": {"trace_id": "a" * 16, "span_id": "b" * 8}}
+        frame = read_frame(ByteSock(frame_bytes(
+            payload=encode_payload(body))))
+        assert extract_trace_context(frame.decode()) == ("a" * 16,
+                                                         "b" * 8)
+
+
+class TestExtractTraceContext:
+    def test_malformed_shapes_are_tolerated(self):
+        from repro.server.protocol import extract_trace_context
+        assert extract_trace_context(None) == (None, None)
+        assert extract_trace_context([1, 2]) == (None, None)
+        assert extract_trace_context({"trace": "oops"}) == (None, None)
+        assert extract_trace_context({"trace": {}}) == (None, None)
+        assert extract_trace_context(
+            {"trace": {"trace_id": 7, "span_id": ["x"]}}) == (None, None)
+
+    def test_partial_context_keeps_the_valid_half(self):
+        from repro.server.protocol import extract_trace_context
+        assert extract_trace_context(
+            {"trace": {"trace_id": "t" * 16}}) == ("t" * 16, None)
+
+
+class TestErrorPayloadTraceId:
+    def test_trace_id_included_when_given(self):
+        payload = error_payload(ValueError("boom"), transient=True,
+                                trace_id="c" * 16)
+        assert payload["trace_id"] == "c" * 16
+
+    def test_trace_id_omitted_when_absent(self):
+        assert "trace_id" not in error_payload(ValueError("boom"))

@@ -426,14 +426,41 @@ class TestSessionLifecycle:
             time.sleep(0.02)
         assert gauge.value == 0
 
-    def test_explain_over_the_wire_includes_server_span(self, sdb, server):
+    def test_explain_over_the_wire_stitches_one_span_tree(self, sdb,
+                                                          server):
         _stock(sdb)
         with DatabaseClient(server.host, server.port) as client:
             body = client.explain("SELECT ALL FROM Part VALID AT 5")
         spans = body["profile"]["spans"]
-        assert spans[0]["name"] == "server.request"
-        child_names = [c["name"] for c in spans[0]["children"]]
+        # One tree: the client's own span roots it, the server's
+        # server.request subtree hangs beneath, the kernel beneath that.
+        assert len(spans) == 1
+        client_span = spans[0]
+        assert client_span["name"] == "client.request"
+        assert client_span["parent_span_id"] is None
+        (server_span,) = client_span["children"]
+        assert server_span["name"] == "server.request"
+        child_names = [c["name"] for c in server_span["children"]]
         assert "mql.execute" in child_names
+        # Both processes share the trace id; the server root parents
+        # onto the client span's id.
+        assert server_span["trace_id"] == client_span["trace_id"]
+        assert server_span["parent_span_id"] == client_span["span_id"]
+        assert body["profile"]["trace_id"] == client_span["trace_id"]
+        # The client saw the wire + scheduling on top of server time.
+        assert (client_span["duration_ms"]
+                >= server_span["duration_ms"])
+
+    def test_explain_without_trace_context_keeps_server_root(
+            self, sdb, server):
+        _stock(sdb)
+        with DatabaseClient(server.host, server.port,
+                            trace_context=False) as client:
+            body = client.explain("SELECT ALL FROM Part VALID AT 5")
+        spans = body["profile"]["spans"]
+        assert spans[0]["name"] == "server.request"
+        # The server still traces under its own fresh trace id.
+        assert spans[0]["trace_id"]
 
 
 class TestGracefulShutdown:
@@ -695,3 +722,222 @@ class TestServerLifecycleRaces:
             assert quiescent.txn is None
         finally:
             srv.shutdown()
+
+
+class TestProtocolNegotiation:
+    def test_v1_client_is_accepted_and_echoed(self, server, monkeypatch):
+        """An old client (protocol 1, no trace context) still talks to
+        a v2 server; the handshake echoes the client's version."""
+        import repro.server.client as client_module
+        monkeypatch.setattr(client_module, "PROTOCOL_VERSION", 1)
+        with DatabaseClient(server.host, server.port,
+                            trace_context=False) as client:
+            assert client.session["protocol"] == 1
+            assert client.ping()["pong"] is True
+
+    def test_v2_client_negotiates_v2(self, server):
+        with DatabaseClient(server.host, server.port) as client:
+            assert client.session["protocol"] == PROTOCOL_VERSION
+
+
+class TestStatsOpcode:
+    def test_stats_reports_server_state_and_metrics(self, sdb, server):
+        _stock(sdb)
+        with DatabaseClient(server.host, server.port) as client:
+            client.query("SELECT ALL FROM Part VALID AT 5")
+            body = client.stats()
+        state = body["server"]
+        assert state["sessions"] >= 1
+        assert state["max_connections"] == 16
+        assert state["uptime_seconds"] >= 0
+        assert state["draining"] is False
+        assert state["admission"]["max_inflight"] >= 1
+        counters = {c["name"] for c in body["metrics"]["counters"]}
+        assert "server.requests" in counters
+        histograms = {h["name"]: h for h in body["metrics"]["histograms"]}
+        assert histograms["server.request_seconds"]["count"] >= 1
+        assert "percentiles" in histograms["server.request_seconds"]
+
+    def test_stats_tail_carries_structured_events(self, sdb, server):
+        with DatabaseClient(server.host, server.port) as client:
+            body = client.stats(events=50)
+        names = [e["event"] for e in body["events"]]
+        assert "server.start" in names
+        assert "session.open" in names
+
+    def test_stats_answers_under_saturation(self, sdb):
+        """STATS is ungated: it must answer while gated requests shed —
+        a monitor that dies exactly when the server is overloaded is
+        useless."""
+        admission = AdmissionController(max_inflight=1, max_queued=0,
+                                        metrics=sdb.metrics)
+        with DatabaseServer(sdb, admission=admission) as srv:
+            admission._acquire()  # saturate the only slot
+            try:
+                with DatabaseClient(srv.host, srv.port,
+                                    max_retries=0) as client:
+                    with pytest.raises(RemoteError):
+                        client.ping()  # gated: shed
+                    body = client.stats()  # ungated: answers
+                    assert body["server"]["admission"]["inflight"] == 1
+            finally:
+                admission._release()
+
+
+class TestStructuredEvents:
+    def test_shed_event_carries_request_context(self, sdb):
+        admission = AdmissionController(max_inflight=1, max_queued=0,
+                                        metrics=sdb.metrics)
+        with DatabaseServer(sdb, admission=admission) as srv:
+            admission._acquire()
+            try:
+                with DatabaseClient(srv.host, srv.port,
+                                    max_retries=0) as client:
+                    with pytest.raises(RemoteError):
+                        client.ping()
+            finally:
+                admission._release()
+            (shed,) = admission.events.tail(event="request.shed")
+            assert shed["opcode"] == "PING"
+            assert shed["session"] >= 1
+            assert shed["request_id"] >= 1
+            assert shed["trace_id"]  # stamped by the client
+
+    def test_slow_query_entries_carry_ids(self, sdb):
+        admission = AdmissionController(slow_query_ms=0.0,
+                                        metrics=sdb.metrics)
+        with DatabaseServer(sdb, admission=admission) as srv:
+            with DatabaseClient(srv.host, srv.port) as client:
+                client.query("SELECT ALL FROM Part VALID AT 5")
+            entry = next(e for e in admission.slow_queries.entries()
+                         if e.opcode == "QUERY")
+            assert "SELECT" in entry.text
+            assert entry.request_id >= 1
+            assert entry.session_id >= 1
+            assert entry.trace_id and len(entry.trace_id) == 16
+
+    def test_session_lifecycle_events(self, sdb):
+        with DatabaseServer(sdb) as srv:
+            with DatabaseClient(srv.host, srv.port) as client:
+                client.ping()
+            deadline = time.monotonic() + 5
+            while (time.monotonic() < deadline
+                   and not srv.events.tail(event="session.close")):
+                time.sleep(0.02)
+            opens = srv.events.tail(event="session.open")
+            closes = srv.events.tail(event="session.close")
+            assert len(opens) == 1 and len(closes) == 1
+            assert opens[0]["session"] == closes[0]["session"]
+
+
+class TestErrorTraceCorrelation:
+    def test_error_frame_echoes_the_request_trace_id(self, server):
+        with DatabaseClient(server.host, server.port) as client:
+            with pytest.raises(RemoteError) as info:
+                client.query("SELECT ALL FROM Nonexistent VALID AT 5")
+            assert info.value.trace_id
+            assert len(info.value.trace_id) == 16
+
+    def test_no_trace_id_without_trace_context(self, server):
+        with DatabaseClient(server.host, server.port,
+                            trace_context=False) as client:
+            with pytest.raises(RemoteError) as info:
+                client.query("SELECT ALL FROM Nonexistent VALID AT 5")
+            assert info.value.trace_id is None
+
+
+class TestHttpSidecar:
+    def _get(self, port, path):
+        import urllib.error
+        import urllib.request
+        try:
+            with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}{path}", timeout=5) as resp:
+                return resp.status, resp.read().decode(), dict(
+                    resp.headers)
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read().decode(), dict(exc.headers)
+
+    def test_metrics_endpoint_serves_prometheus_text(self, sdb):
+        with DatabaseServer(sdb, metrics_port=0) as srv:
+            with DatabaseClient(srv.host, srv.port) as client:
+                client.query("SELECT ALL FROM Part VALID AT 5")
+            status, text, headers = self._get(srv.sidecar.port,
+                                              "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "version=0.0.4" in headers["Content-Type"]
+        assert "# TYPE server_requests_total counter" in text
+        assert 'server_request_seconds{quantile="0.95"}' in text
+        assert "server_uptime_seconds" in text
+        assert "server_draining 0" in text
+
+    def test_health_ok_while_serving(self, sdb):
+        with DatabaseServer(sdb, metrics_port=0) as srv:
+            status, text, _ = self._get(srv.sidecar.port, "/health")
+            assert status == 200
+            assert "ok" in text
+
+    def test_stats_endpoint_serves_json(self, sdb):
+        import json as json_module
+        with DatabaseServer(sdb, metrics_port=0) as srv:
+            status, text, _ = self._get(srv.sidecar.port, "/stats")
+            assert status == 200
+            body = json_module.loads(text)
+            assert body["server"]["port"] == srv.port
+            assert "metrics" in body
+
+    def test_unknown_path_is_404(self, sdb):
+        with DatabaseServer(sdb, metrics_port=0) as srv:
+            status, _, _ = self._get(srv.sidecar.port, "/nope")
+            assert status == 404
+
+    def test_health_flips_503_during_drain(self, sdb, monkeypatch):
+        """/health must answer 503 *while* graceful shutdown drains —
+        that window is exactly when a load balancer needs the signal."""
+        server = DatabaseServer(sdb, metrics_port=0).start()
+        release = threading.Event()
+        original = sdb.checkpoint
+
+        def blocked_checkpoint(*args, **kwargs):
+            release.wait(10)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(sdb, "checkpoint", blocked_checkpoint)
+        stopper = threading.Thread(target=server.shutdown)
+        stopper.start()
+        try:
+            deadline = time.monotonic() + 5
+            status = None
+            while time.monotonic() < deadline:
+                status, text, _ = self._get(server.sidecar.port,
+                                            "/health")
+                if status == 503:
+                    assert "draining" in text
+                    break
+                time.sleep(0.02)
+            assert status == 503
+        finally:
+            release.set()
+            stopper.join(10)
+        assert not stopper.is_alive()
+
+
+class TestMonitorCli:
+    def test_monitor_once_prints_a_frame(self, sdb, server, capsys):
+        from repro.__main__ import main
+        _stock(sdb)
+        with DatabaseClient(server.host, server.port) as client:
+            client.query("SELECT ALL FROM Part VALID AT 5")
+        code = main(["monitor", "--connect",
+                     f"{server.host}:{server.port}", "--once"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"repro server {server.host}:{server.port}" in out
+        assert "sessions" in out and "inflight" in out
+        assert "latency" in out and "p95" in out
+        assert "session.open" in out  # event tail rendered
+
+    def test_monitor_bad_connect_arg(self, capsys):
+        from repro.__main__ import main
+        assert main(["monitor", "--connect", "nonsense", "--once"]) == 2
