@@ -191,7 +191,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         request_timeout=args.request_timeout,
         slow_query_ms=args.slow_query_ms,
         metrics=db.metrics,
-        events=EventLog(sink=event_sink))
+        events=EventLog(sink=event_sink, metrics=db.metrics))
     server = DatabaseServer(
         db, host=args.host, port=args.port,
         max_connections=args.max_connections,

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import struct
 from bisect import bisect_left, bisect_right
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import IndexCorruptError, KeyEncodingError
 from repro.storage.buffer import BufferManager
@@ -195,6 +195,95 @@ class BPlusTree:
             self._write(node)
             return None
         return self._split_internal(node)
+
+    def insert_many(self, pairs: Iterable[Tuple[bytes, bytes]],
+                    skip_present: bool = False) -> int:
+        """Insert many pairs with one leaf traversal per run of
+        adjacent keys; returns how many were actually inserted.
+
+        The batch is sorted, then consumed in runs: one descent finds
+        the leaf for a run's first key, subsequent pairs keep landing
+        in the same in-memory leaf while they sort at or below the
+        leaf's upper fence, and the leaf is written back once per run
+        instead of once per pair.  The first pair of every descent is
+        always placed in the reached leaf (legal under the inclusive
+        fence invariant, and the guarantee that every run makes
+        progress even when its key equals the fence).  A run that
+        would overflow the leaf flushes it and falls back to
+        :meth:`insert` for that one pair — the split path — then
+        re-descends, since the split rearranged the fences.
+
+        With *skip_present*, pairs already in the tree (or earlier in
+        the batch) are skipped — the attribute indexes' idempotence
+        contract, previously paid for with one probe descent plus one
+        insert descent per entry.
+        """
+        batch = sorted(pairs)
+        for key, value in batch:
+            self._check_key(key)
+            self._check_value(value)
+        inserted = 0
+        position = 0
+        total = len(batch)
+        while position < total:
+            key, value = batch[position]
+            node = self._read(self.root_page_id)
+            fence: Optional[bytes] = None
+            while not node.is_leaf:
+                slot = bisect_left(node.keys, key)
+                if slot < len(node.keys):
+                    fence = node.keys[slot]
+                node = self._read(node.children[slot])
+            dirty = False
+            while True:
+                if skip_present and self._pair_present(node, key, value):
+                    position += 1
+                elif len(node.keys) >= self._leaf_cap:
+                    if dirty:
+                        self._write(node)
+                        dirty = False
+                    self.insert(key, value)
+                    inserted += 1
+                    position += 1
+                    break  # the split moved fences: re-descend
+                else:
+                    at = bisect_right(node.keys, key)
+                    node.keys.insert(at, key)
+                    node.values.insert(at, value)
+                    dirty = True
+                    inserted += 1
+                    position += 1
+                if position >= total:
+                    break
+                key, value = batch[position]
+                if fence is not None and key > fence:
+                    break
+            if dirty:
+                self._write(node)
+        return inserted
+
+    def _pair_present(self, leaf: _Node, key: bytes, value: bytes) -> bool:
+        """Whether the exact (key, value) pair exists, starting from the
+        (possibly dirty, in-memory) *leaf* the key descends to.
+
+        Equal keys may straddle the leaf's right fence — single inserts
+        place them right of the separator while batched runs keep them
+        left — so the probe walks the sibling chain as long as it keeps
+        seeing the key.
+        """
+        node = leaf
+        at = bisect_left(node.keys, key)
+        while True:
+            while at < len(node.keys):
+                if node.keys[at] != key:
+                    return False
+                if node.values[at] == value:
+                    return True
+                at += 1
+            if node.next_leaf == INVALID_PAGE_ID:
+                return False
+            node = self._read(node.next_leaf)
+            at = 0
 
     def _split_leaf(self, node: _Node) -> Tuple[bytes, int]:
         self._c_splits.inc()

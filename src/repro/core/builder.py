@@ -90,12 +90,16 @@ class MoleculeBuilder:
     # -- set-oriented fetch ----------------------------------------------------
 
     def _fetch_many(self, atom_ids: Iterable[int], at: Timestamp,
-                    tt: Optional[Timestamp]
+                    tt: Optional[Timestamp],
+                    pred=None, projection=None
                     ) -> Dict[int, Optional[Version]]:
         """One version fetch for a whole frontier level.
 
         Uses the reader's batch API when it has one; otherwise falls back
-        to per-atom ``version_at`` calls with identical results.
+        to per-atom ``version_at`` calls with identical results.  The
+        pushdown arguments are forwarded only to readers that advertise
+        ``supports_pushdown`` (the real engine); protocol-only readers
+        keep seeing the original call shape.
         """
         ids = list(dict.fromkeys(atom_ids))
         if not ids:
@@ -103,6 +107,9 @@ class MoleculeBuilder:
         self._h_batch.observe(len(ids))
         fetch = getattr(self._reader, "version_at_many", None)
         if fetch is not None:
+            if ((pred is not None or projection is not None)
+                    and getattr(self._reader, "supports_pushdown", False)):
+                return fetch(ids, at, tt, pred=pred, projection=projection)
             return fetch(ids, at, tt)
         return {atom_id: self._reader.version_at(atom_id, at, tt)
                 for atom_id in ids}
@@ -121,7 +128,8 @@ class MoleculeBuilder:
 
     def build_many(self, root_ids: Iterable[int], mtype: MoleculeType,
                    at: Timestamp, tt: Optional[Timestamp] = None,
-                   parallelism: int = 1) -> List[Molecule]:
+                   parallelism: int = 1,
+                   root_pred=None, projection=None) -> List[Molecule]:
         """Molecules for every root id that is valid at the instant.
 
         Duplicate root ids are built once (first occurrence wins the
@@ -131,12 +139,19 @@ class MoleculeBuilder:
         regardless of scheduling, so every mode yields the identical
         list.  The caller must hold the facade's read latch (or otherwise
         guarantee no concurrent mutation) for the duration of the call.
+
+        *root_pred* (a compiled payload predicate) applies to the root
+        fetch only — a root whose version at the instant fails it builds
+        no molecule, exactly as the evaluator's WHERE would have dropped
+        it.  *projection* applies to every level: fetched versions carry
+        only the attributes the query reads.
         """
         ids = list(dict.fromkeys(root_ids))
         if not ids:
             return []
         if parallelism <= 1 or len(ids) == 1:
-            built = self._build_forest(ids, mtype, at, tt)
+            built = self._build_forest(ids, mtype, at, tt,
+                                       root_pred, projection)
         else:
             self._c_parallel.inc()
             workers = min(parallelism, len(ids))
@@ -145,7 +160,7 @@ class MoleculeBuilder:
             chunks = [ids[offset::workers] for offset in range(workers)]
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 futures = [pool.submit(self._build_forest, chunk, mtype,
-                                       at, tt)
+                                       at, tt, root_pred, projection)
                            for chunk in chunks]
                 by_root: Dict[int, Optional[Molecule]] = {}
                 for chunk, future in zip(chunks, futures):
@@ -162,7 +177,8 @@ class MoleculeBuilder:
         return self._build_forest([root_id], mtype, at, tt)[0]
 
     def _build_forest(self, root_ids: List[int], mtype: MoleculeType,
-                      at: Timestamp, tt: Optional[Timestamp]
+                      at: Timestamp, tt: Optional[Timestamp],
+                      root_pred=None, projection=None
                       ) -> List[Tuple[Optional[Molecule], Set[int]]]:
         """Level-at-a-time construction of one molecule per root id.
 
@@ -173,7 +189,9 @@ class MoleculeBuilder:
         self._c_slices.inc(len(root_ids))
         consulted: List[Set[int]] = [{root_id} for root_id in root_ids]
         roots: List[Optional[MoleculeAtom]] = [None] * len(root_ids)
-        root_versions = self._fetch_many(root_ids, at, tt)
+        root_versions = self._fetch_many(root_ids, at, tt,
+                                         pred=root_pred,
+                                         projection=projection)
         depth_bound = mtype.max_path_length()
         # Frontier of materialized-but-unexpanded atoms.
         frontier: List[Tuple[int, MoleculeAtom, int, dict, frozenset]] = []
@@ -210,7 +228,8 @@ class MoleculeBuilder:
             if not requests:
                 break
             versions = self._fetch_many(
-                (request[2] for request in requests), at, tt)
+                (request[2] for request in requests), at, tt,
+                projection=projection)
             frontier = []
             for (children, edge, child_id, remaining, depth, budgets,
                  path, index) in requests:

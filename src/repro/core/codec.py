@@ -10,12 +10,18 @@ carry.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.core.schema import AtomType, Schema
 from repro.core.version import IN, OUT, Version, ref_key
 from repro.errors import SerializationError
-from repro.storage.serialization import FieldSpec, FieldType, decode_row_exact, encode_row
+from repro.storage.serialization import (
+    FieldSpec,
+    FieldType,
+    decode_row_exact,
+    decode_row_partial,
+    encode_row,
+)
 from repro.storage.strategies import StoredVersion
 from repro.temporal import Interval
 
@@ -31,6 +37,11 @@ class VersionCodec:
         self._formats: Dict[str, List[FieldSpec]] = {}
         for atom_type in schema.atom_types:
             self._formats[atom_type.name] = self._build_format(atom_type)
+        # (type, attrs, need_refs, with_tt) -> (fields, flags, stop index);
+        # built lazily, read-only after, so plain dict ops suffice under
+        # the facade's read latch.
+        self._partial_plans: Dict[Tuple, Tuple[List[FieldSpec],
+                                               Tuple[bool, ...], int]] = {}
 
     def _build_format(self, atom_type: AtomType) -> List[FieldSpec]:
         fields = [FieldSpec(_TT_START, FieldType.TIME),
@@ -85,5 +96,70 @@ class VersionCodec:
             targets = row.pop(key, None)
             if targets:
                 refs[key] = frozenset(targets)
+        return Version(Interval(stored.vt_start, stored.vt_end), tt,
+                       row, refs)
+
+    # -- partial decoding (predicate/projection pushdown) --------------------
+
+    def _partial_plan(self, type_name: str, attrs: Tuple[str, ...],
+                      need_refs: bool, with_tt: bool
+                      ) -> Tuple[List[FieldSpec], Tuple[bool, ...], int]:
+        key = (type_name, attrs, need_refs, with_tt)
+        plan = self._partial_plans.get(key)
+        if plan is not None:
+            return plan
+        try:
+            fields = self._formats[type_name]
+        except KeyError:
+            raise SerializationError(
+                f"no row format for atom type {type_name!r}") from None
+        wanted = set(attrs)
+        if with_tt:
+            wanted.add(_TT_START)
+            wanted.add(_TT_END)
+        flags = tuple(
+            spec.name in wanted
+            or (need_refs and spec.type is FieldType.INT_LIST)
+            for spec in fields)
+        stop = -1
+        for index in range(len(flags) - 1, -1, -1):
+            if flags[index]:
+                stop = index
+                break
+        plan = (fields, flags, stop)
+        self._partial_plans[key] = plan
+        return plan
+
+    def peek(self, type_name: str, payload: bytes,
+             attrs: Tuple[str, ...], offset: int = 0) -> Dict[str, object]:
+        """Decode just *attrs* out of a raw payload — no Version built.
+
+        The cheap probe under pushdown predicates: non-wanted fields
+        are jumped over via their fixed widths or length prefixes, and
+        nothing past the last wanted field is touched at all.
+        """
+        fields, flags, stop = self._partial_plan(type_name, attrs,
+                                                 False, False)
+        return decode_row_partial(fields, payload, offset, flags, stop)
+
+    def decode_partial(self, type_name: str, stored: StoredVersion,
+                       attrs: Tuple[str, ...], need_refs: bool) -> Version:
+        """Reconstruct a *projected* version.
+
+        Only *attrs* (plus the transaction-time pair, plus the
+        reference sets when *need_refs* — the molecule builder walks
+        them) are decoded; every other field is skipped.  Attributes
+        outside *attrs* are simply absent from ``values``.
+        """
+        fields, flags, stop = self._partial_plan(type_name, attrs,
+                                                 need_refs, True)
+        row = decode_row_partial(fields, stored.payload, 0, flags, stop)
+        tt = Interval(row.pop(_TT_START), row.pop(_TT_END))
+        refs = {}
+        if need_refs:
+            for key in self.ref_keys(type_name):
+                targets = row.pop(key, None)
+                if targets:
+                    refs[key] = frozenset(targets)
         return Version(Interval(stored.vt_start, stored.vt_end), tt,
                        row, refs)

@@ -236,9 +236,14 @@ class TransactionContext:
     # -- lifecycle ---------------------------------------------------------------
 
     def commit(self) -> None:
+        self._db._flush_indexes()
         self._txn.commit()
 
     def abort(self) -> None:
+        # Index entries are filters, never authorities: flushing the
+        # aborted transaction's buffered entries matches the unbatched
+        # behaviour (entries were applied eagerly and never undone).
+        self._db._flush_indexes()
         self._txn.abort()
 
     @property
@@ -554,6 +559,9 @@ class TemporalDatabase:
         """
         self._require_open()
         with self._state_latch.write():
+            # Drain buffered index entries first: the flush dirties
+            # pages, which must be on disk before the manifest is cut.
+            self.indexes.flush_pending()
             self.buffer.flush_all()
             self._disk.sync()
             catalog = self._catalog
@@ -604,6 +612,11 @@ class TemporalDatabase:
                 self._closed = True
             self._wal.close()
             self._disk.close()
+
+    def _flush_indexes(self) -> None:
+        """Batch-apply index entries buffered by the ending transaction."""
+        with self._state_latch.write():
+            self.indexes.flush_pending()
 
     def _require_open(self) -> None:
         if self._closed:

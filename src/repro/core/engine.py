@@ -31,6 +31,7 @@ single-dict operations, atomic under the GIL).
 
 from __future__ import annotations
 
+import operator
 import struct
 import threading
 from collections import OrderedDict
@@ -57,6 +58,7 @@ from repro.core.schema import LinkType, Schema
 from repro.core.version import IN, OUT, Version, ref_key
 from repro.errors import (
     CardinalityError,
+    SerializationError,
     TemporalUpdateError,
     UnknownAtomError,
     UnknownTypeError,
@@ -65,6 +67,20 @@ from repro.storage.strategies import StoredVersion, VersionStore
 from repro.temporal import FOREVER, Interval, Timestamp
 
 _TYPE_PREFIX = struct.Struct("<H")
+
+#: Comparison operators a pushdown predicate may carry, by the
+#: :class:`~repro.mql.ast_nodes.CompareOp` member *name*.  The planner
+#: ships plain ``(attr, op name, literal)`` triples rather than AST
+#: nodes so this module never imports the MQL package (which imports
+#: this one).
+_PUSHDOWN_OPS: Dict[str, Callable[[Any, Any], bool]] = {
+    "EQ": operator.eq,
+    "NE": operator.ne,
+    "LT": operator.lt,
+    "LE": operator.le,
+    "GT": operator.gt,
+    "GE": operator.ge,
+}
 
 UndoAction = Callable[[], None]
 
@@ -81,13 +97,22 @@ DECODE_CACHE_ENTRY_OVERHEAD = 160
 
 
 class DecodedVersionCache:
-    """Byte-bounded LRU of decoded versions, keyed by ``(atom_id, seq)``.
+    """Byte-bounded LRU of decoded versions, keyed by
+    ``(atom_id, seq, cols)``.
+
+    ``cols`` is ``None`` for a full decode and a projection descriptor
+    (the attribute tuple plus a refs flag) for a partial one, so a
+    projected version can never be returned to a caller expecting the
+    full version or vice versa — the two live under distinct keys.
 
     Each entry is charged its *encoded payload size* plus a fixed
     overhead — the encoded size is a faithful, already-known proxy for
     the decoded footprint (attribute values and reference sets dominate
-    both).  Occupancy is surfaced as the ``engine.decode_cache.bytes``
-    gauge so the cache and the buffer pool can share one memory budget.
+    both; a partial decode is charged the same full-payload size, a
+    deliberate overestimate that keeps the accounting simple and
+    conservative).  Occupancy is surfaced as the
+    ``engine.decode_cache.bytes`` gauge so the cache and the buffer
+    pool can share one memory budget.
 
     A sequence number is stable for the lifetime of an atom but its
     *content* changes under ``replace_version``/``pop_version``, so the
@@ -101,9 +126,9 @@ class DecodedVersionCache:
         self._capacity_bytes = capacity_bytes
         self._lock = threading.Lock()
         # key -> (type_name, version, charged cost in bytes)
-        self._entries: "OrderedDict[Tuple[int, int], \
+        self._entries: "OrderedDict[Tuple[int, int, Any], \
             Tuple[str, Version, int]]" = OrderedDict()
-        self._by_atom: Dict[int, Set[int]] = {}
+        self._by_atom: Dict[int, Set[Tuple[int, Any]]] = {}
         self._bytes = 0
         self._c_hits = metrics.counter("engine.decode_cache.hits")
         self._c_misses = metrics.counter("engine.decode_cache.misses")
@@ -121,8 +146,9 @@ class DecodedVersionCache:
         with self._lock:
             return self._bytes
 
-    def get(self, atom_id: int, seq: int) -> Optional[Tuple[str, Version]]:
-        key = (atom_id, seq)
+    def get(self, atom_id: int, seq: int,
+            cols: Any = None) -> Optional[Tuple[str, Version]]:
+        key = (atom_id, seq, cols)
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
@@ -133,11 +159,11 @@ class DecodedVersionCache:
             return entry[0], entry[1]
 
     def put(self, atom_id: int, seq: int, type_name: str,
-            version: Version, nbytes: int = 0) -> None:
+            version: Version, nbytes: int = 0, cols: Any = None) -> None:
         cost = nbytes + DECODE_CACHE_ENTRY_OVERHEAD
         if cost > self._capacity_bytes:
             return  # an oversized entry would thrash the whole cache
-        key = (atom_id, seq)
+        key = (atom_id, seq, cols)
         with self._lock:
             existing = self._entries.get(key)
             if existing is not None:
@@ -145,14 +171,15 @@ class DecodedVersionCache:
             self._entries[key] = (type_name, version, cost)
             self._entries.move_to_end(key)
             self._bytes += cost
-            self._by_atom.setdefault(atom_id, set()).add(seq)
+            self._by_atom.setdefault(atom_id, set()).add((seq, cols))
             while self._bytes > self._capacity_bytes and self._entries:
-                (old_atom, old_seq), old = self._entries.popitem(last=False)
+                (old_atom, old_seq, old_cols), old = \
+                    self._entries.popitem(last=False)
                 self._bytes -= old[2]
                 self._c_evictions.inc()
                 seqs = self._by_atom.get(old_atom)
                 if seqs is not None:
-                    seqs.discard(old_seq)
+                    seqs.discard((old_seq, old_cols))
                     if not seqs:
                         del self._by_atom[old_atom]
             self._g_bytes.set(self._bytes)
@@ -163,8 +190,8 @@ class DecodedVersionCache:
             seqs = self._by_atom.pop(atom_id, None)
             if not seqs:
                 return
-            for seq in seqs:
-                entry = self._entries.pop((atom_id, seq), None)
+            for seq, cols in seqs:
+                entry = self._entries.pop((atom_id, seq, cols), None)
                 if entry is not None:
                     self._bytes -= entry[2]
             self._g_bytes.set(self._bytes)
@@ -183,6 +210,11 @@ class DecodedVersionCache:
 
 class StorageEngine:
     """Logical operations over one version store."""
+
+    #: The molecule builder probes this before passing pushdown kwargs,
+    #: so test doubles implementing the bare VersionReader protocol keep
+    #: working unchanged.
+    supports_pushdown = True
 
     def __init__(self, schema: Schema, store: VersionStore,
                  indexes: IndexManager,
@@ -231,14 +263,42 @@ class StorageEngine:
     # ------------------------------------------------------------------
 
     def _decode_cached(self, atom_id: int, seq: int,
-                       stored: StoredVersion) -> Tuple[str, Version]:
-        """Decode *stored* through the decoded-version cache."""
-        cached = self._decode_cache.get(atom_id, seq)
+                       stored: StoredVersion,
+                       projection: Optional[Dict[str, Tuple[Any,
+                                                            Tuple[str, ...],
+                                                            bool]]] = None
+                       ) -> Tuple[str, Version]:
+        """Decode *stored* through the decoded-version cache.
+
+        With a *projection* (type name -> (cache cols key, attribute
+        tuple, need-refs flag), from :meth:`compile_pushdown`), types
+        named in the map are decoded partially and cached under their
+        projection key; types absent from it decode fully, under the
+        full key, exactly as without a projection.
+        """
+        entry = None
+        cols: Any = None
+        type_name: Optional[str] = None
+        if projection is not None:
+            (type_id,) = _TYPE_PREFIX.unpack_from(stored.payload, 0)
+            type_name = self._type_by_id.get(type_id)
+            if type_name is not None:
+                entry = projection.get(type_name)
+                if entry is not None:
+                    cols = entry[0]
+        cached = self._decode_cache.get(atom_id, seq, cols)
         if cached is not None:
             return cached
-        type_name, version = self._decode(stored)
+        if entry is None:
+            type_name, version = self._decode(stored)
+        else:
+            body = StoredVersion(stored.vt_start, stored.vt_end,
+                                 stored.live,
+                                 stored.payload[_TYPE_PREFIX.size:])
+            version = self.codec.decode_partial(type_name, body,
+                                                entry[1], entry[2])
         self._decode_cache.put(atom_id, seq, type_name, version,
-                               nbytes=len(stored.payload))
+                               nbytes=len(stored.payload), cols=cols)
         self._type_names.setdefault(atom_id, type_name)
         return type_name, version
 
@@ -278,7 +338,11 @@ class StorageEngine:
         return hist.version_at(self.all_versions(atom_id), at, tt)
 
     def version_at_many(self, atom_ids: Iterable[int], at: Timestamp,
-                        tt: Optional[Timestamp] = None
+                        tt: Optional[Timestamp] = None,
+                        pred: Optional[Callable[[bytes], bool]] = None,
+                        projection: Optional[Dict[str, Tuple[Any,
+                                                             Tuple[str, ...],
+                                                             bool]]] = None
                         ) -> Dict[int, Optional[Version]]:
         """Batched :meth:`version_at`: one result per distinct atom id.
 
@@ -286,6 +350,14 @@ class StorageEngine:
         ``None`` for them.  The batch goes through the store's
         set-oriented read path, so directory and record pages shared by
         several atoms are pinned once for the whole call.
+
+        *pred* / *projection* come from :meth:`compile_pushdown`: the
+        predicate is evaluated by the store on raw payloads, so atoms
+        whose version at *at* fails it come back as ``None`` without
+        ever being decoded; the projection makes the survivors decode
+        only the attributes the query reads.  Both apply only on the
+        current-knowledge path — the planner never pushes below an
+        ``AS OF`` query.
         """
         ids = list(dict.fromkeys(atom_ids))
         result: Dict[int, Optional[Version]] = {}
@@ -299,7 +371,12 @@ class StorageEngine:
                 result[atom_id] = (None if versions is None
                                    else hist.version_at(versions, at, tt))
             return result
-        hits_by_atom = self.store.read_at_many(ids, at)
+        if pred is None:
+            # Keep the two-argument call for stores implementing only
+            # the original protocol (test doubles, external backends).
+            hits_by_atom = self.store.read_at_many(ids, at)
+        else:
+            hits_by_atom = self.store.read_at_many(ids, at, pred)
         for atom_id in ids:
             hits = hits_by_atom.get(atom_id)
             if not hits:
@@ -307,7 +384,8 @@ class StorageEngine:
                 continue
             self._c_versions_scanned.inc(len(hits))
             seq, stored = hits[0]
-            result[atom_id] = self._decode_cached(atom_id, seq, stored)[1]
+            result[atom_id] = self._decode_cached(atom_id, seq, stored,
+                                                  projection)[1]
         return result
 
     def all_versions(self, atom_id: int) -> List[Version]:
@@ -318,17 +396,31 @@ class StorageEngine:
         self._c_versions_scanned.inc(len(versions))
         return versions
 
-    def all_versions_many(self, atom_ids: Iterable[int]
+    def all_versions_many(self, atom_ids: Iterable[int],
+                          pred: Optional[Callable[[bytes], bool]] = None
                           ) -> Dict[int, List[Version]]:
         """Batched :meth:`all_versions`; unknown atoms are *omitted*
-        rather than raising, so callers can detect and handle them."""
+        rather than raising, so callers can detect and handle them.
+
+        With *pred*, versions failing the payload predicate come back
+        from the store as ``None`` placeholders (preserving sequence
+        alignment) and are skipped without decoding, so the returned
+        histories hold only survivors.  Callers must treat a filtered
+        history as the *existential* answer it is — every absent
+        version is one that could not satisfy the predicate — and never
+        feed it to coalescing logic that needs the full timeline.
+        """
         ids = list(dict.fromkeys(atom_ids))
-        stored_histories = self.store.read_all_many(ids)
+        if pred is None:
+            stored_histories = self.store.read_all_many(ids)
+        else:
+            stored_histories = self.store.read_all_many(ids, pred)
         result: Dict[int, List[Version]] = {}
         for atom_id, stored_versions in stored_histories.items():
             result[atom_id] = [
                 self._decode_cached(atom_id, seq, sv)[1]
-                for seq, sv in enumerate(stored_versions)]
+                for seq, sv in enumerate(stored_versions)
+                if sv is not None]
             self._c_versions_scanned.inc(len(stored_versions))
         return result
 
@@ -349,6 +441,120 @@ class StorageEngine:
     def lifespan(self, atom_id: int,
                  tt: Optional[Timestamp] = None):
         return hist.lifespan(self.all_versions(atom_id), tt)
+
+    # ------------------------------------------------------------------
+    # Predicate / projection pushdown (compiled from planner specs)
+    # ------------------------------------------------------------------
+
+    def compile_pushdown(self, spec) -> Tuple[
+            Optional[Callable[[bytes], bool]],
+            Optional[Dict[str, Tuple[Any, Tuple[str, ...], bool]]]]:
+        """Compile a planner ``PushdownSpec`` against this schema.
+
+        Returns ``(pred, projection)``:
+
+        * *pred* — a callable over raw type-prefixed payloads, or
+          ``None``.  It is a **necessary condition** for the version to
+          survive the query's WHERE (the evaluator still re-filters),
+          tuned to say "keep" on anything it cannot cheaply judge:
+          foreign type ids and undecodable payloads all pass.
+        * *projection* — type name -> ``(cols key, attrs, need_refs)``
+          for types worth decoding partially; types whose projection
+          covers every declared field are left out so they share the
+          full-decode cache entries.
+        """
+        pred = None
+        if spec.comparisons:
+            pred = self._compile_payload_predicate(spec.type_name,
+                                                   spec.comparisons)
+        projection: Optional[Dict[str, Tuple[Any, Tuple[str, ...],
+                                             bool]]] = None
+        if spec.projection is not None:
+            projection = {}
+            for type_name, attrs, need_refs in spec.projection:
+                atom_type = self.schema.atom_type(type_name)
+                declared = {attr.name for attr in atom_type.attributes}
+                wanted = tuple(attr for attr in attrs if attr in declared)
+                if (set(wanted) >= declared
+                        and (need_refs
+                             or not self.codec.ref_keys(type_name))):
+                    continue  # full coverage: partial buys nothing
+                cols = (wanted, need_refs)
+                projection[type_name] = (cols, wanted, need_refs)
+            if not projection:
+                projection = None
+        return pred, projection
+
+    def _compile_payload_predicate(
+            self, type_name: str,
+            comparisons: Tuple[Tuple[str, str, Any], ...]
+    ) -> Callable[[bytes], bool]:
+        """A raw-payload evaluator for conjunctive root comparisons.
+
+        Mirrors the single-atom semantics of the evaluator's
+        ``_satisfies`` exactly (NULL literals, NULL values, TypeError
+        on incomparable values), so pushing it below decode can only
+        drop versions the evaluator would have dropped anyway.
+        """
+        type_id = self.schema.atom_type(type_name).type_id
+        attrs = tuple(dict.fromkeys(attr for attr, _, _ in comparisons))
+        checks = tuple((attr, _PUSHDOWN_OPS[op], literal)
+                       for attr, op, literal in comparisons)
+        codec = self.codec
+        prefix_size = _TYPE_PREFIX.size
+
+        def pred(payload: bytes) -> bool:
+            (tid,) = _TYPE_PREFIX.unpack_from(payload, 0)
+            if tid != type_id:
+                return True  # not the pushdown type: never judged here
+            try:
+                values = codec.peek(type_name, payload, attrs,
+                                    offset=prefix_size)
+            except (SerializationError, struct.error,
+                    KeyError, IndexError):
+                return True  # undecodable: let the full path decide
+            for attr, op, literal in checks:
+                value = values.get(attr)
+                if literal is None:
+                    if op is operator.eq:
+                        if value is not None:
+                            return False
+                    elif op is operator.ne:
+                        if value is None:
+                            return False
+                    else:
+                        return False  # ordering against NULL never holds
+                    continue
+                if value is None:
+                    return False
+                try:
+                    if not op(value, literal):
+                        return False
+                except TypeError:
+                    return False
+            return True
+
+        return pred
+
+    def prune_roots(self, atom_ids: Iterable[int],
+                    pred: Callable[[bytes], bool]) -> List[int]:
+        """Root candidates with at least one stored version passing
+        *pred*, in input order.
+
+        The existential pre-filter window queries use: an atom none of
+        whose versions can satisfy a pushed root comparison can never
+        produce a qualifying slice, so its whole history is skipped
+        before a single decode.  Atoms unknown to the store are *kept*:
+        the unpruned path surfaces them as :class:`UnknownAtomError`
+        during the history sweep, and pruning must not mask that.
+        """
+        ids = list(dict.fromkeys(atom_ids))
+        if not ids:
+            return []
+        histories = self.store.read_all_many(ids, pred)
+        return [atom_id for atom_id in ids
+                if atom_id not in histories
+                or any(sv is not None for sv in histories[atom_id])]
 
     # ------------------------------------------------------------------
     # Plan application with index maintenance and undo capture

@@ -139,6 +139,13 @@ def execute_plan(db, query_plan: QueryPlan,
 
 def _execute(db, query_plan: QueryPlan, tracer) -> QueryResult:
     analyzed = query_plan.analyzed
+    # Compile the plan's pushdown spec against the engine once per
+    # execution; engines without pushdown support (oracles, test
+    # doubles) silently run the legacy decode-then-filter path.
+    pred = projection = None
+    if (query_plan.pushdown is not None
+            and getattr(db.engine, "supports_pushdown", False)):
+        pred, projection = db.engine.compile_pushdown(query_plan.pushdown)
     with tracer.span("mql.execute", plan=query_plan.describe()) as top:
         with tracer.span("access",
                          path=type(query_plan.root_access).__name__) as span:
@@ -150,17 +157,20 @@ def _execute(db, query_plan: QueryPlan, tracer) -> QueryResult:
             # far-future instant every until-changed version contains.
             at = valid.at if isinstance(valid, ValidAt) else FOREVER - 1
             with tracer.span("slice", at=at) as span:
-                entries = _evaluate_slice(db, analyzed, roots, at)
+                entries = _evaluate_slice(db, analyzed, roots, at,
+                                          pred, projection)
                 span.set("entries", len(entries))
         elif isinstance(valid, ValidDuring):
             window = Interval(valid.start, valid.end)
             with tracer.span("window", window=str(window)) as span:
-                entries = _evaluate_window(db, analyzed, roots, window)
+                entries = _evaluate_window(db, analyzed, roots, window,
+                                           pred)
                 span.set("entries", len(entries))
         elif isinstance(valid, ValidHistory):
             window = Interval(TMIN, FOREVER)
             with tracer.span("window", window="history") as span:
-                entries = _evaluate_window(db, analyzed, roots, window)
+                entries = _evaluate_window(db, analyzed, roots, window,
+                                           pred)
                 span.set("entries", len(entries))
         else:  # pragma: no cover - parser produces no other clause
             raise EvaluationError(f"unknown temporal clause {valid!r}")
@@ -235,12 +245,17 @@ def _root_candidates(db, query_plan: QueryPlan) -> List[int]:
 
 
 def _evaluate_slice(db, analyzed: AnalyzedQuery, roots: Iterable[int],
-                    at: Timestamp) -> List[ResultEntry]:
+                    at: Timestamp, pred=None,
+                    projection=None) -> List[ResultEntry]:
     tt = analyzed.as_of
     entries: List[ResultEntry] = []
     # All candidate roots grow level-at-a-time through one shared
     # version batch per depth; roots invalid at the instant drop out.
-    molecules = db.builder.build_many(roots, analyzed.molecule_type, at, tt)
+    # The pushed predicate drops non-qualifying roots *inside* the
+    # store, before decode; _satisfies below still re-filters, so the
+    # pushdown can only remove work, never change the answer.
+    molecules = db.builder.build_many(roots, analyzed.molecule_type, at, tt,
+                                      root_pred=pred, projection=projection)
     for molecule in molecules:
         if not _satisfies(analyzed.query.where, molecule):
             continue
@@ -250,9 +265,14 @@ def _evaluate_slice(db, analyzed: AnalyzedQuery, roots: Iterable[int],
 
 
 def _evaluate_window(db, analyzed: AnalyzedQuery, roots: Iterable[int],
-                     window: Interval) -> List[ResultEntry]:
+                     window: Interval, pred=None) -> List[ResultEntry]:
     tt = analyzed.as_of
     entries: List[ResultEntry] = []
+    if pred is not None:
+        # Existential prune: roots with no stored version passing the
+        # pushed comparison can never yield a qualifying slice, so
+        # their whole histories are skipped before a single decode.
+        roots = db.engine.prune_roots(roots, pred)
     for root_id in roots:
         for span, molecule in db.builder.build_history(
                 root_id, analyzed.molecule_type, window, tt):

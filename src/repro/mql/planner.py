@@ -21,7 +21,19 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.core.engine import StorageEngine
 from repro.mql.analyzer import AnalyzedQuery
-from repro.mql.ast_nodes import And, Comparison, CompareOp, Predicate, Query
+from repro.mql.ast_nodes import (
+    Aggregate,
+    And,
+    Comparison,
+    CompareOp,
+    Not,
+    Or,
+    Predicate,
+    Query,
+    SelectPaths,
+    ValidAt,
+    ValidAtNow,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -50,15 +62,54 @@ RootAccess = Union[TypeScan, IndexLookup]
 
 
 @dataclass(frozen=True, slots=True)
+class PushdownSpec:
+    """What the read stack may evaluate *below* full version decode.
+
+    ``comparisons`` are root-type conjunct comparisons carried as plain
+    ``(attribute, operator name, literal)`` triples — deliberately not
+    AST nodes, so the storage engine can compile them without importing
+    the MQL layer.  Each is a *necessary* condition on the root atom:
+    the store may drop a version failing one before decode, and the
+    evaluator still re-checks survivors, so results are byte-identical
+    to the post-filter path.
+
+    ``projection`` lists, per molecule atom type, the attribute subset a
+    slice query actually reads (SELECT paths, aggregates, and every
+    WHERE attribute) plus whether reference sets are needed for edge
+    expansion.  ``None`` means decode everything.
+    """
+
+    type_name: str
+    comparisons: Tuple[Tuple[str, str, Any], ...] = ()
+    projection: Optional[Tuple[Tuple[str, Tuple[str, ...], bool], ...]] = None
+
+    def describe(self) -> str:
+        parts = []
+        if self.comparisons:
+            parts.append("pred(" + " and ".join(
+                f"{attr} {op} {value!r}"
+                for attr, op, value in self.comparisons) + ")")
+        if self.projection is not None:
+            parts.append("project(" + ", ".join(
+                f"{name}[{','.join(attrs)}{'+refs' if refs else ''}]"
+                for name, attrs, refs in self.projection) + ")")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True, slots=True)
 class QueryPlan:
     """An analyzed query plus its chosen root access path."""
 
     analyzed: AnalyzedQuery
     root_access: RootAccess
+    pushdown: Optional[PushdownSpec] = None
 
     def describe(self) -> str:
-        return (f"molecule {self.analyzed.molecule_type} "
+        text = (f"molecule {self.analyzed.molecule_type} "
                 f"via {self.root_access.describe()}")
+        if self.pushdown is not None:
+            text += f" pushdown[{self.pushdown.describe()}]"
+        return text
 
 
 #: Default maximum number of cached compiled queries.
@@ -146,7 +197,46 @@ class PlanCache:
 
     @staticmethod
     def normalize(text: str) -> str:
-        return " ".join(text.split())
+        """Collapse whitespace runs *outside* string literals.
+
+        Quoted spans (single or double quotes, with backslash escaping
+        the next character, exactly as the lexer tokenizes strings) are
+        preserved byte-for-byte — otherwise two queries whose literals
+        differ only in internal whitespace would alias to one cache key
+        and return each other's plans.
+        """
+        out: List[str] = []
+        length = len(text)
+        at = 0
+        pending_space = False
+        while at < length:
+            char = text[at]
+            if char in ("'", '"'):
+                if pending_space and out:
+                    out.append(" ")
+                pending_space = False
+                start = at
+                at += 1
+                while at < length:
+                    if text[at] == "\\" and at + 1 < length:
+                        at += 2
+                        continue
+                    if text[at] == char:
+                        at += 1
+                        break
+                    at += 1
+                out.append(text[start:at])
+                continue
+            if char.isspace():
+                pending_space = True
+                at += 1
+                continue
+            if pending_space and out:
+                out.append(" ")
+            pending_space = False
+            out.append(char)
+            at += 1
+        return "".join(out)
 
     def get(self, text: str) -> Optional[CompiledQuery]:
         key = self.normalize(text)
@@ -197,9 +287,96 @@ def _conjunctive_comparisons(predicate: Optional[Predicate]
     return []
 
 
+def _predicate_attrs(predicate: Optional[Predicate],
+                     into: Dict[str, set]) -> None:
+    """Collect every ``Type.attr`` the predicate tree touches.
+
+    The *whole* tree, not just conjuncts: a projected version must carry
+    every attribute ``_satisfies`` may read, or an OR/NOT branch would
+    see a missing attribute as NULL.
+    """
+    if predicate is None:
+        return
+    if isinstance(predicate, Comparison):
+        into.setdefault(predicate.path.type_name,
+                        set()).add(predicate.path.attribute)
+        return
+    if isinstance(predicate, (And, Or)):
+        for operand in predicate.operands:
+            _predicate_attrs(operand, into)
+        return
+    if isinstance(predicate, Not):
+        _predicate_attrs(predicate.operand, into)
+
+
+def _pushdown_comparisons(analyzed: AnalyzedQuery
+                          ) -> Tuple[Tuple[str, str, Any], ...]:
+    """Root comparisons safe to evaluate on raw payloads in the store.
+
+    Pushable only when the root type never reappears as an edge child —
+    then the root atom is the sole atom of its type in the molecule, so
+    the existential comparison semantics collapse onto the root atom and
+    each top-level conjunct is a necessary condition.  Bitemporal
+    ``AS OF`` queries never push (stores filter current knowledge only).
+    """
+    mtype = analyzed.molecule_type
+    root = mtype.root
+    if analyzed.as_of is not None:
+        return ()
+    if any(edge.child == root for edge in mtype.edges):
+        return ()
+    return tuple(
+        (c.path.attribute, c.op.name, c.literal.value)
+        for c in _conjunctive_comparisons(analyzed.query.where)
+        if c.path.type_name == root)
+
+
+def _pushdown_projection(analyzed: AnalyzedQuery
+                         ) -> Optional[Tuple[Tuple[str, Tuple[str, ...],
+                                                   bool], ...]]:
+    """The per-type attribute subset a slice query reads, or ``None``.
+
+    Only ``SELECT path`` time-slice queries project: ``SELECT ALL``
+    returns whole molecules, and window queries coalesce adjacent slices
+    by full-state comparison (``same_composition_as``), which needs every
+    value.
+    """
+    query = analyzed.query
+    if analyzed.as_of is not None:
+        return None
+    if not isinstance(query.valid, (ValidAt, ValidAtNow)):
+        return None
+    select = query.select
+    if not isinstance(select, SelectPaths):
+        return None
+    mtype = analyzed.molecule_type
+    needed: Dict[str, set] = {}
+    for item in select.paths:
+        if isinstance(item, Aggregate):
+            if item.type_name is None:
+                needed.setdefault(item.path.type_name,
+                                  set()).add(item.path.attribute)
+            continue
+        needed.setdefault(item.type_name, set()).add(item.attribute)
+    _predicate_attrs(query.where, needed)
+    type_names = {mtype.root}
+    for edge in mtype.edges:
+        type_names.add(edge.parent)
+        type_names.add(edge.child)
+    return tuple(
+        (type_name,
+         tuple(sorted(needed.get(type_name, ()))),
+         bool(mtype.edges_from(type_name)))
+        for type_name in sorted(type_names))
+
+
 def plan(analyzed: AnalyzedQuery, engine: StorageEngine) -> QueryPlan:
     """Choose the root access path for an analyzed query."""
     root = analyzed.molecule_type.root
+    comparisons = _pushdown_comparisons(analyzed)
+    projection = _pushdown_projection(analyzed)
+    pushdown = (PushdownSpec(root, comparisons, projection)
+                if comparisons or projection is not None else None)
     for comparison in _conjunctive_comparisons(analyzed.query.where):
         if comparison.path.type_name != root:
             continue
@@ -211,5 +388,6 @@ def plan(analyzed: AnalyzedQuery, engine: StorageEngine) -> QueryPlan:
             root, comparison.path.attribute, comparison.literal.value)
         if candidates is not None:
             return QueryPlan(analyzed, IndexLookup(
-                root, comparison.path.attribute, comparison.literal.value))
-    return QueryPlan(analyzed, TypeScan(root))
+                root, comparison.path.attribute, comparison.literal.value),
+                pushdown)
+    return QueryPlan(analyzed, TypeScan(root), pushdown)

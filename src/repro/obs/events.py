@@ -32,6 +32,8 @@ import time
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, TextIO
 
+from repro.obs.registry import MetricsRegistry
+
 #: Default ring capacity — enough for post-hoc forensics, small enough
 #: that a STATS snapshot carrying a tail stays far below the frame cap.
 DEFAULT_CAPACITY = 512
@@ -42,7 +44,8 @@ class EventLog:
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY,
                  sink: Optional[TextIO] = None,
-                 clock=time.time) -> None:
+                 clock=time.time,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
@@ -51,6 +54,9 @@ class EventLog:
         self._seq = 0
         self._sink = sink
         self._clock = clock
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self._c_sink_disabled = metrics.counter("events.sink_disabled")
 
     def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
         """Record one event; returns the stored entry (do not mutate)."""
@@ -67,11 +73,22 @@ class EventLog:
                     sink.write(json.dumps(entry, sort_keys=True,
                                           default=str) + "\n")
                     sink.flush()
-                except (OSError, ValueError):
+                except (OSError, ValueError) as exc:
                     # A dead sink (disk full, closed file) must never
                     # take the serving path down; the ring still holds
-                    # the event.
+                    # the event.  Going quiet is itself an operational
+                    # fact, so record the disablement in the ring and a
+                    # counter — the append is inlined because the lock
+                    # is held and not reentrant.
                     self._sink = None
+                    self._c_sink_disabled.inc()
+                    self._seq += 1
+                    self._entries.append({
+                        "seq": self._seq,
+                        "ts": round(self._clock(), 6),
+                        "event": "sink_disabled",
+                        "error": f"{type(exc).__name__}: {exc}",
+                    })
         return entry
 
     # -- reading -------------------------------------------------------------

@@ -16,6 +16,7 @@ stores one instrument per distinct (name, labels) pair.
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
@@ -131,9 +132,12 @@ class Histogram:
 
         Classic ``histogram_quantile`` estimation: find the bucket the
         target rank falls into and interpolate linearly inside it (the
-        first bucket interpolates up from zero).  Observations past the
-        last bound live in the overflow bucket, whose estimate is the
-        observed maximum.  The result is clamped to the observed
+        first bucket interpolates up from zero).  An infinite bucket —
+        the implicit overflow bucket, or an explicit ``inf`` bound —
+        has no upper edge to interpolate toward, so the estimate is the
+        largest finite bucket edge below it; interpolating would
+        produce ``inf`` (or ``nan`` at fraction zero) and leak it
+        through the clamp.  The result is clamped to the observed
         [min, max] so tiny samples never report impossible values.
         Returns ``None`` while the histogram is empty.
         """
@@ -146,15 +150,21 @@ class Histogram:
         rank = q * self.count
         cumulative = 0
         lower = 0.0
+        value: Optional[float] = None
         for bound, bucket in zip(self.bounds, self.bucket_counts):
             if bucket and cumulative + bucket >= rank:
+                if math.isinf(bound):
+                    break
                 fraction = (rank - cumulative) / bucket
                 value = lower + (bound - lower) * fraction
                 break
             cumulative += bucket
-            lower = bound
-        else:  # the overflow (+inf) bucket
-            value = self.maximum if self.maximum is not None else lower
+            if not math.isinf(bound):
+                lower = bound
+        if value is None:
+            # The rank fell in an infinite bucket: report the largest
+            # finite edge and let the clamp pull it into observed range.
+            value = lower
         if self.minimum is not None:
             value = max(value, self.minimum)
         if self.maximum is not None:

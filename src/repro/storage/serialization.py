@@ -180,3 +180,55 @@ def decode_row_exact(fields: Sequence[FieldSpec], data: bytes) -> Dict[str, Any]
         raise SerializationError(
             f"trailing {len(data) - end} bytes after row")
     return values
+
+
+def _skip_value(spec: FieldSpec, data: bytes, at: int) -> int:
+    """Advance past one encoded value without materializing it."""
+    kind = spec.type
+    try:
+        if kind in (FieldType.INT, FieldType.TIME, FieldType.FLOAT):
+            return at + 8
+        if kind is FieldType.BOOL:
+            return at + 1
+        if kind in (FieldType.STRING, FieldType.BYTES):
+            (length,) = _U32.unpack_from(data, at)
+            return at + 4 + length
+        if kind is FieldType.INT_LIST:
+            (count,) = _U32.unpack_from(data, at)
+            return at + 4 + 8 * count
+    except (struct.error, IndexError) as exc:
+        raise SerializationError(
+            f"corrupt record while skipping field {spec.name!r}") from exc
+    raise SerializationError(f"unknown field type {kind!r}")  # pragma: no cover
+
+
+def decode_row_partial(fields: Sequence[FieldSpec], data: bytes,
+                       offset: int, wanted_flags: Sequence[bool],
+                       stop_index: int) -> Dict[str, Any]:
+    """Decode only the fields flagged in *wanted_flags*.
+
+    Non-wanted fields are skipped by jumping over their encoding
+    (fixed widths, or a length prefix for variable fields) — variable
+    payload bytes are never touched, strings never UTF-8 decoded.  The
+    scan stops after field *stop_index* (the last wanted field), so
+    trailing fields cost nothing.  No trailing-bytes check: a partial
+    read by definition does not reach the end of the row.
+    """
+    bitmap_len = (len(fields) + 7) // 8
+    if len(data) - offset < bitmap_len:
+        raise SerializationError("record shorter than its null bitmap")
+    bitmap = data[offset:offset + bitmap_len]
+    at = offset + bitmap_len
+    values: Dict[str, Any] = {}
+    for index, spec in enumerate(fields):
+        if index > stop_index:
+            break
+        if bitmap[index // 8] & (1 << (index % 8)):
+            if wanted_flags[index]:
+                values[spec.name] = None
+            continue
+        if wanted_flags[index]:
+            values[spec.name], at = _decode_value(spec, data, at)
+        else:
+            at = _skip_value(spec, data, at)
+    return values

@@ -36,7 +36,7 @@ from __future__ import annotations
 import enum
 import struct
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import StorageError, UnknownAtomError
 from repro.storage.buffer import BufferManager
@@ -147,9 +147,28 @@ class VersionStore:
     # strategy can sort its directory probes and pin every touched page
     # once per batch rather than once per atom.  The generic fallbacks
     # below just loop; each strategy overrides them with a grouped plan.
+    #
+    # The optional *pred* is a pushed-down payload predicate (from
+    # :meth:`StorageEngine.compile_pushdown`): versions failing it are
+    # withheld from the caller — dropped from ``read_at_many`` hits,
+    # ``None`` placeholders in ``read_all_many`` histories (sequence
+    # numbers are positional, so alignment must survive the filter) —
+    # and counted on the ``engine.pushdown.skipped`` counter.  The
+    # engine then never decodes them and the decode cache holds only
+    # survivors.
 
-    def read_at_many(self, atom_ids: Iterable[int],
-                     at: int) -> Dict[int, List[Tuple[int, StoredVersion]]]:
+    #: Bound to the real ``engine.pushdown.skipped`` counter by stores
+    #: wired to a metrics registry; ``None`` keeps the accounting a
+    #: no-op for bare test stores.
+    _c_pushdown_skipped = None
+
+    def _note_skips(self, count: int = 1) -> None:
+        if count and self._c_pushdown_skipped is not None:
+            self._c_pushdown_skipped.inc(count)
+
+    def read_at_many(self, atom_ids: Iterable[int], at: int,
+                     pred: Optional[Callable[[bytes], bool]] = None
+                     ) -> Dict[int, List[Tuple[int, StoredVersion]]]:
         """Batched :meth:`read_at`.
 
         Returns ``{atom_id: hits}`` with every distinct requested id
@@ -161,22 +180,37 @@ class VersionStore:
             if atom_id in result:
                 continue
             try:
-                result[atom_id] = self.read_at(atom_id, at)
+                hits = self.read_at(atom_id, at)
             except UnknownAtomError:
                 result[atom_id] = []
+                continue
+            if pred is not None:
+                kept = [(seq, sv) for seq, sv in hits if pred(sv.payload)]
+                self._note_skips(len(hits) - len(kept))
+                hits = kept
+            result[atom_id] = hits
         return result
 
-    def read_all_many(self, atom_ids: Iterable[int]
-                      ) -> Dict[int, List[StoredVersion]]:
+    def read_all_many(self, atom_ids: Iterable[int],
+                      pred: Optional[Callable[[bytes], bool]] = None
+                      ) -> Dict[int, List[Optional[StoredVersion]]]:
         """Batched :meth:`read_all`; atoms not in the store are omitted."""
-        result: Dict[int, List[StoredVersion]] = {}
+        result: Dict[int, List[Optional[StoredVersion]]] = {}
         for atom_id in atom_ids:
             if atom_id in result:
                 continue
             try:
-                result[atom_id] = self.read_all(atom_id)
+                versions = self.read_all(atom_id)
             except UnknownAtomError:
                 continue
+            if pred is not None:
+                filtered: List[Optional[StoredVersion]] = [
+                    sv if pred(sv.payload) else None for sv in versions]
+                self._note_skips(
+                    sum(1 for sv in filtered if sv is None))
+                result[atom_id] = filtered
+            else:
+                result[atom_id] = list(versions)
         return result
 
     def version_count(self, atom_id: int) -> int:
@@ -208,6 +242,8 @@ class _BaseStore(VersionStore):
     def __init__(self, buffer: BufferManager,
                  state: Optional[Dict[str, List[int]]]) -> None:
         self._buffer = buffer
+        self._c_pushdown_skipped = buffer.metrics.counter(
+            "engine.pushdown.skipped")
         state = state or {}
         self._directory = AtomDirectory(
             buffer, f"{self.strategy.value}.dir",
@@ -376,21 +412,38 @@ class ClusteredStore(_BaseStore):
         return {atom_id: self._decode(records[rid])
                 for atom_id, rid in rid_for.items()}
 
-    def read_at_many(self, atom_ids: Iterable[int],
-                     at: int) -> Dict[int, List[Tuple[int, StoredVersion]]]:
+    def read_at_many(self, atom_ids: Iterable[int], at: int,
+                     pred: Optional[Callable[[bytes], bool]] = None
+                     ) -> Dict[int, List[Tuple[int, StoredVersion]]]:
         histories = self._records_many(atom_ids)
         result: Dict[int, List[Tuple[int, StoredVersion]]] = {}
         for atom_id in dict.fromkeys(atom_ids):
             versions = histories.get(atom_id)
-            result[atom_id] = (
-                [] if versions is None else
-                [(seq, sv) for seq, sv in enumerate(versions)
-                 if sv.live and sv.contains(at)])
+            if versions is None:
+                result[atom_id] = []
+                continue
+            hits = [(seq, sv) for seq, sv in enumerate(versions)
+                    if sv.live and sv.contains(at)]
+            if pred is not None:
+                kept = [(seq, sv) for seq, sv in hits if pred(sv.payload)]
+                self._note_skips(len(hits) - len(kept))
+                hits = kept
+            result[atom_id] = hits
         return result
 
-    def read_all_many(self, atom_ids: Iterable[int]
-                      ) -> Dict[int, List[StoredVersion]]:
-        return self._records_many(atom_ids)
+    def read_all_many(self, atom_ids: Iterable[int],
+                      pred: Optional[Callable[[bytes], bool]] = None
+                      ) -> Dict[int, List[Optional[StoredVersion]]]:
+        histories = self._records_many(atom_ids)
+        if pred is None:
+            return histories
+        result: Dict[int, List[Optional[StoredVersion]]] = {}
+        for atom_id, versions in histories.items():
+            filtered: List[Optional[StoredVersion]] = [
+                sv if pred(sv.payload) else None for sv in versions]
+            self._note_skips(sum(1 for sv in filtered if sv is None))
+            result[atom_id] = filtered
+        return result
 
 
 # ---------------------------------------------------------------------------
@@ -539,8 +592,9 @@ class ChainedStore(_BaseStore):
             frontier[atom_id] = (RecordId(page, slot), count - 1)
         return frontier, missing
 
-    def read_at_many(self, atom_ids: Iterable[int],
-                     at: int) -> Dict[int, List[Tuple[int, StoredVersion]]]:
+    def read_at_many(self, atom_ids: Iterable[int], at: int,
+                     pred: Optional[Callable[[bytes], bool]] = None
+                     ) -> Dict[int, List[Tuple[int, StoredVersion]]]:
         frontier, missing = self._frontier(atom_ids)
         result: Dict[int, List[Tuple[int, StoredVersion]]] = {
             atom_id: [] for atom_id in missing}
@@ -551,7 +605,14 @@ class ChainedStore(_BaseStore):
             for atom_id, (rid, seq) in frontier.items():
                 prev, sv = self._decode(records[rid])
                 if sv.live and sv.contains(at):
-                    result[atom_id] = [(seq, sv)]
+                    if pred is not None and not pred(sv.payload):
+                        # Live versions are valid-time disjoint, so no
+                        # older version can also contain *at*: the walk
+                        # stops here with an empty answer.
+                        self._note_skips()
+                        result[atom_id] = []
+                    else:
+                        result[atom_id] = [(seq, sv)]
                 elif prev != _NO_RECORD:
                     advanced[atom_id] = (prev, seq - 1)
                 else:
@@ -561,10 +622,11 @@ class ChainedStore(_BaseStore):
             result.setdefault(atom_id, [])
         return result
 
-    def read_all_many(self, atom_ids: Iterable[int]
-                      ) -> Dict[int, List[StoredVersion]]:
+    def read_all_many(self, atom_ids: Iterable[int],
+                      pred: Optional[Callable[[bytes], bool]] = None
+                      ) -> Dict[int, List[Optional[StoredVersion]]]:
         frontier, _missing = self._frontier(atom_ids)
-        collected: Dict[int, List[StoredVersion]] = {
+        collected: Dict[int, List[Optional[StoredVersion]]] = {
             atom_id: [] for atom_id in frontier}
         while frontier:
             records = self._segment.read_many(
@@ -572,7 +634,11 @@ class ChainedStore(_BaseStore):
             advanced: Dict[int, Tuple[RecordId, int]] = {}
             for atom_id, (rid, seq) in frontier.items():
                 prev, sv = self._decode(records[rid])
-                collected[atom_id].append(sv)  # newest first
+                if pred is not None and not pred(sv.payload):
+                    self._note_skips()
+                    collected[atom_id].append(None)  # hold the slot
+                else:
+                    collected[atom_id].append(sv)  # newest first
                 if prev != _NO_RECORD:
                     advanced[atom_id] = (prev, seq - 1)
             frontier = advanced
@@ -763,8 +829,9 @@ class SeparatedStore(_BaseStore):
     # page-grouped read, so the dense current segment in particular is
     # pinned once per page per batch (the strategy's best case).
 
-    def read_at_many(self, atom_ids: Iterable[int],
-                     at: int) -> Dict[int, List[Tuple[int, StoredVersion]]]:
+    def read_at_many(self, atom_ids: Iterable[int], at: int,
+                     pred: Optional[Callable[[bytes], bool]] = None
+                     ) -> Dict[int, List[Tuple[int, StoredVersion]]]:
         result: Dict[int, List[Tuple[int, StoredVersion]]] = {}
         current_fetch: Dict[int, Tuple[RecordId, int]] = {}
         vdir_fetch: Dict[int, RecordId] = {}
@@ -781,8 +848,12 @@ class SeparatedStore(_BaseStore):
         current_records = self._current.read_many(
             rid for rid, _ in current_fetch.values())
         for atom_id, (rid, seq) in current_fetch.items():
-            result[atom_id] = [
-                (seq, self._decode_version(current_records[rid]))]
+            sv = self._decode_version(current_records[rid])
+            if pred is not None and not pred(sv.payload):
+                self._note_skips()
+                result[atom_id] = []
+            else:
+                result[atom_id] = [(seq, sv)]
         vdir_records = self._vdir.read_many(
             rid for rid in vdir_fetch.values() if rid != _NO_RECORD)
         hist_fetch: List[Tuple[int, int, RecordId]] = []
@@ -797,12 +868,16 @@ class SeparatedStore(_BaseStore):
         hist_records = self._history.read_many(
             rid for _, _, rid in hist_fetch)
         for atom_id, seq, rid in hist_fetch:
-            result[atom_id].append(
-                (seq, self._decode_version(hist_records[rid])))
+            sv = self._decode_version(hist_records[rid])
+            if pred is not None and not pred(sv.payload):
+                self._note_skips()
+                continue
+            result[atom_id].append((seq, sv))
         return result
 
-    def read_all_many(self, atom_ids: Iterable[int]
-                      ) -> Dict[int, List[StoredVersion]]:
+    def read_all_many(self, atom_ids: Iterable[int],
+                      pred: Optional[Callable[[bytes], bool]] = None
+                      ) -> Dict[int, List[Optional[StoredVersion]]]:
         current_fetch: Dict[int, RecordId] = {}
         vdir_fetch: Dict[int, RecordId] = {}
         for atom_id, payload in self._entries_many(atom_ids).items():
@@ -823,13 +898,20 @@ class SeparatedStore(_BaseStore):
         hist_records = self._history.read_many(
             rid for rids in hist_order.values() for rid in rids)
         current_records = self._current.read_many(current_fetch.values())
-        result: Dict[int, List[StoredVersion]] = {}
+        result: Dict[int, List[Optional[StoredVersion]]] = {}
         for atom_id, current_rid in current_fetch.items():
             versions = [self._decode_version(hist_records[rid])
                         for rid in hist_order[atom_id]]
             versions.append(
                 self._decode_version(current_records[current_rid]))
-            result[atom_id] = versions
+            if pred is not None:
+                filtered: List[Optional[StoredVersion]] = [
+                    sv if pred(sv.payload) else None for sv in versions]
+                self._note_skips(
+                    sum(1 for sv in filtered if sv is None))
+                result[atom_id] = filtered
+            else:
+                result[atom_id] = versions
         return result
 
 

@@ -183,3 +183,85 @@ def test_random_operations_match_sorted_model(tmp_path_factory, operations):
     assert sorted(tree.items()) == sorted(model)
     tree.check()
     disk.close()
+
+
+class TestInsertMany:
+    def test_matches_sequential_inserts(self, tree):
+        pairs = [(k(key), k(key * 10)) for key in range(200)]
+        shuffled = list(pairs)
+        random.Random(7).shuffle(shuffled)
+        assert tree.insert_many(shuffled) == 200
+        assert sorted(tree.items()) == sorted(pairs)
+        tree.check()
+
+    def test_splits_under_small_pages(self, tmp_path):
+        disk = DiskManager(tmp_path / "t.db", page_size=256)
+        pool = BufferManager(disk, capacity=64)
+        tree = BPlusTree(pool, key_size=8, value_size=8)
+        pairs = [(k(key), k(key)) for key in range(500)]
+        assert tree.insert_many(pairs) == 500
+        assert len(tree) == 500
+        assert tree.search(k(0)) == [k(0)]
+        assert tree.search(k(499)) == [k(499)]
+        tree.check()
+        disk.close()
+
+    def test_interleaves_with_existing_keys(self, tree):
+        for key in range(0, 100, 2):
+            tree.insert(k(key), k(key))
+        tree.insert_many([(k(key), k(key)) for key in range(1, 100, 2)])
+        assert [key for key, _ in tree.items()] == [k(key)
+                                                    for key in range(100)]
+        tree.check()
+
+    def test_skip_present_dedupes_against_tree_and_batch(self, tree):
+        tree.insert(k(5), k(50))
+        batch = [(k(5), k(50)), (k(5), k(50)), (k(6), k(60)), (k(6), k(60))]
+        assert tree.insert_many(batch, skip_present=True) == 1
+        assert tree.search(k(5)) == [k(50)]
+        assert tree.search(k(6)) == [k(60)]
+        tree.check()
+
+    def test_without_skip_present_keeps_duplicates(self, tree):
+        assert tree.insert_many([(k(1), k(10)), (k(1), k(10))]) == 2
+        assert tree.search(k(1)) == [k(10), k(10)]
+        tree.check()
+
+    def test_skip_present_probe_crosses_leaf_boundary(self, tmp_path):
+        # Tiny pages force many leaves; equal keys inserted one by one
+        # land right of their separator, so the batched probe must walk
+        # the sibling chain to see them.
+        disk = DiskManager(tmp_path / "t.db", page_size=256)
+        pool = BufferManager(disk, capacity=64)
+        tree = BPlusTree(pool, key_size=8, value_size=8)
+        for key in range(300):
+            tree.insert(k(key), k(key))
+        assert tree.insert_many([(k(key), k(key)) for key in range(300)],
+                                skip_present=True) == 0
+        assert len(tree) == 300
+        tree.check()
+        disk.close()
+
+    def test_validates_key_width(self, tree):
+        with pytest.raises(KeyEncodingError):
+            tree.insert_many([(b"short", k(1))])
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(0, 60), max_size=150),
+       st.lists(st.integers(0, 60), max_size=150))
+def test_insert_many_matches_model(tmp_path_factory, preload, batch):
+    directory = tmp_path_factory.mktemp("btreebatch")
+    disk = DiskManager(directory / "t.db", page_size=256)  # tiny: force splits
+    pool = BufferManager(disk, capacity=64)
+    tree = BPlusTree(pool, key_size=8, value_size=8)
+    model = []
+    for key in preload:
+        tree.insert(k(key), k(key))
+        model.append((k(key), k(key)))
+    pairs = [(k(key), k(key)) for key in batch]
+    assert tree.insert_many(pairs) == len(pairs)
+    model.extend(pairs)
+    assert sorted(tree.items()) == sorted(model)
+    tree.check()
+    disk.close()

@@ -194,3 +194,37 @@ class TestDDLInvalidation:
         assert len(db._plan_cache) > 0
         db.create_vt_index("Part")
         assert len(db._plan_cache) == 0
+
+
+class TestNormalization:
+    def test_whitespace_runs_collapse_outside_literals(self):
+        assert (PlanCache.normalize("SELECT  ALL\n FROM\tPart  VALID AT 5")
+                == PlanCache.normalize("SELECT ALL FROM Part VALID AT 5"))
+
+    def test_literal_whitespace_is_significant(self):
+        # Regression: collapsing inside quotes aliased two different
+        # queries to one cache key, returning each other's plans.
+        one = PlanCache.normalize(
+            "SELECT ALL FROM Part WHERE Part.name = 'a  b' VALID AT 5")
+        two = PlanCache.normalize(
+            "SELECT ALL FROM Part WHERE Part.name = 'a b' VALID AT 5")
+        assert one != two
+        assert "'a  b'" in one
+
+    def test_escaped_quote_does_not_end_the_literal(self):
+        text = "SELECT ALL FROM Part WHERE Part.name = 'a\\'  b'   VALID AT 5"
+        normalized = PlanCache.normalize(text)
+        assert "'a\\'  b'" in normalized
+        assert normalized.endswith("VALID AT 5")
+
+    def test_distinct_literals_get_distinct_plans(self, stocked):
+        db = stocked
+        with db.transaction() as txn:
+            txn.insert("Part", {"name": "a  b", "cost": 1.0}, valid_from=0)
+            txn.insert("Part", {"name": "a b", "cost": 2.0}, valid_from=0)
+        spaced = db.query("SELECT Part.cost FROM Part "
+                          "WHERE Part.name = 'a  b' VALID AT 5")
+        single = db.query("SELECT Part.cost FROM Part "
+                          "WHERE Part.name = 'a b' VALID AT 5")
+        assert [r["Part.cost"] for r in spaced.rows()] == [1.0]
+        assert [r["Part.cost"] for r in single.rows()] == [2.0]

@@ -1,6 +1,7 @@
 """Tests for the observability layer: registry, spans, query profiles."""
 
 import json
+import math
 
 import pytest
 
@@ -447,6 +448,42 @@ class TestHistogramQuantiles:
         (entry,) = registry.snapshot()["histograms"]
         assert entry["percentiles"]["p50"] == pytest.approx(0.005)
 
+    def test_all_overflow_clamps_to_finite_values(self):
+        # Every sample lands past the last finite edge: the estimate
+        # must stay finite (and within observed range), never inf/nan.
+        registry = MetricsRegistry()
+        histogram = registry.histogram("over.h", (1.0, 2.0, 4.0))
+        histogram.observe(10.0)
+        histogram.observe(20.0)
+        assert histogram.quantile(0.5) == pytest.approx(10.0)
+        for q in (0.01, 0.5, 0.95, 0.99):
+            value = histogram.quantile(q)
+            assert math.isfinite(value)
+            assert 10.0 <= value <= 20.0
+
+    def test_explicit_infinite_bound_never_interpolates(self):
+        # An explicit inf bucket used to interpolate toward infinity,
+        # yielding inf (or nan at fraction zero) for every quantile
+        # that landed in it.
+        registry = MetricsRegistry()
+        histogram = registry.histogram("inf.h",
+                                       (0.001, 0.01, float("inf")))
+        histogram.observe(5.0)
+        histogram.observe(6.0)
+        assert histogram.quantile(0.5) == pytest.approx(5.0)
+        for q in (0.25, 0.5, 0.75, 0.99):
+            value = histogram.quantile(q)
+            assert math.isfinite(value)
+            assert 5.0 <= value <= 6.0
+
+    def test_single_overflow_sample_reports_itself(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("oneover.h", (1.0, 2.0, 4.0))
+        histogram.observe(3000.0)
+        for q in (0.5, 0.95, 0.99):
+            assert histogram.quantile(q) == pytest.approx(3000.0)
+        assert histogram.percentiles()["p99"] == pytest.approx(3000.0)
+
 
 # -- event log --------------------------------------------------------------
 
@@ -496,13 +533,24 @@ class TestEventLog:
 
     def test_dead_sink_never_breaks_emit(self):
         import io
-        from repro.obs import EventLog
+        from repro.obs import EventLog, MetricsRegistry
+        metrics = MetricsRegistry()
         sink = io.StringIO()
-        log = EventLog(sink=sink)
+        log = EventLog(sink=sink, metrics=metrics)
         sink.close()
         entry = log.emit("tick")  # must not raise
         assert entry["seq"] == 1
-        assert len(log) == 1
+        # The disablement is loud, not silent: a synthesized ring entry
+        # records why the file stopped growing, and a counter ticks.
+        entries = log.tail()
+        assert [e["event"] for e in entries] == ["tick", "sink_disabled"]
+        assert entries[-1]["seq"] == 2
+        assert "ValueError" in entries[-1]["error"]
+        assert metrics.value("events.sink_disabled") == 1
+        # Subsequent emits proceed sink-less without further noise.
+        log.emit("tock")
+        assert metrics.value("events.sink_disabled") == 1
+        assert len(log) == 3
 
     def test_emit_is_thread_safe(self):
         import threading

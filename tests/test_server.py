@@ -941,3 +941,21 @@ class TestMonitorCli:
     def test_monitor_bad_connect_arg(self, capsys):
         from repro.__main__ import main
         assert main(["monitor", "--connect", "nonsense", "--once"]) == 2
+
+    def test_render_guards_zero_elapsed(self):
+        # Two polls landing inside one clock tick must not divide by
+        # zero — the rate line is simply withheld for that frame.
+        from repro.__main__ import _render_monitor
+        body = {
+            "server": {"host": "h", "port": 1, "uptime_seconds": 3.0,
+                       "sessions": 0, "max_connections": 4,
+                       "admission": {"inflight": 0, "max_inflight": 2,
+                                     "queued": 0, "max_queued": 8}},
+            "metrics": {"counters": [
+                {"name": "server.requests", "labels": {}, "value": 7}]},
+        }
+        frame, totals = _render_monitor(body, (3, 0), 0.0)
+        assert totals == (7, 0)
+        assert "throughput" not in frame
+        frame, _ = _render_monitor(body, (3, 0), 2.0)
+        assert "throughput 2.0 req/s" in frame
