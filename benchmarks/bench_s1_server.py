@@ -20,26 +20,88 @@ questions:
    (the ``server.request_seconds`` histogram the STATS opcode and
    ``/metrics`` expose), written to ``BENCH_S1.json`` for
    machine-readable tracking across runs.
+5. **Connection axis** — how many idle handshaken sessions the
+   event-loop server holds at once, what each costs in resident
+   memory, and whether a request on one of them still answers promptly
+   (sampled PING p95) while thousands of peers sit registered in the
+   selector.  Scaled down automatically under low ``RLIMIT_NOFILE``.
+6. **Streamed results beyond the frame cap** — a VALID HISTORY result
+   several times larger than ``MAX_FRAME_BYTES`` is refused outright
+   by the eager QUERY path but streams to completion through a cursor,
+   with client-process RSS growing by chunks, not by the result.
 
 Loopback TCP only — numbers measure the software stack, not a NIC.
 """
 
+import contextlib
 import json
+import os
 import pathlib
+import resource
+import socket
 import threading
 import time
 
 import pytest
 
 from benchmarks._util import build_db, emit, header
+from repro import (
+    AtomType,
+    Attribute,
+    DataType,
+    DatabaseConfig,
+    Schema,
+    TemporalDatabase,
+)
+from repro.errors import RemoteError
 from repro.server import ClientPool, DatabaseClient, DatabaseServer
-from repro.server.protocol import encode_payload, result_to_payload
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_MAGIC,
+    PROTOCOL_VERSION,
+    Opcode,
+    encode_payload,
+    read_frame,
+    result_to_payload,
+    write_frame,
+)
 from repro.workloads import fanout_spec
 
 POINT_QUERY = "SELECT ALL FROM Part WHERE Part.name = $name VALID AT 40"
 SCAN_QUERY = "SELECT Part.name, Part.cost FROM Part VALID AT 40"
 CLIENT_COUNTS = [1, 2, 4, 8]
 REQUESTS_PER_CLIENT = 50
+
+
+def _record(section: str, payload) -> pathlib.Path:
+    """Merge one section into ``BENCH_S1.json``.
+
+    Several benchmarks in this module contribute axes to the same
+    results file, so each reads what is already there and replaces only
+    its own key — running a single test never erases the others' rows.
+    """
+    out = pathlib.Path("BENCH_S1.json")
+    try:
+        existing = json.loads(out.read_text(encoding="utf-8"))
+        if not isinstance(existing, dict) or "experiment" in existing:
+            existing = {}  # pre-sectioned flat layout: start over
+    except (OSError, ValueError):
+        existing = {}
+    existing[section] = payload
+    out.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    return out
+
+
+def _rss_bytes() -> int:
+    """Current resident set size of this process (server + clients —
+    the benches run everything in one process, so growth bounds both
+    sides at once)."""
+    try:
+        with open("/proc/self/statm", encoding="ascii") as statm:
+            return int(statm.read().split()[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError):
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
 
 
 def test_s1_report_header(benchmark, capsys):
@@ -209,12 +271,225 @@ def test_s1_latency_percentiles_and_json(served, client, capsys):
         "histogram_samples": histogram["count"],
         "admission": body["server"]["admission"],
     }
-    out = pathlib.Path("BENCH_S1.json")
-    out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n",
-                   encoding="utf-8")
+    out = _record("latency", results)
     emit(capsys, f"      | wrote {out.resolve()}")
     assert client_side["p50"] <= client_side["p95"] <= client_side["p99"]
     # The server's own estimate must at least land in the same decade
     # as the client's view (client adds the wire on top).
     if server_side.get("p50") is not None:
         assert server_side["p50"] <= client_side["p99"] * 2
+
+
+# -- 5: connection axis — thousands of idle sessions -------------------------
+
+IDLE_SESSION_TARGET = 5000
+PING_SAMPLES = 200
+PER_SESSION_RSS_CAP = 64 * 1024
+
+
+def _raw_session(server) -> socket.socket:
+    """A handshaken raw socket — the cheapest possible idle session
+    (no DatabaseClient machinery), so the sweep measures the server."""
+    sock = socket.create_connection((server.host, server.port),
+                                    timeout=10)
+    sock.settimeout(10)
+    write_frame(sock, Opcode.HELLO, 1, encode_payload(
+        {"magic": PROTOCOL_MAGIC, "protocol": PROTOCOL_VERSION}))
+    frame = read_frame(sock)
+    assert frame.opcode == Opcode.RESULT
+    return sock
+
+
+def _ping(sock: socket.socket, request_id: int) -> None:
+    write_frame(sock, Opcode.PING, request_id, encode_payload({}))
+    frame = read_frame(sock)
+    assert frame.opcode == Opcode.RESULT
+
+
+def test_s1_idle_connection_scaling(served, capsys):
+    """Open up to 5,000 handshaken idle sessions against a dedicated
+    event-loop server, then check that (a) every one of them is live in
+    the selector, (b) the marginal memory cost per session is small and
+    flat, and (c) a request threaded between thousands of idle peers
+    still answers in single-digit milliseconds."""
+    db, _ = served
+    soft, _hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    target = min(IDLE_SESSION_TARGET, max(soft - 300, 0))
+    if target < 500:
+        pytest.skip(f"RLIMIT_NOFILE soft limit {soft} leaves no room "
+                    f"for a connection sweep")
+    server = DatabaseServer(db, max_connections=target + 16,
+                            idle_timeout=None).start()
+    sockets = []
+    try:
+        rss_before = _rss_bytes()
+        started = time.perf_counter()
+        for _ in range(target):
+            sockets.append(_raw_session(server))
+        open_seconds = time.perf_counter() - started
+        rss_after = _rss_bytes()
+        per_session = (rss_after - rss_before) / target
+
+        # PING a stride-sample of the sessions while every other one
+        # stays idle and registered.
+        stride = max(1, target // PING_SAMPLES)
+        latencies = []
+        for index, sock in enumerate(sockets[::stride]):
+            ping_started = time.perf_counter()
+            _ping(sock, 2 + index)
+            latencies.append(time.perf_counter() - ping_started)
+        latencies.sort()
+
+        def pct(q):
+            return latencies[min(len(latencies) - 1,
+                                 int(q * len(latencies)))]
+
+        sessions = server.state_snapshot()["sessions"]
+        emit(capsys, "",
+             f"R-S1 | connection axis | {target} idle sessions in "
+             f"{open_seconds:.2f}s "
+             f"({target / open_seconds:.0f}/s)",
+             f"      | sessions live {sessions} | "
+             f"rss +{(rss_after - rss_before) / (1 << 20):.1f} MiB "
+             f"({per_session / 1024:.1f} KiB/session)",
+             f"      | PING among idle peers ({len(latencies)} "
+             f"samples): p50 {pct(0.50) * 1000:.3f}ms "
+             f"p95 {pct(0.95) * 1000:.3f}ms "
+             f"p99 {pct(0.99) * 1000:.3f}ms")
+        _record("connection_axis", {
+            "idle_sessions": target,
+            "open_seconds": round(open_seconds, 3),
+            "sessions_per_second": round(target / open_seconds, 1),
+            "rss_growth_mib": round(
+                (rss_after - rss_before) / (1 << 20), 2),
+            "rss_per_session_kib": round(per_session / 1024, 2),
+            "ping_samples": len(latencies),
+            "ping_ms": {"p50": round(pct(0.50) * 1000, 3),
+                        "p95": round(pct(0.95) * 1000, 3),
+                        "p99": round(pct(0.99) * 1000, 3)},
+        })
+        assert sessions == target
+        assert per_session < PER_SESSION_RSS_CAP
+        assert pct(0.95) < 0.005, \
+            f"p95 PING {pct(0.95) * 1000:.3f}ms at {target} sessions"
+    finally:
+        for sock in sockets:
+            with contextlib.suppress(OSError):
+                sock.close()
+        server.shutdown()
+
+
+# -- 6: streamed results beyond the frame cap ---------------------------------
+
+BLOB_BYTES = 16 * 1024
+STREAM_TARGET_BYTES = 4 * MAX_FRAME_BYTES
+STREAM_CHUNK_ENTRIES = 8
+
+
+def test_s1_streamed_result_beyond_frame_cap(tmp_path_factory, capsys):
+    """A VALID HISTORY result ≥4x the 8 MiB frame cap: the eager QUERY
+    path refuses it with a non-transient ResultTooLargeError, while a
+    cursor streams the identical result to completion with resident
+    memory growing by O(chunk), not O(result)."""
+    path = tmp_path_factory.mktemp("s1stream") / "db"
+    schema = Schema("blobs")
+    schema.add_atom_type(AtomType("Blob", [
+        Attribute("tag", DataType.STRING, required=True),
+        Attribute("payload", DataType.STRING),
+    ]))
+    # Large pages so a 16 KiB record fits one slot (page offsets are
+    # 16-bit, so 32 KiB is the ceiling); tiny decode cache and buffer
+    # pool so neither silently absorbs the result set and masks a
+    # materialization bug in the streaming path.
+    db = TemporalDatabase.create(str(path), schema, DatabaseConfig(
+        page_size=32 * 1024, buffer_pages=128, durability="none",
+        decode_cache_bytes=1 << 20))
+    roots = 128
+    versions = 18  # 128 roots x 18 states x 16 KiB ~= 36 MiB on the wire
+    filler = "x" * BLOB_BYTES
+    with db.transaction() as txn:
+        atom_ids = [txn.insert("Blob",
+                               {"tag": f"b{index}", "payload": filler},
+                               valid_from=0)
+                    for index in range(roots)]
+    for state in range(1, versions):
+        with db.transaction() as txn:
+            for index, atom in enumerate(atom_ids):
+                txn.update(atom, {"tag": f"b{index}s{state}"},
+                           valid_from=state)
+    query = "SELECT ALL FROM Blob VALID HISTORY"
+    server = DatabaseServer(db).start()
+    try:
+        with DatabaseClient(server.host, server.port) as conn:
+            # Warm-up pass: the first stream through fresh thread
+            # arenas raises the allocator's high-water mark once
+            # (transient JSON buffers across loop/worker/client
+            # threads); steady-state growth is what O(chunk) promises.
+            cold_before = _rss_bytes()
+            for _ in conn.query_stream(
+                    query, chunk_entries=STREAM_CHUNK_ENTRIES).chunks():
+                pass
+            cold_growth = _rss_bytes() - cold_before
+
+            rss_before = _rss_bytes()
+            rss_peak = rss_before
+            total_entries = 0
+            payload_bytes = 0
+            chunk_count = 0
+            started = time.perf_counter()
+            cursor = conn.query_stream(
+                query, chunk_entries=STREAM_CHUNK_ENTRIES)
+            for chunk in cursor.chunks():
+                chunk_count += 1
+                total_entries += len(chunk)
+                payload_bytes += sum(
+                    len(entry["molecule"]["root"]["values"]["payload"])
+                    for entry in chunk)
+                rss_peak = max(rss_peak, _rss_bytes())
+            stream_seconds = time.perf_counter() - started
+            growth = rss_peak - rss_before
+
+            with pytest.raises(RemoteError) as info:
+                conn.query(query)
+            assert info.value.remote_type == "ResultTooLargeError"
+            assert info.value.transient is False
+            # The refusal left the connection synchronized.
+            conn.ping()
+
+        emit(capsys, "",
+             f"R-S1 | streamed result | {total_entries} entries / "
+             f"{payload_bytes / (1 << 20):.1f} MiB payload "
+             f"({payload_bytes / MAX_FRAME_BYTES:.1f}x the frame cap) "
+             f"in {chunk_count} chunks of {STREAM_CHUNK_ENTRIES}",
+             f"      | streamed in {stream_seconds:.2f}s "
+             f"({payload_bytes / (1 << 20) / stream_seconds:.1f} MiB/s) "
+             f"| rss peak +{growth / (1 << 20):.1f} MiB steady "
+             f"(+{cold_growth / (1 << 20):.1f} MiB first pass) "
+             f"| eager QUERY -> ResultTooLargeError")
+        _record("streamed_result", {
+            "query": query,
+            "entries": total_entries,
+            "payload_mib": round(payload_bytes / (1 << 20), 2),
+            "frame_cap_multiple": round(
+                payload_bytes / MAX_FRAME_BYTES, 2),
+            "chunk_entries": STREAM_CHUNK_ENTRIES,
+            "chunks": chunk_count,
+            "stream_seconds": round(stream_seconds, 3),
+            "throughput_mib_s": round(
+                payload_bytes / (1 << 20) / stream_seconds, 2),
+            "rss_peak_growth_mib": round(growth / (1 << 20), 2),
+            "rss_first_pass_growth_mib": round(
+                cold_growth / (1 << 20), 2),
+            "eager_query": "ResultTooLargeError",
+        })
+        assert total_entries == roots * versions
+        assert payload_bytes >= STREAM_TARGET_BYTES
+        # O(chunk) memory: materializing the whole result on either
+        # side would cost at least payload_bytes of RSS; the measured
+        # steady-state pass must stay far below that.
+        assert growth < payload_bytes // 4, \
+            f"rss grew {growth / (1 << 20):.1f} MiB while streaming a " \
+            f"{payload_bytes / (1 << 20):.1f} MiB result"
+    finally:
+        server.shutdown()
+        db.close()

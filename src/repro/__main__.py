@@ -198,7 +198,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         idle_timeout=args.idle_timeout,
         admission=admission,
         metrics_port=args.metrics_port,
-        metrics_host=args.host)
+        metrics_host=args.host,
+        worker_threads=args.worker_threads)
     stop = threading.Event()
     for signum in (signal.SIGINT, signal.SIGTERM):
         signal.signal(signum, lambda *_: stop.set())
@@ -255,7 +256,9 @@ def _render_monitor(body, prev, elapsed: float):
         + ("  [DRAINING]" if server.get("draining") else ""),
         f"sessions {server['sessions']}/{server['max_connections']}"
         f"  inflight {admission['inflight']}/{admission['max_inflight']}"
-        f"  queued {admission['queued']}/{admission['max_queued']}",
+        f"  queued {admission['queued']}/{admission['max_queued']}"
+        + (f"  cursors {server['open_cursors']}"
+           if server.get("open_cursors") else ""),
         f"requests {requests}  shed {shed}"
         f"  timeouts {_counter_total(metrics, 'server.queue_timeouts')}",
     ]
@@ -334,7 +337,8 @@ def cmd_shell(args: argparse.Namespace) -> int:
     print(f"connected to {host}:{port} "
           f"(schema {client.session.get('schema')}, "
           f"session {client.session.get('session_id')})")
-    print("type MQL and press enter; \\q quits, \\explain Q profiles Q")
+    print("type MQL and press enter; \\q quits, \\explain Q profiles Q, "
+          "\\stream Q fetches Q through a cursor")
     try:
         while True:
             try:
@@ -348,6 +352,21 @@ def cmd_shell(args: argparse.Namespace) -> int:
             try:
                 if line.startswith("\\explain "):
                     body = client.explain(line[len("\\explain "):])
+                elif line.startswith("\\stream "):
+                    cursor = client.query_stream(line[len("\\stream "):])
+                    count = 0
+                    for entry in cursor:
+                        start, end = entry["valid"]
+                        cells = (entry.get("row")
+                                 or entry.get("molecule") or {})
+                        print(f"  root {entry['root_id']} "
+                              f"[{start},{end}): {cells}")
+                        count += 1
+                    print(f"-- {count} "
+                          f"entr{'y' if count == 1 else 'ies'} streamed "
+                          f"({cursor.chunk_entries}/chunk), "
+                          f"plan: {cursor.plan}")
+                    continue
                 else:
                     body = client.query(line)
             except RemoteError as exc:
@@ -446,6 +465,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--request-timeout", type=float, default=10.0)
     serve.add_argument("--slow-query-ms", type=float, default=250.0)
     serve.add_argument("--idle-timeout", type=float, default=300.0)
+    serve.add_argument("--worker-threads", type=int, default=None,
+                       help="request-executor threads (default: "
+                            "max-inflight plus headroom)")
     serve.add_argument("--metrics-port", type=int, default=None,
                        help="serve /metrics, /health, /stats over HTTP "
                             "on this port (0 = ephemeral)")

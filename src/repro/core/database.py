@@ -504,6 +504,23 @@ class TemporalDatabase:
         with self._read_view():
             return execute_query(self, text, params)
 
+    def query_stream(self, text: str,
+                     params: Optional[Dict[str, Any]] = None,
+                     chunk_entries: int = 128):
+        """Execute MQL lazily, yielding entries in bounded chunks.
+
+        Returns a :class:`repro.mql.stream.StreamingResult` whose
+        ``chunks()`` iterator produces lists of at most *chunk_entries*
+        result entries; peak memory is one chunk (plus one root batch),
+        not the whole result.  Each chunk is built under the shared
+        read latch, which is released between chunks — see the
+        consistency contract in :mod:`repro.mql.stream`.
+        """
+        from repro.mql import execute_query_stream  # local: avoids a cycle
+        self._require_open()
+        return execute_query_stream(self, text, params,
+                                    chunk_entries=chunk_entries)
+
     def explain(self, text: str, params: Optional[Dict[str, Any]] = None):
         """Execute *text* with per-operator profiling forced on.
 

@@ -191,6 +191,23 @@ class ConnectionClosedError(ServerError):
     """The peer closed the connection (or the session was reaped)."""
 
 
+class ResultTooLargeError(ServerError):
+    """A materialized result does not fit one wire frame.
+
+    Not transient — retrying the same request produces the same
+    oversized result.  The fix is on the caller's side: stream the
+    result through a cursor (``DatabaseClient.query_stream``), which
+    pulls it in bounded chunks instead of one frame.
+    """
+
+
+class CursorStateError(ServerError):
+    """A streaming-cursor operation is invalid in the cursor's (or the
+    connection's) current state: unknown cursor id, too many open
+    cursors on one session, or a new request issued while a FETCH is
+    still outstanding on the same connection."""
+
+
 class RemoteError(ServerError):
     """An error raised server-side and reconstructed at the client.
 

@@ -37,6 +37,8 @@ from repro.mql.lexer import tokenize
 from repro.mql.parser import parse_query
 from repro.mql.planner import PlanCache
 from repro.mql.result import QueryResult, ResultEntry
+from repro.mql.stream import StreamingResult, execute_query_stream
 
-__all__ = ["execute_query", "tokenize", "parse_query", "PlanCache",
-           "QueryResult", "ResultEntry"]
+__all__ = ["execute_query", "execute_query_stream", "tokenize",
+           "parse_query", "PlanCache", "QueryResult", "ResultEntry",
+           "StreamingResult"]

@@ -7,12 +7,16 @@ kernel.  The pieces:
 * :mod:`repro.server.protocol` — length-prefixed, CRC-checked binary
   frames with canonical JSON payloads; the byte-level contract both
   sides (and the tests' differential oracle) share.  Version 2 adds
-  per-request trace context and the STATS opcode.
+  per-request trace context and the STATS opcode; version 3 adds
+  streaming result cursors (FETCH / CLOSE_CURSOR) and incremental
+  frame reassembly for the event-loop server.
 * :mod:`repro.server.admission` — load shedding: bounded in-flight
   requests, a bounded wait queue, per-request queue timeouts, and a
   structured slow-query log backed by the shared event log.
-* :mod:`repro.server.server` — a threaded TCP server, one worker per
-  connection, per-session transaction state, idle reaping, graceful
+* :mod:`repro.server.server` — an event-loop TCP server: one selector
+  thread multiplexes every socket, a small worker pool executes
+  requests, queued requests park as data on the loop.  Per-session
+  transaction state, streaming cursors, idle reaping, graceful
   drain-then-checkpoint shutdown, and full introspection (STATS,
   structured events, cross-process trace stitching).
 * :mod:`repro.server.http_sidecar` — an optional plain-HTTP listener
@@ -20,21 +24,24 @@ kernel.  The pieces:
   (drain-aware), and ``/stats`` for fleet tooling.
 * :mod:`repro.server.client` — a blocking client with prepared
   statements, context-manager transactions, transient-error retry,
-  trace-context stamping, and a thread-safe connection pool.
+  trace-context stamping, streaming result cursors, and a thread-safe
+  connection pool with idle health checks.
 """
 
 from repro.server.admission import AdmissionController, SlowQueryLog
-from repro.server.client import ClientPool, DatabaseClient
+from repro.server.client import ClientPool, DatabaseClient, ResultCursor
 from repro.server.http_sidecar import MetricsSidecar
 from repro.server.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
     SUPPORTED_PROTOCOL_VERSIONS,
     Frame,
+    FrameAssembler,
     Opcode,
     decode_payload,
     encode_frame,
     encode_payload,
+    entries_to_payload,
     error_payload,
     extract_trace_context,
     read_frame,
@@ -48,15 +55,18 @@ __all__ = [
     "DatabaseClient",
     "DatabaseServer",
     "Frame",
+    "FrameAssembler",
     "MAX_FRAME_BYTES",
     "MetricsSidecar",
     "Opcode",
     "PROTOCOL_VERSION",
+    "ResultCursor",
     "SUPPORTED_PROTOCOL_VERSIONS",
     "SlowQueryLog",
     "decode_payload",
     "encode_frame",
     "encode_payload",
+    "entries_to_payload",
     "error_payload",
     "extract_trace_context",
     "read_frame",

@@ -96,7 +96,20 @@ class SlowQueryLog:
 
 
 class AdmissionController:
-    """Gate requests through a bounded in-flight set and wait queue."""
+    """Gate requests through a bounded in-flight set and wait queue.
+
+    Two call styles share the same counters and limits:
+
+    * the **blocking** style (``admit`` / ``admit_ungated``) the
+      thread-per-request paths and tests use — a caller without a slot
+      parks its *thread* on a condition variable;
+    * the **non-blocking** style the event-loop server uses
+      (:meth:`try_acquire`, :meth:`park`, :meth:`unpark`,
+      :meth:`release`, :meth:`observe`) — a request without a slot
+      parks as *data* (the loop keeps the frame and a deadline), and
+      :attr:`on_slot_freed` lets the loop wake up the instant a slot
+      frees instead of polling.
+    """
 
     def __init__(self, max_inflight: int = 8, max_queued: int = 32,
                  request_timeout: Optional[float] = 10.0,
@@ -117,6 +130,11 @@ class AdmissionController:
         self._slot_freed = threading.Condition(self._lock)
         self._inflight = 0
         self._queued = 0
+        #: Callback invoked (outside the lock, from the releasing
+        #: thread) every time an in-flight slot frees — the event-loop
+        #: server points it at its wakeup pipe so parked requests
+        #: dispatch immediately.
+        self.on_slot_freed: Optional[Any] = None
         if metrics is None:
             from repro.obs import MetricsRegistry
             metrics = MetricsRegistry()
@@ -193,6 +211,83 @@ class AdmissionController:
             self._inflight -= 1
             self._g_inflight.set(self._inflight)
             self._slot_freed.notify()
+        hook = self.on_slot_freed
+        if hook is not None:
+            hook()
+
+    # -- non-blocking admission (event-loop server) --------------------------
+
+    def begin_request(self) -> None:
+        """Count one arriving request (the loop-side twin of the
+        ``admit*`` context managers' entry)."""
+        self._c_requests.inc()
+
+    def try_acquire(self) -> bool:
+        """Take an in-flight slot if one is free; never blocks."""
+        with self._lock:
+            if self._inflight < self.max_inflight:
+                self._inflight += 1
+                self._g_inflight.set(self._inflight)
+                return True
+            return False
+
+    def park(self, session_id: int = 0, opcode: str = "",
+             request_id: int = 0,
+             trace_id: Optional[str] = None) -> None:
+        """Count a request into the wait queue, or shed it.
+
+        The caller (the event loop) keeps the parked frame itself; this
+        only maintains the queue bound and gauge.  Raises
+        :class:`ServerSaturatedError` — after emitting the
+        ``request.shed`` event — when the queue is full.
+        """
+        with self._lock:
+            if self._queued >= self.max_queued:
+                self._c_shed.inc()
+                self.events.emit("request.shed", session=session_id,
+                                 opcode=opcode, request_id=request_id,
+                                 trace_id=trace_id,
+                                 inflight=self._inflight,
+                                 queued=self._queued)
+                raise ServerSaturatedError(
+                    f"server saturated: {self._inflight} in flight, "
+                    f"{self._queued} queued (max {self.max_queued})")
+            self._queued += 1
+            self._g_queued.set(self._queued)
+
+    def unpark(self) -> None:
+        """Take one request out of the wait queue (dispatched, timed
+        out, or dropped with its session)."""
+        with self._lock:
+            self._queued -= 1
+            self._g_queued.set(self._queued)
+
+    def timeout_parked(self, session_id: int = 0, opcode: str = "",
+                       request_id: int = 0,
+                       trace_id: Optional[str] = None
+                       ) -> RequestTimeoutError:
+        """Record a queue timeout; returns the error to answer with.
+        The caller still owns the queue slot — call :meth:`unpark`."""
+        self._c_timeouts.inc()
+        self.events.emit("request.queue_timeout", session=session_id,
+                         opcode=opcode, request_id=request_id,
+                         trace_id=trace_id)
+        return RequestTimeoutError(
+            f"request waited over {self.request_timeout:.3g}s for a slot")
+
+    def release(self) -> None:
+        """Free a slot taken by :meth:`try_acquire` (fires
+        :attr:`on_slot_freed`)."""
+        self._release()
+
+    def observe(self, session_id: int, opcode: str, text: str,
+                seconds: float, request_id: int = 0,
+                trace_id: Optional[str] = None) -> None:
+        """Record one finished request's latency (histogram + slow-query
+        log) — the loop-side twin of the ``admit*`` exit path."""
+        self._h_latency.observe(seconds)
+        self.slow_queries.record(session_id, opcode, text, seconds,
+                                 request_id=request_id, trace_id=trace_id)
 
     @contextmanager
     def admit(self, session_id: int, opcode: str, text: str = "",

@@ -28,10 +28,11 @@ import socket
 import threading
 import time
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import (
     ConnectionClosedError,
+    CursorStateError,
     HandshakeError,
     ProtocolError,
     RemoteError,
@@ -74,6 +75,10 @@ class DatabaseClient:
         self._request_id = 0
         self._in_transaction = False
         self._closed = False
+        #: Request id of a sent-but-unread FETCH (cursor prefetch).
+        #: While set, any other request would desynchronize the strict
+        #: request/response stream, so _roundtrip refuses it.
+        self._pending_fetch: Optional[int] = None
         self._sock = socket.create_connection((host, port),
                                               timeout=connect_timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -97,9 +102,13 @@ class DatabaseClient:
                 return
             self._closed = True
             try:
-                write_frame(self._sock, Opcode.CLOSE,
-                            self._next_request_id(), b"{}")
-                read_frame(self._sock)
+                # Skip the graceful goodbye when a cursor prefetch is
+                # still on the wire — the stream position is unknown,
+                # and the server cleans up on disconnect regardless.
+                if self._pending_fetch is None:
+                    write_frame(self._sock, Opcode.CLOSE,
+                                self._next_request_id(), b"{}")
+                    read_frame(self._sock)
             except (OSError, ProtocolError, ConnectionClosedError):
                 pass
             try:
@@ -131,6 +140,11 @@ class DatabaseClient:
         with self._lock:
             if self._closed:
                 raise ConnectionClosedError("client is closed")
+            if self._pending_fetch is not None:
+                raise CursorStateError(
+                    "a streaming fetch is outstanding on this "
+                    "connection; exhaust or close the cursor before "
+                    "issuing other requests")
             request_id = self._next_request_id()
             try:
                 write_frame(self._sock, opcode, request_id,
@@ -154,6 +168,18 @@ class DatabaseClient:
                 raise ConnectionClosedError(str(exc)) from exc
             if frame.request_id != request_id:
                 self._abandon()
+                if frame.opcode == Opcode.ERROR and frame.request_id == 0:
+                    # Server-initiated error (connection refusal,
+                    # framing failure): it answers no specific request,
+                    # so it carries request id 0.  Surface the error
+                    # itself; the server hangs up after sending it.
+                    body = decode_payload(frame.payload)
+                    error = RemoteError(body.get("error", "ReproError"),
+                                        body.get("message", ""),
+                                        transient=bool(
+                                            body.get("transient")))
+                    error.trace_id = body.get("trace_id")
+                    raise error
                 raise ProtocolError(
                     f"response for request {frame.request_id}, "
                     f"expected {request_id}")
@@ -175,10 +201,81 @@ class DatabaseClient:
     def _abandon(self) -> None:
         """Mark the connection unusable after a stream-level failure."""
         self._closed = True
+        self._pending_fetch = None
         try:
             self._sock.close()
         except OSError:
             pass
+
+    def _send_fetch(self, cursor_id: int) -> int:
+        """Write one FETCH frame without reading the response.
+
+        The returned request id must be redeemed with
+        :meth:`_recv_fetch` before anything else uses the connection;
+        until then ``_pending_fetch`` makes every other request fail
+        fast instead of desynchronizing the stream.
+        """
+        payload: Dict[str, Any] = {"cursor_id": cursor_id}
+        if self.trace_context:
+            payload["trace"] = {"trace_id": new_trace_id(),
+                                "span_id": new_span_id()}
+        with self._lock:
+            if self._closed:
+                raise ConnectionClosedError("client is closed")
+            if self._pending_fetch is not None:
+                raise CursorStateError(
+                    "a streaming fetch is already outstanding on this "
+                    "connection")
+            request_id = self._next_request_id()
+            try:
+                write_frame(self._sock, Opcode.FETCH, request_id,
+                            encode_payload(payload))
+            except OSError as exc:
+                self._abandon()
+                raise ConnectionClosedError(str(exc)) from exc
+            self._pending_fetch = request_id
+            return request_id
+
+    def _recv_fetch(self, request_id: int) -> Dict[str, Any]:
+        """Read the response to a previously sent FETCH."""
+        with self._lock:
+            if self._closed:
+                raise ConnectionClosedError("client is closed")
+            if self._pending_fetch != request_id:
+                raise CursorStateError(
+                    f"fetch {request_id} is not outstanding")
+            try:
+                frame = read_frame(self._sock)
+            except socket.timeout as exc:
+                self._abandon()
+                raise ConnectionClosedError(
+                    "timed out waiting for a response") from exc
+            except ConnectionClosedError:
+                self._abandon()
+                raise
+            except ProtocolError:
+                self._abandon()
+                raise
+            except OSError as exc:
+                self._abandon()
+                raise ConnectionClosedError(str(exc)) from exc
+            self._pending_fetch = None
+            if frame.request_id != request_id:
+                self._abandon()
+                raise ProtocolError(
+                    f"response for request {frame.request_id}, "
+                    f"expected {request_id}")
+        body = decode_payload(frame.payload)
+        if frame.opcode == Opcode.ERROR:
+            error = RemoteError(body.get("error", "ReproError"),
+                                body.get("message", ""),
+                                transient=bool(body.get("transient")))
+            error.trace_id = body.get("trace_id")
+            raise error
+        if frame.opcode != Opcode.RESULT:
+            raise ProtocolError(f"unexpected response opcode "
+                                f"{frame.opcode}")
+        return body
 
     def _reset_transaction_state(self) -> None:
         """Ensure no server-side transaction survives on this connection.
@@ -246,6 +343,25 @@ class DatabaseClient:
         if params:
             payload["params"] = params
         return self._request(Opcode.QUERY, payload)
+
+    def query_stream(self, text: str,
+                     params: Optional[Dict[str, Any]] = None,
+                     chunk_entries: int = 128) -> "ResultCursor":
+        """Run MQL through a server-side streaming cursor.
+
+        Returns a :class:`ResultCursor` that pulls the result in chunks
+        of at most *chunk_entries* entries, so neither side ever
+        materializes the whole result (or needs it to fit one wire
+        frame).  Requires protocol v3; iterate the cursor for entry
+        dicts, or use ``chunks()`` for whole batches.
+        """
+        payload: Dict[str, Any] = {"text": text,
+                                   "stream": {"chunk_entries":
+                                              chunk_entries}}
+        if params:
+            payload["params"] = params
+        body = self._request(Opcode.QUERY, payload)
+        return ResultCursor(self, body["cursor"])
 
     def prepare(self, text: str) -> "PreparedStatement":
         body = self._request(Opcode.PREPARE, {"text": text})
@@ -442,6 +558,109 @@ class ClientTransaction:
             self._client._in_transaction = False
 
 
+class ResultCursor:
+    """Client handle for one server-side streaming cursor.
+
+    Iterating yields entry dicts in the exact order the eager
+    ``query()`` would return them.  The cursor fetches **one chunk
+    ahead**: while the caller consumes chunk N, the FETCH for chunk
+    N+1 is already on the wire, overlapping server-side evaluation
+    with client-side processing.  While that fetch is outstanding,
+    any other request on the same connection raises
+    :class:`~repro.errors.CursorStateError` — use one connection per
+    concurrent stream.
+
+    The server closes the cursor automatically on exhaustion (the
+    final ``done`` chunk) and on producer failure; :meth:`close` is
+    only needed when abandoning a stream early, and is always safe to
+    call.
+    """
+
+    def __init__(self, client: DatabaseClient,
+                 meta: Dict[str, Any]) -> None:
+        self._client = client
+        self.cursor_id = int(meta["cursor_id"])
+        self.plan = meta.get("plan")
+        self.projected = bool(meta.get("projected"))
+        self.chunk_entries = meta.get("chunk_entries")
+        self.done = False
+        self._closed = False
+        self._pending: Optional[int] = None
+        self._prefetch()
+
+    def _prefetch(self) -> None:
+        if not self.done and not self._closed and self._pending is None:
+            self._pending = self._client._send_fetch(self.cursor_id)
+
+    def _next_chunk(self) -> Optional[List[Dict[str, Any]]]:
+        if self.done or self._closed:
+            return None
+        request_id, self._pending = self._pending, None
+        if request_id is None:
+            request_id = self._client._send_fetch(self.cursor_id)
+        try:
+            body = self._client._recv_fetch(request_id)
+        except BaseException:
+            # Any failure ends the stream: the server reclaims the
+            # cursor on error and on disconnect.
+            self.done = True
+            self._closed = True
+            raise
+        if body.get("done"):
+            self.done = True
+            self._closed = True  # the server already dropped it
+            return None
+        self._prefetch()
+        return body.get("entries", [])
+
+    def chunks(self) -> Iterator[List[Dict[str, Any]]]:
+        """Yield whole chunks (lists of entry dicts) until exhaustion."""
+        while True:
+            chunk = self._next_chunk()
+            if chunk is None:
+                return
+            yield chunk
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        for chunk in self.chunks():
+            yield from chunk
+
+    def close(self) -> None:
+        """Abandon the stream early and release the server-side cursor.
+
+        Redeems any in-flight prefetch first so the connection is back
+        in strict request/response sync and stays usable.
+        """
+        if self._closed and self._pending is None:
+            return
+        pending, self._pending = self._pending, None
+        if pending is not None:
+            try:
+                if self._client._recv_fetch(pending).get("done"):
+                    self.done = True
+            except RemoteError:
+                self.done = True  # cursor already dead server-side
+            except (ConnectionClosedError, ProtocolError, OSError):
+                self._closed = True
+                self.done = True
+                return
+        self._closed = True
+        if not self.done and not self._client._closed:
+            try:
+                self._client._roundtrip(Opcode.CLOSE_CURSOR,
+                                        {"cursor_id": self.cursor_id})
+            except (RemoteError, ConnectionClosedError, ProtocolError,
+                    OSError):
+                pass
+        self.done = True
+
+    def __enter__(self) -> "ResultCursor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
 class PreparedStatement:
     """A statement whose parse is primed in the server's plan cache."""
 
@@ -463,47 +682,84 @@ class ClientPool:
     exclusively; :meth:`acquire` blocks when all are lent.  A connection
     that died in use (``ConnectionClosedError`` marks it closed) is
     discarded instead of returned, so the pool self-heals.
+
+    Connections idle past ``health_check_idle`` seconds are PING-probed
+    before being lent again — a server restart, an idle-reap, or a
+    half-dead NAT mapping otherwise surfaces as an error on the *next
+    borrower's* first real request.  A probe that gets any server
+    response (even an error frame) proves the connection; only
+    stream-level failures discard it.  ``health_check_idle=None``
+    disables probing.
     """
 
     def __init__(self, host: str, port: int, size: int = 4,
+                 health_check_idle: Optional[float] = 30.0,
                  **client_kwargs: Any) -> None:
         if size < 1:
             raise ValueError("pool size must be >= 1")
         self.host = host
         self.port = port
         self.size = size
+        self.health_check_idle = health_check_idle
         self._client_kwargs = client_kwargs
         self._lock = threading.Lock()
         self._available_cond = threading.Condition(self._lock)
-        self._idle: List[DatabaseClient] = []
+        self._idle: List[Tuple[DatabaseClient, float]] = []
         self._created = 0
         self._closed = False
 
     def _connect(self) -> DatabaseClient:
         return DatabaseClient(self.host, self.port, **self._client_kwargs)
 
+    @staticmethod
+    def _probe(client: DatabaseClient) -> bool:
+        """True if the connection still reaches a live server."""
+        try:
+            client.ping()
+            return True
+        except RemoteError:
+            # The server answered — a shed or failed PING still proves
+            # the connection works.
+            return True
+        except (ConnectionClosedError, ProtocolError, OSError):
+            return False
+
     @contextmanager
     def acquire(self) -> Iterator[DatabaseClient]:
-        with self._available_cond:
-            while True:
-                if self._closed:
-                    raise ConnectionClosedError("pool is closed")
-                if self._idle:
-                    client = self._idle.pop()
-                    break
-                if self._created < self.size:
-                    self._created += 1
-                    client = None  # create outside the lock
-                    break
-                self._available_cond.wait()
-        if client is None:
-            try:
-                client = self._connect()
-            except BaseException:
+        client: Optional[DatabaseClient] = None
+        while client is None:
+            with self._available_cond:
+                while True:
+                    if self._closed:
+                        raise ConnectionClosedError("pool is closed")
+                    if self._idle:
+                        candidate, returned_at = self._idle.pop()
+                        break
+                    if self._created < self.size:
+                        self._created += 1
+                        candidate = None  # create outside the lock
+                        returned_at = 0.0
+                        break
+                    self._available_cond.wait()
+            if candidate is None:
+                try:
+                    client = self._connect()
+                except BaseException:
+                    with self._available_cond:
+                        self._created -= 1
+                        self._available_cond.notify()
+                    raise
+                continue
+            stale = (self.health_check_idle is not None
+                     and time.monotonic() - returned_at
+                     >= self.health_check_idle)
+            if stale and not self._probe(candidate):
+                candidate.close()
                 with self._available_cond:
                     self._created -= 1
                     self._available_cond.notify()
-                raise
+                continue  # try the next idle/new connection
+            client = candidate
         try:
             yield client
         finally:
@@ -520,7 +776,7 @@ class ClientPool:
                 if dead or self._closed:
                     self._created -= 1
                 else:
-                    self._idle.append(client)
+                    self._idle.append((client, time.monotonic()))
                 self._available_cond.notify()
             if dead or self._closed:
                 client.close()
@@ -538,7 +794,7 @@ class ClientPool:
             idle, self._idle = self._idle, []
             self._created -= len(idle)
             self._available_cond.notify_all()
-        for client in idle:
+        for client, _ in idle:
             client.close()
 
     def __enter__(self) -> "ClientPool":

@@ -33,6 +33,14 @@ Protocol version history:
   events, and ERROR frames correlate with the client's.  Version-1
   clients are still accepted: the ``trace`` key is simply absent and
   STATS is never sent.
+* **3** — adds streaming cursors: a ``QUERY`` whose payload carries a
+  ``stream`` object answers with a cursor handle instead of entries,
+  the ``FETCH`` opcode pulls one bounded chunk of entries per
+  round-trip, and ``CLOSE_CURSOR`` releases a cursor early (exhausted
+  cursors close themselves).  Results too large for one frame fail with
+  a structured ``ResultTooLargeError`` pointing at cursors.  Version-1
+  and -2 clients never send ``stream``/FETCH and see byte-identical
+  behaviour.
 """
 
 from __future__ import annotations
@@ -52,11 +60,12 @@ PROTOCOL_MAGIC = "tmad"
 #: Wire protocol version; bumped on any frame-level change.  The server
 #: accepts every version in :data:`SUPPORTED_PROTOCOL_VERSIONS` and the
 #: handshake response carries the negotiated (client's) version.
-PROTOCOL_VERSION = 2
+PROTOCOL_VERSION = 3
 
 #: Versions the server still speaks.  Version 1 lacks trace context and
-#: the STATS opcode but is otherwise identical.
-SUPPORTED_PROTOCOL_VERSIONS = frozenset((1, 2))
+#: the STATS opcode; version 2 lacks streaming cursors; both are
+#: otherwise identical.
+SUPPORTED_PROTOCOL_VERSIONS = frozenset((1, 2, 3))
 
 #: Hard cap on a frame's ``length`` field.  Larger prefixes are treated
 #: as corruption (or abuse) and fail fast without allocating.
@@ -85,6 +94,8 @@ class Opcode(IntEnum):
     PING = 10
     CLOSE = 11
     STATS = 12
+    FETCH = 13
+    CLOSE_CURSOR = 14
 
     RESULT = 64
     ERROR = 65
@@ -189,21 +200,17 @@ def _recv_exactly(sock, count: int) -> bytes:
     return b"".join(chunks)
 
 
-def read_frame(sock) -> Frame:
-    """Read and verify one frame from a socket.
-
-    Raises :class:`ProtocolError` on a bad length prefix or CRC
-    mismatch, :class:`ConnectionClosedError` on EOF (``mid_frame`` set
-    when the peer vanished inside a frame).
-    """
-    (length,) = _HEADER.unpack(_recv_exactly(sock, _HEADER.size))
+def _check_length(length: int) -> None:
     if length < _FRAME_OVERHEAD:
         raise ProtocolError(f"frame length {length} below the "
                             f"{_FRAME_OVERHEAD}-byte minimum")
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame length {length} exceeds the "
                             f"{MAX_FRAME_BYTES}-byte cap")
-    data = _recv_exactly(sock, length)
+
+
+def _decode_frame_body(data: bytes) -> Frame:
+    """CRC-check and unpack one frame body (the bytes after ``length``)."""
     body, crc_bytes = data[:-_CRC.size], data[-_CRC.size:]
     (expected,) = _CRC.unpack(crc_bytes)
     actual = zlib.crc32(body) & 0xFFFFFFFF
@@ -213,6 +220,55 @@ def read_frame(sock) -> Frame:
             f"frame claims {expected:#010x}")
     opcode, request_id = _OPCODE_REQID.unpack_from(body)
     return Frame(opcode, request_id, body[_OPCODE_REQID.size:])
+
+
+def read_frame(sock) -> Frame:
+    """Read and verify one frame from a blocking socket.
+
+    Raises :class:`ProtocolError` on a bad length prefix or CRC
+    mismatch, :class:`ConnectionClosedError` on EOF (``mid_frame`` set
+    when the peer vanished inside a frame).
+    """
+    (length,) = _HEADER.unpack(_recv_exactly(sock, _HEADER.size))
+    _check_length(length)
+    return _decode_frame_body(_recv_exactly(sock, length))
+
+
+class FrameAssembler:
+    """Incremental frame reassembly for a non-blocking reader.
+
+    The event-loop server reads whatever bytes the socket has and feeds
+    them here; :meth:`feed` returns every frame completed so far and
+    buffers the tail of a partial one.  A bad length prefix or CRC
+    raises :class:`ProtocolError` — after that the byte stream cannot
+    be resynchronized and the connection must be dropped, exactly as
+    with :func:`read_frame`.
+    """
+
+    __slots__ = ("_buf",)
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Buffered bytes of the (partial) frame still being assembled."""
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> "list[Frame]":
+        self._buf += data
+        frames: list[Frame] = []
+        buf = self._buf
+        while True:
+            if len(buf) < _HEADER.size:
+                return frames
+            (length,) = _HEADER.unpack_from(buf)
+            _check_length(length)
+            end = _HEADER.size + length
+            if len(buf) < end:
+                return frames
+            frames.append(_decode_frame_body(bytes(buf[_HEADER.size:end])))
+            del buf[:end]
 
 
 def write_frame(sock, opcode: int, request_id: int, payload: bytes) -> None:
@@ -226,6 +282,28 @@ def _interval_to_list(interval) -> list:
     return [interval.start, interval.end]
 
 
+def entries_to_payload(entries, projected: bool) -> "list[Dict[str, Any]]":
+    """Canonical list form of result entries.
+
+    Shared by the one-frame :func:`result_to_payload` and the server's
+    chunked cursor responses, so a streamed result serializes each entry
+    to exactly the bytes the eager path would have produced.
+    """
+    items = []
+    for entry in entries:
+        item: Dict[str, Any] = {
+            "root_id": entry.root_id,
+            "valid": _interval_to_list(entry.valid),
+        }
+        if projected:
+            item["row"] = entry.row
+        else:
+            item["molecule"] = (entry.molecule.to_dict()
+                                if entry.molecule is not None else None)
+        items.append(item)
+    return items
+
+
 def result_to_payload(result, profile: Optional[Any] = None
                       ) -> Dict[str, Any]:
     """Canonical dictionary form of a :class:`~repro.mql.result.QueryResult`.
@@ -234,22 +312,10 @@ def result_to_payload(result, profile: Optional[Any] = None
     in-process oracle use, so "byte-identical to local execution" is a
     meaningful check: same entries in, same canonical JSON out.
     """
-    entries = []
-    for entry in result:
-        item: Dict[str, Any] = {
-            "root_id": entry.root_id,
-            "valid": _interval_to_list(entry.valid),
-        }
-        if result.projected:
-            item["row"] = entry.row
-        else:
-            item["molecule"] = (entry.molecule.to_dict()
-                                if entry.molecule is not None else None)
-        entries.append(item)
     payload: Dict[str, Any] = {
         "plan": result.plan,
         "projected": result.projected,
-        "entries": entries,
+        "entries": entries_to_payload(result, result.projected),
     }
     chosen = profile if profile is not None else result.profile
     if chosen is not None:

@@ -177,17 +177,21 @@ class TestResultSerialization:
 
 
 class TestProtocolVersioning:
-    def test_version_two_is_current_and_one_still_supported(self):
+    def test_version_three_is_current_and_older_still_supported(self):
         from repro.server.protocol import (
             PROTOCOL_VERSION,
             SUPPORTED_PROTOCOL_VERSIONS,
         )
-        assert PROTOCOL_VERSION == 2
-        assert {1, 2} <= SUPPORTED_PROTOCOL_VERSIONS
+        assert PROTOCOL_VERSION == 3
+        assert {1, 2, 3} <= SUPPORTED_PROTOCOL_VERSIONS
 
     def test_stats_opcode_exists(self):
         assert Opcode.STATS == 12
         assert Opcode(12).name == "STATS"
+
+    def test_cursor_opcodes_exist(self):
+        assert Opcode.FETCH == 13
+        assert Opcode.CLOSE_CURSOR == 14
 
     def test_v1_payload_without_trace_decodes(self):
         """An old client's frame — no ``trace`` key — round-trips and
@@ -234,3 +238,66 @@ class TestErrorPayloadTraceId:
 
     def test_trace_id_omitted_when_absent(self):
         assert "trace_id" not in error_payload(ValueError("boom"))
+
+
+class TestFrameAssembler:
+    """Incremental reassembly must agree with blocking read_frame for
+    every possible split of the byte stream."""
+
+    def _frames(self):
+        return [
+            encode_frame(Opcode.PING, 1, b"{}"),
+            encode_frame(Opcode.QUERY, 2, encode_payload(
+                {"text": "SELECT ALL FROM Part VALID AT 5"})),
+            encode_frame(Opcode.FETCH, 3, encode_payload(
+                {"cursor_id": 1})),
+        ]
+
+    def test_whole_stream_at_once(self):
+        from repro.server.protocol import FrameAssembler
+        assembler = FrameAssembler()
+        frames = assembler.feed(b"".join(self._frames()))
+        assert [(f.opcode, f.request_id) for f in frames] \
+            == [(Opcode.PING, 1), (Opcode.QUERY, 2), (Opcode.FETCH, 3)]
+        assert assembler.pending_bytes == 0
+
+    def test_split_at_every_byte_boundary(self):
+        from repro.server.protocol import FrameAssembler
+        stream = b"".join(self._frames())
+        for split in range(len(stream) + 1):
+            assembler = FrameAssembler()
+            frames = assembler.feed(stream[:split])
+            frames += assembler.feed(stream[split:])
+            assert [(f.opcode, f.request_id) for f in frames] \
+                == [(Opcode.PING, 1), (Opcode.QUERY, 2),
+                    (Opcode.FETCH, 3)], f"split at {split}"
+            assert assembler.pending_bytes == 0
+
+    def test_one_byte_at_a_time(self):
+        from repro.server.protocol import FrameAssembler
+        assembler = FrameAssembler()
+        collected = []
+        for offset in b"".join(self._frames()):
+            collected += assembler.feed(bytes([offset]))
+        assert len(collected) == 3
+
+    def test_corrupt_crc_raises(self):
+        from repro.server.protocol import FrameAssembler
+        frame = bytearray(encode_frame(Opcode.PING, 1, b"{}"))
+        frame[-1] ^= 0xFF
+        with pytest.raises(ProtocolError):
+            FrameAssembler().feed(bytes(frame))
+
+    def test_oversized_length_prefix_raises(self):
+        from repro.server.protocol import FrameAssembler
+        bad = struct.pack("<I", MAX_FRAME_BYTES + 1) + b"\x00" * 16
+        with pytest.raises(ProtocolError):
+            FrameAssembler().feed(bad)
+
+    def test_partial_frame_stays_buffered(self):
+        from repro.server.protocol import FrameAssembler
+        frame = encode_frame(Opcode.PING, 1, b"{}")
+        assembler = FrameAssembler()
+        assert assembler.feed(frame[:-3]) == []
+        assert assembler.pending_bytes == len(frame) - 3
+        assert len(assembler.feed(frame[-3:])) == 1

@@ -959,3 +959,377 @@ class TestMonitorCli:
         assert "throughput" not in frame
         frame, _ = _render_monitor(body, (3, 0), 2.0)
         assert "throughput 2.0 req/s" in frame
+
+
+# ---------------------------------------------------------------------------
+# Protocol v3: streaming cursors, the event loop, and connection scaling.
+# Everything above this line predates the async server and must keep
+# passing unmodified — the wire behavior of v1/v2 clients is frozen.
+# ---------------------------------------------------------------------------
+
+
+def _handshake_raw(server, protocol=None):
+    """Raw socket past a handshake at an explicit protocol version."""
+    sock = socket.create_connection((server.host, server.port), timeout=5)
+    sock.settimeout(5)
+    write_frame(sock, Opcode.HELLO, 1, encode_payload(
+        {"magic": PROTOCOL_MAGIC,
+         "protocol": PROTOCOL_VERSION if protocol is None else protocol}))
+    frame = read_frame(sock)
+    assert frame.opcode == Opcode.RESULT
+    return sock
+
+
+def _wait_until(predicate, timeout=5.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestStreamingCursors:
+    def test_streamed_result_equals_eager(self, sdb, server):
+        _stock(sdb, count=37)
+        with DatabaseClient(server.host, server.port) as client:
+            eager = client.query("SELECT ALL FROM Part VALID AT 5")
+            cursor = client.query_stream("SELECT ALL FROM Part VALID AT 5",
+                                         chunk_entries=10)
+            chunks = list(cursor.chunks())
+            assert [len(c) for c in chunks] == [10, 10, 10, 7]
+            assert [e for c in chunks for e in c] == eager["entries"]
+            assert cursor.done
+        assert server.state_snapshot()["open_cursors"] == 0
+
+    def test_projected_stream_with_params(self, sdb, server):
+        _stock(sdb, count=12)
+        with DatabaseClient(server.host, server.port) as client:
+            text = ("SELECT Part.name FROM Part WHERE Part.cost > $c "
+                    "VALID AT 5")
+            eager = client.query(text, params={"c": 40.0})
+            streamed = list(client.query_stream(text, params={"c": 40.0},
+                                                chunk_entries=3))
+            assert streamed == eager["entries"]
+
+    def test_interleaved_request_fails_fast_client_side(self, sdb, server):
+        from repro.errors import CursorStateError
+        _stock(sdb, count=12)
+        with DatabaseClient(server.host, server.port) as client:
+            cursor = client.query_stream("SELECT ALL FROM Part VALID AT 5",
+                                         chunk_entries=3)
+            with pytest.raises(CursorStateError):
+                client.ping()
+            cursor.close()
+            # redeeming the prefetch restored request/response sync
+            assert client.ping()["pong"] is True
+
+    def test_close_mid_stream_frees_server_cursor(self, sdb, server):
+        _stock(sdb, count=25)
+        with DatabaseClient(server.host, server.port) as client:
+            cursor = client.query_stream("SELECT ALL FROM Part VALID AT 5",
+                                         chunk_entries=4)
+            next(cursor.chunks())
+            cursor.close()
+            assert _wait_until(
+                lambda: server.state_snapshot()["open_cursors"] == 0)
+            assert client.ping()["pong"] is True
+
+    def test_fetch_rejected_below_protocol_v3(self, server):
+        sock = _handshake_raw(server, protocol=2)
+        write_frame(sock, Opcode.FETCH, 2, encode_payload({"cursor_id": 1}))
+        frame = read_frame(sock)
+        assert frame.opcode == Opcode.ERROR
+        assert frame.decode()["error"] == "ProtocolError"
+        sock.close()
+
+    def test_stream_open_rejected_below_protocol_v3(self, server):
+        sock = _handshake_raw(server, protocol=2)
+        write_frame(sock, Opcode.QUERY, 2, encode_payload(
+            {"text": "SELECT ALL FROM Part VALID AT 5", "stream": True}))
+        frame = read_frame(sock)
+        assert frame.opcode == Opcode.ERROR
+        assert frame.decode()["error"] == "ProtocolError"
+        sock.close()
+
+    def test_unknown_cursor_is_a_clean_error(self, server):
+        sock = _handshake_raw(server)
+        write_frame(sock, Opcode.FETCH, 2, encode_payload(
+            {"cursor_id": 99}))
+        frame = read_frame(sock)
+        assert frame.opcode == Opcode.ERROR
+        assert frame.decode()["error"] == "CursorStateError"
+        # session survives
+        write_frame(sock, Opcode.PING, 3, b"{}")
+        assert read_frame(sock).opcode == Opcode.RESULT
+        sock.close()
+
+    def test_per_session_cursor_limit(self, sdb, server):
+        from repro.server.server import MAX_CURSORS_PER_SESSION
+        _stock(sdb, count=6)
+        sock = _handshake_raw(server)
+        for index in range(MAX_CURSORS_PER_SESSION):
+            write_frame(sock, Opcode.QUERY, 10 + index, encode_payload(
+                {"text": "SELECT ALL FROM Part VALID AT 5",
+                 "stream": {"chunk_entries": 2}}))
+            frame = read_frame(sock)
+            assert frame.opcode == Opcode.RESULT, frame.decode()
+        write_frame(sock, Opcode.QUERY, 50, encode_payload(
+            {"text": "SELECT ALL FROM Part VALID AT 5", "stream": True}))
+        frame = read_frame(sock)
+        assert frame.opcode == Opcode.ERROR
+        body = frame.decode()
+        assert body["error"] == "CursorStateError"
+        assert body["transient"] is False
+        # CLOSE_CURSOR frees a slot
+        write_frame(sock, Opcode.CLOSE_CURSOR, 51, encode_payload(
+            {"cursor_id": 1}))
+        assert read_frame(sock).decode()["closed"] is True
+        write_frame(sock, Opcode.QUERY, 52, encode_payload(
+            {"text": "SELECT ALL FROM Part VALID AT 5", "stream": True}))
+        assert read_frame(sock).opcode == Opcode.RESULT
+        sock.close()
+
+    def test_session_death_reclaims_cursors(self, sdb, server):
+        _stock(sdb, count=20)
+        sock = _handshake_raw(server)
+        write_frame(sock, Opcode.QUERY, 2, encode_payload(
+            {"text": "SELECT ALL FROM Part VALID AT 5",
+             "stream": {"chunk_entries": 3}}))
+        assert read_frame(sock).opcode == Opcode.RESULT
+        assert server.state_snapshot()["open_cursors"] == 1
+        sock.close()  # abrupt death, no CLOSE_CURSOR
+        assert _wait_until(
+            lambda: server.state_snapshot()["open_cursors"] == 0)
+
+    def test_exhaustion_auto_closes_server_side(self, sdb, server):
+        _stock(sdb, count=5)
+        sock = _handshake_raw(server)
+        write_frame(sock, Opcode.QUERY, 2, encode_payload(
+            {"text": "SELECT ALL FROM Part VALID AT 5",
+             "stream": {"chunk_entries": 2}}))
+        cursor_id = read_frame(sock).decode()["cursor"]["cursor_id"]
+        done = False
+        for rid in range(3, 10):
+            write_frame(sock, Opcode.FETCH, rid, encode_payload(
+                {"cursor_id": cursor_id}))
+            body = read_frame(sock).decode()
+            if body["done"]:
+                assert body["entries"] == []
+                done = True
+                break
+        assert done
+        assert server.state_snapshot()["open_cursors"] == 0
+        # a FETCH after exhaustion names an unknown cursor now
+        write_frame(sock, Opcode.FETCH, 20, encode_payload(
+            {"cursor_id": cursor_id}))
+        assert read_frame(sock).decode()["error"] == "CursorStateError"
+        sock.close()
+
+
+class TestOversizedResult:
+    def test_encode_result_boundary(self, sdb):
+        from repro.errors import ResultTooLargeError
+        from repro.server.protocol import (_FRAME_OVERHEAD,
+                                           MAX_FRAME_BYTES)
+        srv = DatabaseServer(sdb)  # never started; encoding is pure
+        try:
+            base = len(encode_payload({"pad": ""}))
+            exact = MAX_FRAME_BYTES - _FRAME_OVERHEAD - base
+            assert isinstance(
+                srv._encode_result(1, {"pad": "x" * exact}), bytes)
+            with pytest.raises(ResultTooLargeError) as info:
+                srv._encode_result(1, {"pad": "x" * (exact + 1)})
+            assert "cursor" in str(info.value)
+        finally:
+            srv.shutdown()
+
+    def test_oversized_result_is_structured_and_cursor_recovers(
+            self, sdb, monkeypatch):
+        import repro.server.protocol as protocol_mod
+        _stock(sdb, count=40)
+        # Shrink the frame cap so a modest result overflows it without
+        # building 8 MiB of data; both sides share the module global.
+        monkeypatch.setattr(protocol_mod, "MAX_FRAME_BYTES", 4096)
+        with DatabaseServer(sdb) as srv:
+            with DatabaseClient(srv.host, srv.port,
+                                max_retries=0) as client:
+                with pytest.raises(RemoteError) as info:
+                    client.query("SELECT ALL FROM Part VALID AT 5")
+                assert info.value.remote_type == "ResultTooLargeError"
+                assert info.value.transient is False
+                # the session survives, and the suggested cursor works
+                streamed = list(client.query_stream(
+                    "SELECT ALL FROM Part VALID AT 5", chunk_entries=2))
+                assert len(streamed) == 40
+
+
+class TestAsyncAdmission:
+    def test_queue_timeout_is_deterministic(self, sdb):
+        admission = AdmissionController(max_inflight=1, max_queued=4,
+                                        request_timeout=0.2,
+                                        metrics=sdb.metrics)
+        with DatabaseServer(sdb, admission=admission) as srv:
+            admission._acquire()  # occupy the only slot
+            try:
+                with DatabaseClient(srv.host, srv.port,
+                                    max_retries=0) as client:
+                    started = time.monotonic()
+                    with pytest.raises(RemoteError) as info:
+                        client.ping()
+                    waited = time.monotonic() - started
+                    assert info.value.remote_type == "RequestTimeoutError"
+                    assert info.value.transient
+                    assert 0.1 <= waited < 2.0
+            finally:
+                admission._release()
+
+    def test_queue_full_sheds_while_first_request_waits(self, sdb):
+        admission = AdmissionController(max_inflight=1, max_queued=1,
+                                        request_timeout=5.0,
+                                        metrics=sdb.metrics)
+        with DatabaseServer(sdb, admission=admission) as srv:
+            admission._acquire()
+            try:
+                first = _handshake_raw(srv)
+                second = _handshake_raw(srv)
+                write_frame(first, Opcode.PING, 2, b"{}")
+                # let the first PING park before the second arrives
+                assert _wait_until(lambda: admission.queued == 1)
+                write_frame(second, Opcode.PING, 2, b"{}")
+                shed = read_frame(second)
+                assert shed.opcode == Opcode.ERROR
+                body = shed.decode()
+                assert body["error"] == "ServerSaturatedError"
+                assert body["transient"] is True
+            finally:
+                admission._release()
+            # the freed slot dispatches the parked request
+            assert read_frame(first).opcode == Opcode.RESULT
+            first.close()
+            second.close()
+
+    def test_parked_request_runs_when_slot_frees(self, sdb):
+        admission = AdmissionController(max_inflight=1, max_queued=8,
+                                        request_timeout=5.0,
+                                        metrics=sdb.metrics)
+        with DatabaseServer(sdb, admission=admission) as srv:
+            admission._acquire()
+            sock = _handshake_raw(srv)
+            write_frame(sock, Opcode.PING, 2, b"{}")
+            assert _wait_until(lambda: admission.queued == 1)
+            admission._release()
+            frame = read_frame(sock)
+            assert frame.opcode == Opcode.RESULT
+            assert frame.decode()["pong"] is True
+            sock.close()
+
+
+class TestHandshakeMetrics:
+    def test_handshake_not_counted_as_request_latency(self, sdb, server):
+        sock = _handshake_raw(server)
+        # the loop observes the histogram just after queuing the HELLO
+        # response, so give it a beat
+        assert _wait_until(
+            lambda: sdb.metrics.histogram(
+                "server.handshake_seconds").count == 1)
+        assert sdb.metrics.histogram("server.request_seconds").count == 0
+        write_frame(sock, Opcode.PING, 2, b"{}")
+        assert read_frame(sock).opcode == Opcode.RESULT
+        assert _wait_until(
+            lambda: sdb.metrics.histogram(
+                "server.request_seconds").count == 1)
+        assert sdb.metrics.histogram("server.handshake_seconds").count == 1
+        sock.close()
+
+
+class TestPipelining:
+    def test_burst_of_requests_answers_in_order(self, server):
+        from repro.server.protocol import encode_frame
+        sock = _handshake_raw(server)
+        burst = b"".join(
+            encode_frame(Opcode.PING, rid, b"{}")
+            for rid in range(10, 15))
+        sock.sendall(burst)
+        for rid in range(10, 15):
+            frame = read_frame(sock)
+            assert frame.opcode == Opcode.RESULT
+            assert frame.request_id == rid
+        sock.close()
+
+
+class TestConnectionScaling:
+    def test_a_thousand_idle_sessions_fit_bounded_memory(self, sdb):
+        import resource
+        soft, _ = resource.getrlimit(resource.RLIMIT_NOFILE)
+        if soft < 2300:
+            pytest.skip(f"RLIMIT_NOFILE {soft} too low for the soak")
+
+        def rss_kb():
+            with open("/proc/self/status", encoding="ascii") as handle:
+                for line in handle:
+                    if line.startswith("VmRSS:"):
+                        return int(line.split()[1])
+            raise AssertionError("no VmRSS")
+
+        with DatabaseServer(sdb, max_connections=1100,
+                            idle_timeout=None) as srv:
+            socks = []
+            try:
+                for _ in range(500):
+                    socks.append(_handshake_raw(srv))
+                rss_500 = rss_kb()
+                for _ in range(500):
+                    socks.append(_handshake_raw(srv))
+                rss_1000 = rss_kb()
+                # Steady-state cost of 500 more idle sessions stays
+                # bounded: buffers are tiny and no thread is spawned.
+                assert rss_1000 - rss_500 < 500 * 64, (rss_500, rss_1000)
+                assert srv.state_snapshot()["sessions"] == 1000
+                # the loop still answers promptly under the load
+                probe = socks[0]
+                started = time.monotonic()
+                write_frame(probe, Opcode.PING, 2, b"{}")
+                assert read_frame(probe).opcode == Opcode.RESULT
+                assert time.monotonic() - started < 1.0
+            finally:
+                for sock in socks:
+                    sock.close()
+
+
+class TestClientPoolHealthCheck:
+    def test_stale_dead_connection_is_replaced_not_lent(self, server):
+        with ClientPool(server.host, server.port, size=1,
+                        health_check_idle=0.0) as pool:
+            with pool.acquire() as client:
+                assert client.ping()["pong"] is True
+                first = client
+            # kill the idle connection behind the pool's back
+            first._sock.close()
+            with pool.acquire() as client:
+                assert client is not first
+                assert client.ping()["pong"] is True
+
+    def test_fresh_connections_skip_the_probe(self, server):
+        with ClientPool(server.host, server.port, size=1,
+                        health_check_idle=3600.0) as pool:
+            with pool.acquire() as client:
+                first = client
+            with pool.acquire() as client:
+                assert client is first  # no probe, no replacement
+
+    def test_health_check_disabled_surfaces_error_to_borrower(
+            self, server):
+        with ClientPool(server.host, server.port, size=1,
+                        health_check_idle=None,
+                        max_retries=0) as pool:
+            with pool.acquire() as client:
+                client.ping()
+                first = client
+            first._sock.close()
+            with pytest.raises(ConnectionClosedError):
+                with pool.acquire() as client:
+                    client.ping()
+            # the pool self-heals on the next acquisition
+            with pool.acquire() as client:
+                assert client.ping()["pong"] is True
