@@ -1,0 +1,437 @@
+"""R-S2 — WAL-shipping replication: read scaling and steady-state lag.
+
+One primary process plus N replica processes (``--replica-of``) on
+loopback.  Four questions:
+
+1. **Fleet read capacity vs replica count** (headline) — every serving
+   node measured alone on the same time-travel query, with every other
+   process frozen (SIGSTOP), then summed.  This host has a single CPU,
+   so measuring the nodes *concurrently* only divides one core among
+   them; freezing the others measures what each node could serve with
+   a core of its own, which is the multi-host deployment replication
+   models.  The technique is stated up front so the headline ratio is
+   read for what it is: added serving capacity, not single-box CPU
+   scale-out.
+2. **Concurrent routed goodput** — 12 client threads issue ``AS OF``
+   queries pinned at a transaction time every replica has replayed,
+   through a :class:`ClientPool` that routes time-bounded reads
+   round-robin to the replicas; a writer keeps committing through the
+   primary the whole time.  On one core, aggregate reads *drop* as
+   replicas are added (replay + extra processes tax the shared core)
+   while writer throughput rises several-fold because routed reads
+   leave the primary.  Recorded unvarnished next to the headline.
+3. **Steady-state lag** — while the writer runs, each replica's PING is
+   sampled twice a second: replayed-vs-received LSN gap and the
+   server-reported lag seconds, recorded as median/max.
+4. **Replica fidelity** — after the measured window the writer stops,
+   replicas catch up, and an ``AS OF`` query over the atoms the writer
+   was updating must return identical results from the primary and
+   every replica.  A mismatch fails the benchmark: throughput numbers
+   from a diverged replica would be meaningless.
+
+``BENCH_S2.json`` keeps the machine-readable rows.
+"""
+
+import json
+import os
+import pathlib
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+from benchmarks._util import build_db, emit, header
+from repro.server import ClientPool, DatabaseClient
+from repro.workloads import fanout_spec
+
+REPLICA_POINTS = [0, 1, 2, 4]
+READER_THREADS = 12
+WINDOW_SECONDS = 5.0
+CAPACITY_SECONDS = 2.0
+CAPACITY_THREADS = 6
+READ_QUERY = "SELECT ALL FROM Document AS OF {tt}"
+ORACLE_QUERY = "SELECT ALL FROM Component AS OF {tt}"
+
+_ADDR = re.compile(r"serving .* on ([\d.]+):(\d+)")
+
+
+def _record(section: str, payload) -> pathlib.Path:
+    """Merge one section into ``BENCH_S2.json`` (same idiom as R-S1)."""
+    out = pathlib.Path("BENCH_S2.json")
+    try:
+        existing = json.loads(out.read_text(encoding="utf-8"))
+        if not isinstance(existing, dict):
+            existing = {}
+    except (OSError, ValueError):
+        existing = {}
+    existing[section] = payload
+    out.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    return out
+
+
+def _percentile(sorted_values, fraction):
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                int(len(sorted_values) * fraction))
+    return sorted_values[index]
+
+
+class _Server:
+    """One ``python -m repro serve`` subprocess."""
+
+    def __init__(self, path, extra=()):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        env["PYTHONUNBUFFERED"] = "1"
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--path", str(path),
+             "--port", "0", "--request-timeout", "5.0", *extra],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True)
+        deadline = time.monotonic() + 30
+        self.host = self.port = None
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                raise RuntimeError(
+                    f"server at {path} died: {self.proc.poll()}")
+            match = _ADDR.search(line)
+            if match:
+                self.host, self.port = match.group(1), int(match.group(2))
+                break
+        if self.port is None:
+            raise RuntimeError("server printed no address line")
+        # Drain further stdout so the pipe can never fill and block.
+        threading.Thread(target=self.proc.stdout.read, daemon=True).start()
+
+    def stop(self):
+        self.proc.terminate()
+        try:
+            self.proc.wait(10)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait(10)
+
+
+class _Cluster:
+    def __init__(self, root, n_replicas):
+        seed = root / "seed"
+        if not seed.exists():
+            db, ids, groups = build_db(str(seed), fanout_spec(fanout=8))
+            # Last committed transaction time of the seed build: a
+            # belief time every copy (primary and replicas) has from
+            # birth, so AS OF it is always replica-routable.
+            (root / "seed.json").write_text(json.dumps({
+                "comp_ids": sorted(ids[h] for h in groups["Component"]),
+                "as_of": int(db._clock.now()) - 1,
+            }))
+            db.close()
+        meta = json.loads((root / "seed.json").read_text())
+        self.comp_ids = meta["comp_ids"]
+        self.seed_as_of = meta["as_of"]
+        run_dir = root / f"point{n_replicas}"
+        shutil.copytree(seed, run_dir / "primary")
+        self.primary = _Server(run_dir / "primary")
+        self.replicas = []
+        for index in range(n_replicas):
+            shutil.copytree(seed, run_dir / f"replica{index}")
+            self.replicas.append(_Server(
+                run_dir / f"replica{index}",
+                ("--replica-of", f"{self.primary.host}:{self.primary.port}",
+                 "--replica-checkpoint-interval", "1.0")))
+
+    def wait_caught_up(self, timeout=30.0):
+        deadline = time.monotonic() + timeout
+        for server in self.replicas:
+            client = DatabaseClient(server.host, server.port)
+            try:
+                while time.monotonic() < deadline:
+                    rep = client.ping().get("replication") or {}
+                    if rep.get("caught_up"):
+                        break
+                    time.sleep(0.05)
+                else:
+                    raise AssertionError("replica never caught up")
+            finally:
+                client.close()
+
+    def watermark(self):
+        """The lowest replayed transaction time across replicas."""
+        marks = []
+        for server in self.replicas:
+            client = DatabaseClient(server.host, server.port)
+            try:
+                rep = client.ping().get("replication") or {}
+                marks.append(int(rep.get("replayed_tt", 0)))
+            finally:
+                client.close()
+        return min(marks) if marks else None
+
+    def stop(self):
+        for server in self.replicas:
+            server.stop()
+        self.primary.stop()
+
+
+def _node_goodput(server, query):
+    """Closed-loop read throughput of one node in isolation."""
+    stop = threading.Event()
+    counts = [0] * CAPACITY_THREADS
+
+    def loop(slot):
+        client = DatabaseClient(server.host, server.port)
+        try:
+            while not stop.is_set():
+                client.query(query)
+                counts[slot] += 1
+        finally:
+            client.close()
+
+    workers = [threading.Thread(target=loop, args=(slot,), daemon=True)
+               for slot in range(CAPACITY_THREADS)]
+    begun = time.monotonic()
+    for worker in workers:
+        worker.start()
+    time.sleep(CAPACITY_SECONDS)
+    stop.set()
+    for worker in workers:
+        worker.join(10)
+    return sum(counts) / (time.monotonic() - begun)
+
+
+def _timesliced_capacity(cluster, query):
+    """Per-node read capacity with every other process SIGSTOPped.
+
+    The sum estimates the fleet's aggregate serving capacity were each
+    node given its own core/host — the quantity replication actually
+    adds.  Run quiesced (writer stopped, replicas caught up) so frozen
+    peers cannot distort the node under test.
+    """
+    nodes = [cluster.primary] + cluster.replicas
+    per_node = []
+    for node in nodes:
+        others = [server for server in nodes if server is not node]
+        for other in others:
+            os.kill(other.proc.pid, signal.SIGSTOP)
+        try:
+            per_node.append(round(_node_goodput(node, query), 1))
+        finally:
+            for other in others:
+                os.kill(other.proc.pid, signal.SIGCONT)
+    return per_node
+
+
+def _run_point(tmp_root, n_replicas):
+    cluster = _Cluster(tmp_root, n_replicas)
+    try:
+        writer = DatabaseClient(cluster.primary.host, cluster.primary.port)
+        # Committed history through the wire, then confirm every
+        # replica replays it before the clock starts.
+        for round_no in range(20):
+            with writer.transaction() as txn:
+                txn.update(cluster.comp_ids[round_no % 16],
+                           {"weight": float(round_no)}, valid_from=1)
+        cluster.wait_caught_up()
+        # Readers pin to the seed's last committed transaction time: a
+        # belief time every server holds from birth, so the pool can
+        # always route it to a replica regardless of replay progress.
+        as_of = cluster.seed_as_of
+        read_query = READ_QUERY.format(tt=as_of)
+
+        pool = ClientPool(
+            cluster.primary.host, cluster.primary.port,
+            size=READER_THREADS,
+            replicas=[(s.host, s.port) for s in cluster.replicas])
+
+        stop = threading.Event()
+        writes = [0]
+
+        def write_loop():
+            # Round-robin over the whole component population: chains
+            # stay shallow, the update stream stays stationary.
+            n = 0
+            while not stop.is_set():
+                try:
+                    with writer.transaction() as txn:
+                        txn.update(
+                            cluster.comp_ids[n % len(cluster.comp_ids)],
+                            {"weight": float(n % 97)}, valid_from=1)
+                except Exception:  # noqa: BLE001 - shutdown race
+                    if not stop.is_set():
+                        raise
+                    return
+                writes[0] = n = n + 1
+
+        lag_gaps, lag_seconds = [], []
+
+        def lag_loop():
+            clients = [DatabaseClient(s.host, s.port)
+                       for s in cluster.replicas]
+            try:
+                while not stop.wait(0.5):
+                    for client in clients:
+                        rep = client.ping().get("replication") or {}
+                        lag_gaps.append(int(rep.get("received_lsn", 0))
+                                        - int(rep.get("replayed_lsn", 0)))
+                        lag_seconds.append(
+                            float(rep.get("lag_seconds", 0.0)))
+            finally:
+                for client in clients:
+                    client.close()
+
+        counts = [0] * READER_THREADS
+        errors = [0] * READER_THREADS
+        latencies = [[] for _ in range(READER_THREADS)]
+
+        def read_loop(slot):
+            while not stop.is_set():
+                started = time.perf_counter()
+                try:
+                    pool.query(read_query)
+                except Exception:  # noqa: BLE001 - shed/timeout counts
+                    errors[slot] += 1
+                    continue
+                counts[slot] += 1
+                latencies[slot].append(time.perf_counter() - started)
+
+        threads = [threading.Thread(target=write_loop, daemon=True),
+                   threading.Thread(target=lag_loop, daemon=True)]
+        threads += [threading.Thread(target=read_loop, args=(slot,),
+                                     daemon=True)
+                    for slot in range(READER_THREADS)]
+        begun = time.monotonic()
+        for thread in threads:
+            thread.start()
+        time.sleep(WINDOW_SECONDS)
+        stop.set()
+        for thread in threads:
+            thread.join(10)
+        elapsed = time.monotonic() - begun
+
+        # -- fidelity oracle: every replica answers exactly like the
+        # primary once caught up (same atoms the writer was updating).
+        cluster.wait_caught_up()
+        oracle_tt = cluster.watermark()
+        answers = {}
+        targets = [("primary", cluster.primary)] + [
+            (f"replica{index}", server)
+            for index, server in enumerate(cluster.replicas)]
+        for name, server in targets:
+            client = DatabaseClient(server.host, server.port)
+            try:
+                oracle_query = ORACLE_QUERY.format(
+                    tt=oracle_tt if oracle_tt is not None else as_of)
+                answers[name] = json.dumps(client.query(oracle_query),
+                                           sort_keys=True)
+            finally:
+                client.close()
+        for name, answer in answers.items():
+            assert answer == answers["primary"], (
+                f"{name} diverged from primary at AS OF {oracle_tt}")
+
+        flat = sorted(value for slot in latencies for value in slot)
+        stats_client = DatabaseClient(cluster.primary.host,
+                                      cluster.primary.port)
+        try:
+            snapshot = stats_client.stats().get("metrics", {})
+            shed = sum(c["value"] for c in snapshot.get("counters", ())
+                       if c["name"] == "server.load_shed")
+        finally:
+            stats_client.close()
+        pool.close()
+        writer.close()
+
+        # -- quiesced per-node capacity (the headline measurement).
+        per_node = _timesliced_capacity(cluster, read_query)
+
+        lag_sorted = sorted(lag_gaps)
+        return {
+            "replicas": n_replicas,
+            "fleet_capacity_reads_per_second": round(sum(per_node), 1),
+            "node_capacity_reads_per_second": per_node,
+            "reads_per_second": round(sum(counts) / elapsed, 1),
+            "read_errors": sum(errors),
+            "writes_per_second": round(writes[0] / elapsed, 1),
+            "p50_ms": round(_percentile(flat, 0.50) * 1000, 2),
+            "p95_ms": round(_percentile(flat, 0.95) * 1000, 2),
+            "primary_load_shed": shed,
+            "lag_records_median": _percentile(lag_sorted, 0.5),
+            "lag_records_max": lag_sorted[-1] if lag_sorted else 0,
+            "lag_seconds_max": round(max(lag_seconds), 3) if lag_seconds
+            else 0.0,
+            "oracle": "identical",
+        }
+    finally:
+        cluster.stop()
+
+
+def test_s2_report_header(benchmark, capsys):
+    header(capsys, "R-S2",
+           "replication: read capacity, routed goodput, steady-state lag")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_s2_read_scaling(tmp_path_factory, capsys):
+    tmp_root = tmp_path_factory.mktemp("s2")
+    rows = [_run_point(tmp_root, point) for point in REPLICA_POINTS]
+
+    emit(capsys, "",
+         "fleet capacity: per-node, others frozen (single-CPU host — "
+         "sum estimates one-core-per-node deployment):",
+         f"{'replicas':>8} {'fleet r/s':>10}  per-node r/s")
+    for row in rows:
+        nodes = ", ".join(f"{value:.0f}"
+                          for value in row["node_capacity_reads_per_second"])
+        emit(capsys, f"{row['replicas']:>8} "
+             f"{row['fleet_capacity_reads_per_second']:>10.1f}  [{nodes}]")
+
+    emit(capsys, "",
+         "concurrent routed goodput, 12 clients + writer, all processes "
+         f"sharing one core ({WINDOW_SECONDS:.0f}s windows):",
+         f"{'replicas':>8} {'reads/s':>8} {'errors':>7} {'p50 ms':>7} "
+         f"{'p95 ms':>8} {'writes/s':>9} {'lag max':>8}")
+    for row in rows:
+        emit(capsys,
+             f"{row['replicas']:>8} {row['reads_per_second']:>8.1f} "
+             f"{row['read_errors']:>7} {row['p50_ms']:>7.2f} "
+             f"{row['p95_ms']:>8.2f} {row['writes_per_second']:>9.1f} "
+             f"{row['lag_records_max']:>8}")
+
+    def fleet(at):
+        return next(r for r in rows if r["replicas"] == at)[
+            "fleet_capacity_reads_per_second"]
+
+    capacity_ratio = fleet(2) / (fleet(0) or 1.0)
+    base = rows[0]
+    two = next(r for r in rows if r["replicas"] == 2)
+    concurrent_ratio = two["reads_per_second"] / (
+        base["reads_per_second"] or 1.0)
+    writer_speedup = two["writes_per_second"] / max(
+        base["writes_per_second"], 1.0)
+    emit(capsys, "",
+         f"2-replica / 0-replica fleet capacity: {capacity_ratio:.2f}x; "
+         f"concurrent goodput {concurrent_ratio:.2f}x with writer "
+         f"speedup {writer_speedup:.1f}x (reads offloaded from the "
+         "primary)")
+
+    path = _record("replication_axis", {
+        "points": rows,
+        "reader_threads": READER_THREADS,
+        "window_seconds": WINDOW_SECONDS,
+        "capacity_threads": CAPACITY_THREADS,
+        "capacity_seconds": CAPACITY_SECONDS,
+        "capacity_ratio_2_replicas": round(capacity_ratio, 2),
+        "concurrent_goodput_ratio_2_replicas": round(concurrent_ratio, 2),
+        "writer_speedup_2_replicas": round(writer_speedup, 2),
+        "host_cpus": os.cpu_count(),
+    })
+    emit(capsys, f"[recorded -> {path.name}]")
+    # Fidelity is the gate (asserted per point); capacity must at least
+    # show the added serving nodes.
+    assert all(row["oracle"] == "identical" for row in rows)
+    assert capacity_ratio >= 1.7

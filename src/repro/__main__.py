@@ -12,7 +12,9 @@ Commands:
 * ``vacuum DB --before-tt T``— remove versions superseded before T
 * ``serve --path DB --port N`` — serve the database over TCP
   (``--metrics-port`` adds the HTTP /metrics+/health sidecar,
-  ``--event-log FILE`` tees structured events to a JSON-lines file)
+  ``--event-log FILE`` tees structured events to a JSON-lines file,
+  ``--replica-of HOST:PORT`` runs as a read-only replica that ships
+  and replays the primary's WAL)
 * ``shell --connect HOST:PORT`` — interactive MQL shell over the wire
 * ``monitor --connect HOST:PORT`` — top-like live view of a running
   server: throughput, latency percentiles, shed rate, buffer hits
@@ -181,7 +183,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.obs import EventLog
     from repro.server import AdmissionController, DatabaseServer
 
+    replica_of = getattr(args, "replica_of", None)
+    primary_host = primary_port = None
+    if replica_of:
+        primary_host, _, port_text = replica_of.rpartition(":")
+        if not primary_host or not port_text.isdigit():
+            print(f"error: --replica-of needs HOST:PORT, got {replica_of!r}",
+                  file=sys.stderr)
+            return 2
+        primary_port = int(port_text)
+
     db = _open(args.path)
+    applier = None
+    if replica_of:
+        from repro.replication import ReplicaApplier
+        applier = ReplicaApplier(
+            db, primary_host, primary_port,
+            replica_id=args.replica_id,
+            checkpoint_interval=args.replica_checkpoint_interval)
     event_sink = None
     if args.event_log:
         event_sink = open(args.event_log, "a", encoding="utf-8")
@@ -199,11 +218,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
         admission=admission,
         metrics_port=args.metrics_port,
         metrics_host=args.host,
-        worker_threads=args.worker_threads)
+        worker_threads=args.worker_threads,
+        replication=applier)
     stop = threading.Event()
     for signum in (signal.SIGINT, signal.SIGTERM):
         signal.signal(signum, lambda *_: stop.set())
     server.start()
+    if applier is not None:
+        applier.start()
+        print(f"read-only replica of {replica_of} "
+              f"(replica id {applier.replica_id})", flush=True)
     print(f"serving {args.path} on {server.host}:{server.port} "
           f"(max {args.max_connections} connections, "
           f"{args.max_inflight} in flight)", flush=True)
@@ -216,6 +240,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     finally:
         print("shutting down: draining requests, checkpointing...",
               flush=True)
+        if applier is not None:
+            applier.stop()
         server.shutdown()
         db.close()
         if event_sink is not None:
@@ -262,6 +288,24 @@ def _render_monitor(body, prev, elapsed: float):
         f"requests {requests}  shed {shed}"
         f"  timeouts {_counter_total(metrics, 'server.queue_timeouts')}",
     ]
+    replication = server.get("replication")
+    if replication:
+        if replication.get("role") == "replica":
+            line = (f"replica of {replication['primary']}"
+                    f"  replayed lsn {replication['replayed_lsn']}"
+                    f" (tt {replication['replayed_tt']})"
+                    f"  lag {replication['lag_seconds']:.1f}s")
+            if not replication.get("connected"):
+                line += "  [DISCONNECTED]"
+            lines.append(line)
+        else:
+            subs = replication.get("subscribers") or {}
+            line = (f"primary  wal head {replication.get('head', 0)}"
+                    f"  replicas {len(subs)}")
+            retained = replication.get("retained_bytes") or 0
+            if retained:
+                line += f"  retained {retained} bytes"
+            lines.append(line)
     if prev is not None and elapsed > 0:
         rate = (requests - prev[0]) / elapsed
         shed_rate = (shed - prev[1]) / elapsed
@@ -474,6 +518,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--event-log", default=None, metavar="FILE",
                        help="append structured events to FILE as JSON "
                             "lines")
+    serve.add_argument("--replica-of", default=None, metavar="HOST:PORT",
+                       help="run as a read-only replica: ship and "
+                            "replay the WAL of the primary at HOST:PORT")
+    serve.add_argument("--replica-id", default=None,
+                       help="stable replica identity for the primary's "
+                            "subscription registry (default: persisted "
+                            "generated id)")
+    serve.add_argument("--replica-checkpoint-interval", type=float,
+                       default=5.0, metavar="SECONDS",
+                       help="how often the replica advances its durable "
+                            "watermark (and ack) via checkpoint")
     serve.set_defaults(handler=cmd_serve)
 
     shell = commands.add_parser(

@@ -298,6 +298,15 @@ class TemporalDatabase:
         self._state_latch = ReadWriteLock()
         #: Summary of the last crash recovery, or None (set by open()).
         self.last_recovery: Optional[Dict[str, int]] = None
+        #: Replication replay watermark.  Zero on a primary; on a replica
+        #: the applier keeps it at the last quiescent primary LSN whose
+        #: effects are applied, and checkpoint() records *it* as
+        #: ``applied_lsn`` instead of the local WAL head — the local log
+        #: may hold received-but-unapplied records of open transactions,
+        #: which must be replayed (not skipped) after a restart.
+        self.replication_applied_lsn = (
+            int(catalog.applied_lsn)
+            if catalog.extras.get("replica_of") else 0)
 
         #: One registry per database; every layer below routes its counters
         #: here, and the tracer snapshots it around traced spans.
@@ -379,12 +388,20 @@ class TemporalDatabase:
             schema = Schema.from_dict(catalog.schema or {})
         db = cls(path, schema, catalog, config, _fresh=False)
         if needs_replay:
+            # A replica's local log may end with records of transactions
+            # whose COMMITs are still on the primary: replay only up to
+            # the last quiescent point, the applier fetches the rest.
+            is_replica = bool(catalog.extras.get("replica_of"))
             summary = replay_operations(db.engine, db._wal,
-                                        catalog.applied_lsn)
+                                        catalog.applied_lsn,
+                                        quiescent_only=is_replica)
             db._clock.advance_to(summary["max_tt"] + 1)
             with db._id_mutex:
                 db._next_atom_id = max(db._next_atom_id,
                                        summary["max_atom_id"] + 1)
+            if is_replica:
+                db.replication_applied_lsn = max(
+                    db.replication_applied_lsn, summary["quiescent_lsn"])
             db.checkpoint()
             db.last_recovery = summary
         db._mark_dirty()
@@ -586,7 +603,14 @@ class TemporalDatabase:
             catalog.extras["index_state"] = self.indexes.persist_state()
             catalog.next_atom_id = self._next_atom_id
             catalog.clock = self._clock.now()
-            catalog.applied_lsn = self._wal.next_lsn - 1
+            if catalog.extras.get("replica_of"):
+                # Replica: the image contains exactly the applied prefix,
+                # not everything received into the local log.
+                catalog.applied_lsn = max(catalog.applied_lsn,
+                                          self.replication_applied_lsn)
+            else:
+                catalog.applied_lsn = max(catalog.applied_lsn,
+                                          self._wal.next_lsn - 1)
             catalog.save()
             self._publish_checkpoint()
 
@@ -613,8 +637,22 @@ class TemporalDatabase:
                 raise TransactionStateError(
                     "cannot close with active transactions")
             self.checkpoint()
-            self._wal.truncate()
-            self._catalog.applied_lsn = 0
+            # truncate() refuses while a subscribed replica still needs
+            # the log; the records are kept and the LSN space survives
+            # the restart, so the replica can resume where it left off.
+            # On a replica, applied_lsn must keep naming the primary's
+            # LSN space, so the reset only happens on an unreplicated
+            # primary whose log actually emptied.
+            truncated = self._wal.truncate()
+            if truncated and not self._catalog.extras.get("replica_of"):
+                if self._wal.next_lsn > 1:
+                    # The LSN space restarts at 1 on the next open; bump
+                    # the epoch so a replica resuming from an old LSN
+                    # detects the reset instead of silently applying
+                    # different records under reused numbers.
+                    self._catalog.extras["wal_epoch"] = (
+                        int(self._catalog.extras.get("wal_epoch", 0)) + 1)
+                self._catalog.applied_lsn = 0
             self._catalog.extras["clean_shutdown"] = True
             self._catalog.save()
             # Republish so the checkpointed catalog also carries the reset

@@ -91,6 +91,12 @@ UndoAction = Callable[[], None]
 #: can share one memory budget with the buffer pool.
 DEFAULT_DECODE_CACHE_BYTES = 8 * 1024 * 1024
 
+#: Atoms whose live version set is cached for the write path.  Entries
+#: are a handful of decoded versions each (live sets are tiny — one per
+#: disjoint valid-time fragment), so the bound is about breadth, not
+#: bytes.
+_LIVE_SETS_MAX_ATOMS = 65536
+
 #: Fixed per-entry accounting overhead (key tuple, OrderedDict slot,
 #: Version object headers) added to each entry's payload size.
 DECODE_CACHE_ENTRY_OVERHEAD = 160
@@ -232,6 +238,20 @@ class StorageEngine:
         self._c_mutations = self.metrics.counter("engine.mutations")
         self._decode_cache = DecodedVersionCache(decode_cache_bytes,
                                                  self.metrics)
+        # The live-set cache: atom id -> {seq: decoded live Version}.
+        # Revision planning only reads live versions, and _apply_plan
+        # knows exactly how a plan changes the live set, so after one
+        # cold read_live an atom's updates plan against this map with no
+        # store reads at all — update cost stays O(live) no matter how
+        # long the closed history grows.  Dropped (not repaired) on
+        # undo and external store rewrites via invalidate_atom_caches.
+        self._live_sets: Dict[int, Dict[int, Version]] = {}
+        self._c_live_hits = self.metrics.counter("engine.live_set.hits")
+        self._c_live_misses = self.metrics.counter("engine.live_set.misses")
+        # Monotone replay watermark: recovery/replication skip logged
+        # operations at or below this LSN, making re-replay of an
+        # overlapping committed range a no-op (see txn.recovery).
+        self.applied_replay_lsn = 0
         # Atoms never change type (insert enforces it), so this map only
         # needs invalidation to forget atoms that disappear entirely; it
         # is dropped on every mutation touch anyway for uniformity.
@@ -310,6 +330,7 @@ class StorageEngine:
         """
         self._decode_cache.invalidate_atom(atom_id)
         self._type_names.pop(atom_id, None)
+        self._live_sets.pop(atom_id, None)
 
     def atom_type_name(self, atom_id: int) -> str:
         type_name = self._type_names.get(atom_id)
@@ -395,6 +416,37 @@ class StorageEngine:
                     for seq, sv in enumerate(self.store.read_all(atom_id))]
         self._c_versions_scanned.inc(len(versions))
         return versions
+
+    def live_pairs(self, atom_id: int) -> List[Tuple[int, Version]]:
+        """The atom's live versions as (seq, version), in seq order.
+
+        Served from the live-set cache when warm; one store
+        ``read_live`` otherwise.  This is the planning read for every
+        mutation — closed versions are immutable, so revision never
+        needs them.
+        """
+        cached = self._live_sets.get(atom_id)
+        if cached is not None:
+            self._c_live_hits.inc()
+            return sorted(cached.items())
+        if not self.store.exists(atom_id):
+            raise UnknownAtomError(f"no atom {atom_id}")
+        self._c_live_misses.inc()
+        pairs = [(seq, self._decode_cached(atom_id, seq, sv)[1])
+                 for seq, sv in self.store.read_live(atom_id)]
+        self._c_versions_scanned.inc(len(pairs))
+        self._remember_live(atom_id, dict(pairs))
+        return pairs
+
+    def _remember_live(self, atom_id: int,
+                       live: Dict[int, Version]) -> None:
+        cache = self._live_sets
+        if len(cache) >= _LIVE_SETS_MAX_ATOMS and atom_id not in cache:
+            # FIFO eviction: the bound only guards pathological breadth
+            # (bulk loads touching millions of atoms); hot write sets
+            # are far smaller and re-enter on their next touch.
+            cache.pop(next(iter(cache)))
+        cache[atom_id] = live
 
     def all_versions_many(self, atom_ids: Iterable[int],
                           pred: Optional[Callable[[bytes], bool]] = None
@@ -573,9 +625,14 @@ class StorageEngine:
                     undos: List[UndoAction]) -> None:
         self._c_mutations.inc()
         store = self.store
+        # Claimed (not read) until the plan lands: any exception leaves
+        # the cache empty for this atom and the next touch rebuilds it
+        # from the store.
+        prior_live = self._live_sets.pop(atom_id, None)
         replacements = plan.closures + plan.rewrites
         if replacements:
-            originals = store.read_all(atom_id)
+            originals = store.read_versions(
+                atom_id, [seq for seq, _ in replacements])
         for seq, replacement in replacements:
             old = originals[seq]
             store.replace_version(atom_id, seq,
@@ -588,6 +645,7 @@ class StorageEngine:
         for _seq, replacement in plan.rewrites:
             self._index_version(type_name, atom_id, replacement)
         first_append = not store.exists(atom_id)
+        append_base = 0 if first_append else store.version_count(atom_id)
         for version in plan.appends:
             store.append_version(atom_id, self._encode(type_name, version))
             undos.append(self._undo_invalidating(
@@ -599,6 +657,22 @@ class StorageEngine:
             undos.append(lambda: self.indexes.unregister_atom(type_id,
                                                               atom_id))
         self.invalidate_atom_caches(atom_id)
+        if prior_live is not None:
+            # The plan states exactly how the live set changed, so the
+            # cache is repaired in place instead of rebuilt: closures
+            # leave the live set, rewrites stay only while still live
+            # (stillborns leave), appends join at their new sequence.
+            for seq, _closed in plan.closures:
+                prior_live.pop(seq, None)
+            for seq, replacement in plan.rewrites:
+                if replacement.live:
+                    prior_live[seq] = replacement
+                else:
+                    prior_live.pop(seq, None)
+            for offset, version in enumerate(plan.appends):
+                if version.live:
+                    prior_live[append_base + offset] = version
+            self._remember_live(atom_id, prior_live)
 
     def _index_version(self, type_name: str, atom_id: int,
                        version: Version) -> None:
@@ -628,12 +702,13 @@ class StorageEngine:
         atom_type = self.schema.atom_type(type_name)
         checked = atom_type.validate_values(values)
         window = Interval(valid_from, valid_to)
-        existing = (self.all_versions(atom_id)
-                    if self.store.exists(atom_id) else ())
-        if existing and self.atom_type_name(atom_id) != type_name:
+        exists = self.store.exists(atom_id)
+        if exists and self.atom_type_name(atom_id) != type_name:
             raise TemporalUpdateError(
                 f"atom {atom_id} already exists with a different type")
-        plan = hist.insert_plan(checked, {}, window, tt, existing)
+        existing_live = self.live_pairs(atom_id) if exists else ()
+        plan = hist.insert_plan(checked, {}, window, tt,
+                                existing_live=existing_live)
         undos: List[UndoAction] = []
         self._apply_plan(atom_id, type_name, plan, undos)
         return undos
@@ -654,7 +729,8 @@ class StorageEngine:
             merged.update(checked)
             return version.with_state(merged, version.refs)
 
-        plan = hist.revise(self.all_versions(atom_id), window, tt, transform)
+        plan = hist.revise_pairs(self.live_pairs(atom_id), window, tt,
+                                 transform)
         undos: List[UndoAction] = []
         self._apply_plan(atom_id, type_name, plan, undos)
         return undos
@@ -665,8 +741,8 @@ class StorageEngine:
         """Logically delete: truncate validity inside the window."""
         type_name = self.atom_type_name(atom_id)
         window = Interval(valid_from, valid_to)
-        plan = hist.revise(self.all_versions(atom_id), window, tt,
-                           lambda version: None)
+        plan = hist.revise_pairs(self.live_pairs(atom_id), window, tt,
+                                 lambda version: None)
         undos: List[UndoAction] = []
         self._apply_plan(atom_id, type_name, plan, undos)
         return undos
@@ -685,7 +761,8 @@ class StorageEngine:
             merged.update(checked)
             return version.with_state(merged, version.refs)
 
-        plan = hist.revise(self.all_versions(atom_id), window, tt, transform)
+        plan = hist.revise_pairs(self.live_pairs(atom_id), window, tt,
+                                 transform)
         undos: List[UndoAction] = []
         self._apply_plan(atom_id, type_name, plan, undos)
         return undos
@@ -712,8 +789,7 @@ class StorageEngine:
     def _check_cardinality(self, link: LinkType, source_id: int,
                            target_id: int, window: Interval) -> None:
         if not link.cardinality.source_may_have_many:
-            for _, version in hist.live_versions(
-                    self.all_versions(source_id)):
+            for _, version in self.live_pairs(source_id):
                 if not version.vt.overlaps(window):
                     continue
                 others = version.refs.get(ref_key(link.name, OUT),
@@ -723,8 +799,7 @@ class StorageEngine:
                         f"{link.name}: source {source_id} already linked "
                         f"during {version.vt}")
         if not link.cardinality.target_may_have_many:
-            for _, version in hist.live_versions(
-                    self.all_versions(target_id)):
+            for _, version in self.live_pairs(target_id):
                 if not version.vt.overlaps(window):
                     continue
                 others = version.refs.get(ref_key(link.name, IN),
@@ -758,7 +833,8 @@ class StorageEngine:
                 {k: frozenset(v) for k, v in refs.items() if v})
 
         type_name = self.atom_type_name(atom_id)
-        plan = hist.revise(self.all_versions(atom_id), window, tt, transform)
+        plan = hist.revise_pairs(self.live_pairs(atom_id), window, tt,
+                                 transform)
         return type_name, plan, changed
 
     def link(self, link_name: str, source_id: int, target_id: int,

@@ -115,9 +115,24 @@ def revise(versions: Sequence[Version], window: Interval,
     ``None`` — deletion), unchanged suffix.  Versions outside the window
     are untouched.
     """
+    return revise_pairs(live_versions(versions), window, tt_now, transform,
+                        require_overlap)
+
+
+def revise_pairs(live: Sequence[Tuple[int, Version]], window: Interval,
+                 tt_now: Timestamp, transform: StateTransform,
+                 require_overlap: bool = True) -> HistoryPlan:
+    """:func:`revise` over pre-selected live (sequence, version) pairs.
+
+    Revision only ever touches live versions, so callers that can
+    enumerate them directly (the engine's live-set cache, a store's
+    current segment) skip materialising — and decoding — the closed
+    majority of a long history.  *live* must be exactly the atom's live
+    versions with their store sequence numbers.
+    """
     plan = HistoryPlan()
     touched = False
-    for seq, version in live_versions(versions):
+    for seq, version in live:
         overlap = version.vt.intersect(window)
         if overlap is None:
             continue
@@ -175,13 +190,19 @@ def revise(versions: Sequence[Version], window: Interval,
 
 def insert_plan(values: dict, refs: dict, window: Interval,
                 tt_now: Timestamp,
-                existing: Sequence[Version] = ()) -> HistoryPlan:
+                existing: Sequence[Version] = (),
+                existing_live: Optional[Sequence[Tuple[int, Version]]] = None
+                ) -> HistoryPlan:
     """Plan for asserting a new state over *window*.
 
     Rejects overlap with currently believed validity — inserting over an
-    existing state is a correction, not an insertion.
+    existing state is a correction, not an insertion.  *existing_live*,
+    when given, supplies the pre-selected live pairs and *existing* is
+    ignored.
     """
-    for _, version in live_versions(existing):
+    pairs = (live_versions(existing) if existing_live is None
+             else existing_live)
+    for _, version in pairs:
         if version.vt.overlaps(window):
             raise TemporalUpdateError(
                 f"validity {window} overlaps existing version {version.vt}")

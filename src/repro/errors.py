@@ -208,6 +208,27 @@ class CursorStateError(ServerError):
     still outstanding on the same connection."""
 
 
+class ReadOnlyReplicaError(ServerError):
+    """A write (BEGIN/MUTATE) was sent to a read-only replica.
+
+    Not transient — retrying against the same server can never succeed.
+    The message names the primary so a misconfigured client (or a human
+    at a shell) can redirect the write; ``ClientPool`` never routes
+    writes to replicas in the first place.
+    """
+
+    def __init__(self, message: str, primary: str = "") -> None:
+        super().__init__(message)
+        self.primary = primary
+
+
+class ReplicationError(ServerError):
+    """Log shipping between a primary and a replica broke down: a
+    stream gap (the primary truncated records the replica still needs,
+    requiring a fresh bootstrap copy), a malformed subscription
+    request, or a replica applier fault."""
+
+
 class RemoteError(ServerError):
     """An error raised server-side and reconstructed at the client.
 

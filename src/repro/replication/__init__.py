@@ -1,0 +1,26 @@
+"""Log-shipping replication: WAL streaming, replica replay, routing.
+
+The primary side (:class:`ReplicationSource`) serves ``WAL_STREAM``
+requests by reading batches of durable WAL records; the replica side
+(:class:`ReplicaApplier`) long-polls those batches, appends them
+verbatim into its own local WAL (the two LSN spaces stay aligned, so
+the standard crash-recovery path works on a replica unchanged), and
+replays quiescent-bounded slices through the ordinary
+``replay_operations`` machinery.  :func:`routing_bound` is the
+client-side predicate that decides whether a query is time-bounded
+tightly enough to route to a replica.  See ``docs/replication.md``.
+"""
+
+from repro.replication.replica import ReplicaApplier
+from repro.replication.router import routing_bound
+from repro.replication.source import (
+    MAX_STREAM_WAIT_MS,
+    ReplicationSource,
+)
+
+__all__ = [
+    "MAX_STREAM_WAIT_MS",
+    "ReplicaApplier",
+    "ReplicationSource",
+    "routing_bound",
+]

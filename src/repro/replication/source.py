@@ -1,0 +1,115 @@
+"""Primary-side WAL streaming: the server half of log shipping.
+
+One :class:`ReplicationSource` lives inside a
+:class:`~repro.server.server.DatabaseServer` and answers ``WAL_STREAM``
+frames.  A request names the first LSN wanted, an optional long-poll
+window, and (for subscribed replicas) the replica's identity plus its
+durable replay watermark; the response carries a bounded batch of
+records and the current shippable head.
+
+Only *shippable* records leave the primary
+(:attr:`~repro.txn.wal.WriteAheadLog.shippable_lsn`): with synchronous
+durability that is the durable head, because a crash can cut the
+non-durable tail and reassign its LSNs to different records — a replica
+that applied the originals would silently diverge.
+
+Subscribed replicas ack their durable watermark on every request, and
+the WAL's retention guard refuses to truncate while the slowest ack
+trails the head (``wal.retention_held_bytes``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.errors import ReplicationError
+
+#: Long-poll ceiling per WAL_STREAM request (milliseconds).  Kept well
+#: under a second so a parked stream never pins an ungated worker for
+#: long — a caught-up replica simply re-polls.
+MAX_STREAM_WAIT_MS = 500
+
+#: Batch ceilings: records per response and approximate payload bytes
+#: (well under the 8 MiB frame cap, leaving room for JSON framing).
+MAX_BATCH_RECORDS = 4096
+DEFAULT_BATCH_RECORDS = 512
+MAX_BATCH_BYTES = 2 * 1024 * 1024
+
+
+class ReplicationSource:
+    """Serves WAL record batches to replicas over ``WAL_STREAM``."""
+
+    def __init__(self, db: Any) -> None:
+        self._db = db
+        self._wal = db._wal
+        metrics = db.metrics
+        self._c_requests = metrics.counter("replication.stream_requests")
+        self._c_shipped = metrics.counter("replication.records_shipped")
+        self._c_waits = metrics.counter("replication.stream_waits")
+
+    def handle(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Answer one WAL_STREAM request; see ``docs/replication.md``
+        for the payload shape."""
+        self._c_requests.inc()
+        try:
+            from_lsn = int(payload.get("from_lsn", 1))
+            max_records = int(payload.get("max_records",
+                                          DEFAULT_BATCH_RECORDS))
+            wait_ms = int(payload.get("wait_ms", 0))
+        except (TypeError, ValueError) as exc:
+            raise ReplicationError(
+                f"malformed WAL_STREAM request: {exc}") from exc
+        if from_lsn < 1:
+            raise ReplicationError(
+                f"from_lsn must be >= 1, got {from_lsn}")
+        max_records = max(1, min(max_records, MAX_BATCH_RECORDS))
+        wait_ms = max(0, min(wait_ms, MAX_STREAM_WAIT_MS))
+
+        replica = payload.get("replica")
+        if replica is not None:
+            ack = payload.get("ack_lsn")
+            acked = int(ack) if ack is not None else from_lsn - 1
+            self._wal.ack(str(replica), acked)
+
+        head = self._wal.shippable_lsn
+        if head < from_lsn and wait_ms:
+            self._c_waits.inc()
+            head = self._wal.wait_for_shippable(from_lsn, wait_ms / 1000.0)
+
+        records = []
+        if head >= from_lsn:
+            budget = MAX_BATCH_BYTES
+            for record in self._wal.read_records_from(from_lsn,
+                                                      upto_lsn=head):
+                records.append([record.lsn, record.type.value,
+                                record.txn_id, record.payload])
+                budget -= len(json.dumps(record.payload,
+                                         separators=(",", ":"))) + 32
+                if len(records) >= max_records or budget <= 0:
+                    break
+            self._c_shipped.inc(len(records))
+        last = records[-1][0] if records else from_lsn - 1
+        return {
+            "records": records,
+            "head": head,
+            "caught_up": last >= head,
+            "next_from": last + 1,
+            "epoch": self._epoch(),
+        }
+
+    def _epoch(self) -> int:
+        """The primary's WAL epoch: bumped whenever a clean shutdown
+        restarts the LSN space, so replicas detect number reuse."""
+        return int(self._db._catalog.extras.get("wal_epoch", 0))
+
+    def status(self) -> Dict[str, Any]:
+        """Primary-side replication block for STATS/state_snapshot."""
+        return {
+            "role": "primary",
+            "head": self._wal.shippable_lsn,
+            "epoch": self._epoch(),
+            "subscribers": self._wal.subscribers(),
+            "retained_bytes": self._db.metrics.gauge(
+                "wal.retention_held_bytes").value,
+        }

@@ -25,7 +25,13 @@ kernel.  The pieces:
 * :mod:`repro.server.client` — a blocking client with prepared
   statements, context-manager transactions, transient-error retry,
   trace-context stamping, streaming result cursors, and a thread-safe
-  connection pool with idle health checks.
+  connection pool with idle health checks and replica-aware routing of
+  time-bounded reads (``replicas=`` — see ``docs/replication.md``).
+
+Log-shipping replication (the ``WAL_STREAM`` opcode, the primary-side
+record source, and the replica-side applier) lives in
+:mod:`repro.replication`; the server grows a ``replication=`` handle
+that turns it into a read-only replica.
 """
 
 from repro.server.admission import AdmissionController, SlowQueryLog

@@ -363,6 +363,25 @@ class DatabaseClient:
         body = self._request(Opcode.QUERY, payload)
         return ResultCursor(self, body["cursor"])
 
+    def wal_stream(self, from_lsn: int, max_records: int = 512,
+                   wait_ms: int = 0, replica: Optional[str] = None,
+                   ack_lsn: Optional[int] = None) -> Dict[str, Any]:
+        """Fetch one batch of WAL records (``WAL_STREAM`` opcode).
+
+        The replication plane: replicas long-poll this in a loop (see
+        ``repro.replication.ReplicaApplier``).  *replica* subscribes the
+        named replica for log retention and *ack_lsn* acks its durable
+        replay watermark.  Not retried — the applier owns reconnects.
+        """
+        payload: Dict[str, Any] = {"from_lsn": int(from_lsn),
+                                   "max_records": int(max_records),
+                                   "wait_ms": int(wait_ms)}
+        if replica is not None:
+            payload["replica"] = replica
+        if ack_lsn is not None:
+            payload["ack_lsn"] = int(ack_lsn)
+        return self._roundtrip(Opcode.WAL_STREAM, payload)
+
     def prepare(self, text: str) -> "PreparedStatement":
         body = self._request(Opcode.PREPARE, {"text": text})
         return PreparedStatement(self, text,
@@ -675,6 +694,43 @@ class PreparedStatement:
         return self._client.execute(self.text, params)
 
 
+class _ReplicaTarget:
+    """One replica endpoint inside a routing :class:`ClientPool`.
+
+    Carries its own sub-pool plus the routing state: the cached
+    transaction-time watermark (monotone, so a stale value is merely
+    conservative — never incorrect) and the quarantine clock.
+    """
+
+    def __init__(self, host: str, port: int, size: int,
+                 health_check_idle: Optional[float],
+                 client_kwargs: Dict[str, Any]) -> None:
+        self.host = host
+        self.port = port
+        self.pool = ClientPool(host, port, size=size,
+                               health_check_idle=health_check_idle,
+                               **client_kwargs)
+        self.watermark_tt = -1
+        self.watermark_at = 0.0  # monotonic time of the last refresh
+        self.failures = 0
+        self.dead_until = 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        now = time.monotonic()
+        return {
+            "endpoint": f"{self.host}:{self.port}",
+            "watermark_tt": self.watermark_tt,
+            "quarantined": self.dead_until > now,
+            "failures": self.failures,
+        }
+
+
+#: Quarantine backoff for a dead replica: base doubles per consecutive
+#: failure, capped (seconds).
+_QUARANTINE_BASE = 0.5
+_QUARANTINE_CAP = 30.0
+
+
 class ClientPool:
     """Thread-safe pool of connections to one server.
 
@@ -690,10 +746,27 @@ class ClientPool:
     response (even an error frame) proves the connection; only
     stream-level failures discard it.  ``health_check_idle=None``
     disables probing.
+
+    **Replica routing** (``replicas=["host:port", ...]``): queries whose
+    belief time is pinned at or below a replica's replayed
+    transaction-time watermark (``AS OF T`` with ``T <= watermark``)
+    are served round-robin from the replicas; everything else —
+    current-knowledge reads, writes, transactions, :meth:`acquire` —
+    pins to the primary.  Watermarks are refreshed via the replica's
+    PING response at most every ``replica_watermark_ttl`` seconds, and
+    only when the cached value is too low for the query at hand (the
+    watermark is monotone, so a stale cache can only under-route, never
+    mis-route).  A replica that fails at the stream level is
+    quarantined with exponential backoff and the query falls back to
+    the next replica, then the primary — routing never turns a replica
+    outage into an error.
     """
 
     def __init__(self, host: str, port: int, size: int = 4,
                  health_check_idle: Optional[float] = 30.0,
+                 replicas: Optional[List[Any]] = None,
+                 replica_pool_size: Optional[int] = None,
+                 replica_watermark_ttl: float = 0.25,
                  **client_kwargs: Any) -> None:
         if size < 1:
             raise ValueError("pool size must be >= 1")
@@ -707,6 +780,19 @@ class ClientPool:
         self._idle: List[Tuple[DatabaseClient, float]] = []
         self._created = 0
         self._closed = False
+        self._watermark_ttl = replica_watermark_ttl
+        self._rr = 0
+        self._replicas: List[_ReplicaTarget] = []
+        for endpoint in replicas or []:
+            if isinstance(endpoint, str):
+                replica_host, _, port_text = endpoint.rpartition(":")
+                replica_port = int(port_text)
+            else:
+                replica_host, replica_port = endpoint
+            self._replicas.append(_ReplicaTarget(
+                replica_host, int(replica_port),
+                replica_pool_size or size, health_check_idle,
+                client_kwargs))
 
     def _connect(self) -> DatabaseClient:
         return DatabaseClient(self.host, self.port, **self._client_kwargs)
@@ -783,8 +869,74 @@ class ClientPool:
 
     def query(self, text: str,
               params: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        for target in self._eligible_replicas(text):
+            try:
+                with target.pool.acquire() as client:
+                    body = client.query(text, params)
+            except (ConnectionClosedError, ProtocolError, OSError):
+                self._quarantine(target)
+                continue
+            target.failures = 0
+            return body
         with self.acquire() as client:
             return client.query(text, params)
+
+    # -- replica routing -----------------------------------------------------
+
+    def _eligible_replicas(self, text: str) -> List[_ReplicaTarget]:
+        """Replicas able to answer *text* exactly, in round-robin order."""
+        if not self._replicas:
+            return []
+        from repro.replication.router import routing_bound
+        bound = routing_bound(text)
+        if bound is None:
+            return []
+        with self._lock:
+            start = self._rr
+            self._rr += 1
+        count = len(self._replicas)
+        now = time.monotonic()
+        eligible = []
+        for index in range(count):
+            target = self._replicas[(start + index) % count]
+            if target.dead_until > now:
+                continue
+            if (target.watermark_tt < bound
+                    and now - target.watermark_at >= self._watermark_ttl):
+                self._refresh_watermark(target, now)
+                if target.dead_until > now:
+                    continue
+            if target.watermark_tt >= bound:
+                eligible.append(target)
+        return eligible
+
+    def _refresh_watermark(self, target: _ReplicaTarget,
+                           now: float) -> None:
+        try:
+            with target.pool.acquire() as client:
+                body = client.ping()
+        except (ConnectionClosedError, ProtocolError, OSError,
+                RemoteError):
+            self._quarantine(target)
+            return
+        target.watermark_at = now
+        replication = body.get("replication") or {}
+        watermark = replication.get("replayed_tt")
+        if isinstance(watermark, int):
+            target.watermark_tt = max(target.watermark_tt, watermark)
+        target.failures = 0
+
+    @staticmethod
+    def _quarantine(target: _ReplicaTarget) -> None:
+        target.failures += 1
+        backoff = min(_QUARANTINE_CAP,
+                      _QUARANTINE_BASE * (2 ** (target.failures - 1)))
+        target.dead_until = time.monotonic() + backoff
+
+    def replica_status(self) -> List[Dict[str, Any]]:
+        """Routing state of every configured replica (for monitoring
+        and tests)."""
+        return [target.snapshot() for target in self._replicas]
 
     def close(self) -> None:
         with self._available_cond:
@@ -796,6 +948,8 @@ class ClientPool:
             self._available_cond.notify_all()
         for client, _ in idle:
             client.close()
+        for target in self._replicas:
+            target.pool.close()
 
     def __enter__(self) -> "ClientPool":
         return self

@@ -41,6 +41,13 @@ Protocol version history:
   a structured ``ResultTooLargeError`` pointing at cursors.  Version-1
   and -2 clients never send ``stream``/FETCH and see byte-identical
   behaviour.
+
+Within version 3 the ``WAL_STREAM`` opcode was added for log-shipping
+replication (see ``docs/replication.md``): a replica long-polls batches
+of WAL records from its primary and acks its durable replay watermark.
+Capability-negotiated rather than version-gated — the server advertises
+``"role"`` in its HELLO response, and a peer that never sends
+WAL_STREAM sees byte-identical behaviour, so no version bump.
 """
 
 from __future__ import annotations
@@ -96,6 +103,7 @@ class Opcode(IntEnum):
     STATS = 12
     FETCH = 13
     CLOSE_CURSOR = 14
+    WAL_STREAM = 15
 
     RESULT = 64
     ERROR = 65

@@ -70,6 +70,7 @@ from repro.errors import (
     CursorStateError,
     HandshakeError,
     ProtocolError,
+    ReadOnlyReplicaError,
     ReproError,
     RequestTimeoutError,
     ResultTooLargeError,
@@ -78,6 +79,7 @@ from repro.errors import (
 )
 from repro.errors import TRANSIENT_ERRORS
 from repro.obs import QueryProfile, new_trace_id
+from repro.replication.source import ReplicationSource
 from repro.server.admission import LATENCY_BOUNDS, AdmissionController
 from repro.server.http_sidecar import MetricsSidecar
 from repro.temporal import FOREVER
@@ -125,14 +127,23 @@ _RECV_CHUNK = 256 * 1024
 #: shedding one would strand server-side state the client believes
 #: finished.  STATS is the monitoring plane: an operator diagnosing a
 #: saturated server needs it to answer precisely when gated requests
-#: are being refused.
+#: are being refused.  WAL_STREAM is the replication plane: shedding it
+#: under load would stall replicas exactly when read scale-out matters,
+#: and its long-poll window is capped (MAX_STREAM_WAIT_MS) so a parked
+#: stream never pins a worker for long.
 _UNGATED_OPCODES = frozenset(
     (int(Opcode.COMMIT), int(Opcode.ROLLBACK), int(Opcode.CLOSE),
-     int(Opcode.STATS), int(Opcode.CLOSE_CURSOR)))
+     int(Opcode.STATS), int(Opcode.CLOSE_CURSOR),
+     int(Opcode.WAL_STREAM)))
 
 #: Worker threads beyond ``max_inflight``: headroom so ungated frames
 #: (COMMIT/ROLLBACK/CLOSE/STATS) never wait behind gated work.
 _UNGATED_WORKER_HEADROOM = 2
+
+#: Additional headroom for replica WAL_STREAM long-polls, so a fleet of
+#: caught-up replicas parked in their poll window cannot starve COMMIT
+#: frames of workers.
+_REPLICATION_WORKER_HEADROOM = 2
 
 #: Accepted-but-unadmitted connections held while the server is at its
 #: connection cap (see ``_process_overflow``); beyond this a connect
@@ -261,10 +272,17 @@ class DatabaseServer:
                  admission: Optional[AdmissionController] = None,
                  metrics_port: Optional[int] = None,
                  metrics_host: str = "127.0.0.1",
-                 worker_threads: Optional[int] = None) -> None:
+                 worker_threads: Optional[int] = None,
+                 replication: Optional[Any] = None) -> None:
         self.db = db
         self.max_connections = max_connections
         self.idle_timeout = idle_timeout
+        #: The ReplicaApplier when this server fronts a read-only
+        #: replica, else None (primary / standalone).  Writes are
+        #: rejected with ReadOnlyReplicaError while set.
+        self.replication = replication
+        #: Every server can feed downstream replicas (chains included).
+        self.wal_source = ReplicationSource(db)
         self.admission = admission or AdmissionController(
             metrics=db.metrics)
         #: Shared structured event log (owned by the admission
@@ -316,7 +334,8 @@ class DatabaseServer:
         self._last_reap = time.monotonic()
         if worker_threads is None:
             worker_threads = (self.admission.max_inflight
-                              + _UNGATED_WORKER_HEADROOM)
+                              + _UNGATED_WORKER_HEADROOM
+                              + _REPLICATION_WORKER_HEADROOM)
         self._pool = _WorkerPool(max(1, worker_threads), self._on_job_error)
         self.admission.on_slot_freed = self._on_slot_freed
         # Cursor accounting (sessions own their cursors; this is the
@@ -850,13 +869,22 @@ class DatabaseServer:
         # client sees exactly the protocol it asked for and a new one
         # learns the server understood v3 (streaming cursors).
         session.protocol = version
-        self._queue_result(session, frame.request_id, {
+        body = {
             "magic": PROTOCOL_MAGIC,
             "protocol": version,
             "server": "repro",
             "session_id": session.id,
             "schema": self.db.schema.name,
-        })
+        }
+        if version >= 3:
+            # Capability advertisement (added keys, no version bump):
+            # the role tells a pool it is talking to a replica, and the
+            # replication block carries the watermarks routing needs.
+            body["role"] = ("replica" if self.replication is not None
+                            else "primary")
+            if self.replication is not None:
+                body["replication"] = self.replication.status()
+        self._queue_result(session, frame.request_id, body)
         return True
 
     # -- request execution (worker threads) ----------------------------------
@@ -938,11 +966,19 @@ class DatabaseServer:
         request_id = frame.request_id
         db = self.db
         if opcode == Opcode.PING:
-            return [self._encode_result(request_id, {
+            pong: Dict[str, Any] = {
                 "pong": True,
-                "admission": self.admission.snapshot()})], False
+                "admission": self.admission.snapshot()}
+            if self.replication is not None and session.protocol >= 3:
+                # Replica watermarks ride on PING so a routing pool can
+                # refresh them with the cheapest possible round-trip.
+                pong["replication"] = self.replication.status()
+            return [self._encode_result(request_id, pong)], False
         if opcode == Opcode.STATS:
             return self._handle_stats(session, request_id, payload)
+        if opcode == Opcode.WAL_STREAM:
+            return [self._encode_result(
+                request_id, self.wal_source.handle(payload))], False
         if opcode == Opcode.QUERY or opcode == Opcode.EXECUTE:
             if opcode == Opcode.QUERY and payload.get("stream") is not None:
                 return self._handle_open_cursor(session, request_id,
@@ -961,6 +997,7 @@ class DatabaseServer:
             return self._handle_explain(session, request_id, payload,
                                         trace_id, parent_span_id)
         if opcode == Opcode.BEGIN:
+            self._require_writable()
             if session.txn is not None and session.txn.is_active:
                 raise TransactionStateError(
                     "session already has an open transaction")
@@ -980,6 +1017,7 @@ class DatabaseServer:
             return [self._encode_result(request_id,
                                         {"rolled_back": True})], False
         if opcode == Opcode.MUTATE:
+            self._require_writable()
             return self._handle_mutate(session, request_id, payload)
         if opcode == Opcode.CLOSE:
             return [self._encode_result(request_id, {"closed": True})], True
@@ -993,6 +1031,15 @@ class DatabaseServer:
         if not isinstance(text, str) or not text:
             raise ProtocolError("request needs a non-empty 'text' field")
         return text
+
+    def _require_writable(self) -> None:
+        if self.replication is not None:
+            primary = f"{self.replication.primary_host}:" \
+                      f"{self.replication.primary_port}"
+            raise ReadOnlyReplicaError(
+                f"this server is a read-only replica of {primary}; "
+                f"send writes and transactions to the primary",
+                primary=primary)
 
     def _require_txn(self, session: Session):
         if session.txn is None or not session.txn.is_active:
@@ -1390,4 +1437,7 @@ class DatabaseServer:
             "open_cursors": cursors,
             "worker_threads": self._pool.size,
             "events_seen": self.events.last_seq,
+            "replication": (self.replication.status()
+                            if self.replication is not None
+                            else self.wal_source.status()),
         }

@@ -141,6 +141,34 @@ class VersionStore:
         """The newest (highest-sequence) version."""
         raise NotImplementedError
 
+    def read_live(self, atom_id: int) -> List[Tuple[int, StoredVersion]]:
+        """All live versions with their sequence numbers, in seq order.
+
+        Revision planning only touches live versions, so this is the
+        write path's read: a strategy that can locate the live set
+        without materialising the closed majority (SEPARATED's dense
+        current segment plus envelope-only version directory) should
+        override the full-history fallback.
+        """
+        return [(seq, sv) for seq, sv in enumerate(self.read_all(atom_id))
+                if sv.live]
+
+    def read_versions(self, atom_id: int,
+                      seqs: Iterable[int]) -> Dict[int, StoredVersion]:
+        """The stored records of specific sequence numbers.
+
+        Used to capture pre-images for undo without re-reading the whole
+        history; *seqs* outside the atom raise :class:`StorageError`.
+        """
+        wanted = set(seqs)
+        versions = self.read_all(atom_id)
+        missing = [seq for seq in wanted
+                   if not (0 <= seq < len(versions))]
+        if missing:
+            raise StorageError(
+                f"atom {atom_id} has no version {missing[0]}")
+        return {seq: versions[seq] for seq in wanted}
+
     # -- batched reads ---------------------------------------------------------
     #
     # The set-oriented entry points: one call answers many atoms, so a
@@ -570,6 +598,24 @@ class ChainedStore(_BaseStore):
         _, sv = self._decode(self._segment.read(rid))
         return count - 1, sv
 
+    def read_versions(self, atom_id: int,
+                      seqs: Iterable[int]) -> Dict[int, StoredVersion]:
+        # Walk newest-first and stop as soon as every requested seq is
+        # in hand — the write path asks for recently-closed versions, so
+        # the walk usually ends within a step or two of the head.
+        wanted = set(seqs)
+        result: Dict[int, StoredVersion] = {}
+        for seq, _rid, _prev, sv in self._walk(atom_id):
+            if seq in wanted:
+                result[seq] = sv
+                wanted.discard(seq)
+                if not wanted:
+                    return result
+        if wanted:
+            raise StorageError(
+                f"atom {atom_id} has no version {min(wanted)}")
+        return result
+
     def version_count(self, atom_id: int) -> int:
         return self._dir_entry(atom_id)[1]
 
@@ -818,6 +864,44 @@ class SeparatedStore(_BaseStore):
     def read_current(self, atom_id: int) -> Tuple[int, StoredVersion]:
         current_rid, _vdir, count, _env = self._dir_entry(atom_id)
         return count - 1, self._decode_version(self._current.read(current_rid))
+
+    def read_live(self, atom_id: int) -> List[Tuple[int, StoredVersion]]:
+        # Envelope-only vdir scan selects the live history seqs, then
+        # one grouped read fetches exactly those payloads — the closed
+        # majority of a long history is never materialised.
+        current_rid, vdir_rid, count, env = self._dir_entry(atom_id)
+        hits: List[Tuple[int, StoredVersion]] = []
+        if vdir_rid != _NO_RECORD:
+            fetch = [(seq, rid) for seq, (_s, _e, live, rid)
+                     in enumerate(self._read_vdir(vdir_rid)) if live]
+            records = self._history.read_many(rid for _, rid in fetch)
+            hits = [(seq, self._decode_version(records[rid]))
+                    for seq, rid in fetch]
+        if env[2]:
+            hits.append((count - 1,
+                         self._decode_version(self._current.read(current_rid))))
+        return hits
+
+    def read_versions(self, atom_id: int,
+                      seqs: Iterable[int]) -> Dict[int, StoredVersion]:
+        current_rid, vdir_rid, count, _env = self._dir_entry(atom_id)
+        wanted = set(seqs)
+        out_of_range = [seq for seq in wanted if not (0 <= seq < count)]
+        if out_of_range:
+            raise StorageError(
+                f"atom {atom_id} has no version {out_of_range[0]}")
+        result: Dict[int, StoredVersion] = {}
+        if count - 1 in wanted:
+            result[count - 1] = self._decode_version(
+                self._current.read(current_rid))
+            wanted.discard(count - 1)
+        if wanted:
+            entries = self._read_vdir(vdir_rid)
+            fetch = {seq: entries[seq][3] for seq in wanted}
+            records = self._history.read_many(fetch.values())
+            for seq, rid in fetch.items():
+                result[seq] = self._decode_version(records[rid])
+        return result
 
     def version_count(self, atom_id: int) -> int:
         return self._dir_entry(atom_id)[2]

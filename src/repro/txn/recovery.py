@@ -38,7 +38,7 @@ import shutil
 from typing import Any, Dict, List, Optional, Set
 
 from repro.errors import RecoveryError
-from repro.txn.wal import LogRecordType, WriteAheadLog
+from repro.txn.wal import LogRecord, LogRecordType, WriteAheadLog
 
 #: File-name suffix of checkpoint copies.
 CHECKPOINT_SUFFIX = ".ckpt"
@@ -174,33 +174,107 @@ def checkpoint_restore(path: str) -> None:
     shutil.copyfile(source, path)
 
 
-def committed_transactions(wal: WriteAheadLog, after_lsn: int) -> Set[int]:
-    """Transaction ids with a COMMIT record after the checkpoint."""
+def _scan_commit_state(wal: WriteAheadLog, after_lsn: int,
+                       upto_lsn: Optional[int],
+                       records: Optional[List[LogRecord]] = None
+                       ) -> tuple[Set[int], int, int]:
+    """One log pass: committed txn ids, last quiescent LSN, last LSN.
+
+    A LSN is *quiescent* when no transaction's records straddle it —
+    every BEGIN seen so far has its COMMIT/ABORT at or before it.
+    Replication replays only ranges with quiescent endpoints, which is
+    what makes the monotone ``applied_replay_lsn`` idempotence guard
+    sound: within such a range every committed transaction is complete.
+
+    When *records* is given it is used instead of re-reading the log
+    file — appliers pass the batch they just received, so the scan is
+    pure in-memory work.
+    """
     committed: Set[int] = set()
-    for record in wal.read_all(after_lsn):
-        if record.type is LogRecordType.COMMIT:
+    open_txns: Set[int] = set()
+    quiescent = after_lsn
+    last = after_lsn
+    source = wal.read_all(after_lsn) if records is None else records
+    for record in source:
+        if record.lsn <= after_lsn:
+            continue
+        if upto_lsn is not None and record.lsn > upto_lsn:
+            break
+        if record.type is LogRecordType.BEGIN:
+            open_txns.add(record.txn_id)
+        elif record.type is LogRecordType.COMMIT:
+            open_txns.discard(record.txn_id)
             committed.add(record.txn_id)
+        elif record.type is LogRecordType.ABORT:
+            open_txns.discard(record.txn_id)
+        last = record.lsn
+        if not open_txns:
+            quiescent = record.lsn
+    return committed, quiescent, last
+
+
+def committed_transactions(wal: WriteAheadLog, after_lsn: int,
+                           upto_lsn: Optional[int] = None) -> Set[int]:
+    """Transaction ids with a COMMIT record after the checkpoint."""
+    committed, _, _ = _scan_commit_state(wal, after_lsn, upto_lsn)
     return committed
 
 
 def replay_operations(engine: Any, wal: WriteAheadLog,
-                      after_lsn: int) -> Dict[str, int]:
+                      after_lsn: int,
+                      upto_lsn: Optional[int] = None,
+                      quiescent_only: bool = False,
+                      records: Optional[List[LogRecord]] = None
+                      ) -> Dict[str, int]:
     """Replay committed operations newer than *after_lsn*.
 
+    *upto_lsn* bounds the replay (inclusive) — replication appliers
+    replay the log in quiescent-bounded slices as records arrive.
+    *quiescent_only* further clamps the bound to the last quiescent LSN
+    in range: a replica recovering from a crash must not replay past
+    the point where transactions are still open in its local log,
+    because their COMMIT records may yet arrive from the primary.
+
+    *records*, when given, must be the decoded records covering
+    ``(after_lsn, upto_lsn]`` in LSN order (extra records outside the
+    range are ignored).  Appliers pass the batch they just streamed so
+    replay never re-reads or re-decodes the log file — the file pass
+    both here and in the commit-state scan is what made per-batch
+    replay O(log) instead of O(batch), and it happens while holding
+    the database's exclusive latch.
+
+    Replay is idempotent across calls: the engine carries a monotone
+    ``applied_replay_lsn`` watermark and operations at or below it are
+    skipped, so a replica that reconnects and re-requests an
+    overlapping committed range applies nothing twice.
+
     Returns summary counters: operations replayed, transactions
-    recovered, the highest transaction time seen, and the highest atom id
+    recovered, the highest transaction time seen, the highest atom id
     assigned (the caller advances the clock and the id allocator past
-    these).
+    these), and the quiescent LSN the replay stopped honoring.
     """
     metrics = getattr(engine, "metrics", None) or wal.metrics
     c_replayed = metrics.counter("recovery.records_replayed")
     c_transactions = metrics.counter("recovery.transactions")
-    committed = committed_transactions(wal, after_lsn)
+    committed, quiescent, _ = _scan_commit_state(wal, after_lsn, upto_lsn,
+                                                 records)
+    bound = upto_lsn
+    if quiescent_only:
+        # A txn committed beyond the quiescent bound cannot have an
+        # OPERATION at or below it (it would have been open at the
+        # bound), so the superset of committed ids stays correct.
+        bound = quiescent if bound is None else min(bound, quiescent)
     c_transactions.inc(len(committed))
+    guard = int(getattr(engine, "applied_replay_lsn", 0))
     replayed = 0
     max_tt = -1
     max_atom_id = 0
-    for record in wal.read_all(after_lsn):
+    source = wal.read_all(after_lsn) if records is None else records
+    for record in source:
+        if record.lsn <= after_lsn:
+            continue
+        if bound is not None and record.lsn > bound:
+            break
         if record.type is LogRecordType.BEGIN:
             max_tt = max(max_tt, int(record.payload.get("tt", -1)))
             continue
@@ -208,13 +282,18 @@ def replay_operations(engine: Any, wal: WriteAheadLog,
             continue
         if record.txn_id not in committed:
             continue
+        if record.lsn <= guard:
+            continue  # already applied by an earlier replay
         payload = record.payload
         max_atom_id = max(max_atom_id, _apply_operation(engine, payload))
         max_tt = max(max_tt, int(payload.get("tt", -1)))
+        if hasattr(engine, "applied_replay_lsn"):
+            engine.applied_replay_lsn = record.lsn
         replayed += 1
         c_replayed.inc()
     return {"operations": replayed, "transactions": len(committed),
-            "max_tt": max_tt, "max_atom_id": max_atom_id}
+            "max_tt": max_tt, "max_atom_id": max_atom_id,
+            "quiescent_lsn": quiescent}
 
 
 def _apply_operation(engine: Any, payload: Dict[str, Any]) -> int:

@@ -1,0 +1,205 @@
+"""The write path's live-version machinery.
+
+Mutation planning only ever reads transaction-time-open versions, so the
+stores expose ``read_live``/``read_versions`` and the engine keeps a
+per-atom live-set cache that ``_apply_plan`` repairs in place.  These
+tests pin the store contracts, prove the cache never drifts from store
+truth under mixed operations (including undo), and guard the headline
+property: update cost no longer scans the closed history.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.strategies import StoredVersion
+from repro.temporal import FOREVER
+
+
+@pytest.fixture
+def engine(db):
+    return db.engine
+
+
+def insert(engine, atom_id, vf=0, vt=FOREVER, tt=0, **values):
+    values = values or {"name": f"atom-{atom_id}"}
+    return engine.insert("Part", values, vf, vt, tt, atom_id)
+
+
+def store_live(engine, atom_id):
+    """Live (seq, version) pairs read straight off the store."""
+    return [(seq, v) for seq, v in enumerate(engine.all_versions(atom_id))
+            if v.live]
+
+
+class TestStoreContract:
+    """read_live / read_versions agree with read_all on every strategy."""
+
+    def _seed(self, engine):
+        insert(engine, 1, tt=0)
+        engine.update(1, {"cost": 1.0}, 10, tt=1)
+        engine.update(1, {"cost": 2.0}, 20, tt=2)
+        engine.delete(1, 5, tt=3, valid_to=8)
+        engine.correct(1, 12, 15, {"cost": 9.0}, tt=4)
+
+    def test_read_live_matches_filtered_read_all(self, engine):
+        self._seed(engine)
+        store = engine.store
+        expected = [(seq, sv) for seq, sv in enumerate(store.read_all(1))
+                    if sv.live]
+        assert sorted(store.read_live(1)) == sorted(expected)
+
+    def test_read_versions_matches_read_all(self, engine):
+        self._seed(engine)
+        store = engine.store
+        full = store.read_all(1)
+        seqs = [0, len(full) - 1, len(full) // 2]
+        got = store.read_versions(1, seqs)
+        assert got == {seq: full[seq] for seq in seqs}
+
+    def test_read_versions_unknown_seq(self, engine):
+        insert(engine, 1, tt=0)
+        with pytest.raises(StorageError):
+            engine.store.read_versions(1, [5])
+
+    def test_read_live_excludes_fully_deleted(self, engine):
+        insert(engine, 1, tt=0)
+        engine.delete(1, 0, tt=1)
+        assert engine.store.read_live(1) == []
+
+
+class TestLiveSetCache:
+    def test_live_pairs_matches_store_after_each_op(self, engine):
+        rng = random.Random(7)
+        insert(engine, 1, tt=0)
+        tt = 1
+        for _ in range(60):
+            op = rng.randrange(4)
+            start = rng.randrange(0, 90)
+            try:
+                if op == 0:
+                    engine.update(1, {"cost": float(tt)}, start, tt)
+                elif op == 1:
+                    engine.delete(1, start, tt, valid_to=start + 5)
+                elif op == 2:
+                    engine.correct(1, start, start + 10,
+                                   {"cost": float(-tt)}, tt)
+                else:
+                    undos = engine.update(1, {"cost": 0.5}, start, tt)
+                    for undo in reversed(undos):
+                        undo()
+            except Exception:  # revision may legitimately find no overlap
+                pass
+            tt += 1
+            assert engine.live_pairs(1) == store_live(engine, 1)
+
+    def test_cache_survives_valid_time_splits(self, engine):
+        # A mid-window update splits validity into three live pieces;
+        # the repaired cache must hold all of them at the right seqs.
+        insert(engine, 1, tt=0)
+        engine.update(1, {"cost": 1.0}, 10, tt=1, valid_to=20)
+        assert engine.live_pairs(1) == store_live(engine, 1)
+        assert len(engine.live_pairs(1)) == 3
+        engine.update(1, {"cost": 2.0}, 14, tt=2, valid_to=16)
+        assert engine.live_pairs(1) == store_live(engine, 1)
+
+    def test_undo_invalidates_cache(self, engine):
+        insert(engine, 1, tt=0)
+        engine.live_pairs(1)
+        undos = engine.update(1, {"cost": 3.0}, 10, tt=1)
+        for undo in reversed(undos):
+            undo()
+        assert engine.live_pairs(1) == store_live(engine, 1)
+        assert [v.values.get("cost") for _, v in engine.live_pairs(1)] \
+            == [None]
+
+    def test_links_maintain_both_sides(self, engine):
+        insert(engine, 1, tt=0)
+        engine.insert("Component", {"cname": "c"}, 0, FOREVER, 0, 2)
+        engine.live_pairs(1), engine.live_pairs(2)
+        engine.link("contains", 1, 2, 5, tt=1)
+        assert engine.live_pairs(1) == store_live(engine, 1)
+        assert engine.live_pairs(2) == store_live(engine, 2)
+        engine.unlink("contains", 1, 2, 5, tt=2)
+        assert engine.live_pairs(1) == store_live(engine, 1)
+        assert engine.live_pairs(2) == store_live(engine, 2)
+
+    def test_updates_do_not_scan_closed_history(self, engine):
+        insert(engine, 1, tt=0)
+        for n in range(40):
+            engine.update(1, {"cost": float(n)}, 0, tt=n + 1)
+        scanned = engine.metrics.counter("engine.versions_scanned")
+        before = scanned.value
+        for n in range(10):
+            engine.update(1, {"cost": float(100 + n)}, 0, tt=50 + n)
+        # One live version per update; a full-history planner would
+        # scan 40+ versions each time.
+        assert scanned.value - before <= 10
+
+    def test_reopen_after_cached_updates(self, tmp_path, cad_schema,
+                                         strategy):
+        from repro import DatabaseConfig, TemporalDatabase
+        path = str(tmp_path / "reopen")
+        db = TemporalDatabase.create(
+            path, cad_schema,
+            DatabaseConfig(strategy=strategy, buffer_pages=64))
+        engine = db.engine
+        insert(engine, 1, tt=0)
+        for n in range(5):
+            engine.update(1, {"cost": float(n)}, 0, tt=n + 1)
+        expected = store_live(engine, 1)
+        db.checkpoint()
+        db.close()
+        db = TemporalDatabase.open(path)
+        assert db.engine.live_pairs(1) == expected
+        db.close()
+
+
+class TestWalSeekIndex:
+    def test_read_all_after_lsn_with_seek_marks(self, tmp_path):
+        from repro.txn.wal import LogRecordType, WriteAheadLog
+        wal = WriteAheadLog(str(tmp_path / "wal.log"))
+        body = {"pad": "x" * 512}
+        lsns = [wal.append(LogRecordType.OPERATION, 1, dict(body))
+                for _ in range(200)]
+        for after in (0, lsns[0], lsns[57], lsns[-2], lsns[-1]):
+            got = [r.lsn for r in wal.read_all(after)]
+            assert got == [lsn for lsn in lsns if lsn > after]
+        wal.close()
+
+    def test_marks_cleared_on_truncate(self, tmp_path):
+        from repro.txn.wal import LogRecordType, WriteAheadLog
+        wal = WriteAheadLog(str(tmp_path / "wal.log"))
+        for _ in range(50):
+            wal.append(LogRecordType.OPERATION, 1, {"pad": "y" * 512})
+        wal.truncate()
+        lsn = wal.append(LogRecordType.OPERATION, 2, {"op": "after"})
+        assert [r.lsn for r in wal.read_all(0)] == [lsn]
+        wal.close()
+
+
+def test_replica_apply_flushes_pending_indexes(tmp_path, cad_schema):
+    """Replay on a replica drains the index write-behind buffers.
+
+    No local transaction ever commits on a replica, so without the
+    applier-side flush the pending sets grow for the life of the
+    process and every index probe pays a linear merge over them.
+    """
+    from tests.test_replication import Cluster, wait_until
+
+    cluster = Cluster(tmp_path, cad_schema, replicas=1)
+    try:
+        with cluster.pdb.transaction() as txn:
+            atom = txn.insert("Part", {"name": "p", "cost": 1.0},
+                              valid_from=0)
+        with cluster.pdb.transaction() as txn:
+            txn.update(atom, {"cost": 2.0}, valid_from=5)
+        cluster.wait_caught_up()
+        rdb = cluster.rdbs[0]
+        wait_until(lambda: not rdb.indexes._pending_attr
+                   and not rdb.indexes._pending_vt,
+                   message="pending index buffers to drain")
+        assert rdb.engine.version_at(atom, 10).values["cost"] == 2.0
+    finally:
+        cluster.close()

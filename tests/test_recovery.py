@@ -187,3 +187,82 @@ class TestTornLog:
         recovered = reopen(tmp_path)
         assert recovered.version_at(part, 10).values["name"] == "keep"
         recovered.close()
+
+
+class TestReplayIdempotence:
+    """The replication replay path: the engine's monotone
+    ``applied_replay_lsn`` guard plus quiescent-bounded ranges make
+    re-replaying an overlapping range a no-op."""
+
+    def test_rereplay_applies_nothing(self, make_db, tmp_path):
+        from repro.txn.recovery import replay_operations
+
+        db = make_db()
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "once", "cost": 1.0},
+                              valid_from=0)
+        with db.transaction() as txn:
+            txn.update(part, {"cost": 2.0}, valid_from=5)
+        crash(db)
+        recovered = reopen(tmp_path)
+        versions = len(recovered.history(part))
+        guard = recovered.engine.applied_replay_lsn
+        assert guard > 0  # recovery advanced the watermark
+        # Replaying the whole log again must skip every operation.
+        summary = replay_operations(recovered.engine, recovered._wal, 0)
+        assert summary["operations"] == 0
+        assert len(recovered.history(part)) == versions
+        assert recovered.engine.applied_replay_lsn == guard
+        recovered.close()
+
+    def test_quiescent_scan_respects_straddling_txns(self, tmp_path):
+        from repro.txn.recovery import _scan_commit_state
+        from repro.txn.wal import LogRecordType, WriteAheadLog
+
+        with WriteAheadLog(tmp_path / "q.log",
+                           sync_on_commit=False) as wal:
+            wal.append(LogRecordType.BEGIN, 1, {"tt": 1})      # lsn 1
+            wal.append(LogRecordType.OPERATION, 1, {"op": "x"})  # 2
+            wal.append(LogRecordType.BEGIN, 2, {"tt": 2})      # 3
+            wal.append(LogRecordType.COMMIT, 1)                # 4: t2 open
+            wal.append(LogRecordType.OPERATION, 2, {"op": "y"})  # 5
+            committed, quiescent, last = _scan_commit_state(wal, 0, None)
+            assert committed == {1}
+            assert quiescent == 0  # t1 or t2 straddles every lsn so far
+            assert last == 5
+            wal.append(LogRecordType.COMMIT, 2)                # 6
+            committed, quiescent, last = _scan_commit_state(wal, 0, None)
+            assert committed == {1, 2}
+            assert quiescent == 6
+            assert last == 6
+
+    def test_quiescent_only_replay_defers_straddled_commit(
+            self, make_db, tmp_path):
+        """quiescent_only replay must not apply a transaction whose
+        records interleave with a still-open one — even though its
+        COMMIT is on disk — or a later monotone-guard replay would
+        skip the open transaction's earlier operations."""
+        from repro.txn.recovery import replay_operations
+        from repro.txn.wal import LogRecordType
+
+        db = make_db()
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "base"}, valid_from=0)
+        crash(db)
+        recovered = reopen(tmp_path)
+        # Hand-append an interleaving: t8 opens, t9 opens+commits
+        # inside it, t8 never commits.
+        wal = recovered._wal
+        wal.append(LogRecordType.BEGIN, 8, {"tt": 50})
+        wal.append(LogRecordType.BEGIN, 9, {"tt": 51})
+        wal.append(LogRecordType.OPERATION, 9,
+                   {"op": "update", "atom_id": part,
+                    "changes": {"name": "nine"}, "vf": 60,
+                    "vt": None, "tt": 51})
+        wal.append(LogRecordType.COMMIT, 9)
+        before = recovered.engine.applied_replay_lsn
+        summary = replay_operations(recovered.engine, wal, before,
+                                    quiescent_only=True)
+        assert summary["operations"] == 0  # t8 still straddles
+        assert recovered.engine.applied_replay_lsn == before
+        recovered.close()

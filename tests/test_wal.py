@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import WALError
 from repro.txn.wal import LogRecordType, WriteAheadLog
 
 
@@ -184,3 +185,136 @@ class TestSyncTo:
         lsn = wal.append(LogRecordType.COMMIT, 1)
         wal.truncate()
         assert wal.durable_lsn == lsn
+
+
+class TestReplicationSurface:
+    """The WAL API the replication plane is built on: shippable heads,
+    verbatim shipped appends, bounded range reads, and the retention
+    guard."""
+
+    def test_shippable_tracks_head_without_sync(self, wal):
+        assert wal.shippable_lsn == 0
+        wal.append(LogRecordType.BEGIN, 1, {"tt": 0})
+        wal.append(LogRecordType.COMMIT, 1)
+        assert wal.shippable_lsn == 2  # no durability floor to honor
+
+    def test_shippable_is_durable_head_with_sync(self, tmp_path):
+        with WriteAheadLog(tmp_path / "s.log", sync_on_commit=True) as log:
+            log.append(LogRecordType.BEGIN, 1, {"tt": 0})
+            lsn = log.append(LogRecordType.COMMIT, 1)
+            assert log.shippable_lsn == 0  # appended but not yet forced
+            log.sync_to(lsn)
+            assert log.shippable_lsn == lsn
+
+    def test_recovered_records_are_shippable_immediately(self, tmp_path):
+        path = tmp_path / "r.log"
+        with WriteAheadLog(path, sync_on_commit=True) as log:
+            lsn = log.append(LogRecordType.COMMIT, 1)
+            log.sync_to(lsn)
+        with WriteAheadLog(path, sync_on_commit=True) as log:
+            assert log.shippable_lsn == lsn
+
+    def test_wait_for_shippable_wakes_on_commit(self, wal):
+        import threading
+        import time
+
+        def commit_later():
+            time.sleep(0.05)
+            wal.append(LogRecordType.COMMIT, 1)
+
+        thread = threading.Thread(target=commit_later)
+        thread.start()
+        head = wal.wait_for_shippable(1, timeout=5.0)
+        thread.join()
+        assert head >= 1
+
+    def test_wait_for_shippable_times_out(self, wal):
+        assert wal.wait_for_shippable(10, timeout=0.05) == 0
+
+    def test_append_shipped_round_trip(self, tmp_path, wal):
+        wal.append(LogRecordType.BEGIN, 7, {"tt": 3})
+        wal.append(LogRecordType.COMMIT, 7)
+        replica = WriteAheadLog(tmp_path / "replica.log",
+                                sync_on_commit=False)
+        try:
+            for record in wal.read_all():
+                assert replica.append_shipped(record.lsn,
+                                              record.type.value,
+                                              record.txn_id,
+                                              record.payload)
+            assert ([(r.lsn, r.type, r.txn_id, r.payload)
+                     for r in replica.read_all()]
+                    == [(r.lsn, r.type, r.txn_id, r.payload)
+                        for r in wal.read_all()])
+        finally:
+            replica.close()
+
+    def test_append_shipped_duplicate_is_ignored(self, wal):
+        assert wal.append_shipped(1, LogRecordType.BEGIN.value, 1, {})
+        assert wal.append_shipped(2, LogRecordType.COMMIT.value, 1, {})
+        # A reconnecting replica may replay an overlapping range.
+        assert wal.append_shipped(1, LogRecordType.BEGIN.value, 1, {}) \
+            is False
+        assert wal.next_lsn == 3
+        assert len(list(wal.read_all())) == 2
+
+    def test_append_shipped_gap_raises(self, wal):
+        wal.append_shipped(1, LogRecordType.BEGIN.value, 1, {})
+        with pytest.raises(WALError, match="stream gap"):
+            wal.append_shipped(5, LogRecordType.COMMIT.value, 1, {})
+
+    def test_append_shipped_adopts_position_on_empty_log(self, wal):
+        # A freshly-truncated replica log resumes mid-stream: the first
+        # shipped record defines the position.
+        assert wal.append_shipped(41, LogRecordType.BEGIN.value, 9, {})
+        assert wal.next_lsn == 42
+        (record,) = wal.read_all()
+        assert record.lsn == 41
+
+    def test_read_records_from_bounds(self, wal):
+        for i in range(5):
+            wal.append(LogRecordType.OPERATION, 1, {"i": i})
+        records = list(wal.read_records_from(2, upto_lsn=4))
+        assert [r.lsn for r in records] == [2, 3, 4]
+
+    def test_read_records_from_truncated_start_raises(self, wal):
+        wal.append_shipped(10, LogRecordType.BEGIN.value, 1, {})
+        with pytest.raises(WALError, match="truncated"):
+            list(wal.read_records_from(5))
+
+    def test_retention_guard_refuses_truncate(self, wal):
+        wal.append(LogRecordType.BEGIN, 1, {"tt": 0})
+        wal.append(LogRecordType.COMMIT, 1)
+        wal.subscribe("r1", acked_lsn=1)
+        assert wal.truncate() is False
+        assert wal.metrics.gauge("wal.retention_held_bytes").value > 0
+        assert wal.size_bytes() > 0  # the log survived
+
+    def test_ack_to_head_releases_the_guard(self, wal):
+        wal.append(LogRecordType.BEGIN, 1, {"tt": 0})
+        head = wal.append(LogRecordType.COMMIT, 1)
+        wal.subscribe("r1", acked_lsn=0)
+        assert wal.truncate() is False
+        wal.ack("r1", head)
+        assert wal.truncate() is True
+        assert wal.metrics.gauge("wal.retention_held_bytes").value == 0
+        assert wal.size_bytes() == 0
+
+    def test_release_drops_the_hold(self, wal):
+        wal.append(LogRecordType.COMMIT, 1)
+        wal.subscribe("r1", acked_lsn=0)
+        assert wal.truncate() is False
+        wal.release("r1")
+        assert wal.truncate() is True
+
+    def test_min_acked_is_slowest_subscriber(self, wal):
+        assert wal.min_acked_lsn() is None
+        wal.subscribe("fast", acked_lsn=9)
+        wal.subscribe("slow", acked_lsn=2)
+        assert wal.min_acked_lsn() == 2
+        assert set(wal.subscribers()) == {"fast", "slow"}
+
+    def test_acks_are_monotone(self, wal):
+        wal.subscribe("r1", acked_lsn=5)
+        wal.ack("r1", 3)  # a stale ack never regresses the floor
+        assert wal.min_acked_lsn() == 5
