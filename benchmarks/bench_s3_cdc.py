@@ -1,0 +1,371 @@
+"""R-S3 — change data capture: stream throughput, tail lag, DIFF cost.
+
+Three questions about the CDC subsystem (``SUBSCRIBE`` + ``DIFF``),
+answered on one seeded BOM workload:
+
+1. **Sustained event throughput** — a cold subscriber replays the whole
+   committed history (``from_lsn=1``): events/second through the wire
+   protocol, and the same drain against the in-process
+   :class:`ChangeStreamSource` so the decode cost and the wire tax are
+   visible separately.
+2. **Steady-state tail lag** — a writer commits through the server
+   while a caught-up subscriber tails the stream; the server-reported
+   per-subscriber lag (``STATS -> server.cdc``, in *records*) is
+   sampled throughout and recorded as median/max, alongside the live
+   delivery rate.
+3. **DIFF cost vs the naive plan** — ``DIFF m BETWEEN t1 AND t2``
+   against the obvious alternative a client would otherwise write:
+   materialize full molecule slices at both endpoints
+   (``molecules_at``) and compare them in Python.  The naive plan also
+   cannot attribute changes (no transaction times, no first
+   before-image, no netting of vanished-and-reborn atoms), so the cost
+   ratio understates the gap.
+
+The **differential oracle runs inside the bench** (question 3's
+database): folding the drained stream over ``(t1, t2]`` must equal the
+DIFF result byte-for-byte per molecule root — throughput numbers from
+a stream that disagrees with the query form would be meaningless.
+
+``BENCH_S3.json`` keeps the machine-readable rows.
+"""
+
+import json
+import pathlib
+import random
+import statistics
+import threading
+import time
+
+from benchmarks._util import build_db, emit, header
+from repro import FOREVER, ReproError
+from repro.cdc import ChangeStreamSource, fold_events
+from repro.server import DatabaseClient, DatabaseServer
+from repro.workloads import WorkloadSpec
+
+MT = "Part.contains.Component"
+NOW = FOREVER - 1
+SPEC = WorkloadSpec(parts=24, fanout=5, versions_per_atom=6, seed=7)
+CHURN_TXNS = 60
+LAG_WINDOW_SECONDS = 4.0
+DIFF_REPEATS = 7
+
+
+def _record(section: str, payload) -> pathlib.Path:
+    """Merge one section into ``BENCH_S3.json`` (same idiom as R-S1/S2)."""
+    out = pathlib.Path("BENCH_S3.json")
+    try:
+        existing = json.loads(out.read_text(encoding="utf-8"))
+        if not isinstance(existing, dict):
+            existing = {}
+    except (OSError, ValueError):
+        existing = {}
+    existing[section] = payload
+    out.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    return out
+
+
+def _percentile(sorted_values, fraction):
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                int(len(sorted_values) * fraction))
+    return sorted_values[index]
+
+
+def _build(path):
+    """Seed workload plus a churn window whose start time is recorded.
+
+    Returns ``(db, parts, comps, t1, t2)`` — the churn all lands inside
+    ``(t1, t2]``, which is the window the DIFF questions use.
+    """
+    db, ids, groups = build_db(str(path), SPEC)
+    parts = sorted(ids[h] for h in groups["Part"])
+    comps = sorted(ids[h] for h in groups["Component"])
+    t1 = int(db._clock.now()) - 1
+    rng = random.Random(13)
+    for n in range(CHURN_TXNS):
+        try:
+            with db.transaction() as txn:
+                roll = rng.random()
+                if roll < 0.5:
+                    txn.update(rng.choice(parts),
+                               {"cost": float(rng.randrange(500))},
+                               valid_from=1)
+                elif roll < 0.8:
+                    txn.update(rng.choice(comps),
+                               {"weight": float(rng.randrange(90))},
+                               valid_from=1)
+                elif roll < 0.9:
+                    txn.link("contains", rng.choice(parts),
+                             rng.choice(comps), valid_from=1)
+                else:
+                    txn.unlink("contains", rng.choice(parts),
+                               rng.choice(comps), valid_from=1)
+        except ReproError:
+            pass  # double-link, unlink of nothing: fine, move on
+    t2 = int(db._clock.now()) - 1
+    return db, parts, comps, t1, t2
+
+
+def _drain_source(db):
+    """Replay the whole log through an in-process source."""
+    source = ChangeStreamSource(db)
+    events, cursor = [], 1
+    while True:
+        body = source.handle({"subscriber": "s3-inproc",
+                              "from_lsn": cursor, "max_records": 1024,
+                              "ack_lsn": cursor - 1})
+        cursor = body["next_from"]
+        events.extend(body["events"])
+        if body["caught_up"]:
+            break
+    source.handle({"subscriber": "s3-inproc", "unsubscribe": True})
+    return events
+
+
+def test_s3_report_header(benchmark, capsys):
+    header(capsys, "R-S3",
+           "CDC: stream throughput, steady-state tail lag, DIFF cost")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_s3_stream_throughput(tmp_path_factory, capsys):
+    db, _parts, _comps, _t1, _t2 = _build(
+        tmp_path_factory.mktemp("s3-throughput") / "db")
+    try:
+        # Decode-only: the in-process source, no wire.
+        begun = time.perf_counter()
+        inproc_events = _drain_source(db)
+        inproc_seconds = time.perf_counter() - begun
+        assert inproc_events, "seed workload produced no events"
+
+        # Through the wire: a cold subscriber replays the same history.
+        with DatabaseServer(db, max_connections=16) as server:
+            with DatabaseClient(server.host, server.port) as client:
+                feed = client.subscribe("s3-wire", from_lsn=1,
+                                        batch_size=1024)
+                wire_events = 0
+                begun = time.perf_counter()
+                while True:
+                    batch = feed.poll(wait_ms=0)
+                    wire_events += len(batch)
+                    if feed.caught_up and not batch:
+                        break
+                wire_seconds = time.perf_counter() - begun
+                feed.cancel()
+        assert wire_events == len(inproc_events), \
+            "wire replay lost or invented events"
+
+        row = {
+            "events": len(inproc_events),
+            "decode_events_per_second": round(
+                len(inproc_events) / inproc_seconds, 1),
+            "wire_events_per_second": round(
+                wire_events / wire_seconds, 1),
+            "wire_tax": round(wire_seconds / inproc_seconds, 2),
+        }
+        emit(capsys, "",
+             f"cold replay of {row['events']} events: "
+             f"{row['decode_events_per_second']:.0f} ev/s in-process, "
+             f"{row['wire_events_per_second']:.0f} ev/s through the "
+             f"wire ({row['wire_tax']:.1f}x tax)")
+        path = _record("stream_throughput", row)
+        emit(capsys, f"[recorded -> {path.name}]")
+    finally:
+        db.close()
+
+
+def test_s3_tail_lag(tmp_path_factory, capsys):
+    db, parts, _comps, _t1, _t2 = _build(
+        tmp_path_factory.mktemp("s3-lag") / "db")
+    try:
+        with DatabaseServer(db, max_connections=16) as server:
+            writer = DatabaseClient(server.host, server.port)
+            tailer = DatabaseClient(server.host, server.port)
+            sampler = DatabaseClient(server.host, server.port)
+            stop = threading.Event()
+            writes = [0]
+            delivered = [0]
+            lags = []
+
+            def write_loop():
+                n = 0
+                while not stop.is_set():
+                    try:
+                        with writer.transaction() as txn:
+                            txn.update(parts[n % len(parts)],
+                                       {"cost": float(n % 97)},
+                                       valid_from=1)
+                    except Exception:  # noqa: BLE001 - shutdown race
+                        if not stop.is_set():
+                            raise
+                        return
+                    writes[0] = n = n + 1
+
+            def tail_loop():
+                # No from_lsn: attach at the current head and tail.
+                feed = tailer.subscribe("s3-tail", batch_size=256,
+                                        poll_ms=100)
+                try:
+                    while not stop.is_set():
+                        delivered[0] += len(feed.poll(wait_ms=100))
+                    # Drain what the writer left behind, then measure
+                    # nothing further.
+                    while True:
+                        batch = feed.poll(wait_ms=0)
+                        if feed.caught_up and not batch:
+                            break
+                finally:
+                    feed.cancel()
+
+            def lag_loop():
+                while not stop.wait(0.2):
+                    body = sampler.stats()
+                    subs = (body.get("server", {}).get("cdc", {})
+                            .get("subscribers", {}))
+                    if "s3-tail" in subs:
+                        lags.append(int(subs["s3-tail"]["lag"]))
+
+            threads = [threading.Thread(target=write_loop, daemon=True),
+                       threading.Thread(target=tail_loop, daemon=True),
+                       threading.Thread(target=lag_loop, daemon=True)]
+            begun = time.monotonic()
+            for thread in threads:
+                thread.start()
+            time.sleep(LAG_WINDOW_SECONDS)
+            stop.set()
+            for thread in threads:
+                thread.join(15)
+            elapsed = time.monotonic() - begun
+            writer.close()
+            tailer.close()
+            sampler.close()
+
+        lag_sorted = sorted(lags)
+        row = {
+            "window_seconds": LAG_WINDOW_SECONDS,
+            "writes_per_second": round(writes[0] / elapsed, 1),
+            "delivered_events_per_second": round(delivered[0] / elapsed, 1),
+            "lag_samples": len(lags),
+            "lag_records_median": _percentile(lag_sorted, 0.5),
+            "lag_records_p95": _percentile(lag_sorted, 0.95),
+            "lag_records_max": lag_sorted[-1] if lag_sorted else 0,
+        }
+        emit(capsys, "",
+             f"steady-state tail, {LAG_WINDOW_SECONDS:.0f}s window: "
+             f"{row['writes_per_second']:.0f} writes/s, "
+             f"{row['delivered_events_per_second']:.0f} events/s "
+             f"delivered, lag median {row['lag_records_median']} / "
+             f"p95 {row['lag_records_p95']} / max "
+             f"{row['lag_records_max']} records "
+             f"({row['lag_samples']} samples)")
+        assert writes[0] > 0 and delivered[0] > 0
+        path = _record("tail_lag", row)
+        emit(capsys, f"[recorded -> {path.name}]")
+    finally:
+        db.close()
+
+
+def _slice_state(molecules):
+    """(values per atom, link set) across a list of molecules."""
+    atoms, links = {}, set()
+    for molecule in molecules:
+        for atom in molecule.atoms():
+            atoms[atom.atom_id] = (atom.type_name,
+                                   dict(atom.version.values))
+            for edge, children in atom.children.items():
+                for child in children:
+                    links.add((str(edge), atom.atom_id, child.atom_id))
+    return atoms, links
+
+
+def _naive_diff(db, roots, t1, t2):
+    """The plan DIFF replaces: two full slices, compared in Python.
+
+    Returns ``(changes, states_shipped)`` — the second number is what a
+    remote client doing this comparison would have to transfer: every
+    atom state of both slices, changed or not.
+    """
+    before = _slice_state(db.molecules_at(roots, MT, NOW, tt=t1))
+    after = _slice_state(db.molecules_at(roots, MT, NOW, tt=t2))
+    changes = 0
+    for atom_id, state in after[0].items():
+        if before[0].get(atom_id) != state:
+            changes += 1
+    changes += sum(1 for atom_id in before[0] if atom_id not in after[0])
+    changes += len(after[1] ^ before[1])
+    return changes, len(before[0]) + len(after[0])
+
+
+def test_s3_diff_vs_slices(tmp_path_factory, capsys):
+    db, _parts, _comps, t1, t2 = _build(
+        tmp_path_factory.mktemp("s3-diff") / "db")
+    try:
+        roots = db.atoms_of_type("Part")
+        text = f"DIFF {MT} BETWEEN {t1} AND {t2}"
+
+        diff_times, diff_rows = [], 0
+        for _ in range(DIFF_REPEATS):
+            begun = time.perf_counter()
+            result = db.query(text)
+            diff_times.append(time.perf_counter() - begun)
+            diff_rows = len(result.entries)
+
+        naive_times, naive_changes, naive_shipped = [], 0, 0
+        for _ in range(DIFF_REPEATS):
+            begun = time.perf_counter()
+            naive_changes, naive_shipped = _naive_diff(db, roots, t1, t2)
+            naive_times.append(time.perf_counter() - begun)
+
+        assert diff_rows > 0 and naive_changes > 0, \
+            "churn window produced no observable changes"
+
+        # -- the differential oracle, inside the bench: fold the
+        # subscribed stream over the same window and demand the DIFF
+        # result byte-for-byte, per molecule root.
+        events = _drain_source(db)
+        folded = fold_events(events, t1, t2)
+        got = {}
+        for entry in db.query(text).entries:
+            got.setdefault(entry.root_id, []).append(entry.row)
+        expected = {}
+        for root in roots:
+            scope = set()
+            for tt in (t1, t2):
+                molecule = db.molecule_at(root, MT, NOW, tt)
+                if molecule is not None:
+                    scope.update(a.atom_id for a in molecule.atoms())
+            rows = [row for row in folded if row["atom_id"] in scope]
+            if rows:
+                expected[root] = rows
+        assert json.dumps(got, sort_keys=True) == \
+            json.dumps(expected, sort_keys=True), \
+            "DIFF and the folded stream disagree — numbers meaningless"
+
+        diff_ms = statistics.median(diff_times) * 1000
+        naive_ms = statistics.median(naive_times) * 1000
+        row = {
+            "window": [t1, t2],
+            "diff_ms": round(diff_ms, 3),
+            "diff_rows": diff_rows,
+            "naive_two_slice_ms": round(naive_ms, 3),
+            "naive_changes": naive_changes,
+            "naive_states_shipped": naive_shipped,
+            "cost_ratio": round(diff_ms / naive_ms, 2),
+            "reduction": round(naive_shipped / max(diff_rows, 1), 1),
+            "stream_events": len(events),
+            "oracle": "identical",
+        }
+        emit(capsys, "",
+             f"DIFF over ({t1}, {t2}]: {diff_ms:.2f} ms for "
+             f"{diff_rows} net rows; naive two-slice compare "
+             f"{naive_ms:.2f} ms but ships {naive_shipped} atom states "
+             f"({row['reduction']:.0f}x more data) and cannot "
+             "attribute tt/vt or net rewrites",
+             "oracle: fold(SUBSCRIBE stream) == DIFF, byte-identical")
+        assert row["oracle"] == "identical"
+        path = _record("diff_vs_slices", row)
+        emit(capsys, f"[recorded -> {path.name}]")
+    finally:
+        db.close()

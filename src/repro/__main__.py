@@ -16,8 +16,13 @@ Commands:
   ``--replica-of HOST:PORT`` runs as a read-only replica that ships
   and replays the primary's WAL)
 * ``shell --connect HOST:PORT`` — interactive MQL shell over the wire
+  (``\\tail [TYPE]`` follows the server's change stream)
 * ``monitor --connect HOST:PORT`` — top-like live view of a running
-  server: throughput, latency percentiles, shed rate, buffer hits
+  server: throughput, latency percentiles, shed rate, buffer hits,
+  replication and change-stream subscriber lag
+* ``tail --connect HOST:PORT`` — follow the change-data-capture
+  stream: committed changes as typed events, with server-side
+  filters and a named resumable cursor (see ``docs/cdc.md``)
 
 All commands open the database read-mostly and close it cleanly.
 """
@@ -306,6 +311,15 @@ def _render_monitor(body, prev, elapsed: float):
             if retained:
                 line += f"  retained {retained} bytes"
             lines.append(line)
+    cdc = server.get("cdc")
+    if cdc and cdc.get("subscribers"):
+        subscribers = cdc["subscribers"]
+        lines.append(f"cdc subscribers {len(subscribers)}"
+                     f"  events decoded {cdc.get('events_decoded', 0)}")
+        for name, entry in sorted(subscribers.items()):
+            lines.append(f"  {name}: acked {entry['acked']}"
+                         f"  lag {entry['lag']}"
+                         f"  held {entry['held_bytes']} bytes")
     if prev is not None and elapsed > 0:
         rate = (requests - prev[0]) / elapsed
         shed_rate = (shed - prev[1]) / elapsed
@@ -329,6 +343,62 @@ def _render_monitor(body, prev, elapsed: float):
         lines.append(f"  [{event['seq']:>5}] {event['event']}"
                      + (f" {detail}" if detail else ""))
     return "\n".join(lines), (requests, shed)
+
+
+def _format_event(event) -> str:
+    """One change event as a human-readable tail line."""
+    vt = event.get("vt") or (0, 0)
+    text = (f"[{event.get('lsn', '?'):>6}] tt {event['tt']}  "
+            f"{event['kind']:<17} {event.get('type') or '?'}"
+            f"#{event['atom_id']}  vt [{vt[0]},{vt[1]})")
+    if event.get("link"):
+        text += f"  {event['link']}: {event['src']} -> {event['dst']}"
+    if event["kind"] == "attribute_changed":
+        before = event.get("before") or {}
+        after = event.get("after") or {}
+        changed = {key: after[key] for key in after
+                   if before.get(key) != after.get(key)}
+        text += f"  {changed}"
+    elif event["kind"] == "atom_created":
+        text += f"  {event.get('after') or {}}"
+    return text
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ConnectionClosedError, RemoteError
+    from repro.server import DatabaseClient
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"error: --connect needs HOST:PORT, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+    client = DatabaseClient(host, int(port))
+    feed = client.subscribe(args.subscriber, types=args.type or None,
+                            kinds=args.kind or None,
+                            roots=args.root or None,
+                            from_lsn=args.from_lsn)
+    seen = 0
+    try:
+        for event in feed:
+            if args.json:
+                print(json.dumps(event, sort_keys=True), flush=True)
+            else:
+                print(_format_event(event), flush=True)
+            seen += 1
+            if args.count and seen >= args.count:
+                break
+    except KeyboardInterrupt:
+        pass
+    except (RemoteError, ConnectionClosedError) as exc:
+        print(f"server went away: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        feed.close()
+        client.close()
+    return 0
 
 
 def cmd_monitor(args: argparse.Namespace) -> int:
@@ -368,6 +438,48 @@ def cmd_monitor(args: argparse.Namespace) -> int:
         client.close()
 
 
+def _shell_tail(host: str, port: int, session_id, type_name) -> None:
+    """The shell's ``\\tail [TYPE]`` command: follow the change stream.
+
+    Runs on its own connection so a Ctrl-C landing mid-poll can only
+    desynchronize the tail's connection, never the shell's.  The
+    ephemeral cursor is unsubscribed afterwards (on a fresh connection,
+    since the tail's own may be unusable) so it never pins WAL
+    retention once the shell moves on.
+    """
+    from repro.errors import (ConnectionClosedError, ProtocolError,
+                              RemoteError)
+    from repro.server import DatabaseClient
+
+    subscriber = f"shell-{session_id}"
+    tail_client = DatabaseClient(host, port)
+    feed = tail_client.subscribe(
+        subscriber, types=[type_name] if type_name else None)
+    print(f"tailing changes as {subscriber!r}"
+          + (f" (type {type_name})" if type_name else "")
+          + "; Ctrl-C returns to the prompt")
+    count = 0
+    try:
+        for event in feed:
+            print("  " + _format_event(event), flush=True)
+            count += 1
+    except KeyboardInterrupt:
+        print(f"-- {count} event{'' if count == 1 else 's'}")
+    except (RemoteError, ConnectionClosedError) as exc:
+        print(f"tail ended: {exc}", file=sys.stderr)
+    finally:
+        try:
+            tail_client.close()
+        except (ConnectionClosedError, ProtocolError, OSError):
+            pass
+        try:
+            with DatabaseClient(host, port) as cleanup:
+                cleanup.change_stream(subscriber, unsubscribe=True)
+        except (RemoteError, ConnectionClosedError, OSError) as exc:
+            print(f"warning: could not unsubscribe {subscriber!r}: {exc}",
+                  file=sys.stderr)
+
+
 def cmd_shell(args: argparse.Namespace) -> int:
     from repro.errors import ConnectionClosedError, RemoteError
     from repro.server import DatabaseClient
@@ -382,7 +494,8 @@ def cmd_shell(args: argparse.Namespace) -> int:
           f"(schema {client.session.get('schema')}, "
           f"session {client.session.get('session_id')})")
     print("type MQL and press enter; \\q quits, \\explain Q profiles Q, "
-          "\\stream Q fetches Q through a cursor")
+          "\\stream Q fetches Q through a cursor, \\tail [TYPE] follows "
+          "the change stream")
     try:
         while True:
             try:
@@ -394,6 +507,12 @@ def cmd_shell(args: argparse.Namespace) -> int:
             if line in ("\\q", "quit", "exit"):
                 break
             try:
+                if line == "\\tail" or line.startswith("\\tail "):
+                    type_name = line[len("\\tail"):].strip() or None
+                    _shell_tail(host, int(port),
+                                client.session.get("session_id"),
+                                type_name)
+                    continue
                 if line.startswith("\\explain "):
                     body = client.explain(line[len("\\explain "):])
                 elif line.startswith("\\stream "):
@@ -535,6 +654,31 @@ def build_parser() -> argparse.ArgumentParser:
         "shell", help="interactive MQL shell against a running server")
     shell.add_argument("--connect", required=True, metavar="HOST:PORT")
     shell.set_defaults(handler=cmd_shell)
+
+    tail = commands.add_parser(
+        "tail", help="follow a server's change-data-capture stream")
+    tail.add_argument("--connect", required=True, metavar="HOST:PORT")
+    tail.add_argument("--subscriber", default="tail-cli",
+                      help="cursor name; reusing it resumes after the "
+                           "last acked event")
+    tail.add_argument("--type", action="append", metavar="TYPE",
+                      help="only events touching this atom type "
+                           "(repeatable)")
+    tail.add_argument("--kind", action="append", metavar="KIND",
+                      help="only this event kind, e.g. atom_created "
+                           "(repeatable)")
+    tail.add_argument("--root", action="append", type=int, metavar="ID",
+                      help="only events touching this atom id "
+                           "(repeatable)")
+    tail.add_argument("--from-lsn", type=int, default=None,
+                      help="explicit start LSN (default: resume from "
+                           "the persisted ack, or attach at the head)")
+    tail.add_argument("--count", type=int, default=0,
+                      help="stop after N events (default: follow "
+                           "forever)")
+    tail.add_argument("--json", action="store_true",
+                      help="one JSON object per event")
+    tail.set_defaults(handler=cmd_tail)
 
     monitor = commands.add_parser(
         "monitor", help="live top-like view of a running server")

@@ -1,0 +1,41 @@
+"""Change-data-capture: typed change events over the temporal store.
+
+Two entry points share one event vocabulary:
+
+* :class:`~repro.cdc.source.ChangeStreamSource` answers the ungated
+  ``SUBSCRIBE`` opcode — it tails the WAL, decodes committed physical
+  records into schema-level change events, and serves them in
+  long-polled batches with per-subscriber cursors that survive
+  reconnect (the consumed watermark is persisted in the catalog, and
+  the WAL's retention guard holds the log for lagging consumers
+  exactly as it does for replicas).
+
+* :func:`~repro.cdc.diff.compute_diff` backs the MQL query form
+  ``DIFF <molecule> BETWEEN t1 AND t2`` — it compares two time slices
+  of each molecule through the batched read path and reports the net
+  delta as the *same* event records the stream emits.
+
+:func:`~repro.cdc.events.fold_events` connects the two: folding the
+subscribed event stream over ``(t1, t2]`` reconstructs the DIFF result
+exactly (the differential oracle the tests and the R-S3 bench enforce).
+"""
+
+from repro.cdc.diff import compute_diff
+from repro.cdc.events import (
+    EVENT_KINDS,
+    decode_operation,
+    event_record,
+    event_sort_key,
+    fold_events,
+)
+from repro.cdc.source import ChangeStreamSource
+
+__all__ = [
+    "ChangeStreamSource",
+    "EVENT_KINDS",
+    "compute_diff",
+    "decode_operation",
+    "event_record",
+    "event_sort_key",
+    "fold_events",
+]

@@ -53,7 +53,31 @@ def analyze(query: Query, schema: Schema) -> AnalyzedQuery:
                 _check_path(item, type_names, schema)
     if query.where is not None:
         _check_predicate(query.where, type_names, schema)
+    if query.diff is not None:
+        check_diff_bounds(query.diff)
     return AnalyzedQuery(query, molecule_type, query.valid, query.as_of)
+
+
+def check_diff_bounds(diff) -> None:
+    """Validate DIFF's BETWEEN bounds: bound integers with start < end.
+
+    Exposed because the bounds are *value* checks, not type checks — a
+    cached analysis keyed by parameter types cannot stand in for them,
+    so the evaluator re-runs this on the analysis-reuse path.
+    """
+    for name, value in (("start", diff.start), ("end", diff.end)):
+        if isinstance(value, ParamRef):
+            raise AnalysisError(
+                f"unbound query parameter ${value.name} in DIFF BETWEEN "
+                f"(pass params= to query())")
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise AnalysisError(
+                f"DIFF BETWEEN {name} must be an integer transaction "
+                f"time, got {value!r}")
+    if diff.start >= diff.end:
+        raise AnalysisError(
+            f"DIFF BETWEEN needs start < end, got "
+            f"{diff.start} and {diff.end}")
 
 
 def _resolve_molecule(raw: RawMolecule, schema: Schema) -> MoleculeType:

@@ -167,6 +167,16 @@ ValidClause = Union[ValidAt, ValidAtNow, ValidDuring, ValidHistory]
 
 
 @dataclass(frozen=True, slots=True)
+class DiffClause:
+    """``DIFF ... BETWEEN t1 AND t2``: net change events between two
+    transaction times, at the current valid instant.  Times may be
+    :class:`ParamRef` placeholders until bound."""
+
+    start: Union[int, ParamRef]
+    end: Union[int, ParamRef]
+
+
+@dataclass(frozen=True, slots=True)
 class WhenClause:
     """``WHEN <relation> [a, b)``: keep result states whose validity
     stands in the named (liberalized) Allen relation to the interval."""
@@ -189,3 +199,6 @@ class Query:
     as_of: Optional[int] = None
     #: ``EXPLAIN ANALYZE`` prefix: execute with per-operator profiling.
     explain: bool = False
+    #: ``DIFF`` form: net change events between two transaction times.
+    #: Mutually exclusive with VALID/WHEN/AS OF (the grammar enforces it).
+    diff: Optional[DiffClause] = None

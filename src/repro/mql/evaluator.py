@@ -22,9 +22,10 @@ from __future__ import annotations
 import operator
 from typing import Any, Dict, Iterable, List, Optional
 
+from repro.cdc.diff import compute_diff
 from repro.core.molecule import Molecule
 from repro.errors import EvaluationError
-from repro.mql.analyzer import AnalyzedQuery, analyze
+from repro.mql.analyzer import AnalyzedQuery, analyze, check_diff_bounds
 from repro.mql.ast_nodes import (
     Aggregate,
     And,
@@ -115,6 +116,11 @@ def _compile(db, text: str,
     reusable = entry.analyzed_by_types.get(signature)
     if reusable is not None:
         cache.c_param_analysis_hits.inc()
+        if query.diff is not None:
+            # Analysis reuse is keyed by parameter *types*, but DIFF's
+            # bound checks are value checks (start < end): re-run them
+            # so a bad rebinding fails identically warm or cold.
+            check_diff_bounds(query.diff)
         return AnalyzedQuery(query, reusable.molecule_type,
                              query.valid, query.as_of)
     cache.c_param_analysis_misses.inc()
@@ -151,6 +157,13 @@ def _execute(db, query_plan: QueryPlan, tracer) -> QueryResult:
                          path=type(query_plan.root_access).__name__) as span:
             roots = _root_candidates(db, query_plan)
             span.set("roots", len(roots))
+        if analyzed.query.diff is not None:
+            entries = _evaluate_diff(db, analyzed, roots, tracer)
+            top.set("entries", len(entries))
+            # DIFF rows are event records, not molecules: always
+            # projected, never WHEN-filtered (the window *is* the tt
+            # range) and never value-projected.
+            return QueryResult(entries, query_plan.describe(), True)
         valid = analyzed.valid
         if isinstance(valid, (ValidAt, ValidAtNow)):
             # "NOW" in valid time means the current, open-ended state: the
@@ -261,6 +274,62 @@ def _evaluate_slice(db, analyzed: AnalyzedQuery, roots: Iterable[int],
             continue
         entries.append(ResultEntry(molecule.root.atom_id,
                                    Interval.instant(at), molecule, None))
+    return entries
+
+
+def _evaluate_diff(db, analyzed: AnalyzedQuery, roots: List[int],
+                   tracer) -> List[ResultEntry]:
+    """``DIFF m BETWEEN t1 AND t2``: net change events per molecule.
+
+    Two bitemporal slices of every candidate molecule — the current
+    valid instant as believed at t1 and at t2 — define the diff's
+    *scope* (which atoms belong to each complex object at either
+    endpoint); the per-atom deltas themselves come from the version
+    histories via :func:`repro.cdc.diff.compute_diff`, so the rows are
+    byte-identical to folding the SUBSCRIBE change stream over
+    ``(t1, t2]``.  WHERE keeps a molecule when either endpoint state
+    satisfies it (a predicate on vanished state still matters for "what
+    changed about X").
+    """
+    diff = analyzed.query.diff
+    t1, t2 = diff.start, diff.end
+    at = FOREVER - 1
+    entries: List[ResultEntry] = []
+    with tracer.span("diff", t1=t1, t2=t2) as dspan:
+        with tracer.span("slice", at=at, tt=t1) as span:
+            before = {m.root.atom_id: m for m in db.builder.build_many(
+                roots, analyzed.molecule_type, at, t1)}
+            span.set("entries", len(before))
+        with tracer.span("slice", at=at, tt=t2) as span:
+            after = {m.root.atom_id: m for m in db.builder.build_many(
+                roots, analyzed.molecule_type, at, t2)}
+            span.set("entries", len(after))
+        with tracer.span("compare") as span:
+            where = analyzed.query.where
+            scopes: Dict[int, Dict[int, Optional[str]]] = {}
+            for root_id in roots:
+                m1 = before.get(root_id)
+                m2 = after.get(root_id)
+                if m1 is None and m2 is None:
+                    continue
+                if where is not None and not (
+                        (m1 is not None and _satisfies(where, m1))
+                        or (m2 is not None and _satisfies(where, m2))):
+                    continue
+                scope: Dict[int, Optional[str]] = {}
+                for molecule in (m1, m2):
+                    if molecule is None:
+                        continue
+                    for atom in molecule.atoms():
+                        scope[atom.atom_id] = atom.type_name
+                scopes[root_id] = scope
+            rows = compute_diff(db.engine, scopes, t1, t2, at=at)
+            window = Interval(t1, t2)
+            for root_id in sorted(scopes):
+                for row in rows.get(root_id, ()):
+                    entries.append(ResultEntry(root_id, window, None, row))
+            span.set("entries", len(entries))
+        dspan.set("entries", len(entries))
     return entries
 
 

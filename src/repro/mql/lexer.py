@@ -37,6 +37,8 @@ KEYWORDS = {
     "EQUALS", "STARTS", "FINISHES",
     # Aggregates over molecule contents.
     "COUNT", "SUM", "AVG", "MIN", "MAX",
+    # Temporal diff: DIFF <molecule> BETWEEN t1 AND t2.
+    "DIFF", "BETWEEN",
 }
 
 #: Multi-character symbols first so maximal munch applies.
@@ -49,7 +51,7 @@ SYMBOLS = ["!=", "<=", ">=", "=", "<", ">", ".", ",", "(", ")", "[", "]"]
 SOFT_KEYWORDS = {"OVERLAPS", "CONTAINS", "MEETS", "BEFORE", "AFTER",
                  "EQUALS", "STARTS", "FINISHES", "WHEN", "AT", "OF",
                  "DURING", "HISTORY", "COUNT", "SUM", "AVG", "MIN", "MAX",
-                 "EXPLAIN", "ANALYZE"}
+                 "EXPLAIN", "ANALYZE", "DIFF", "BETWEEN"}
 
 
 @dataclass(frozen=True, slots=True)

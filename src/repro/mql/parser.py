@@ -11,6 +11,7 @@ from repro.mql.ast_nodes import (
     AttrPath,
     Comparison,
     CompareOp,
+    DiffClause,
     Literal,
     Not,
     Or,
@@ -91,6 +92,8 @@ def parse_query(text: str) -> Query:
     if stream.accept_keyword("EXPLAIN"):
         stream.expect_keyword("ANALYZE")
         explain = True
+    if stream.accept_keyword("DIFF"):
+        return _parse_diff(stream, explain)
     stream.expect_keyword("SELECT")
     select = _parse_select(stream)
     stream.expect_keyword("FROM")
@@ -112,6 +115,28 @@ def parse_query(text: str) -> Query:
         raise ParseError(f"unexpected trailing {stream.current}",
                          stream.current.position)
     return Query(select, molecule, where, valid, when, as_of, explain)
+
+
+def _parse_diff(stream: _Stream, explain: bool) -> Query:
+    """``DIFF <molecule> BETWEEN t1 AND t2 [WHERE ...]``.
+
+    A DIFF query has no VALID/WHEN/AS OF clauses: the two BETWEEN
+    times *are* its temporal specification (transaction times; the
+    valid instant is the current state, as with an omitted VALID).
+    """
+    molecule = _parse_molecule(stream)
+    stream.expect_keyword("BETWEEN")
+    start = _parse_time_or_param(stream)
+    stream.expect_keyword("AND")
+    end = _parse_time_or_param(stream)
+    where: Optional[Predicate] = None
+    if stream.accept_keyword("WHERE"):
+        where = _parse_or(stream)
+    if stream.current.type is not TokenType.END:
+        raise ParseError(f"unexpected trailing {stream.current}",
+                         stream.current.position)
+    return Query(SelectAll(), molecule, where, ValidAtNow(), None, None,
+                 explain, DiffClause(start, end))
 
 
 # -- SELECT -----------------------------------------------------------------
@@ -279,6 +304,15 @@ def _parse_time(stream: _Stream) -> int:
     raise ParseError(f"expected a time, got {token}", token.position)
 
 
+def _parse_time_or_param(stream: _Stream):
+    """A time, or a ``$name`` placeholder (DIFF bounds are bindable)."""
+    token = stream.current
+    if token.type is TokenType.PARAM:
+        stream.advance()
+        return ParamRef(token.value)
+    return _parse_time(stream)
+
+
 def _parse_valid(stream: _Stream) -> ValidClause:
     if stream.accept_keyword("AT"):
         if stream.accept_keyword("NOW"):
@@ -302,7 +336,8 @@ def _parse_valid(stream: _Stream) -> ValidClause:
 
 
 def has_parameters(query: Query) -> bool:
-    """Whether any ``$name`` placeholder remains in the WHERE clause."""
+    """Whether any ``$name`` placeholder remains unbound (in the WHERE
+    clause or in DIFF's BETWEEN bounds)."""
     def walk(predicate) -> bool:
         if isinstance(predicate, Comparison):
             return isinstance(predicate.literal.value, ParamRef)
@@ -311,6 +346,10 @@ def has_parameters(query: Query) -> bool:
         if isinstance(predicate, Not):
             return walk(predicate.operand)
         return False
+    if query.diff is not None and (
+            isinstance(query.diff.start, ParamRef)
+            or isinstance(query.diff.end, ParamRef)):
+        return True
     return query.where is not None and walk(query.where)
 
 
@@ -351,14 +390,30 @@ def bind_parameters(query: Query, params: Optional[dict]) -> Query:
             return Not(bind_predicate(predicate.operand))
         return predicate
 
+    def bind_time(value):
+        if not isinstance(value, ParamRef):
+            return value
+        if value.name not in params:
+            raise ParseError(f"unbound query parameter ${value.name}")
+        bound = params[value.name]
+        if isinstance(bound, bool) or not isinstance(bound, int):
+            raise ParseError(
+                f"parameter ${value.name} must be an integer time, "
+                f"got {type(bound).__name__}")
+        used.add(value.name)
+        return bound
+
     where = bind_predicate(query.where) if query.where is not None else None
+    diff = query.diff
+    if diff is not None:
+        diff = DiffClause(bind_time(diff.start), bind_time(diff.end))
     unused = set(params) - used
     if unused:
         raise ParseError(
             f"unused query parameters: "
             f"{', '.join('$' + name for name in sorted(unused))}")
     return Query(query.select, query.molecule, where, query.valid,
-                 query.when, query.as_of, query.explain)
+                 query.when, query.as_of, query.explain, diff)
 
 
 _WHEN_RELATIONS = ("OVERLAPS", "DURING", "CONTAINS", "MEETS", "BEFORE",

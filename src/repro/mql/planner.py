@@ -107,6 +107,9 @@ class QueryPlan:
     def describe(self) -> str:
         text = (f"molecule {self.analyzed.molecule_type} "
                 f"via {self.root_access.describe()}")
+        diff = self.analyzed.query.diff
+        if diff is not None:
+            text += f" diff[tt {diff.start} -> {diff.end}]"
         if self.pushdown is not None:
             text += f" pushdown[{self.pushdown.describe()}]"
         return text
@@ -321,7 +324,7 @@ def _pushdown_comparisons(analyzed: AnalyzedQuery
     """
     mtype = analyzed.molecule_type
     root = mtype.root
-    if analyzed.as_of is not None:
+    if analyzed.as_of is not None or analyzed.query.diff is not None:
         return ()
     if any(edge.child == root for edge in mtype.edges):
         return ()
@@ -342,7 +345,7 @@ def _pushdown_projection(analyzed: AnalyzedQuery
     value.
     """
     query = analyzed.query
-    if analyzed.as_of is not None:
+    if analyzed.as_of is not None or query.diff is not None:
         return None
     if not isinstance(query.valid, (ValidAt, ValidAtNow)):
         return None

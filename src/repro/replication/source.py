@@ -105,11 +105,18 @@ class ReplicationSource:
 
     def status(self) -> Dict[str, Any]:
         """Primary-side replication block for STATS/state_snapshot."""
+        head = self._wal.shippable_lsn
+        subscribers: Dict[str, Any] = {}
+        for name, entry in self._wal.subscribers().items():
+            acked = int(entry["acked"])
+            subscribers[name] = dict(entry)
+            subscribers[name]["lag"] = max(0, head - acked)
+            subscribers[name]["held_bytes"] = self._wal.held_bytes(acked)
         return {
             "role": "primary",
-            "head": self._wal.shippable_lsn,
+            "head": head,
             "epoch": self._epoch(),
-            "subscribers": self._wal.subscribers(),
+            "subscribers": subscribers,
             "retained_bytes": self._db.metrics.gauge(
                 "wal.retention_held_bytes").value,
         }

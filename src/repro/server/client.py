@@ -382,6 +382,58 @@ class DatabaseClient:
             payload["ack_lsn"] = int(ack_lsn)
         return self._roundtrip(Opcode.WAL_STREAM, payload)
 
+    def change_stream(self, subscriber: str,
+                      from_lsn: Optional[int] = None,
+                      max_records: int = 512, wait_ms: int = 0,
+                      types: Optional[List[str]] = None,
+                      kinds: Optional[List[str]] = None,
+                      roots: Optional[List[int]] = None,
+                      ack_lsn: Optional[int] = None,
+                      unsubscribe: bool = False) -> Dict[str, Any]:
+        """Fetch one batch of decoded change events (``SUBSCRIBE``).
+
+        The change-data-capture plane (see ``docs/cdc.md``): a named
+        subscriber long-polls committed, typed change events; its ack
+        watermark is persisted server-side, so a reconnect without
+        *from_lsn* resumes exactly after the last acked event.  Not
+        retried — :meth:`subscribe` owns the polling loop.
+        """
+        payload: Dict[str, Any] = {"subscriber": subscriber}
+        if unsubscribe:
+            payload["unsubscribe"] = True
+            return self._roundtrip(Opcode.SUBSCRIBE, payload)
+        payload["max_records"] = int(max_records)
+        payload["wait_ms"] = int(wait_ms)
+        if from_lsn is not None:
+            payload["from_lsn"] = int(from_lsn)
+        if types:
+            payload["types"] = list(types)
+        if kinds:
+            payload["kinds"] = list(kinds)
+        if roots:
+            payload["roots"] = [int(root) for root in roots]
+        if ack_lsn is not None:
+            payload["ack_lsn"] = int(ack_lsn)
+        return self._roundtrip(Opcode.SUBSCRIBE, payload)
+
+    def subscribe(self, subscriber: str,
+                  types: Optional[List[str]] = None,
+                  kinds: Optional[List[str]] = None,
+                  roots: Optional[List[int]] = None,
+                  from_lsn: Optional[int] = None,
+                  batch_size: int = 512,
+                  poll_ms: int = 500) -> "ChangeFeed":
+        """A long-polling iterator over this server's change stream.
+
+        Events are acked as they are *consumed*: each poll acks the last
+        event the previous iteration step yielded, so a consumer that
+        dies mid-batch resumes (from the server's persisted ack) at the
+        first unconsumed event — no gaps, no duplicates.
+        """
+        return ChangeFeed(self, subscriber, types=types, kinds=kinds,
+                          roots=roots, from_lsn=from_lsn,
+                          batch_size=batch_size, poll_ms=poll_ms)
+
     def prepare(self, text: str) -> "PreparedStatement":
         body = self._request(Opcode.PREPARE, {"text": text})
         return PreparedStatement(self, text,
@@ -674,6 +726,105 @@ class ResultCursor:
         self.done = True
 
     def __enter__(self) -> "ResultCursor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class ChangeFeed:
+    """Iterator over a server-side change stream (``SUBSCRIBE``).
+
+    Yields event dicts in commit (LSN) order, long-polling the server
+    between batches.  Iteration is endless by design — a tail follows
+    the log until the caller breaks out or calls :meth:`close`.  The
+    feed acks lazily: the LSN of the last yielded event rides on the
+    *next* request, so an event is only ever acked after the caller's
+    loop body finished with it.
+
+    ``close()`` flushes the final ack but keeps the subscription (and
+    its WAL retention hold) alive for a later resume; ``cancel()``
+    unsubscribes, releasing retention.
+    """
+
+    def __init__(self, client: DatabaseClient, subscriber: str,
+                 types: Optional[List[str]] = None,
+                 kinds: Optional[List[str]] = None,
+                 roots: Optional[List[int]] = None,
+                 from_lsn: Optional[int] = None,
+                 batch_size: int = 512, poll_ms: int = 500) -> None:
+        self._client = client
+        self.subscriber = subscriber
+        self._types = list(types) if types else None
+        self._kinds = list(kinds) if kinds else None
+        self._roots = list(roots) if roots else None
+        self._next_from = from_lsn
+        self._batch_size = batch_size
+        self._poll_ms = poll_ms
+        self._pending_ack: Optional[int] = None
+        self._closed = False
+        #: Stream position after the last poll (server's shippable head
+        #: and whether this feed had consumed it all).
+        self.head = 0
+        self.caught_up = False
+
+    def poll(self, wait_ms: Optional[int] = None) -> List[Dict[str, Any]]:
+        """One SUBSCRIBE round-trip; returns the batch of events."""
+        if self._closed:
+            raise CursorStateError("change feed is closed")
+        body = self._client.change_stream(
+            self.subscriber, from_lsn=self._next_from,
+            max_records=self._batch_size,
+            wait_ms=self._poll_ms if wait_ms is None else wait_ms,
+            types=self._types, kinds=self._kinds, roots=self._roots,
+            ack_lsn=self._pending_ack)
+        self._next_from = body["next_from"]
+        self.head = body["head"]
+        self.caught_up = body["caught_up"]
+        return body["events"]
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        while not self._closed:
+            for event in self.poll():
+                # finally: the ack must also record when the consumer
+                # breaks out of its loop (GeneratorExit lands at the
+                # yield) — the event *was* delivered, and leaving it
+                # unacked would replay it on the next resume.
+                try:
+                    yield event
+                finally:
+                    self._pending_ack = event["lsn"]
+
+    def _flush_ack(self) -> None:
+        if self._pending_ack is None:
+            return
+        self._client.change_stream(self.subscriber,
+                                   from_lsn=self._pending_ack + 1,
+                                   max_records=1, wait_ms=0,
+                                   ack_lsn=self._pending_ack)
+        self._pending_ack = None
+
+    def close(self) -> None:
+        """Flush the final ack; the server-side cursor stays resumable."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._flush_ack()
+        except (ConnectionClosedError, ProtocolError, OSError):
+            pass  # the persisted ack is only one batch behind
+
+    def cancel(self) -> None:
+        """Unsubscribe: drop the cursor and its WAL retention hold."""
+        if not self._closed:
+            self._closed = True
+            try:
+                self._flush_ack()
+            except (ConnectionClosedError, ProtocolError, OSError):
+                pass
+        self._client.change_stream(self.subscriber, unsubscribe=True)
+
+    def __enter__(self) -> "ChangeFeed":
         return self
 
     def __exit__(self, *exc: object) -> None:

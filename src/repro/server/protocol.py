@@ -48,6 +48,11 @@ of WAL records from its primary and acks its durable replay watermark.
 Capability-negotiated rather than version-gated — the server advertises
 ``"role"`` in its HELLO response, and a peer that never sends
 WAL_STREAM sees byte-identical behaviour, so no version bump.
+
+``SUBSCRIBE`` follows the same precedent: a change-data-capture client
+long-polls decoded, committed change events from the primary's WAL
+(see ``docs/cdc.md``), with a named server-side cursor that survives
+reconnects.  Clients that never send it are unaffected.
 """
 
 from __future__ import annotations
@@ -104,6 +109,7 @@ class Opcode(IntEnum):
     FETCH = 13
     CLOSE_CURSOR = 14
     WAL_STREAM = 15
+    SUBSCRIBE = 16
 
     RESULT = 64
     ERROR = 65

@@ -79,6 +79,7 @@ from repro.errors import (
 )
 from repro.errors import TRANSIENT_ERRORS
 from repro.obs import QueryProfile, new_trace_id
+from repro.cdc.source import ChangeStreamSource
 from repro.replication.source import ReplicationSource
 from repro.server.admission import LATENCY_BOUNDS, AdmissionController
 from repro.server.http_sidecar import MetricsSidecar
@@ -130,11 +131,14 @@ _RECV_CHUNK = 256 * 1024
 #: are being refused.  WAL_STREAM is the replication plane: shedding it
 #: under load would stall replicas exactly when read scale-out matters,
 #: and its long-poll window is capped (MAX_STREAM_WAIT_MS) so a parked
-#: stream never pins a worker for long.
+#: stream never pins a worker for long.  SUBSCRIBE is the change-data-
+#: capture plane and shares WAL_STREAM's rationale: its long-poll is
+#: capped by the same window, and shedding it would let subscriber acks
+#: stall, pinning WAL retention at the worst moment.
 _UNGATED_OPCODES = frozenset(
     (int(Opcode.COMMIT), int(Opcode.ROLLBACK), int(Opcode.CLOSE),
      int(Opcode.STATS), int(Opcode.CLOSE_CURSOR),
-     int(Opcode.WAL_STREAM)))
+     int(Opcode.WAL_STREAM), int(Opcode.SUBSCRIBE)))
 
 #: Worker threads beyond ``max_inflight``: headroom so ungated frames
 #: (COMMIT/ROLLBACK/CLOSE/STATS) never wait behind gated work.
@@ -283,6 +287,8 @@ class DatabaseServer:
         self.replication = replication
         #: Every server can feed downstream replicas (chains included).
         self.wal_source = ReplicationSource(db)
+        #: Change-data-capture: decoded committed events over SUBSCRIBE.
+        self.cdc_source = ChangeStreamSource(db)
         self.admission = admission or AdmissionController(
             metrics=db.metrics)
         #: Shared structured event log (owned by the admission
@@ -979,6 +985,9 @@ class DatabaseServer:
         if opcode == Opcode.WAL_STREAM:
             return [self._encode_result(
                 request_id, self.wal_source.handle(payload))], False
+        if opcode == Opcode.SUBSCRIBE:
+            return [self._encode_result(
+                request_id, self.cdc_source.handle(payload))], False
         if opcode == Opcode.QUERY or opcode == Opcode.EXECUTE:
             if opcode == Opcode.QUERY and payload.get("stream") is not None:
                 return self._handle_open_cursor(session, request_id,
@@ -1440,4 +1449,5 @@ class DatabaseServer:
             "replication": (self.replication.status()
                             if self.replication is not None
                             else self.wal_source.status()),
+            "cdc": self.cdc_source.status(),
         }

@@ -128,6 +128,13 @@ class WriteAheadLog:
         # on their first stream request after reconnecting).
         self._subs_lock = threading.Lock()
         self._subscribers: Dict[str, Dict[str, float]] = {}
+        # CDC subscriber registry: same shape, separate namespace.  The
+        # retention guard treats both kinds identically (min-acked across
+        # the union); they are kept apart so status surfaces can tell a
+        # replica from a change-stream consumer.  CDC entries are
+        # re-registered from the catalog's persisted acks on server
+        # start, so a disconnected consumer's resume point stays held.
+        self._cdc_subscribers: Dict[str, Dict[str, float]] = {}
         # Group-commit state: guarded by _commit_cv's lock, never by _lock.
         self._commit_cv = threading.Condition(threading.Lock())
         self._durable_lsn = 0
@@ -266,7 +273,17 @@ class WriteAheadLog:
             self._file.write(record)
             self._c_appends.inc()
             self._c_bytes.inc(len(record))
-            return True
+        # A shipped record is shippable onward immediately — no fsync
+        # barrier.  The durability rationale behind shippable_lsn does
+        # not apply here: this log is a verbatim LSN-aligned copy of the
+        # upstream's, so a crash that cuts the tail is healed by
+        # re-fetching the *same bytes*; the LSNs can never be reassigned
+        # to different records.  That makes cascading chains (primary ->
+        # replica -> replica) work without per-record syncs.
+        with self._commit_cv:
+            self._durable_lsn = max(self._durable_lsn, lsn)
+            self._commit_cv.notify_all()
+        return True
 
     def flush(self, sync: Optional[bool] = None) -> None:
         """Flush buffered records to the OS; optionally force to disk.
@@ -424,14 +441,59 @@ class WriteAheadLog:
             return {name: dict(entry)
                     for name, entry in self._subscribers.items()}
 
-    def min_acked_lsn(self) -> Optional[int]:
-        """The slowest subscriber's acked LSN, or ``None`` without
-        subscribers."""
+    # -- CDC subscribers -----------------------------------------------------
+
+    def subscribe_cdc(self, name: str, acked_lsn: int = 0) -> None:
+        """Register (or refresh) a CDC change-stream subscriber.
+
+        Counts toward the retention guard exactly like a replica: while
+        its acked LSN trails the head, :meth:`truncate` refuses.
+        """
         with self._subs_lock:
-            if not self._subscribers:
-                return None
-            return min(int(entry["acked"])
-                       for entry in self._subscribers.values())
+            entry = self._cdc_subscribers.setdefault(
+                name, {"acked": 0, "last_seen": 0.0})
+            entry["acked"] = max(entry["acked"], acked_lsn)
+            entry["last_seen"] = time.monotonic()
+        self._update_retention_gauge()
+
+    def ack_cdc(self, name: str, lsn: int) -> None:
+        """Record a CDC subscriber's consumed watermark (monotone)."""
+        self.subscribe_cdc(name, lsn)
+
+    def release_cdc(self, name: str) -> None:
+        """Drop a CDC subscriber; its retention hold is released."""
+        with self._subs_lock:
+            self._cdc_subscribers.pop(name, None)
+        self._update_retention_gauge()
+
+    def cdc_subscribers(self) -> Dict[str, Dict[str, float]]:
+        """Snapshot of the CDC subscriber registry."""
+        with self._subs_lock:
+            return {name: dict(entry)
+                    for name, entry in self._cdc_subscribers.items()}
+
+    def min_acked_lsn(self) -> Optional[int]:
+        """The slowest subscriber's acked LSN across *both* registries
+        (replicas and CDC consumers), or ``None`` without subscribers."""
+        with self._subs_lock:
+            acks = [int(entry["acked"])
+                    for registry in (self._subscribers,
+                                     self._cdc_subscribers)
+                    for entry in registry.values()]
+        return min(acks) if acks else None
+
+    def held_bytes(self, acked_lsn: int) -> int:
+        """Approximate log bytes a subscriber acked at *acked_lsn* pins.
+
+        Computed from the sparse seek marks: tail offset minus the mark
+        at or below the subscriber's resume point (``acked + 1``), so the
+        figure can overstate by up to one mark interval (16 KiB) — good
+        enough for the monitoring surfaces it feeds.
+        """
+        with self._lock:
+            if acked_lsn >= self._next_lsn - 1:
+                return 0
+            return max(0, self._tail_offset - self._seek_hint(acked_lsn + 1))
 
     def _update_retention_gauge(self) -> None:
         floor = self.min_acked_lsn()
@@ -502,9 +564,10 @@ class WriteAheadLog:
         """Discard the log (after a checkpoint made it redundant).
 
         Returns ``False`` without touching the file when a subscribed
-        replica's acked LSN still trails the head — truncating would
-        destroy its resume point.  The ``wal.retention_held_bytes``
-        gauge shows the bytes a stalled replica is pinning.
+        replica's or CDC consumer's acked LSN still trails the head —
+        truncating would destroy its resume point.  The
+        ``wal.retention_held_bytes`` gauge shows the bytes the slowest
+        subscriber is pinning.
         """
         floor = self.min_acked_lsn()
         if floor is not None and floor < self._next_lsn - 1:

@@ -1,0 +1,374 @@
+"""Change-data-capture tests: decoder shapes, commit gating, filters,
+durable cursors, restart re-registration, and retention interplay.
+
+Everything here runs in-process against :class:`ChangeStreamSource`
+directly — the wire path (opcode 16, client iterator, tail CLI) is
+covered by test_server.py additions and the CI smoke job.
+"""
+
+import pytest
+
+from repro import DatabaseConfig, TemporalDatabase
+from repro.cdc.events import EVENT_KINDS, fold_events
+from repro.cdc.source import CDC_EXTRAS_KEY, ChangeStreamSource
+from repro.errors import ReplicationError
+from repro.temporal import FOREVER
+
+
+def stream(source, subscriber="probe", **overrides):
+    """One full-replay SUBSCRIBE request (from the start of the log)."""
+    payload = {"subscriber": subscriber, "from_lsn": 1,
+               "max_records": 4096}
+    payload.update(overrides)
+    return source.handle(payload)
+
+
+def load_history(db):
+    """A small mixed history; returns (part, comp, supplier) atom ids."""
+    with db.transaction() as txn:
+        part = txn.insert("Part", {"name": "gear", "cost": 5.0},
+                          valid_from=0)
+        comp = txn.insert("Component", {"cname": "tooth", "weight": 1.0},
+                          valid_from=0)
+        txn.link("contains", part, comp, valid_from=0)
+    with db.transaction() as txn:
+        txn.update(part, {"cost": 7.5}, valid_from=10)
+    with db.transaction() as txn:
+        sup = txn.insert("Supplier", {"sname": "acme"}, valid_from=0)
+        txn.link("supplied_by", comp, sup, valid_from=5)
+    return part, comp, sup
+
+
+class TestDecoder:
+    def test_insert_decodes_to_atom_created(self, db):
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "p", "cost": 1.0},
+                              valid_from=3)
+        body = stream(ChangeStreamSource(db))
+        [event] = body["events"]
+        assert event["kind"] == "atom_created"
+        assert event["atom_id"] == part
+        assert event["type"] == "Part"
+        assert event["before"] is None
+        assert event["after"]["name"] == "p"
+        assert event["vt"] == [3, FOREVER]
+        assert event["link"] is None and event["src"] is None
+        assert isinstance(event["lsn"], int)
+        assert isinstance(event["txn_id"], int)
+
+    def test_update_carries_before_and_after(self, db):
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "p", "cost": 1.0},
+                              valid_from=0)
+        with db.transaction() as txn:
+            txn.update(part, {"cost": 2.0}, valid_from=10)
+        body = stream(ChangeStreamSource(db))
+        changed = [e for e in body["events"]
+                   if e["kind"] == "attribute_changed"]
+        [event] = changed
+        assert event["before"]["cost"] == 1.0
+        assert event["after"]["cost"] == 2.0
+        assert event["after"]["name"] == "p"
+        assert event["vt"] == [10, FOREVER]
+
+    def test_delete_reports_removed_values(self, db):
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "p", "cost": 1.0},
+                              valid_from=0)
+        with db.transaction() as txn:
+            txn.delete(part, valid_from=20)
+        body = stream(ChangeStreamSource(db))
+        [event] = [e for e in body["events"] if e["kind"] == "atom_deleted"]
+        assert event["before"]["name"] == "p"
+        assert event["after"] is None
+        assert event["vt"] == [20, FOREVER]
+
+    def test_link_and_unlink_events(self, db):
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "p"}, valid_from=0)
+            comp = txn.insert("Component", {"cname": "c"}, valid_from=0)
+            txn.link("contains", part, comp, valid_from=0)
+        with db.transaction() as txn:
+            txn.unlink("contains", part, comp, valid_from=30)
+        body = stream(ChangeStreamSource(db))
+        kinds = [e["kind"] for e in body["events"]]
+        assert kinds.count("link_added") == 1
+        assert kinds.count("link_removed") == 1
+        [added] = [e for e in body["events"] if e["kind"] == "link_added"]
+        assert (added["link"], added["src"], added["dst"]) == (
+            "contains", part, comp)
+        assert added["atom_id"] == part
+        assert added["type"] == "Part"
+
+    def test_correction_reports_rewritten_window(self, db):
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "p", "cost": 1.0},
+                              valid_from=0)
+        with db.transaction() as txn:
+            txn.correct(part, 0, 50, {"cost": 9.0})
+        body = stream(ChangeStreamSource(db))
+        [event] = [e for e in body["events"]
+                   if e["kind"] == "attribute_changed"]
+        assert event["vt"] == [0, 50]
+        assert event["before"]["cost"] == 1.0
+        assert event["after"]["cost"] == 9.0
+
+    def test_events_arrive_in_lsn_order(self, db):
+        load_history(db)
+        body = stream(ChangeStreamSource(db))
+        lsns = [e["lsn"] for e in body["events"]]
+        assert lsns == sorted(lsns)
+        assert len(set(lsns)) == len(lsns)
+
+
+class TestCommitGating:
+    def test_aborted_transaction_emits_nothing(self, db):
+        with db.transaction() as txn:
+            keeper = txn.insert("Part", {"name": "keep"}, valid_from=0)
+        with pytest.raises(RuntimeError):
+            with db.transaction() as txn:
+                txn.insert("Part", {"name": "ghost"}, valid_from=0)
+                raise RuntimeError("boom")
+        body = stream(ChangeStreamSource(db))
+        assert [e["atom_id"] for e in body["events"]] == [keeper]
+        # The cursor still passes the aborted records: the stream is
+        # gated on commit state, not stalled by it.
+        assert body["caught_up"]
+
+    def test_in_flight_transaction_is_invisible_until_commit(self, db):
+        source = ChangeStreamSource(db)
+        context = db.begin()
+        context.insert("Part", {"name": "pending"}, valid_from=0)
+        db._wal.sync_to(db._wal.next_lsn - 1)  # make them shippable
+        body = stream(source)
+        assert body["events"] == []
+        assert body["bound"] < db._wal.shippable_lsn
+        context.commit()
+        body = stream(source)
+        assert [e["after"]["name"] for e in body["events"]] == ["pending"]
+
+
+class TestFilters:
+    def test_kind_filter(self, db):
+        load_history(db)
+        body = stream(ChangeStreamSource(db), kinds=["link_added"])
+        assert body["events"]
+        assert all(e["kind"] == "link_added" for e in body["events"])
+
+    def test_type_filter(self, db):
+        load_history(db)
+        body = stream(ChangeStreamSource(db), types=["Supplier"])
+        assert body["events"]
+        assert all(e["type"] == "Supplier" for e in body["events"])
+
+    def test_root_filter_admits_either_link_end(self, db):
+        part, comp, sup = load_history(db)
+        body = stream(ChangeStreamSource(db), roots=[sup])
+        kinds = {e["kind"] for e in body["events"]}
+        # sup's creation plus the link where it is only the *target*.
+        assert kinds == {"atom_created", "link_added"}
+        [link] = [e for e in body["events"] if e["kind"] == "link_added"]
+        assert link["dst"] == sup
+
+    def test_unknown_kind_rejected(self, db):
+        with pytest.raises(ReplicationError, match="unknown event kinds"):
+            stream(ChangeStreamSource(db), kinds=["atom_exploded"])
+        assert "atom_exploded" not in EVENT_KINDS
+
+    def test_filtered_events_still_advance_cursor(self, db):
+        load_history(db)
+        body = stream(ChangeStreamSource(db), types=["NoSuchType"])
+        assert body["events"] == []
+        assert body["caught_up"]
+        assert body["next_from"] == body["bound"] + 1
+
+
+class TestCursors:
+    def test_fresh_subscriber_attaches_at_head(self, db):
+        load_history(db)
+        source = ChangeStreamSource(db)
+        body = source.handle({"subscriber": "late"})
+        assert body["events"] == []
+        assert body["caught_up"]
+        with db.transaction() as txn:
+            txn.insert("Part", {"name": "new"}, valid_from=0)
+        body = source.handle({"subscriber": "late"})
+        assert [e["after"]["name"] for e in body["events"]] == ["new"]
+
+    def test_resume_has_no_gaps_or_duplicates(self, db):
+        load_history(db)
+        source = ChangeStreamSource(db)
+        baseline = [e["lsn"] for e in stream(source, subscriber="ref")
+                    ["events"]]
+        assert len(baseline) >= 5
+        seen = []
+        body = stream(source, subscriber="chunked", max_records=2)
+        seen.extend(e["lsn"] for e in body["events"])
+        while not body["caught_up"] or body["events"]:
+            body = source.handle({"subscriber": "chunked",
+                                  "from_lsn": body["next_from"],
+                                  "ack_lsn": seen[-1] if seen else None,
+                                  "max_records": 2})
+            if not body["events"]:
+                break
+            seen.extend(e["lsn"] for e in body["events"])
+        assert seen == baseline
+
+    def test_ack_persists_and_drives_resume(self, db):
+        load_history(db)
+        source = ChangeStreamSource(db)
+        body = stream(source, subscriber="worker", max_records=3)
+        acked = body["events"][-1]["lsn"]
+        source.handle({"subscriber": "worker", "from_lsn": acked + 1,
+                       "ack_lsn": acked, "max_records": 1})
+        # A brand-new request with no explicit cursor resumes after the
+        # persisted ack — not at the head, not at the start.
+        resumed = source.handle({"subscriber": "worker"})
+        lsns = [e["lsn"] for e in resumed["events"]]
+        assert lsns and min(lsns) > acked
+        assert CDC_EXTRAS_KEY in db._catalog.extras
+
+    def test_unsubscribe_releases_everything(self, db):
+        load_history(db)
+        source = ChangeStreamSource(db)
+        stream(source, subscriber="quitter", ack_lsn=2)
+        assert "quitter" in db._wal.cdc_subscribers()
+        body = source.handle({"subscriber": "quitter",
+                              "unsubscribe": True})
+        assert body["released"]
+        assert "quitter" not in db._wal.cdc_subscribers()
+        assert "quitter" not in db._catalog.extras.get(CDC_EXTRAS_KEY, {})
+
+    def test_subscriber_name_required(self, db):
+        with pytest.raises(ReplicationError, match="subscriber"):
+            ChangeStreamSource(db).handle({"from_lsn": 1})
+
+
+class TestRestart:
+    def test_lagging_cursor_survives_clean_restart(self, tmp_path,
+                                                   cad_schema, strategy):
+        path = str(tmp_path / "cdcdb")
+        db = TemporalDatabase.create(path, cad_schema,
+                                     DatabaseConfig(strategy=strategy))
+        load_history(db)
+        source = ChangeStreamSource(db)
+        first = stream(source, subscriber="durable", max_records=3)
+        acked = first["events"][-1]["lsn"]
+        source.handle({"subscriber": "durable", "from_lsn": acked + 1,
+                       "ack_lsn": acked, "max_records": 1})
+        expect = [e["lsn"] for e in stream(source, subscriber="ref")
+                  ["events"] if e["lsn"] > acked]
+        db.close()  # truncation refused: the lagging cursor pins the log
+
+        db2 = TemporalDatabase.open(path)
+        source2 = ChangeStreamSource(db2)
+        registry = db2._wal.cdc_subscribers()
+        assert registry["durable"]["acked"] == acked
+        resumed = source2.handle({"subscriber": "durable"})
+        assert [e["lsn"] for e in resumed["events"]] == expect
+        db2.close()
+
+    def test_caught_up_cursor_dropped_across_epoch_reset(self, tmp_path,
+                                                         cad_schema,
+                                                         strategy):
+        path = str(tmp_path / "cdcdb")
+        db = TemporalDatabase.create(path, cad_schema,
+                                     DatabaseConfig(strategy=strategy))
+        load_history(db)
+        source = ChangeStreamSource(db)
+        body = stream(source, subscriber="done")
+        head = body["events"][-1]["lsn"]
+        source.handle({"subscriber": "done", "from_lsn": head + 1,
+                       "ack_lsn": db._wal.shippable_lsn, "max_records": 1})
+        old_epoch = int(db._catalog.extras.get("wal_epoch", 0))
+        db.close()  # fully acked: the log truncates and the epoch bumps
+
+        db2 = TemporalDatabase.open(path)
+        assert int(db2._catalog.extras["wal_epoch"]) == old_epoch + 1
+        source2 = ChangeStreamSource(db2)
+        # The persisted cursor named an LSN of the dead epoch; keeping
+        # it would strand the subscriber past the restarted head.
+        assert db2._wal.cdc_subscribers() == {}
+        assert "done" not in db2._catalog.extras.get(CDC_EXTRAS_KEY, {})
+        body = source2.handle({"subscriber": "done"})
+        assert body["events"] == [] and body["caught_up"]
+        assert body["epoch"] == old_epoch + 1
+        with db2.transaction() as txn:
+            txn.insert("Part", {"name": "fresh"}, valid_from=0)
+        body = source2.handle({"subscriber": "done"})
+        assert [e["after"]["name"] for e in body["events"]] == ["fresh"]
+        db2.close()
+
+
+class TestRetention:
+    def test_lagging_subscriber_blocks_truncation(self, db):
+        load_history(db)
+        source = ChangeStreamSource(db)
+        stream(source, subscriber="slow", ack_lsn=1)
+        assert db._wal.truncate() is False
+        assert db._wal.held_bytes(1) > 0
+        head = db._wal.shippable_lsn
+        source.handle({"subscriber": "slow", "from_lsn": head + 1,
+                       "ack_lsn": head, "max_records": 1})
+        assert db._wal.truncate() is True
+
+    def test_release_unblocks_truncation(self, db):
+        load_history(db)
+        source = ChangeStreamSource(db)
+        stream(source, subscriber="slow", ack_lsn=1)
+        assert db._wal.truncate() is False
+        source.handle({"subscriber": "slow", "unsubscribe": True})
+        assert db._wal.truncate() is True
+
+    def test_status_reports_lag_and_held_bytes(self, db):
+        load_history(db)
+        source = ChangeStreamSource(db)
+        stream(source, subscriber="slow", ack_lsn=1)
+        status = source.status()
+        assert set(status) == {"head", "epoch", "subscribers",
+                               "events_decoded"}
+        entry = status["subscribers"]["slow"]
+        assert entry["acked"] == 1
+        assert entry["lag"] == status["head"] - 1
+        assert entry["held_bytes"] > 0
+        assert status["events_decoded"] > 0
+
+
+class TestFold:
+    def test_add_remove_pairs_cancel(self, db):
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "p"}, valid_from=0)
+            comp = txn.insert("Component", {"cname": "c"}, valid_from=0)
+        t1 = db._clock.now() - 1
+        with db.transaction() as txn:
+            txn.link("contains", part, comp, valid_from=0)
+        with db.transaction() as txn:
+            txn.unlink("contains", part, comp, valid_from=0)
+        t2 = db._clock.now() - 1
+        events = stream(ChangeStreamSource(db))["events"]
+        assert fold_events(events, t1, t2) == []
+
+    def test_noop_rewrite_is_not_a_transition(self, db):
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "p", "cost": 1.0},
+                              valid_from=0)
+        t1 = db._clock.now() - 1
+        with db.transaction() as txn:
+            txn.update(part, {"cost": 1.0}, valid_from=0)
+        t2 = db._clock.now() - 1
+        events = stream(ChangeStreamSource(db))["events"]
+        assert fold_events(events, t1, t2) == []
+
+    def test_created_then_deleted_nets_out(self, db):
+        t1 = db._clock.now() - 1
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "p"}, valid_from=0)
+            comp = txn.insert("Component", {"cname": "c"}, valid_from=0)
+            txn.link("contains", part, comp, valid_from=0)
+        with db.transaction() as txn:
+            txn.delete(part, valid_from=0)
+        t2 = db._clock.now() - 1
+        events = stream(ChangeStreamSource(db))["events"]
+        rows = fold_events(events, t1, t2)
+        # part (and its link) vanished; only comp's creation survives.
+        assert [r["atom_id"] for r in rows] == [comp]

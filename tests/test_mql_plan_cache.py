@@ -147,6 +147,67 @@ class TestParamTypeAnalysisReuse:
         assert len(entry.analyzed_by_types) <= MAX_PARAM_SIGNATURES
 
 
+class TestDiffCaching:
+    """DIFF texts ride the same cache — but BETWEEN bounds are *value*
+    checks, so the analysis-reuse fast path must re-validate them."""
+
+    @pytest.fixture
+    def mutated(self, db):
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "axle", "cost": 3.0},
+                              valid_from=0)
+        self.t1 = db._clock.now() - 1
+        with db.transaction() as txn:
+            txn.update(part, {"cost": 9.0}, valid_from=0)
+        self.t2 = db._clock.now() - 1
+        return db
+
+    def test_param_free_diff_hits_the_cache(self, mutated):
+        db = mutated
+        text = f"DIFF Part BETWEEN {self.t1} AND {self.t2}"
+        first = db.query(text)
+        before = _cache_stats(db)
+        second = db.query(text)
+        after = _cache_stats(db)
+        assert after["hits"] > before["hits"]
+        assert after["misses"] == before["misses"]
+        assert [e.row["kind"] for e in first.entries] == \
+            [e.row["kind"] for e in second.entries] == ["attribute_changed"]
+
+    def test_parameterized_diff_reuses_analysis(self, mutated):
+        db = mutated
+        text = "DIFF Part BETWEEN $a AND $b"
+        db.query(text, params={"a": self.t1, "b": self.t2})
+        before = db.metrics.value("mql.plan_cache.param_analysis_hits")
+        result = db.query(text, params={"a": self.t1 - 1, "b": self.t2})
+        after = db.metrics.value("mql.plan_cache.param_analysis_hits")
+        assert after > before
+        assert {e.row["kind"] for e in result.entries} == {"atom_created"}
+
+    def test_reversed_bounds_rejected_cold(self, mutated):
+        from repro.errors import AnalysisError
+        with pytest.raises(AnalysisError, match="start < end"):
+            mutated.query("DIFF Part BETWEEN $a AND $b",
+                          params={"a": 9, "b": 3})
+
+    def test_reversed_bounds_rejected_on_warm_analysis_reuse(self, mutated):
+        # Regression: the param-signature fast path skipped analysis,
+        # and with it the bound check — a reversed window surfaced as an
+        # internal interval error instead, but only when the cache was
+        # warm.  The value check must run on every compile.
+        from repro.errors import AnalysisError
+        db = mutated
+        text = "DIFF Part BETWEEN $a AND $b"
+        db.query(text, params={"a": self.t1, "b": self.t2})  # warm it
+        before = db.metrics.value("mql.plan_cache.param_analysis_hits")
+        with pytest.raises(AnalysisError, match="start < end"):
+            db.query(text, params={"a": self.t2, "b": self.t1})
+        with pytest.raises(AnalysisError, match="start < end"):
+            db.query(text, params={"a": self.t1, "b": self.t1})
+        assert db.metrics.value(
+            "mql.plan_cache.param_analysis_hits") > before
+
+
 class TestEviction:
     def test_capacity_bounds_the_cache(self):
         cache = PlanCache(capacity=2, metrics=MetricsRegistry())

@@ -492,3 +492,195 @@ class TestRoutingBound:
     ])
     def test_bounds(self, text, expected):
         assert routing_bound(text) == expected
+
+
+# -- cascading chains --------------------------------------------------------
+
+
+@contextmanager
+def chain(tmp_path, schema):
+    """A two-hop chain: primary -> hop A -> hop B, all in-process.
+
+    Hop A replays the primary's WAL into its own log verbatim
+    (``append_shipped`` preserves the LSN space), so its server can in
+    turn serve ``WAL_STREAM`` to hop B — no primary-specific state is
+    involved in being a shipping source.
+    """
+    config = DatabaseConfig(buffer_pages=64)
+    primary_path = str(tmp_path / "primary")
+    seed = TemporalDatabase.create(primary_path, schema, config)
+    seed.close()
+    for name in ("hop-a", "hop-b"):
+        shutil.copytree(primary_path, str(tmp_path / name))
+    pdb = TemporalDatabase.open(primary_path)
+    primary = DatabaseServer(pdb)
+    primary.start()
+    adb = TemporalDatabase.open(str(tmp_path / "hop-a"))
+    a_applier = ReplicaApplier(adb, primary.host, primary.port,
+                               replica_id="hop-a", wait_ms=100,
+                               checkpoint_interval=0.2)
+    a_server = DatabaseServer(adb, replication=a_applier)
+    a_server.start()
+    a_applier.start()
+    bdb = TemporalDatabase.open(str(tmp_path / "hop-b"))
+    b_applier = ReplicaApplier(bdb, a_server.host, a_server.port,
+                               replica_id="hop-b", wait_ms=100,
+                               checkpoint_interval=0.2)
+    b_server = DatabaseServer(bdb, replication=b_applier)
+    b_server.start()
+    b_applier.start()
+    parts = {"pdb": pdb, "primary": primary,
+             "adb": adb, "a_applier": a_applier, "a_server": a_server,
+             "bdb": bdb, "b_applier": b_applier, "b_server": b_server}
+    try:
+        yield parts
+    finally:
+        for applier in (b_applier, a_applier):
+            applier.stop()
+        for server in (b_server, a_server, primary):
+            server.shutdown()
+        for db in (bdb, adb, pdb):
+            try:
+                db.close()
+            except Exception:
+                pass
+
+
+class TestCascading:
+    def test_two_hops_converge_and_serve_identical_reads(self, tmp_path,
+                                                         cad_schema):
+        with chain(tmp_path, cad_schema) as c:
+            with DatabaseClient(c["primary"].host,
+                                c["primary"].port) as pclient:
+                write_parts(pclient, 0, 6)
+                head = c["pdb"]._wal.shippable_lsn
+                wait_until(lambda: c["b_applier"].applied_lsn >= head,
+                           message="hop B to replay the chain")
+                with DatabaseClient(c["b_server"].host,
+                                    c["b_server"].port) as bclient:
+                    assert_identical(pclient, bclient,
+                                     "SELECT ALL FROM Part VALID AT 100")
+                    assert_identical(
+                        pclient, bclient,
+                        "SELECT Part.name FROM Part "
+                        "WHERE Part.cost >= 3 VALID AT 100")
+
+    def test_watermarks_propagate_down_the_chain(self, tmp_path,
+                                                 cad_schema):
+        with chain(tmp_path, cad_schema) as c:
+            with DatabaseClient(c["primary"].host,
+                                c["primary"].port) as pclient:
+                write_parts(pclient, 0, 4)
+            head = c["pdb"]._wal.shippable_lsn
+            wait_until(lambda: c["b_applier"].applied_lsn >= head,
+                       message="hop B to reach the primary head")
+            # Every hop reports the same replayed position...
+            assert c["a_applier"].status()["replayed_lsn"] >= head
+            assert c["b_applier"].status()["replayed_lsn"] >= head
+            # ...the middle hop carries its downstream in the *replica*
+            # registry (B holds retention on A exactly as A does on the
+            # primary)...
+            wait_until(lambda: "hop-b" in c["adb"]._wal.subscribers(),
+                       message="hop B to register with hop A")
+            assert "hop-a" in c["pdb"]._wal.subscribers()
+            # ...and the durable (checkpointed) watermark follows within
+            # a checkpoint interval, propagating the ack upstream.
+            wait_until(
+                lambda: int(c["adb"]._wal.subscribers()
+                            .get("hop-b", {}).get("acked", 0)) >= head,
+                message="hop B's ack to reach hop A")
+
+    def test_sigkilled_middle_hop_recovers_and_chain_heals(
+            self, tmp_path, cad_schema):
+        """Real SIGKILL against the middle hop, run as a subprocess
+        (``serve --replica-of``): the downstream applier must ride out
+        the outage and converge once the hop restarts on its WAL."""
+        import os
+        import signal
+        import subprocess
+        import sys
+
+        config = DatabaseConfig(buffer_pages=64)
+        primary_path = str(tmp_path / "primary")
+        seed = TemporalDatabase.create(primary_path, cad_schema, config)
+        seed.close()
+        for name in ("hop-a", "hop-b"):
+            shutil.copytree(primary_path, str(tmp_path / name))
+        pdb = TemporalDatabase.open(primary_path)
+        primary = DatabaseServer(pdb)
+        primary.start()
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(tmp_path.parent)] + env.get("PYTHONPATH", "").split(
+                os.pathsep))
+        src_dir = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src_dir)
+
+        def launch(port):
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro", "serve",
+                 "--path", str(tmp_path / "hop-a"),
+                 "--host", "127.0.0.1", "--port", str(port),
+                 "--replica-of", f"{primary.host}:{primary.port}",
+                 "--replica-id", "hop-a",
+                 "--replica-checkpoint-interval", "0.2"],
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                env=env, text=True)
+            while True:
+                line = proc.stdout.readline()
+                assert line, "middle hop died during startup"
+                if line.startswith("serving "):
+                    address = line.split(" on ", 1)[1].split()[0]
+                    return proc, int(address.rsplit(":", 1)[1])
+
+        bdb = b_applier = None
+        proc, a_port = launch(0)
+        try:
+            bdb = TemporalDatabase.open(str(tmp_path / "hop-b"))
+            b_applier = ReplicaApplier(bdb, "127.0.0.1", a_port,
+                                       replica_id="hop-b", wait_ms=100,
+                                       checkpoint_interval=0.2)
+            b_applier.start()
+            with DatabaseClient(primary.host, primary.port) as pclient:
+                write_parts(pclient, 0, 4)
+                head = pdb._wal.shippable_lsn
+                wait_until(lambda: b_applier.applied_lsn >= head,
+                           message="hop B to replay through hop A")
+
+                proc.send_signal(signal.SIGKILL)
+                proc.wait(timeout=10)
+                # The chain is severed; the primary keeps committing.
+                write_parts(pclient, 4, 4)
+                head = pdb._wal.shippable_lsn
+
+                proc, _ = launch(a_port)  # same data dir, same port
+                wait_until(lambda: b_applier.applied_lsn >= head,
+                           timeout=30.0,
+                           message="hop B to converge after the restart")
+            assert [e.row["Part.name"] for e in
+                    bdb.query("SELECT Part.name FROM Part "
+                              "VALID AT 100").entries] == \
+                [e.row["Part.name"] for e in
+                 pdb.query("SELECT Part.name FROM Part "
+                           "VALID AT 100").entries]
+            assert b_applier.reconnects >= 1
+        finally:
+            if proc.poll() is None:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+            if b_applier is not None:
+                b_applier.stop()
+            if bdb is not None:
+                try:
+                    bdb.close()
+                except Exception:
+                    pass
+            primary.shutdown()
+            try:
+                pdb.close()
+            except Exception:
+                pass

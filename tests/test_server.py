@@ -1333,3 +1333,127 @@ class TestClientPoolHealthCheck:
             # the pool self-heals on the next acquisition
             with pool.acquire() as client:
                 assert client.ping()["pong"] is True
+
+
+class TestChangeStreams:
+    """SUBSCRIBE over the wire: the client-side feed, cursor resume
+    across reconnects, retention release, and DIFF profiling."""
+
+    def _mutate(self, db):
+        with db.transaction() as txn:
+            part = txn.insert("Part", {"name": "hub", "cost": 4.0},
+                              valid_from=0)
+            comp = txn.insert("Component", {"cname": "bearing"},
+                              valid_from=0)
+            txn.link("contains", part, comp, valid_from=0)
+        with db.transaction() as txn:
+            txn.update(part, {"cost": 6.5}, valid_from=0)
+        return part, comp
+
+    def _drain(self, feed):
+        events = []
+        while True:
+            batch = feed.poll(wait_ms=0)
+            events.extend(batch)
+            if feed.caught_up:
+                return events
+
+    def test_feed_yields_typed_events_in_commit_order(self, sdb, server):
+        with DatabaseClient(server.host, server.port) as client:
+            feed = client.subscribe("wire-tail", from_lsn=1)
+            part, comp = self._mutate(sdb)
+            events = self._drain(feed)
+            feed.close()
+        kinds = [e["kind"] for e in events]
+        assert kinds == ["atom_created", "atom_created", "link_added",
+                         "attribute_changed"]
+        lsns = [e["lsn"] for e in events]
+        assert lsns == sorted(lsns)
+        created = events[0]
+        assert created["type"] == "Part" and created["atom_id"] == part
+        assert created["before"] is None
+        assert created["after"]["name"] == "hub"
+        link = events[2]
+        assert (link["link"], link["src"], link["dst"]) == \
+            ("contains", part, comp)
+        changed = events[3]
+        assert changed["before"]["cost"] == 4.0
+        assert changed["after"]["cost"] == 6.5
+
+    def test_server_side_filters(self, sdb, server):
+        with DatabaseClient(server.host, server.port) as client:
+            feed = client.subscribe("wire-filtered", from_lsn=1,
+                                    types=["Part"],
+                                    kinds=["atom_created",
+                                           "attribute_changed"])
+            self._mutate(sdb)
+            events = self._drain(feed)
+            feed.close()
+        assert [e["kind"] for e in events] == ["atom_created",
+                                               "attribute_changed"]
+        assert {e["type"] for e in events} == {"Part"}
+
+    def test_reconnect_resumes_with_no_gaps_or_duplicates(self, sdb,
+                                                          server):
+        part, comp = self._mutate(sdb)
+        with DatabaseClient(server.host, server.port) as client:
+            feed = client.subscribe("wire-resume", from_lsn=1,
+                                    batch_size=2)
+            first = feed.poll(wait_ms=0)
+            assert len(first) == 2
+            feed._pending_ack = first[-1]["lsn"]
+            feed.close()  # flushes the ack; cursor stays server-side
+        # A new connection, no from_lsn: the persisted cursor decides.
+        with DatabaseClient(server.host, server.port) as client:
+            feed = client.subscribe("wire-resume")
+            rest = self._drain(feed)
+            feed.close()
+        lsns = [e["lsn"] for e in first] + [e["lsn"] for e in rest]
+        assert lsns == sorted(set(lsns)), "gap or duplicate across resume"
+        assert [e["kind"] for e in rest] == ["link_added",
+                                             "attribute_changed"]
+
+    def test_cancel_releases_cursor_and_retention(self, sdb, server):
+        self._mutate(sdb)
+        with DatabaseClient(server.host, server.port) as client:
+            feed = client.subscribe("wire-cancel", from_lsn=1)
+            self._drain(feed)
+            assert "wire-cancel" in sdb._wal.cdc_subscribers()
+            feed.cancel()
+        assert "wire-cancel" not in sdb._wal.cdc_subscribers()
+        from repro.cdc.source import CDC_EXTRAS_KEY
+        extras = sdb._catalog.extras.get(CDC_EXTRAS_KEY) or {}
+        assert "wire-cancel" not in extras
+
+    def test_stats_reports_cdc_subscribers(self, sdb, server):
+        self._mutate(sdb)
+        with DatabaseClient(server.host, server.port) as client:
+            feed = client.subscribe("wire-stats", from_lsn=1)
+            self._drain(feed)
+            feed.poll(wait_ms=0)  # ride the ack of the drained batch
+            body = client.stats()
+            feed.close()
+        cdc = body["server"]["cdc"]
+        assert cdc["head"] >= 1
+        entry = cdc["subscribers"]["wire-stats"]
+        assert entry["lag"] == 0
+        assert entry["held_bytes"] >= 0
+
+    def test_explain_profiles_diff_over_the_wire(self, sdb, server):
+        t0 = sdb._clock.now() - 1
+        self._mutate(sdb)
+        t2 = sdb._clock.now() - 1
+        with DatabaseClient(server.host, server.port) as client:
+            body = client.explain(
+                f"DIFF Part.contains.Component BETWEEN {t0} AND {t2}")
+        kinds = {entry["row"]["kind"] for entry in body["entries"]}
+        assert kinds == {"atom_created", "link_added"}
+        flat = []
+        def walk(spans):
+            for span in spans:
+                flat.append(span["name"])
+                walk(span.get("children", ()))
+        walk(body["profile"]["spans"])
+        assert "diff" in flat
+        assert flat.count("slice") >= 2
+        assert "compare" in flat
